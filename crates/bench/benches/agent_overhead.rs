@@ -1,0 +1,64 @@
+//! **Overhead analysis** (§V) — the paper measures an average Next
+//! decision overhead of ≈227 ns per invocation on the Note 9's LITTLE
+//! cluster. This bench measures our agent's hot path: one 25 ms frame
+//! sample, one full 100 ms control step (trained, greedy), and the
+//! frame-window mode extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mpsoc::{Soc, SocConfig};
+use next_core::{FrameWindow, NextAgent, NextConfig};
+
+/// Builds a lightly-trained agent plus a SoC in a realistic state.
+fn trained_setup() -> (NextAgent, Soc) {
+    let mut agent = NextAgent::new(NextConfig::paper());
+    let mut soc = Soc::new(SocConfig::exynos9810());
+    let demand = mpsoc::perf::FrameDemand::new(4.0e6, 2.0e6, 5.0e6)
+        .with_background(0.3e9, 0.1e9, 0.0);
+    for t in 0..12_000 {
+        let out = soc.tick(0.025, &demand);
+        agent.observe_frame_sample(out.fps);
+        if t % 4 == 0 {
+            let s = soc.state();
+            agent.step(&s, soc.dvfs_mut());
+        }
+    }
+    agent.set_training(false);
+    (agent, soc)
+}
+
+fn bench_agent(c: &mut Criterion) {
+    let (mut agent, mut soc) = trained_setup();
+
+    c.bench_function("frame_window_push", |b| {
+        b.iter(|| agent.observe_frame_sample(black_box(42.0)));
+    });
+
+    let mut window = FrameWindow::paper_default();
+    for i in 0..160 {
+        window.push(f64::from(i % 60));
+    }
+    c.bench_function("frame_window_mode", |b| {
+        b.iter(|| black_box(window.mode()));
+    });
+
+    let state = soc.state();
+    c.bench_function("next_control_step_greedy", |b| {
+        b.iter(|| {
+            agent.step(black_box(&state), soc.dvfs_mut());
+        });
+    });
+
+    let (mut training_agent, mut soc2) = trained_setup();
+    training_agent.set_training(true);
+    let state2 = soc2.state();
+    c.bench_function("next_control_step_training", |b| {
+        b.iter(|| {
+            training_agent.step(black_box(&state2), soc2.dvfs_mut());
+        });
+    });
+}
+
+criterion_group!(benches, bench_agent);
+criterion_main!(benches);

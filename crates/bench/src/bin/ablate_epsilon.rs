@@ -1,0 +1,47 @@
+//! **Ablation** — ε-greedy exploration schedule.
+//!
+//! Sweeps the initial exploration rate and its decay on Facebook and
+//! reports training time to convergence plus the quality of the learned
+//! policy.
+
+use governors::Schedutil;
+use next_core::NextConfig;
+use simkit::experiment::{evaluate_governor, train_next_for_app};
+use simkit::report::Table;
+
+fn main() {
+    let plan = bench::paper_plan("facebook");
+    let sched = evaluate_governor(&mut Schedutil::new(), &plan, bench::EVAL_SEED);
+
+    let mut table = Table::new(
+        "ablation: epsilon schedule (facebook)",
+        &["eps0", "decay", "train_s", "converged", "saving_%", "avg_fps"],
+    );
+    for &(eps0, decay) in &[
+        (0.1f64, 0.999f64),
+        (0.3, 0.998),
+        (0.5, 0.998),
+        (0.8, 0.995),
+        (0.05, 1.0),
+    ] {
+        let mut config = NextConfig::paper();
+        config.epsilon0 = eps0;
+        config.epsilon_decay = decay;
+        config.epsilon_min = config.epsilon_min.min(eps0);
+        let out = train_next_for_app("facebook", config, bench::TRAIN_SEED, 900.0);
+        let mut agent = out.agent;
+        let next = evaluate_governor(&mut agent, &plan, bench::EVAL_SEED);
+        table.push_row(vec![
+            format!("{eps0:.2}"),
+            format!("{decay:.3}"),
+            format!("{:.0}", out.training_time_s),
+            out.converged.to_string(),
+            format!("{:.1}", next.summary.power_saving_vs(&sched.summary)),
+            format!("{:.1}", next.summary.avg_fps),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("# low ε relies on the informed priors; high ε explores more states and");
+    println!("# takes longer to settle. The default (0.5, 0.998) converges within the");
+    println!("# paper's minutes-scale budget.");
+}

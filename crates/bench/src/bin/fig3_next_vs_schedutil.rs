@@ -1,0 +1,66 @@
+//! **Fig. 3** — power consumption and big-CPU temperature on the same
+//! home screen → Facebook → Spotify session, stock `schedutil` versus
+//! the trained Next agent.
+//!
+//! The paper reports 41.88 % average power saving and 21.02 % big-CPU
+//! temperature reduction on this session.
+
+use governors::Schedutil;
+use mpsoc::{Soc, SocConfig};
+use simkit::report;
+use simkit::Engine;
+use workload::{SessionPlan, SessionSim};
+
+fn main() {
+    let plan = SessionPlan::paper_fig1();
+    let duration = plan.total_duration_s();
+    let engine = Engine::new();
+
+    // schedutil run.
+    let mut soc = Soc::new(SocConfig::exynos9810());
+    let mut sched = Schedutil::new();
+    let mut session = SessionSim::new(plan.clone(), bench::EVAL_SEED);
+    let sched_out = engine.run(&mut soc, &mut sched, &mut session, duration);
+
+    // Next: trained on the same kind of mixed session, then greedy.
+    let mut agent = bench::trained_next_on_plan(&plan, 900.0);
+    let mut soc = Soc::new(SocConfig::exynos9810());
+    let mut session = SessionSim::new(plan, bench::EVAL_SEED);
+    agent.start_session();
+    let next_out = engine.run(&mut soc, &mut agent, &mut session, duration);
+
+    let s_res = sched_out.trace.resampled(3.0);
+    let n_res = next_out.trace.resampled(3.0);
+    let n = s_res.len().min(n_res.len());
+    let xs: Vec<f64> = s_res.iter().take(n).map(|s| s.time_s).collect();
+    println!(
+        "{}",
+        report::render_multi_series(
+            "fig3: power and big-CPU temperature, schedutil vs Next",
+            "time_s",
+            &xs,
+            &[
+                ("pow_schedutil_w", s_res.iter().take(n).map(|s| s.power_w).collect()),
+                ("pow_next_w", n_res.iter().take(n).map(|s| s.power_w).collect()),
+                ("temp_schedutil_c", s_res.iter().take(n).map(|s| s.temp_big_c).collect()),
+                ("temp_next_c", n_res.iter().take(n).map(|s| s.temp_big_c).collect()),
+            ],
+        )
+    );
+
+    let ss = sched_out.trace.summary();
+    let ns = next_out.trace.summary();
+    println!("# avg power schedutil: {:.4} W   (paper: 3.5154 W)", ss.avg_power_w);
+    println!("# avg power Next:      {:.4} W   (paper: 2.0433 W)", ns.avg_power_w);
+    println!("# avg big temp schedutil: {:.2} C (paper: 52.33 C)", ss.avg_temp_big_c);
+    println!("# avg big temp Next:      {:.2} C (paper: 41.33 C)", ns.avg_temp_big_c);
+    println!(
+        "# power saving: {:.2} %  (paper: 41.88 %)",
+        ns.power_saving_vs(&ss)
+    );
+    println!(
+        "# peak big-temp reduction (above 21 C ambient): {:.2} %  (paper: 21.02 % avg-temp)",
+        ns.big_temp_reduction_vs(&ss, 21.0)
+    );
+    println!("# avg fps schedutil {:.1} / Next {:.1}", ss.avg_fps, ns.avg_fps);
+}

@@ -1,0 +1,56 @@
+//! **Fig. 6** — training time, on-device (online) versus cloud
+//! (offline), as the FPS quantisation level increases.
+//!
+//! The paper reports online training times of 67/75/146/207/312 s and
+//! cloud times of 7/10/16/41/73 s for increasing frame-rate levels, with
+//! up to 4 s of communication overhead, and picks 30 bins as the best
+//! trade-off (≈3 min 27 s of one-time training per application).
+
+use next_core::NextConfig;
+use qlearn::federated::CloudModel;
+use simkit::experiment::train_next_for_app;
+use simkit::report;
+
+fn main() {
+    let bins_sweep = [1usize, 10, 20, 30, 60];
+    let cloud = CloudModel::xeon_e7_8860v3();
+    let budget = 1_800.0;
+
+    let mut xs = Vec::new();
+    let mut online = Vec::new();
+    let mut cloud_times = Vec::new();
+    let mut states = Vec::new();
+    for &bins in &bins_sweep {
+        let config = NextConfig::paper().with_fps_bins(bins);
+        let out = train_next_for_app("facebook", config, bench::TRAIN_SEED, budget);
+        let online_s = out.training_time_s;
+        xs.push(bins as f64);
+        online.push(online_s);
+        cloud_times.push(cloud.cloud_time_s(online_s));
+        states.push(out.agent.table().len() as f64);
+        eprintln!(
+            "# bins {bins}: online {online_s:.0} s (converged: {}), states {}",
+            out.converged,
+            out.agent.table().len()
+        );
+    }
+
+    println!(
+        "{}",
+        report::render_multi_series(
+            "fig6: training time vs FPS quantisation (facebook)",
+            "fps_bins",
+            &xs,
+            &[
+                ("online_s", online.clone()),
+                ("cloud_s", cloud_times.clone()),
+                ("q_states", states),
+            ],
+        )
+    );
+    println!("# paper online: 67, 75, 146, 207, 312 s; cloud: 7, 10, 16, 41, 73 s");
+    println!("# shape: online time grows with quantisation level; cloud is ~{}x", cloud.speedup);
+    println!("# faster plus {} s communication overhead.", cloud.comm_overhead_s);
+    let rising = online.windows(2).filter(|w| w[1] >= w[0]).count();
+    println!("# monotone-rising online segments: {rising}/{}", online.len() - 1);
+}

@@ -1,0 +1,59 @@
+//! **Fig. 7** — average power consumption per application under
+//! `schedutil`, Next and Int. QoS PM.
+//!
+//! Paper numbers: Next saves 37.05 / 50.68 / 40.95 / 32.98 / 32.11 /
+//! 40.6 % versus schedutil on Facebook / Lineage / PubG / Spotify / Web
+//! Browser / YouTube; Int. QoS PM (games only) saves 16.31 / 23.84 %.
+
+use governors::{IntQosPm, Schedutil};
+use simkit::experiment::evaluate_governor;
+use simkit::report::Table;
+use workload::apps;
+
+fn main() {
+    let mut table = Table::new(
+        "fig7: average power (W) per application",
+        &["app", "schedutil", "next", "int-qos-pm", "next_saving_%", "intqos_saving_%"],
+    );
+    let mut next_savings: Vec<f64> = Vec::new();
+
+    for app in bench::PAPER_APPS {
+        let plan = bench::paper_plan(app);
+        let sched = evaluate_governor(&mut Schedutil::new(), &plan, bench::EVAL_SEED);
+        let train = bench::trained_next(app);
+        let mut agent = train.agent;
+        let next = evaluate_governor(&mut agent, &plan, bench::EVAL_SEED);
+        let next_saving = next.summary.power_saving_vs(&sched.summary);
+        next_savings.push(next_saving);
+
+        let (qos_cell, qos_saving_cell) = if apps::is_game(app) {
+            let qos = evaluate_governor(&mut IntQosPm::new(), &plan, bench::EVAL_SEED);
+            (
+                format!("{:.2}", qos.summary.avg_power_w),
+                format!("{:.1}", qos.summary.power_saving_vs(&sched.summary)),
+            )
+        } else {
+            ("n/a".to_owned(), "n/a".to_owned())
+        };
+
+        table.push_row(vec![
+            app.to_owned(),
+            format!("{:.2}", sched.summary.avg_power_w),
+            format!("{:.2}", next.summary.avg_power_w),
+            qos_cell,
+            format!("{next_saving:.1}"),
+            qos_saving_cell,
+        ]);
+        eprintln!(
+            "# {app}: trained {:.0} s (converged: {}), next fps {:.1} vs sched {:.1}",
+            train.training_time_s, train.converged, next.summary.avg_fps, sched.summary.avg_fps
+        );
+    }
+
+    println!("{}", table.render());
+    let max = next_savings.iter().copied().fold(0.0f64, f64::max);
+    let min = next_savings.iter().copied().fold(f64::INFINITY, f64::min);
+    println!("# Next saves {min:.1}-{max:.1} % vs schedutil (paper: 32.11-50.68 %,");
+    println!("# \"maximum of 50% power saving\"); Int. QoS PM sits between Next and");
+    println!("# schedutil on the two games (paper: 16.31 / 23.84 %).");
+}

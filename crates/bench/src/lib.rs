@@ -1,0 +1,93 @@
+//! Shared protocol for the figure-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §4 for the index). They share the evaluation
+//! protocol of §V: Next is trained once per application on a dedicated
+//! training device, switched to greedy inference, and then measured on
+//! sessions seeded identically across governors at 21 °C ambient.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use next_core::{NextAgent, NextConfig};
+use simkit::experiment::{train_next_for_app, TrainOutcome};
+use workload::apps;
+use workload::SessionPlan;
+
+/// Seed used for every measured session, so all governors see the same
+/// user behaviour.
+pub const EVAL_SEED: u64 = 1000;
+
+/// Seed used for training sessions.
+pub const TRAIN_SEED: u64 = 7;
+
+/// The six applications of Figs. 7 and 8, in the paper's order.
+pub const PAPER_APPS: [&str; 6] =
+    ["facebook", "lineage", "pubg", "spotify", "web-browser", "youtube"];
+
+/// Training budget per application, simulated seconds. Games explore a
+/// much larger state region (FPS spans the whole 0–60 range during
+/// gameplay), so they get a larger budget.
+#[must_use]
+pub fn train_budget_s(app: &str) -> f64 {
+    if apps::is_game(app) {
+        1_200.0
+    } else {
+        600.0
+    }
+}
+
+/// Trains a fresh Next agent on `app` with the standard protocol and
+/// returns it in greedy-inference mode together with the training
+/// telemetry.
+#[must_use]
+pub fn trained_next(app: &str) -> TrainOutcome {
+    train_next_for_app(app, NextConfig::paper(), TRAIN_SEED, train_budget_s(app))
+}
+
+/// Trains a fresh Next agent on an arbitrary session plan (used for the
+/// mixed home→Facebook→Spotify session of Figs. 1 and 3).
+#[must_use]
+pub fn trained_next_on_plan(plan: &SessionPlan, budget_s: f64) -> NextAgent {
+    use simkit::Engine;
+    let engine = Engine::new();
+    let mut agent = NextAgent::new(NextConfig::paper());
+    let mut soc = mpsoc::Soc::new(mpsoc::SocConfig::exynos9810());
+    let mut spent = 0.0;
+    let mut round = 0u64;
+    while spent < budget_s && !agent.is_converged() {
+        let mut session =
+            workload::SessionSim::new(plan.clone(), TRAIN_SEED.wrapping_add(round));
+        agent.start_session();
+        let chunk = plan.total_duration_s();
+        engine.run(&mut soc, &mut agent, &mut session, chunk);
+        spent += chunk;
+        round += 1;
+    }
+    agent.set_training(false);
+    agent
+}
+
+/// The per-app session plan of §V (games 5 min, other apps 2.5 min).
+#[must_use]
+pub fn paper_plan(app: &str) -> SessionPlan {
+    SessionPlan::single(app, SessionPlan::paper_session_length_s(app))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_follow_app_class() {
+        assert!(train_budget_s("pubg") > train_budget_s("facebook"));
+    }
+
+    #[test]
+    fn paper_apps_all_resolve() {
+        for app in PAPER_APPS {
+            assert!(apps::by_name(app).is_some(), "unknown app {app}");
+            assert!(paper_plan(app).total_duration_s() > 0.0);
+        }
+    }
+}

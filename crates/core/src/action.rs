@@ -1,0 +1,145 @@
+//! The 9-action space of Next (§IV-B).
+//!
+//! With `m` PE clusters and cluster-wise DVFS there are `3m` actions:
+//! frequency up, frequency down, or do nothing, per cluster. On the
+//! Exynos 9810 (`m = 3`) that yields 9 actions. "Setting operating
+//! frequency means to set the maxfreq of the respective PE to that
+//! operating frequency" — actions move the cap, and the hardware stays
+//! free to run anywhere between `minfreq` and the cap.
+
+use mpsoc::dvfs::DvfsController;
+use mpsoc::freq::ClusterId;
+
+/// Direction of a frequency-cap move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Raise the cap one OPP.
+    Up,
+    /// Lower the cap one OPP.
+    Down,
+    /// Leave the cap unchanged.
+    Hold,
+}
+
+/// One of the nine Next actions: a direction applied to one cluster's
+/// `maxfreq` cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Action {
+    /// Cluster whose cap the action moves.
+    pub cluster: ClusterId,
+    /// The move.
+    pub direction: Direction,
+}
+
+impl Action {
+    /// Number of actions (3 clusters × 3 directions).
+    pub const COUNT: usize = 9;
+
+    /// All actions in index order.
+    pub const ALL: [Action; 9] = [
+        Action { cluster: ClusterId::Big, direction: Direction::Up },
+        Action { cluster: ClusterId::Big, direction: Direction::Down },
+        Action { cluster: ClusterId::Big, direction: Direction::Hold },
+        Action { cluster: ClusterId::Little, direction: Direction::Up },
+        Action { cluster: ClusterId::Little, direction: Direction::Down },
+        Action { cluster: ClusterId::Little, direction: Direction::Hold },
+        Action { cluster: ClusterId::Gpu, direction: Direction::Up },
+        Action { cluster: ClusterId::Gpu, direction: Direction::Down },
+        Action { cluster: ClusterId::Gpu, direction: Direction::Hold },
+    ];
+
+    /// The action at table index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= Action::COUNT`.
+    #[must_use]
+    pub fn from_index(idx: usize) -> Self {
+        Action::ALL[idx]
+    }
+
+    /// The table index of this action.
+    #[must_use]
+    pub fn index(self) -> usize {
+        Action::ALL.iter().position(|a| *a == self).expect("action in table")
+    }
+
+    /// Applies the action to the DVFS controller by stepping the
+    /// cluster's `maxfreq` cap.
+    pub fn apply(self, dvfs: &mut DvfsController) {
+        let dom = dvfs.domain_mut(self.cluster);
+        match self.direction {
+            Direction::Up => {
+                dom.step_max_up();
+            }
+            Direction::Down => {
+                dom.step_max_down();
+            }
+            Direction::Hold => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_actions_cover_all_cluster_direction_pairs() {
+        assert_eq!(Action::COUNT, 9);
+        let mut seen = std::collections::HashSet::new();
+        for a in Action::ALL {
+            seen.insert((a.cluster, a.direction));
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..Action::COUNT {
+            assert_eq!(Action::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn up_down_move_the_cap() {
+        let mut dvfs = DvfsController::exynos9810();
+        let start = dvfs.domain(ClusterId::Big).max_cap().freq_khz;
+        Action { cluster: ClusterId::Big, direction: Direction::Down }.apply(&mut dvfs);
+        let lowered = dvfs.domain(ClusterId::Big).max_cap().freq_khz;
+        assert!(lowered < start);
+        Action { cluster: ClusterId::Big, direction: Direction::Up }.apply(&mut dvfs);
+        assert_eq!(dvfs.domain(ClusterId::Big).max_cap().freq_khz, start);
+    }
+
+    #[test]
+    fn hold_changes_nothing() {
+        let mut dvfs = DvfsController::exynos9810();
+        let before: Vec<u32> =
+            ClusterId::ALL.iter().map(|&c| dvfs.domain(c).max_cap().freq_khz).collect();
+        for c in ClusterId::ALL {
+            Action { cluster: c, direction: Direction::Hold }.apply(&mut dvfs);
+        }
+        let after: Vec<u32> =
+            ClusterId::ALL.iter().map(|&c| dvfs.domain(c).max_cap().freq_khz).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn actions_only_touch_their_cluster() {
+        let mut dvfs = DvfsController::exynos9810();
+        Action { cluster: ClusterId::Gpu, direction: Direction::Down }.apply(&mut dvfs);
+        assert_eq!(dvfs.domain(ClusterId::Big).max_cap().freq_khz, 2_704_000);
+        assert_eq!(dvfs.domain(ClusterId::Little).max_cap().freq_khz, 1_794_000);
+        assert_eq!(dvfs.domain(ClusterId::Gpu).max_cap().freq_khz, 546_000);
+    }
+
+    #[test]
+    fn repeated_down_saturates_at_bottom() {
+        let mut dvfs = DvfsController::exynos9810();
+        for _ in 0..50 {
+            Action { cluster: ClusterId::Big, direction: Direction::Down }.apply(&mut dvfs);
+        }
+        assert_eq!(dvfs.domain(ClusterId::Big).max_cap().freq_khz, 650_000);
+    }
+}

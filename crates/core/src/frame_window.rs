@@ -1,0 +1,229 @@
+//! The frame window: the user-interaction sensor of Next (§IV-A).
+//!
+//! The agent samples the presented frame rate every 25 ms over a rolling
+//! window of 4 seconds — 160 samples — and computes the **mathematical
+//! mode**. The mode is "the most possible frame rate suitable to provide
+//! the desirable QoS for the user during that session": scrolling
+//! sessions mode at 60, reading sessions mode near 0–10, video at its
+//! native rate. The mode becomes the RL module's target FPS for the next
+//! window.
+
+use std::collections::VecDeque;
+
+/// Rolling FPS sample window with mode extraction.
+///
+/// Samples are rounded to whole FPS before entering the histogram, the
+/// resolution at which a mode is meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameWindow {
+    capacity: usize,
+    samples: VecDeque<u32>,
+    /// Histogram over 0..=60 FPS for O(1) mode maintenance.
+    histogram: Vec<u32>,
+}
+
+/// Highest whole FPS the window tracks (display refresh).
+pub const MAX_FPS: u32 = 60;
+
+impl FrameWindow {
+    /// Creates a window holding `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window needs capacity");
+        FrameWindow {
+            capacity,
+            samples: VecDeque::with_capacity(capacity),
+            histogram: vec![0; (MAX_FPS + 1) as usize],
+        }
+    }
+
+    /// The paper's window: 4 s of 25 ms samples (160 values).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        FrameWindow::new(160)
+    }
+
+    /// Maximum number of samples retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Whether the window is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    /// Pushes one FPS sample (clamped to `[0, 60]`, rounded to whole
+    /// FPS), evicting the oldest when full.
+    pub fn push(&mut self, fps: f64) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let value = fps.clamp(0.0, f64::from(MAX_FPS)).round() as u32;
+        if self.samples.len() == self.capacity {
+            let old = self.samples.pop_front().expect("non-empty at capacity");
+            self.histogram[old as usize] -= 1;
+        }
+        self.samples.push_back(value);
+        self.histogram[value as usize] += 1;
+    }
+
+    /// The mode of the samples — the target FPS. Ties break towards the
+    /// *higher* frame rate (never under-serve the user). `None` when
+    /// empty.
+    #[must_use]
+    pub fn mode(&self) -> Option<u32> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut best = 0u32;
+        let mut best_count = 0u32;
+        for (fps, &count) in self.histogram.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            let fps = fps as u32;
+            if count >= best_count && count > 0 {
+                best = fps;
+                best_count = count;
+            }
+        }
+        Some(best)
+    }
+
+    /// Clears all samples (app switch).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.histogram.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Iterator over the retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.samples.iter().copied()
+    }
+}
+
+impl Default for FrameWindow {
+    fn default() -> Self {
+        FrameWindow::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window_holds_160_samples() {
+        let w = FrameWindow::paper_default();
+        assert_eq!(w.capacity(), 160);
+    }
+
+    #[test]
+    fn mode_of_uniform_stream() {
+        let mut w = FrameWindow::new(10);
+        for _ in 0..10 {
+            w.push(60.0);
+        }
+        assert_eq!(w.mode(), Some(60));
+        assert!(w.is_full());
+    }
+
+    #[test]
+    fn mode_tracks_majority() {
+        let mut w = FrameWindow::new(160);
+        for _ in 0..100 {
+            w.push(30.0);
+        }
+        for _ in 0..60 {
+            w.push(60.0);
+        }
+        assert_eq!(w.mode(), Some(30));
+    }
+
+    #[test]
+    fn ties_break_towards_higher_fps() {
+        let mut w = FrameWindow::new(4);
+        w.push(20.0);
+        w.push(20.0);
+        w.push(60.0);
+        w.push(60.0);
+        assert_eq!(w.mode(), Some(60));
+    }
+
+    #[test]
+    fn eviction_forgets_old_interaction() {
+        let mut w = FrameWindow::new(4);
+        for _ in 0..4 {
+            w.push(10.0);
+        }
+        assert_eq!(w.mode(), Some(10));
+        for _ in 0..4 {
+            w.push(55.0);
+        }
+        assert_eq!(w.mode(), Some(55), "old samples must age out");
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn samples_round_and_clamp() {
+        let mut w = FrameWindow::new(8);
+        w.push(59.6); // → 60
+        w.push(72.0); // → 60
+        w.push(-3.0); // → 0
+        w.push(0.4); // → 0
+        let collected: Vec<u32> = w.iter().collect();
+        assert_eq!(collected, vec![60, 60, 0, 0]);
+    }
+
+    #[test]
+    fn empty_window_has_no_mode() {
+        let w = FrameWindow::new(5);
+        assert_eq!(w.mode(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut w = FrameWindow::new(5);
+        w.push(30.0);
+        w.clear();
+        assert_eq!(w.mode(), None);
+        assert_eq!(w.len(), 0);
+        // Histogram must also be clean: a single new sample wins.
+        w.push(10.0);
+        assert_eq!(w.mode(), Some(10));
+    }
+
+    #[test]
+    fn mode_is_always_an_observed_value() {
+        let mut w = FrameWindow::new(50);
+        let inputs = [3.0, 17.0, 42.0, 42.0, 8.0, 17.0, 42.0];
+        for &x in &inputs {
+            w.push(x);
+        }
+        let m = w.mode().unwrap();
+        assert!(w.iter().any(|s| s == m), "mode {m} not among samples");
+        assert_eq!(m, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = FrameWindow::new(0);
+    }
+}

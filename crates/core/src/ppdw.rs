@@ -1,0 +1,185 @@
+//! **PPDW** — performance per degree watt, the paper's new metric
+//! (§III-B, Eq. 1):
+//!
+//! ```text
+//! PPDW_i = FPS_i / (ΔT × P_i),   ΔT = T_i − T_a
+//! ```
+//!
+//! where `T_a` is the ambient temperature. Unlike performance-per-watt,
+//! PPDW penalises thermal headroom consumption as well as power draw,
+//! which is what makes it suitable for passively-cooled mobile devices.
+//!
+//! Eq. 2 bounds the optimisation: the achievable PPDW lies between
+//! `PPDW_worst` (least FPS at maximum power and peak temperature) and
+//! `PPDW_best` (maximum FPS at least power with minimal heating).
+
+/// Floor applied to `ΔT` so a device at ambient does not divide by zero
+/// (physically: the sensor resolution is coarser than 0.5 °C anyway).
+pub const DELTA_T_FLOOR_C: f64 = 0.5;
+
+/// Floor applied to power (the platform floor is never truly zero).
+pub const POWER_FLOOR_W: f64 = 0.05;
+
+/// Evaluates Eq. 1 with the numerical floors applied.
+///
+/// Negative FPS is clamped to zero, so the result is always
+/// non-negative and finite.
+#[must_use]
+pub fn ppdw(fps: f64, power_w: f64, temp_c: f64, ambient_c: f64) -> f64 {
+    let delta_t = (temp_c - ambient_c).max(DELTA_T_FLOOR_C);
+    let power = power_w.max(POWER_FLOOR_W);
+    fps.max(0.0) / (delta_t * power)
+}
+
+/// The Eq. 2 envelope for a platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpdwBounds {
+    /// Least frame rate considered (the paper uses 1 FPS).
+    pub fps_least: f64,
+    /// Maximum frame rate (display refresh, 60 FPS).
+    pub fps_max: f64,
+    /// Least platform power, watts.
+    pub power_least_w: f64,
+    /// Maximum platform power, watts.
+    pub power_max_w: f64,
+    /// Least achievable `ΔT` above ambient, °C.
+    pub delta_t_least_c: f64,
+    /// Maximum allowed `ΔT` above ambient, °C.
+    pub delta_t_max_c: f64,
+}
+
+impl PpdwBounds {
+    /// The calibrated Note 9 envelope: 1–60 FPS, 1–16 W, 1–70 °C above
+    /// ambient.
+    #[must_use]
+    pub fn exynos9810() -> Self {
+        PpdwBounds {
+            fps_least: 1.0,
+            fps_max: 60.0,
+            power_least_w: 1.0,
+            power_max_w: 16.0,
+            delta_t_least_c: 1.0,
+            delta_t_max_c: 70.0,
+        }
+    }
+
+    /// `PPDW_best = FPS_max / (ΔT_least × P_least)` (Eq. 2).
+    #[must_use]
+    pub fn best(&self) -> f64 {
+        self.fps_max / (self.delta_t_least_c.max(DELTA_T_FLOOR_C) * self.power_least_w.max(POWER_FLOOR_W))
+    }
+
+    /// `PPDW_worst = FPS_least / (ΔT_max × P_max)` (Eq. 2).
+    #[must_use]
+    pub fn worst(&self) -> f64 {
+        self.fps_least / (self.delta_t_max_c.max(DELTA_T_FLOOR_C) * self.power_max_w.max(POWER_FLOOR_W))
+    }
+
+    /// Whether a measured PPDW value lies inside the Eq. 2 envelope
+    /// `best ≥ value > worst`.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value > self.worst() && value <= self.best()
+    }
+
+    /// Normalises a PPDW value into `[0, 1]` against the envelope
+    /// (clamped, linear).
+    #[must_use]
+    pub fn normalize(&self, value: f64) -> f64 {
+        let best = self.best();
+        let worst = self.worst();
+        ((value - worst) / (best - worst)).clamp(0.0, 1.0)
+    }
+
+    /// Reference scale of the envelope: the geometric mean of `best`
+    /// and `worst`, which lands in the realistic operating range
+    /// (the envelope spans ~5 orders of magnitude, so linear
+    /// normalisation crushes every practical value towards 0).
+    #[must_use]
+    pub fn reference(&self) -> f64 {
+        (self.best() * self.worst()).sqrt()
+    }
+
+    /// Soft normalisation `v / (v + reference)` into `[0, 1)`: 0 at
+    /// zero, ½ at the reference scale, saturating towards 1. Monotonic
+    /// with a usable gradient across the whole realistic PPDW range —
+    /// the scale the agent's reward uses.
+    #[must_use]
+    pub fn soft_normalize(&self, value: f64) -> f64 {
+        let v = value.max(0.0);
+        v / (v + self.reference())
+    }
+}
+
+impl Default for PpdwBounds {
+    fn default() -> Self {
+        PpdwBounds::exynos9810()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_hand_computation() {
+        // 60 FPS at 3 W and 20 °C above 21 °C ambient.
+        let v = ppdw(60.0, 3.0, 41.0, 21.0);
+        assert!((v - 60.0 / (20.0 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floors_prevent_division_blowup() {
+        let at_ambient = ppdw(60.0, 3.0, 21.0, 21.0);
+        assert!(at_ambient.is_finite());
+        let below_ambient = ppdw(60.0, 3.0, 15.0, 21.0);
+        assert!(below_ambient.is_finite());
+        assert_eq!(at_ambient, below_ambient, "both clamp to the ΔT floor");
+        assert!(ppdw(60.0, 0.0, 40.0, 21.0).is_finite());
+    }
+
+    #[test]
+    fn zero_fps_gives_zero() {
+        assert_eq!(ppdw(0.0, 5.0, 50.0, 21.0), 0.0);
+        assert_eq!(ppdw(-3.0, 5.0, 50.0, 21.0), 0.0);
+    }
+
+    #[test]
+    fn higher_fps_better_lower_power_better_cooler_better() {
+        let base = ppdw(30.0, 4.0, 50.0, 21.0);
+        assert!(ppdw(40.0, 4.0, 50.0, 21.0) > base);
+        assert!(ppdw(30.0, 3.0, 50.0, 21.0) > base);
+        assert!(ppdw(30.0, 4.0, 45.0, 21.0) > base);
+    }
+
+    #[test]
+    fn bounds_order_and_containment() {
+        let b = PpdwBounds::exynos9810();
+        assert!(b.best() > b.worst());
+        // A sane operating point sits inside the envelope.
+        let v = ppdw(45.0, 3.0, 45.0, 21.0);
+        assert!(b.contains(v), "typical point {v} outside [{}, {}]", b.worst(), b.best());
+        assert!(!b.contains(b.best() * 2.0));
+        assert!(!b.contains(0.0));
+    }
+
+    #[test]
+    fn paper_worst_case_examples_score_terribly() {
+        // "generated FPS is 1 while executing all CPU and GPU cores at
+        // their corresponding maximum frequencies" — Fig. 4's red
+        // points sit near zero.
+        let b = PpdwBounds::exynos9810();
+        let v = ppdw(1.0, 14.0, 85.0, 21.0);
+        assert!(v < b.best() * 0.01, "worst case {v} not near zero");
+    }
+
+    #[test]
+    fn normalize_is_clamped_and_monotonic() {
+        let b = PpdwBounds::exynos9810();
+        assert_eq!(b.normalize(-1.0), 0.0);
+        assert_eq!(b.normalize(b.best() * 10.0), 1.0);
+        let lo = b.normalize(ppdw(10.0, 5.0, 60.0, 21.0));
+        let hi = b.normalize(ppdw(55.0, 2.0, 35.0, 21.0));
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,248 @@
+//! RL state encoding (§IV-B).
+//!
+//! The observed state of the Next environment consists of the eight
+//! signals the paper lists for the Exynos 9810 implementation:
+//! `big CPUfreq`, `LITTLE CPUfreq`, `GPUfreq`, `FPS_current`,
+//! `Target FPS`, `Power_current`, `Temperature_big` and
+//! `Temperature_device`. Frequencies are already discrete (OPP levels);
+//! the continuous signals are quantised, and the whole tuple is packed
+//! into a single mixed-radix [`StateKey`] for the Q-table.
+
+use mpsoc::freq::ClusterId;
+use mpsoc::soc::SocState;
+use qlearn::discretize::Quantizer;
+use qlearn::qtable::StateKey;
+
+/// Packs the paper's 8-signal observation into Q-table state keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateEncoder {
+    freq_levels: [usize; 3],
+    fps_quant: Quantizer,
+    power_quant: Quantizer,
+    temp_quant: Quantizer,
+}
+
+/// A decoded state, for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedState {
+    /// OPP level per cluster, by [`ClusterId::index`].
+    pub freq_level: [usize; 3],
+    /// Quantised current-FPS bin.
+    pub fps_bin: usize,
+    /// Quantised target-FPS bin.
+    pub target_bin: usize,
+    /// Quantised power bin.
+    pub power_bin: usize,
+    /// Quantised big-cluster temperature bin.
+    pub temp_big_bin: usize,
+    /// Quantised device temperature bin.
+    pub temp_device_bin: usize,
+}
+
+impl StateEncoder {
+    /// Creates an encoder for the given per-cluster OPP table sizes and
+    /// FPS quantisation bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size or `fps_bins` is zero.
+    #[must_use]
+    pub fn new(freq_levels: [usize; 3], fps_bins: usize) -> Self {
+        assert!(freq_levels.iter().all(|&n| n > 0), "cluster tables must be non-empty");
+        StateEncoder {
+            freq_levels,
+            fps_quant: Quantizer::fps(fps_bins),
+            power_quant: Quantizer::power(),
+            temp_quant: Quantizer::temperature(),
+        }
+    }
+
+    /// Encoder for the Exynos 9810 ladders (18/10/6 levels) at the
+    /// paper's preferred 30 FPS bins.
+    #[must_use]
+    pub fn exynos9810(fps_bins: usize) -> Self {
+        StateEncoder::new([18, 10, 6], fps_bins)
+    }
+
+    /// The FPS quantiser in use.
+    #[must_use]
+    pub fn fps_quantizer(&self) -> &Quantizer {
+        &self.fps_quant
+    }
+
+    /// Total number of distinct encodable states.
+    #[must_use]
+    pub fn state_space_size(&self) -> u64 {
+        let radices = self.radices();
+        radices.iter().map(|&r| r as u64).product()
+    }
+
+    fn radices(&self) -> [usize; 8] {
+        [
+            self.freq_levels[0],
+            self.freq_levels[1],
+            self.freq_levels[2],
+            self.fps_quant.bins(),
+            self.fps_quant.bins(),
+            self.power_quant.bins(),
+            self.temp_quant.bins(),
+            self.temp_quant.bins(),
+        ]
+    }
+
+    /// Encodes an observed SoC state plus the frame-window target FPS.
+    ///
+    /// The frequency digits are the **`maxfreq` cap levels** — the
+    /// operating-frequency settings the agent itself writes. The
+    /// instantaneous frequency bounces between OPPs every scheduling
+    /// period under the kernel's boost/decay policy, which would turn
+    /// the frequency digits into high-entropy noise; the cap is the
+    /// stable, Markovian part of the frequency state (§IV-A: "setting
+    /// operating frequency means to set the maxfreq").
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cap level exceeds its declared table size.
+    #[must_use]
+    pub fn encode(&self, state: &SocState, target_fps: f64) -> StateKey {
+        let digits = [
+            state.max_cap_level[ClusterId::Big.index()],
+            state.max_cap_level[ClusterId::Little.index()],
+            state.max_cap_level[ClusterId::Gpu.index()],
+            self.fps_quant.index(state.fps),
+            self.fps_quant.index(target_fps),
+            self.power_quant.index(state.power_w),
+            self.temp_quant.index(state.temp_big_c),
+            self.temp_quant.index(state.temp_device_c),
+        ];
+        self.pack(digits)
+    }
+
+    fn pack(&self, digits: [usize; 8]) -> StateKey {
+        let radices = self.radices();
+        let mut key: u64 = 0;
+        for (digit, radix) in digits.iter().zip(radices.iter()) {
+            assert!(digit < radix, "digit {digit} exceeds radix {radix}");
+            key = key * (*radix as u64) + *digit as u64;
+        }
+        key
+    }
+
+    /// Decodes a key back into its components (inverse of
+    /// [`StateEncoder::encode`] at bin resolution).
+    #[must_use]
+    pub fn decode(&self, key: StateKey) -> DecodedState {
+        let radices = self.radices();
+        let mut digits = [0usize; 8];
+        let mut rest = key;
+        for i in (0..8).rev() {
+            let r = radices[i] as u64;
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                digits[i] = (rest % r) as usize;
+            }
+            rest /= r;
+        }
+        DecodedState {
+            freq_level: [digits[0], digits[1], digits[2]],
+            fps_bin: digits[3],
+            target_bin: digits[4],
+            power_bin: digits[5],
+            temp_big_bin: digits[6],
+            temp_device_bin: digits[7],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state(fps: f64, power: f64, tb: f64, td: f64, levels: [usize; 3]) -> SocState {
+        SocState {
+            time_s: 0.0,
+            freq_khz: [0; 3],
+            freq_level: levels,
+            max_cap_level: levels,
+            fps,
+            power_w: power,
+            temp_big_c: tb,
+            temp_little_c: tb - 3.0,
+            temp_gpu_c: tb - 2.0,
+            temp_device_c: td,
+            temp_battery_c: td - 1.0,
+            util: [0.5; 3],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let enc = StateEncoder::exynos9810(30);
+        let state = sample_state(43.0, 5.5, 61.0, 44.0, [17, 9, 5]);
+        let key = enc.encode(&state, 30.0);
+        let dec = enc.decode(key);
+        assert_eq!(dec.freq_level, [17, 9, 5]);
+        assert_eq!(dec.fps_bin, enc.fps_quantizer().index(43.0));
+        assert_eq!(dec.target_bin, enc.fps_quantizer().index(30.0));
+    }
+
+    #[test]
+    fn distinct_observations_distinct_keys() {
+        let enc = StateEncoder::exynos9810(30);
+        let a = enc.encode(&sample_state(60.0, 3.0, 40.0, 35.0, [0, 0, 0]), 60.0);
+        let b = enc.encode(&sample_state(60.0, 3.0, 40.0, 35.0, [1, 0, 0]), 60.0);
+        let c = enc.encode(&sample_state(10.0, 3.0, 40.0, 35.0, [0, 0, 0]), 60.0);
+        let d = enc.encode(&sample_state(60.0, 3.0, 40.0, 35.0, [0, 0, 0]), 30.0);
+        let keys = [a, b, c, d];
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_values_in_same_bin_share_key() {
+        let enc = StateEncoder::exynos9810(30);
+        let a = enc.encode(&sample_state(30.2, 5.0, 50.0, 40.0, [4, 4, 2]), 60.0);
+        let b = enc.encode(&sample_state(31.0, 5.1, 50.4, 40.3, [4, 4, 2]), 60.0);
+        assert_eq!(a, b, "quantisation should coalesce near-identical observations");
+    }
+
+    #[test]
+    fn state_space_size_matches_paper_scale() {
+        let enc = StateEncoder::exynos9810(30);
+        let expect = 18u64 * 10 * 6 * 30 * 30 * 4 * 6 * 6;
+        assert_eq!(enc.state_space_size(), expect);
+        // Fewer FPS bins shrink the space quadratically (both the
+        // current-FPS and target-FPS dimensions).
+        let small = StateEncoder::exynos9810(10);
+        assert_eq!(small.state_space_size(), 18 * 10 * 6 * 10 * 10 * 4 * 6 * 6);
+    }
+
+    #[test]
+    fn keys_fit_in_u64_headroom() {
+        let enc = StateEncoder::exynos9810(60);
+        assert!(enc.state_space_size() < u64::MAX / 1024);
+    }
+
+    #[test]
+    fn extreme_observations_clamp_not_panic() {
+        let enc = StateEncoder::exynos9810(30);
+        let state = sample_state(500.0, 100.0, 200.0, -10.0, [17, 9, 5]);
+        let key = enc.encode(&state, 1e9);
+        let dec = enc.decode(key);
+        assert_eq!(dec.fps_bin, 29);
+        assert_eq!(dec.power_bin, 3);
+        assert_eq!(dec.temp_big_bin, 5);
+        assert_eq!(dec.temp_device_bin, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds radix")]
+    fn out_of_range_level_panics() {
+        let enc = StateEncoder::exynos9810(30);
+        let state = sample_state(30.0, 3.0, 40.0, 35.0, [18, 0, 0]);
+        let _ = enc.encode(&state, 30.0);
+    }
+}

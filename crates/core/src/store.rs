@@ -1,0 +1,182 @@
+//! Per-application Q-table store (§IV-B).
+//!
+//! "The training for every newly executing application is only performed
+//! once and the Q-table results are stored on the memory so that later
+//! when the application is executed again the agent is able to refer to
+//! the Q-table." The store keeps tables keyed by application name, with
+//! optional directory-backed persistence using the self-contained text
+//! codec of [`qlearn::qtable::QTable`].
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use qlearn::qtable::QTable;
+
+/// In-memory, optionally disk-backed store of per-app Q-tables.
+#[derive(Debug, Default)]
+pub struct QTableStore {
+    dir: Option<PathBuf>,
+    cache: HashMap<String, QTable>,
+}
+
+impl QTableStore {
+    /// A purely in-memory store (tables vanish with the process).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        QTableStore::default()
+    }
+
+    /// A store persisting tables as `<dir>/<app>.qtable`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory.
+    pub fn at_dir<P: AsRef<Path>>(dir: P) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        Ok(QTableStore { dir: Some(dir.as_ref().to_path_buf()), cache: HashMap::new() })
+    }
+
+    /// Whether a table for `app` exists (cache or disk).
+    #[must_use]
+    pub fn contains(&self, app: &str) -> bool {
+        self.cache.contains_key(app)
+            || self.dir.as_ref().is_some_and(|d| d.join(Self::file_name(app)).exists())
+    }
+
+    /// Loads the table for `app` if present.
+    ///
+    /// Disk corruption is reported as `None` (the paper's agent would
+    /// simply retrain).
+    #[must_use]
+    pub fn load(&mut self, app: &str) -> Option<QTable> {
+        if let Some(t) = self.cache.get(app) {
+            return Some(t.clone());
+        }
+        let dir = self.dir.as_ref()?;
+        let text = fs::read_to_string(dir.join(Self::file_name(app))).ok()?;
+        let table = QTable::decode(&text).ok()?;
+        self.cache.insert(app.to_owned(), table.clone());
+        Some(table)
+    }
+
+    /// Saves the table for `app` (cache + disk when configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&mut self, app: &str, table: &QTable) -> io::Result<()> {
+        self.cache.insert(app.to_owned(), table.clone());
+        if let Some(dir) = &self.dir {
+            fs::write(dir.join(Self::file_name(app)), table.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Removes the table for `app` from cache and disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from removing the file (missing files are
+    /// not an error).
+    pub fn remove(&mut self, app: &str) -> io::Result<()> {
+        self.cache.remove(app);
+        if let Some(dir) = &self.dir {
+            match fs::remove_file(dir.join(Self::file_name(app))) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Names of the apps with cached tables.
+    #[must_use]
+    pub fn cached_apps(&self) -> Vec<String> {
+        let mut apps: Vec<String> = self.cache.keys().cloned().collect();
+        apps.sort();
+        apps
+    }
+
+    /// Sanitised on-disk file name for an app.
+    fn file_name(app: &str) -> String {
+        let safe: String = app
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        format!("{safe}.qtable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> QTable {
+        let mut t = QTable::new(9);
+        t.set(1, 2, 3.5);
+        t.set(99, 0, -1.0);
+        t
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("next-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_roundtrip() {
+        let mut store = QTableStore::in_memory();
+        assert!(!store.contains("facebook"));
+        assert!(store.load("facebook").is_none());
+        store.save("facebook", &sample_table()).unwrap();
+        assert!(store.contains("facebook"));
+        assert_eq!(store.load("facebook").unwrap(), sample_table());
+        assert_eq!(store.cached_apps(), vec!["facebook".to_owned()]);
+    }
+
+    #[test]
+    fn disk_roundtrip_survives_new_store() {
+        let dir = temp_dir("disk");
+        {
+            let mut store = QTableStore::at_dir(&dir).unwrap();
+            store.save("pubg", &sample_table()).unwrap();
+        }
+        // Fresh store, same directory — simulates a device reboot.
+        let mut store2 = QTableStore::at_dir(&dir).unwrap();
+        assert!(store2.contains("pubg"));
+        assert_eq!(store2.load("pubg").unwrap(), sample_table());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_loads_as_none() {
+        let dir = temp_dir("corrupt");
+        let mut store = QTableStore::at_dir(&dir).unwrap();
+        fs::write(dir.join("bad.qtable"), "this is not a table").unwrap();
+        assert!(store.load("bad").is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_deletes_everywhere() {
+        let dir = temp_dir("remove");
+        let mut store = QTableStore::at_dir(&dir).unwrap();
+        store.save("spotify", &sample_table()).unwrap();
+        store.remove("spotify").unwrap();
+        assert!(!store.contains("spotify"));
+        assert!(store.load("spotify").is_none());
+        // Removing again is fine.
+        store.remove("spotify").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_names_are_sanitised() {
+        assert_eq!(QTableStore::file_name("web/browser v2!"), "web_browser_v2_.qtable");
+        assert_eq!(QTableStore::file_name("pubg"), "pubg.qtable");
+    }
+}

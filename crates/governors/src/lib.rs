@@ -1,0 +1,68 @@
+//! Baseline DVFS governors the paper compares Next against (§II, §V).
+//!
+//! * [`Schedutil`] — the stock Android governor: leaves the policy caps
+//!   wide open and lets the kernel's utilisation-tracking frequency
+//!   selection (built into [`mpsoc::Soc`]) run free. This is the
+//!   *schedutil* baseline of Figs. 1, 3, 7 and 8.
+//! * [`IntQosPm`] — a reimplementation of Pathania et al., *"Integrated
+//!   CPU-GPU power management for 3D mobile games"* (DAC 2014): windowed
+//!   average FPS as the QoS target plus a power-cost model that picks
+//!   the cheapest CPU/GPU frequency pair meeting the target. Games
+//!   only, exactly as the paper could only evaluate it on Lineage and
+//!   PubG.
+//! * [`simple`] — `performance`, `powersave` and `ondemand` governors
+//!   for additional reference points and tests.
+//!
+//! All governors implement the [`Governor`] trait and actuate the SoC
+//! exclusively through its [`DvfsController`] — the same interface the
+//! Next agent uses, which keeps comparisons fair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod intqos;
+pub mod schedutil;
+pub mod simple;
+
+use mpsoc::dvfs::DvfsController;
+use mpsoc::soc::SocState;
+
+pub use intqos::IntQosPm;
+pub use schedutil::Schedutil;
+pub use simple::{Ondemand, Performance, Powersave};
+
+/// A DVFS policy invoked periodically with the observable SoC state.
+pub trait Governor {
+    /// Human-readable governor name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Control period in seconds; the engine invokes
+    /// [`Governor::control`] once per period.
+    fn period_s(&self) -> f64 {
+        0.1
+    }
+
+    /// Observes the state and actuates frequency policy.
+    fn control(&mut self, state: &SocState, dvfs: &mut DvfsController);
+
+    /// High-rate observation hook, invoked by the engine every
+    /// simulation tick (25 ms) *between* control periods. Governors that
+    /// sample faster than they act — like Next's 25 ms frame window —
+    /// override this; the default does nothing.
+    fn observe(&mut self, state: &SocState) {
+        let _ = state;
+    }
+
+    /// Clears internal state (e.g. between sessions).
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &mut dyn Governor) {}
+    }
+}

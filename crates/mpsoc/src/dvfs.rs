@@ -1,0 +1,310 @@
+//! Cluster-wise DVFS control.
+//!
+//! The controller owns one [`FreqDomain`] per cluster and exposes the two
+//! interfaces the paper distinguishes:
+//!
+//! 1. the *policy caps* (`minfreq`/`maxfreq`) that an application-layer
+//!    agent such as Next writes — the hardware then "is free to operate
+//!    between the minimum allowed frequency and the set maxfreq" (§IV-A),
+//! 2. the kernel's utilisation-tracking frequency selection (the
+//!    schedutil policy) that picks the operating point *within* those
+//!    caps each scheduling period.
+
+use crate::freq::{ClusterId, FreqDomain, KiloHertz, Opp, OppTable};
+use crate::Result;
+
+/// Default schedutil-style headroom: the kernel targets
+/// `next_f = 1.25 · f_cur · util`.
+pub const DEFAULT_UTIL_MARGIN: f64 = 1.25;
+
+/// Utilisation at which the stock policy boosts straight to the top of
+/// the allowed range. Android's schedutil couples with touch/iowait
+/// boosting and top-app util clamps that slam the frequency to the
+/// policy maximum whenever a cluster stays busy — the "operating
+/// frequency remains relatively very high yet generating less FPS"
+/// behaviour the paper documents in Fig. 1. The default sits below the
+/// `1/margin = 0.8` tracking equilibrium (which ladder quantisation
+/// lands anywhere in ≈[0.73, 0.80]), so any cluster that stays busy is
+/// boosted while genuinely light load is left alone.
+pub const DEFAULT_BOOST_THRESHOLD: f64 = 0.72;
+
+/// DVFS state and policy for all three clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsController {
+    domains: [FreqDomain; 3],
+    util_margin: f64,
+    boost_threshold: f64,
+}
+
+impl DvfsController {
+    /// Creates a controller from the three per-cluster OPP tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables do not cover exactly the three clusters.
+    #[must_use]
+    pub fn new(tables: [OppTable; 3]) -> Self {
+        let mut slots: [Option<FreqDomain>; 3] = [None, None, None];
+        for t in tables {
+            let idx = t.cluster().index();
+            assert!(slots[idx].is_none(), "duplicate OPP table for {}", t.cluster());
+            slots[idx] = Some(FreqDomain::new(t));
+        }
+        DvfsController {
+            domains: slots.map(|s| s.expect("table for every cluster")),
+            util_margin: DEFAULT_UTIL_MARGIN,
+            boost_threshold: DEFAULT_BOOST_THRESHOLD,
+        }
+    }
+
+    /// Controller with the Exynos 9810 ladders.
+    #[must_use]
+    pub fn exynos9810() -> Self {
+        DvfsController::new([
+            OppTable::exynos9810_big(),
+            OppTable::exynos9810_little(),
+            OppTable::exynos9810_gpu(),
+        ])
+    }
+
+    /// The frequency domain of one cluster.
+    #[must_use]
+    pub fn domain(&self, id: ClusterId) -> &FreqDomain {
+        &self.domains[id.index()]
+    }
+
+    /// Mutable access to one cluster's frequency domain.
+    pub fn domain_mut(&mut self, id: ClusterId) -> &mut FreqDomain {
+        &mut self.domains[id.index()]
+    }
+
+    /// Current operating points of all clusters, indexed by
+    /// [`ClusterId::index`].
+    #[must_use]
+    pub fn current_opps(&self) -> [Opp; 3] {
+        [
+            self.domains[0].current(),
+            self.domains[1].current(),
+            self.domains[2].current(),
+        ]
+    }
+
+    /// Current frequency of one cluster in kHz.
+    #[must_use]
+    pub fn current_khz(&self, id: ClusterId) -> KiloHertz {
+        self.domain(id).current().freq_khz
+    }
+
+    /// Sets the `maxfreq` cap of one cluster (the Next agent's actuator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FreqDomain::set_max_freq`] errors.
+    pub fn set_max_freq(&mut self, id: ClusterId, freq_khz: KiloHertz) -> Result<()> {
+        self.domain_mut(id).set_max_freq(freq_khz)
+    }
+
+    /// Sets the `minfreq` cap of one cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FreqDomain::set_min_freq`] errors.
+    pub fn set_min_freq(&mut self, id: ClusterId, freq_khz: KiloHertz) -> Result<()> {
+        self.domain_mut(id).set_min_freq(freq_khz)
+    }
+
+    /// Pins a cluster to one exact OPP by collapsing both caps onto it
+    /// (what a direct-frequency governor such as Int. QoS PM does).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `freq_khz` is not an OPP of the cluster.
+    pub fn pin_freq(&mut self, id: ClusterId, freq_khz: KiloHertz) -> Result<()> {
+        let dom = self.domain_mut(id);
+        // Order min/max updates so no intermediate state is inverted.
+        if freq_khz >= dom.min_cap().freq_khz {
+            dom.set_max_freq(freq_khz)?;
+            dom.set_min_freq(freq_khz)?;
+        } else {
+            dom.set_min_freq(freq_khz)?;
+            dom.set_max_freq(freq_khz)?;
+        }
+        Ok(())
+    }
+
+    /// Restores full frequency ranges on every cluster.
+    pub fn reset_caps(&mut self) {
+        for d in &mut self.domains {
+            d.reset_caps();
+        }
+    }
+
+    /// The schedutil headroom multiplier used by
+    /// [`DvfsController::select_by_util`].
+    #[must_use]
+    pub fn util_margin(&self) -> f64 {
+        self.util_margin
+    }
+
+    /// Overrides the schedutil headroom multiplier.
+    pub fn set_util_margin(&mut self, margin: f64) {
+        self.util_margin = margin.max(1.0);
+    }
+
+    /// Boost threshold of the stock policy (see
+    /// [`DEFAULT_BOOST_THRESHOLD`]). Values ≥ 1 disable boosting.
+    #[must_use]
+    pub fn boost_threshold(&self) -> f64 {
+        self.boost_threshold
+    }
+
+    /// Overrides the boost threshold (≥ 1 disables boosting).
+    pub fn set_boost_threshold(&mut self, threshold: f64) {
+        self.boost_threshold = threshold.max(0.0);
+    }
+
+    /// Runs one round of utilisation-tracking frequency selection, the
+    /// in-kernel policy that operates *within* the caps:
+    ///
+    /// * a cluster whose utilisation reaches the boost threshold is
+    ///   slammed to the top of its allowed range (Android touch/iowait
+    ///   boosting — the over-provisioning the paper exploits),
+    /// * otherwise the target is `margin · util · f_cur`; ramp-up picks
+    ///   the slowest OPP at or above the target, while ramp-down is rate
+    ///   limited to one OPP per invocation (the stock policy holds
+    ///   frequency after bursts),
+    /// * everything is clamped to the policy caps.
+    ///
+    /// `utils` is indexed by [`ClusterId::index`] and clamped to
+    /// `[0, 1]`.
+    pub fn select_by_util(&mut self, utils: [f64; 3]) {
+        for id in ClusterId::ALL {
+            let i = id.index();
+            let util = utils[i].clamp(0.0, 1.0);
+            let boost = util >= self.boost_threshold;
+            let dom = &mut self.domains[i];
+            let cur_level = dom.current_level();
+            let level = if boost {
+                dom.table().len() - 1
+            } else {
+                let cur_hz = dom.current().freq_hz();
+                let target_hz = self.util_margin * util * cur_hz;
+                let want = ceil_level_hz(dom.table(), target_hz);
+                if want < cur_level {
+                    cur_level - 1
+                } else {
+                    want
+                }
+            };
+            dom.set_level(level).expect("level from table is valid");
+        }
+    }
+}
+
+/// Lowest level whose frequency is at least `target_hz`; the top level
+/// when every OPP is below the target.
+fn ceil_level_hz(table: &OppTable, target_hz: f64) -> usize {
+    table
+        .iter()
+        .position(|o| o.freq_hz() >= target_hz)
+        .unwrap_or(table.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_starts_at_min_levels() {
+        let ctl = DvfsController::exynos9810();
+        assert_eq!(ctl.current_khz(ClusterId::Big), 650_000);
+        assert_eq!(ctl.current_khz(ClusterId::Little), 455_000);
+        assert_eq!(ctl.current_khz(ClusterId::Gpu), 260_000);
+    }
+
+    #[test]
+    fn util_selection_ramps_up_under_load() {
+        let mut ctl = DvfsController::exynos9810();
+        // Saturated big cluster: repeated selection climbs the ladder to
+        // the top.
+        for _ in 0..40 {
+            ctl.select_by_util([1.0, 0.0, 0.0]);
+        }
+        assert_eq!(ctl.current_khz(ClusterId::Big), 2_704_000);
+        assert_eq!(ctl.current_khz(ClusterId::Little), 455_000, "idle cluster stays at floor");
+    }
+
+    #[test]
+    fn util_selection_ramps_down_when_idle() {
+        let mut ctl = DvfsController::exynos9810();
+        for _ in 0..40 {
+            ctl.select_by_util([1.0, 1.0, 1.0]);
+        }
+        for _ in 0..60 {
+            ctl.select_by_util([0.05, 0.05, 0.05]);
+        }
+        assert_eq!(ctl.current_khz(ClusterId::Big), 650_000);
+        assert_eq!(ctl.current_khz(ClusterId::Gpu), 260_000);
+    }
+
+    #[test]
+    fn util_selection_respects_max_cap() {
+        let mut ctl = DvfsController::exynos9810();
+        ctl.set_max_freq(ClusterId::Big, 1_170_000).unwrap();
+        for _ in 0..40 {
+            ctl.select_by_util([1.0, 1.0, 1.0]);
+        }
+        assert_eq!(ctl.current_khz(ClusterId::Big), 1_170_000);
+    }
+
+    #[test]
+    fn util_selection_respects_min_cap() {
+        let mut ctl = DvfsController::exynos9810();
+        ctl.set_min_freq(ClusterId::Gpu, 455_000).unwrap();
+        for _ in 0..40 {
+            ctl.select_by_util([0.0, 0.0, 0.0]);
+        }
+        assert_eq!(ctl.current_khz(ClusterId::Gpu), 455_000);
+    }
+
+    #[test]
+    fn pin_freq_collapses_caps_in_both_directions() {
+        let mut ctl = DvfsController::exynos9810();
+        ctl.pin_freq(ClusterId::Big, 2_314_000).unwrap();
+        assert_eq!(ctl.current_khz(ClusterId::Big), 2_314_000);
+        // Pin downwards from a high pin.
+        ctl.pin_freq(ClusterId::Big, 858_000).unwrap();
+        assert_eq!(ctl.current_khz(ClusterId::Big), 858_000);
+        for _ in 0..10 {
+            ctl.select_by_util([1.0, 1.0, 1.0]);
+        }
+        assert_eq!(ctl.current_khz(ClusterId::Big), 858_000, "pinned freq immune to util policy");
+    }
+
+    #[test]
+    fn reset_caps_unpins() {
+        let mut ctl = DvfsController::exynos9810();
+        ctl.pin_freq(ClusterId::Big, 858_000).unwrap();
+        ctl.reset_caps();
+        for _ in 0..40 {
+            ctl.select_by_util([1.0, 0.0, 0.0]);
+        }
+        assert_eq!(ctl.current_khz(ClusterId::Big), 2_704_000);
+    }
+
+    #[test]
+    fn margin_floor_is_one() {
+        let mut ctl = DvfsController::exynos9810();
+        ctl.set_util_margin(0.2);
+        assert_eq!(ctl.util_margin(), 1.0);
+    }
+
+    #[test]
+    fn ceil_level_hz_boundaries() {
+        let table = OppTable::exynos9810_gpu();
+        assert_eq!(ceil_level_hz(&table, 0.0), 0);
+        assert_eq!(ceil_level_hz(&table, 260.0e6), 0);
+        assert_eq!(ceil_level_hz(&table, 260.1e6), 1);
+        assert_eq!(ceil_level_hz(&table, 1e12), table.len() - 1);
+    }
+}

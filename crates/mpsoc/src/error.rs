@@ -1,0 +1,79 @@
+use std::fmt;
+
+use crate::freq::{ClusterId, KiloHertz};
+
+/// Error type for all fallible operations in the `mpsoc` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A frequency that is not an entry of the cluster's OPP table was
+    /// requested.
+    UnknownFrequency {
+        /// Cluster the request targeted.
+        cluster: ClusterId,
+        /// The frequency that was requested, in kHz.
+        freq_khz: KiloHertz,
+    },
+    /// A frequency-level index outside the OPP table was requested.
+    LevelOutOfRange {
+        /// Cluster the request targeted.
+        cluster: ClusterId,
+        /// The requested level index.
+        level: usize,
+        /// Number of levels in the table.
+        len: usize,
+    },
+    /// `minfreq` would exceed `maxfreq` (or vice versa) after the
+    /// requested change.
+    InvertedFreqRange {
+        /// Cluster the request targeted.
+        cluster: ClusterId,
+        /// Requested minimum frequency in kHz.
+        min_khz: KiloHertz,
+        /// Requested maximum frequency in kHz.
+        max_khz: KiloHertz,
+    },
+    /// A configuration value failed validation.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownFrequency { cluster, freq_khz } => {
+                write!(f, "frequency {freq_khz} kHz is not an OPP of cluster {cluster}")
+            }
+            Error::LevelOutOfRange { cluster, level, len } => {
+                write!(f, "level {level} out of range for cluster {cluster} ({len} levels)")
+            }
+            Error::InvertedFreqRange { cluster, min_khz, max_khz } => {
+                write!(
+                    f,
+                    "inverted frequency range for cluster {cluster}: min {min_khz} kHz > max {max_khz} kHz"
+                )
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cluster_and_value() {
+        let err = Error::UnknownFrequency { cluster: ClusterId::Big, freq_khz: 123 };
+        let msg = err.to_string();
+        assert!(msg.contains("123"));
+        assert!(msg.contains("big"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

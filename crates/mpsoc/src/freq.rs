@@ -1,0 +1,557 @@
+//! Operating-performance-point (OPP) tables and frequency-domain state.
+//!
+//! The Exynos 9810 exposes cluster-wise DVFS only: one frequency per
+//! cluster, chosen from a fixed ladder. The ladders below are the exact
+//! ones listed in §III-A of the paper:
+//!
+//! * big (Mongoose 3 × 4): 18 levels, 650–2704 MHz,
+//! * LITTLE (Cortex-A55 × 4): 10 levels, 455–1794 MHz,
+//! * GPU (Mali-G72 MP18): 6 levels, 260–572 MHz.
+
+use std::fmt;
+
+use crate::{Error, Result};
+
+/// Frequency in kilohertz, the unit Linux cpufreq sysfs uses.
+pub type KiloHertz = u32;
+
+/// Identifies one of the three PE clusters of the Exynos 9810.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClusterId {
+    /// The 4× Mongoose 3 big CPU cluster.
+    Big,
+    /// The 4× Cortex-A55 LITTLE CPU cluster.
+    Little,
+    /// The Mali-G72 MP18 GPU.
+    Gpu,
+}
+
+impl ClusterId {
+    /// All clusters in a fixed, deterministic order.
+    pub const ALL: [ClusterId; 3] = [ClusterId::Big, ClusterId::Little, ClusterId::Gpu];
+
+    /// Stable index of the cluster within [`ClusterId::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ClusterId::Big => 0,
+            ClusterId::Little => 1,
+            ClusterId::Gpu => 2,
+        }
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ClusterId::Big => "big",
+            ClusterId::Little => "little",
+            ClusterId::Gpu => "gpu",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One operating performance point: a frequency and the supply voltage
+/// the rail needs at that frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Opp {
+    /// Clock frequency in kHz.
+    pub freq_khz: KiloHertz,
+    /// Supply voltage in volts.
+    pub volt_v: f64,
+}
+
+impl Opp {
+    /// Creates an OPP.
+    #[must_use]
+    pub fn new(freq_khz: KiloHertz, volt_v: f64) -> Self {
+        Opp { freq_khz, volt_v }
+    }
+
+    /// Frequency in Hz as a float, convenient for cycle-budget math.
+    #[must_use]
+    pub fn freq_hz(&self) -> f64 {
+        f64::from(self.freq_khz) * 1e3
+    }
+}
+
+/// An ordered table of OPPs for one cluster (ascending by frequency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OppTable {
+    cluster: ClusterId,
+    opps: Vec<Opp>,
+}
+
+impl OppTable {
+    /// Builds a table from `(freq_khz, volt_v)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the table is empty, not
+    /// strictly ascending in frequency, or has a non-positive voltage.
+    pub fn new(cluster: ClusterId, opps: Vec<Opp>) -> Result<Self> {
+        if opps.is_empty() {
+            return Err(Error::InvalidConfig(format!("empty OPP table for cluster {cluster}")));
+        }
+        for pair in opps.windows(2) {
+            if pair[1].freq_khz <= pair[0].freq_khz {
+                return Err(Error::InvalidConfig(format!(
+                    "OPP table for {cluster} not strictly ascending at {} kHz",
+                    pair[1].freq_khz
+                )));
+            }
+        }
+        if opps.iter().any(|o| o.volt_v <= 0.0) {
+            return Err(Error::InvalidConfig(format!("non-positive voltage in {cluster} table")));
+        }
+        Ok(OppTable { cluster, opps })
+    }
+
+    /// Synthesises a table from a frequency ladder (in MHz, any order)
+    /// and a linear V-f curve between `v_min` (slowest OPP) and `v_max`
+    /// (fastest OPP).
+    ///
+    /// The paper lists frequencies but not voltages; commercial mobile
+    /// SoCs use close-to-linear V-f curves across the usable range, so a
+    /// linear interpolation preserves the convexity of `P(f) ∝ V²f` that
+    /// the DVFS trade-off depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on an empty ladder or
+    /// non-positive/inverted voltage bounds.
+    pub fn from_mhz_ladder(
+        cluster: ClusterId,
+        mhz: &[u32],
+        v_min: f64,
+        v_max: f64,
+    ) -> Result<Self> {
+        if mhz.is_empty() {
+            return Err(Error::InvalidConfig(format!("empty ladder for {cluster}")));
+        }
+        if v_min <= 0.0 || v_max < v_min {
+            return Err(Error::InvalidConfig(format!(
+                "invalid voltage bounds [{v_min}, {v_max}] for {cluster}"
+            )));
+        }
+        let mut sorted: Vec<u32> = mhz.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let lo = f64::from(sorted[0]);
+        let hi = f64::from(*sorted.last().expect("non-empty"));
+        let span = (hi - lo).max(1.0);
+        let opps = sorted
+            .iter()
+            .map(|&m| {
+                let t = (f64::from(m) - lo) / span;
+                Opp::new(m * 1000, v_min + t * (v_max - v_min))
+            })
+            .collect();
+        OppTable::new(cluster, opps)
+    }
+
+    /// The cluster this table belongs to.
+    #[must_use]
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// Number of frequency levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.opps.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.opps.is_empty()
+    }
+
+    /// The OPP at `level` (0 = slowest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LevelOutOfRange`] if `level >= len()`.
+    pub fn opp(&self, level: usize) -> Result<Opp> {
+        self.opps.get(level).copied().ok_or(Error::LevelOutOfRange {
+            cluster: self.cluster,
+            level,
+            len: self.opps.len(),
+        })
+    }
+
+    /// Index of the exact frequency `freq_khz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownFrequency`] if the frequency is not an
+    /// entry of the table.
+    pub fn level_of(&self, freq_khz: KiloHertz) -> Result<usize> {
+        self.opps
+            .iter()
+            .position(|o| o.freq_khz == freq_khz)
+            .ok_or(Error::UnknownFrequency { cluster: self.cluster, freq_khz })
+    }
+
+    /// Highest level whose frequency does not exceed `freq_khz`; level 0
+    /// if every entry exceeds it.
+    #[must_use]
+    pub fn floor_level(&self, freq_khz: KiloHertz) -> usize {
+        self.opps.iter().rposition(|o| o.freq_khz <= freq_khz).unwrap_or(0)
+    }
+
+    /// Slowest OPP.
+    #[must_use]
+    pub fn min(&self) -> Opp {
+        self.opps[0]
+    }
+
+    /// Fastest OPP.
+    #[must_use]
+    pub fn max(&self) -> Opp {
+        *self.opps.last().expect("table is non-empty")
+    }
+
+    /// Iterator over the OPPs, ascending by frequency.
+    pub fn iter(&self) -> impl Iterator<Item = &Opp> + '_ {
+        self.opps.iter()
+    }
+
+    /// The paper's 18-level big-cluster (Mongoose 3) ladder.
+    #[must_use]
+    pub fn exynos9810_big() -> Self {
+        const MHZ: [u32; 18] = [
+            650, 741, 858, 962, 1066, 1170, 1261, 1469, 1586, 1690, 1794, 1924, 2002, 2106, 2314,
+            2496, 2652, 2704,
+        ];
+        OppTable::from_mhz_ladder(ClusterId::Big, &MHZ, 0.568, 1.092).expect("static ladder valid")
+    }
+
+    /// The paper's 10-level LITTLE-cluster (Cortex-A55) ladder.
+    #[must_use]
+    pub fn exynos9810_little() -> Self {
+        const MHZ: [u32; 10] = [455, 598, 715, 832, 949, 1053, 1248, 1456, 1690, 1794];
+        OppTable::from_mhz_ladder(ClusterId::Little, &MHZ, 0.531, 0.988)
+            .expect("static ladder valid")
+    }
+
+    /// The paper's 6-level GPU (Mali-G72 MP18) ladder.
+    #[must_use]
+    pub fn exynos9810_gpu() -> Self {
+        const MHZ: [u32; 6] = [260, 299, 338, 455, 546, 572];
+        OppTable::from_mhz_ladder(ClusterId::Gpu, &MHZ, 0.581, 0.862).expect("static ladder valid")
+    }
+}
+
+/// Mutable frequency-domain state of one cluster: its OPP table plus the
+/// governor-visible `minfreq`/`maxfreq` caps and the current level.
+///
+/// The current level always lies within `[min_level, max_level]`; setting
+/// a tighter cap clamps the current level immediately, mirroring how the
+/// kernel's cpufreq core re-evaluates the policy when limits change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqDomain {
+    table: OppTable,
+    min_level: usize,
+    max_level: usize,
+    cur_level: usize,
+}
+
+impl FreqDomain {
+    /// Creates a domain with the full OPP range available and the current
+    /// frequency at the slowest level.
+    #[must_use]
+    pub fn new(table: OppTable) -> Self {
+        let max_level = table.len() - 1;
+        FreqDomain { table, min_level: 0, max_level, cur_level: 0 }
+    }
+
+    /// The cluster this domain drives.
+    #[must_use]
+    pub fn cluster(&self) -> ClusterId {
+        self.table.cluster()
+    }
+
+    /// The underlying OPP table.
+    #[must_use]
+    pub fn table(&self) -> &OppTable {
+        &self.table
+    }
+
+    /// Current OPP.
+    #[must_use]
+    pub fn current(&self) -> Opp {
+        self.table.opp(self.cur_level).expect("cur_level in range")
+    }
+
+    /// Current level index (0 = slowest).
+    #[must_use]
+    pub fn current_level(&self) -> usize {
+        self.cur_level
+    }
+
+    /// Lower policy cap as an OPP.
+    #[must_use]
+    pub fn min_cap(&self) -> Opp {
+        self.table.opp(self.min_level).expect("min_level in range")
+    }
+
+    /// Upper policy cap as an OPP.
+    #[must_use]
+    pub fn max_cap(&self) -> Opp {
+        self.table.opp(self.max_level).expect("max_level in range")
+    }
+
+    /// Upper policy cap level index.
+    #[must_use]
+    pub fn max_cap_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Lower policy cap level index.
+    #[must_use]
+    pub fn min_cap_level(&self) -> usize {
+        self.min_level
+    }
+
+    /// Sets the current level, clamping into the policy range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LevelOutOfRange`] if `level` is not a table
+    /// index (clamping applies only to the policy range, not the table).
+    pub fn set_level(&mut self, level: usize) -> Result<()> {
+        if level >= self.table.len() {
+            return Err(Error::LevelOutOfRange {
+                cluster: self.cluster(),
+                level,
+                len: self.table.len(),
+            });
+        }
+        self.cur_level = level.clamp(self.min_level, self.max_level);
+        Ok(())
+    }
+
+    /// Hardware override: sets the current level ignoring the policy
+    /// caps (used by the thermal throttler, which outranks software
+    /// policy exactly as the kernel thermal framework outranks
+    /// userspace governors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LevelOutOfRange`] if `level` is not a table
+    /// index.
+    pub fn force_level(&mut self, level: usize) -> Result<()> {
+        if level >= self.table.len() {
+            return Err(Error::LevelOutOfRange {
+                cluster: self.cluster(),
+                level,
+                len: self.table.len(),
+            });
+        }
+        self.cur_level = level;
+        Ok(())
+    }
+
+    /// Sets the `maxfreq` policy cap to the exact OPP `freq_khz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownFrequency`] for a non-OPP frequency and
+    /// [`Error::InvertedFreqRange`] if the cap would fall below
+    /// `minfreq`.
+    pub fn set_max_freq(&mut self, freq_khz: KiloHertz) -> Result<()> {
+        let level = self.table.level_of(freq_khz)?;
+        if level < self.min_level {
+            return Err(Error::InvertedFreqRange {
+                cluster: self.cluster(),
+                min_khz: self.min_cap().freq_khz,
+                max_khz: freq_khz,
+            });
+        }
+        self.max_level = level;
+        self.cur_level = self.cur_level.min(self.max_level);
+        Ok(())
+    }
+
+    /// Sets the `minfreq` policy cap to the exact OPP `freq_khz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownFrequency`] for a non-OPP frequency and
+    /// [`Error::InvertedFreqRange`] if the cap would rise above
+    /// `maxfreq`.
+    pub fn set_min_freq(&mut self, freq_khz: KiloHertz) -> Result<()> {
+        let level = self.table.level_of(freq_khz)?;
+        if level > self.max_level {
+            return Err(Error::InvertedFreqRange {
+                cluster: self.cluster(),
+                min_khz: freq_khz,
+                max_khz: self.max_cap().freq_khz,
+            });
+        }
+        self.min_level = level;
+        self.cur_level = self.cur_level.max(self.min_level);
+        Ok(())
+    }
+
+    /// Moves the `maxfreq` cap one ladder step up, saturating at the top.
+    /// Returns the new cap.
+    pub fn step_max_up(&mut self) -> Opp {
+        self.max_level = (self.max_level + 1).min(self.table.len() - 1);
+        self.max_cap()
+    }
+
+    /// Moves the `maxfreq` cap one ladder step down, saturating at the
+    /// `minfreq` cap. Returns the new cap. The current level is clamped.
+    pub fn step_max_down(&mut self) -> Opp {
+        self.max_level = self.max_level.saturating_sub(1).max(self.min_level);
+        self.cur_level = self.cur_level.min(self.max_level);
+        self.max_cap()
+    }
+
+    /// Resets both caps to the full table range.
+    pub fn reset_caps(&mut self) {
+        self.min_level = 0;
+        self.max_level = self.table.len() - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ladders_have_exact_sizes_and_ranges() {
+        let big = OppTable::exynos9810_big();
+        assert_eq!(big.len(), 18);
+        assert_eq!(big.min().freq_khz, 650_000);
+        assert_eq!(big.max().freq_khz, 2_704_000);
+
+        let little = OppTable::exynos9810_little();
+        assert_eq!(little.len(), 10);
+        assert_eq!(little.min().freq_khz, 455_000);
+        assert_eq!(little.max().freq_khz, 1_794_000);
+
+        let gpu = OppTable::exynos9810_gpu();
+        assert_eq!(gpu.len(), 6);
+        assert_eq!(gpu.min().freq_khz, 260_000);
+        assert_eq!(gpu.max().freq_khz, 572_000);
+    }
+
+    #[test]
+    fn voltages_rise_with_frequency() {
+        for table in
+            [OppTable::exynos9810_big(), OppTable::exynos9810_little(), OppTable::exynos9810_gpu()]
+        {
+            let volts: Vec<f64> = table.iter().map(|o| o.volt_v).collect();
+            for pair in volts.windows(2) {
+                assert!(pair[1] > pair[0], "voltage must rise with frequency in {table:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_of_finds_each_entry() {
+        let table = OppTable::exynos9810_big();
+        for (idx, opp) in table.iter().enumerate() {
+            assert_eq!(table.level_of(opp.freq_khz).unwrap(), idx);
+        }
+        assert!(matches!(table.level_of(1), Err(Error::UnknownFrequency { .. })));
+    }
+
+    #[test]
+    fn floor_level_rounds_down() {
+        let table = OppTable::exynos9810_gpu();
+        assert_eq!(table.floor_level(260_000), 0);
+        assert_eq!(table.floor_level(300_000), 1); // 299 MHz
+        assert_eq!(table.floor_level(999_999_999), table.len() - 1);
+        assert_eq!(table.floor_level(1), 0);
+    }
+
+    #[test]
+    fn empty_and_unsorted_tables_rejected() {
+        assert!(OppTable::new(ClusterId::Big, vec![]).is_err());
+        let unsorted =
+            vec![Opp::new(2_000_000, 1.0), Opp::new(1_000_000, 0.8)];
+        assert!(OppTable::new(ClusterId::Big, unsorted).is_err());
+        let dup = vec![Opp::new(1_000_000, 0.8), Opp::new(1_000_000, 0.9)];
+        assert!(OppTable::new(ClusterId::Big, dup).is_err());
+    }
+
+    #[test]
+    fn domain_caps_clamp_current_level() {
+        let mut dom = FreqDomain::new(OppTable::exynos9810_big());
+        dom.set_level(17).unwrap();
+        assert_eq!(dom.current().freq_khz, 2_704_000);
+        dom.set_max_freq(1_794_000).unwrap();
+        assert_eq!(dom.current().freq_khz, 1_794_000, "current must clamp to new cap");
+        dom.set_level(17).unwrap();
+        assert_eq!(dom.current().freq_khz, 1_794_000, "requests above cap clamp");
+    }
+
+    #[test]
+    fn domain_min_cap_raises_current() {
+        let mut dom = FreqDomain::new(OppTable::exynos9810_little());
+        assert_eq!(dom.current().freq_khz, 455_000);
+        dom.set_min_freq(949_000).unwrap();
+        assert_eq!(dom.current().freq_khz, 949_000);
+    }
+
+    #[test]
+    fn inverted_ranges_rejected() {
+        let mut dom = FreqDomain::new(OppTable::exynos9810_little());
+        dom.set_max_freq(949_000).unwrap();
+        assert!(matches!(
+            dom.set_min_freq(1_794_000),
+            Err(Error::InvertedFreqRange { .. })
+        ));
+        dom.set_min_freq(949_000).unwrap();
+        assert!(matches!(dom.set_max_freq(455_000), Err(Error::InvertedFreqRange { .. })));
+    }
+
+    #[test]
+    fn step_max_saturates() {
+        let mut dom = FreqDomain::new(OppTable::exynos9810_gpu());
+        for _ in 0..20 {
+            dom.step_max_down();
+        }
+        assert_eq!(dom.max_cap().freq_khz, 260_000);
+        for _ in 0..20 {
+            dom.step_max_up();
+        }
+        assert_eq!(dom.max_cap().freq_khz, 572_000);
+    }
+
+    #[test]
+    fn step_max_down_respects_min_cap() {
+        let mut dom = FreqDomain::new(OppTable::exynos9810_gpu());
+        dom.set_min_freq(338_000).unwrap();
+        for _ in 0..10 {
+            dom.step_max_down();
+        }
+        assert_eq!(dom.max_cap().freq_khz, 338_000);
+    }
+
+    #[test]
+    fn reset_caps_restores_full_range() {
+        let mut dom = FreqDomain::new(OppTable::exynos9810_big());
+        dom.set_max_freq(962_000).unwrap();
+        dom.set_min_freq(858_000).unwrap();
+        dom.reset_caps();
+        assert_eq!(dom.min_cap().freq_khz, 650_000);
+        assert_eq!(dom.max_cap().freq_khz, 2_704_000);
+    }
+
+    #[test]
+    fn cluster_display_and_index() {
+        assert_eq!(ClusterId::Big.to_string(), "big");
+        assert_eq!(ClusterId::Little.to_string(), "little");
+        assert_eq!(ClusterId::Gpu.to_string(), "gpu");
+        for (i, c) in ClusterId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Simulated CPU-GPU mobile MPSoC platform modelled on the Samsung
+//! Exynos 9810 used by the DATE 2020 paper *"User Interaction Aware
+//! Reinforcement Learning for Power and Thermal Efficiency of CPU-GPU
+//! Mobile MPSoCs"* (Dey et al.).
+//!
+//! The crate provides everything a DVFS governor can observe and actuate
+//! on the real device:
+//!
+//! * [`freq`] — per-cluster operating-performance-point (OPP) tables with
+//!   the paper's exact frequency ladders (18 big, 10 LITTLE, 6 GPU
+//!   levels),
+//! * [`power`] — dynamic `C·V²·f` plus temperature-dependent leakage
+//!   power,
+//! * [`thermal`] — a lumped RC thermal network with big/LITTLE/GPU/board/
+//!   skin nodes and the Note 9's sensor layout (big-cluster sensor plus a
+//!   "virtual" whole-device sensor),
+//! * [`perf`] — a cycle-budget frame execution model,
+//! * [`vsync`] — 60 Hz VSync with triple buffering and frame-drop
+//!   semantics,
+//! * [`dvfs`] — cluster-wise DVFS control (`minfreq`/`maxfreq` caps, as a
+//!   governor in the Android application layer would set them),
+//! * [`soc`] — the assembled system-on-chip with a `tick(dt)` simulation
+//!   step.
+//!
+//! # Example
+//!
+//! ```
+//! use mpsoc::{Soc, SocConfig, ClusterId, perf::FrameDemand};
+//!
+//! let mut soc = Soc::new(SocConfig::exynos9810());
+//! // Cap the big cluster at 1794 MHz the way the Next agent would.
+//! soc.dvfs_mut().set_max_freq(ClusterId::Big, 1_794_000)?;
+//! // Run 100 ms of a moderate workload.
+//! let demand = FrameDemand::new(4.0e6, 2.0e6, 8.0e6);
+//! let out = soc.tick(0.1, &demand);
+//! assert!(out.power_w > 0.0);
+//! # Ok::<(), mpsoc::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dvfs;
+pub mod freq;
+pub mod perf;
+pub mod power;
+pub mod soc;
+pub mod thermal;
+pub mod throttle;
+pub mod vsync;
+
+mod error;
+
+pub use dvfs::DvfsController;
+pub use error::Error;
+pub use freq::{ClusterId, FreqDomain, KiloHertz, Opp, OppTable};
+pub use perf::FrameDemand;
+pub use soc::{Soc, SocConfig, SocState, TickOutput};
+pub use thermal::{SensorId, ThermalNetwork};
+pub use throttle::{ThrottleConfig, Throttler};
+pub use vsync::VsyncPipeline;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

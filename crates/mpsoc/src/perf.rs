@@ -1,0 +1,274 @@
+//! Cycle-budget frame execution model.
+//!
+//! Every UI/game frame costs a number of *effective cycles* on each
+//! cluster (IPC and core-level parallelism are folded into the cycle
+//! count, which is how trace-driven mobile performance models are usually
+//! calibrated). On top of the per-frame cost, an application demands
+//! *background* cycles per second — audio decode, network, game AI —
+//! that consume capacity without producing frames. This is what makes
+//! the paper's Spotify observation possible: FPS near zero while the
+//! CPUs are busy and clocked high (§I, Fig. 1).
+//!
+//! Rendering is pipelined in the usual Android way: the CPU (big then
+//! LITTLE stage) prepares frame *N+1* while the GPU draws frame *N*, so
+//! the steady-state frame period is
+//! `max(t_big + t_little, t_gpu)`.
+
+use crate::freq::{ClusterId, Opp};
+
+/// Work demanded by the running application over a simulation interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameDemand {
+    /// Effective cycles each frame costs per cluster
+    /// (indexed by [`ClusterId::index`]).
+    pub frame_cycles: [f64; 3],
+    /// Background (non-frame) cycles per second per cluster.
+    pub background_hz: [f64; 3],
+    /// Native content pacing in frames per second (0 = unpaced). Video
+    /// players present at the content's native rate (24/30 FPS)
+    /// regardless of how fast the hardware could render.
+    pub pacing_hz: f64,
+}
+
+impl FrameDemand {
+    /// Demand with per-frame costs only (no background work).
+    #[must_use]
+    pub fn new(big_cycles: f64, little_cycles: f64, gpu_cycles: f64) -> Self {
+        FrameDemand {
+            frame_cycles: [big_cycles, little_cycles, gpu_cycles],
+            background_hz: [0.0; 3],
+            pacing_hz: 0.0,
+        }
+    }
+
+    /// Adds background cycles per second on each cluster.
+    #[must_use]
+    pub fn with_background(mut self, big_hz: f64, little_hz: f64, gpu_hz: f64) -> Self {
+        self.background_hz = [big_hz, little_hz, gpu_hz];
+        self
+    }
+
+    /// Caps frame production at the content's native rate (video).
+    #[must_use]
+    pub fn with_pacing(mut self, pacing_hz: f64) -> Self {
+        self.pacing_hz = pacing_hz.max(0.0);
+        self
+    }
+
+    /// True when the demand produces no frames (all per-frame costs are
+    /// zero); the display then repeats the front buffer and measured FPS
+    /// drops to zero.
+    #[must_use]
+    pub fn is_frameless(&self) -> bool {
+        self.frame_cycles.iter().all(|&c| c <= 0.0)
+    }
+
+    /// Per-frame cycles of one cluster.
+    #[must_use]
+    pub fn frame_cycles_of(&self, id: ClusterId) -> f64 {
+        self.frame_cycles[id.index()]
+    }
+
+    /// Background cycles per second of one cluster.
+    #[must_use]
+    pub fn background_hz_of(&self, id: ClusterId) -> f64 {
+        self.background_hz[id.index()]
+    }
+
+    /// Scales every per-frame and background cost by `k` (≥ 0); the
+    /// pacing rate is a content property and does not scale.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        let k = k.max(0.0);
+        FrameDemand {
+            frame_cycles: self.frame_cycles.map(|c| c * k),
+            background_hz: self.background_hz.map(|c| c * k),
+            pacing_hz: self.pacing_hz,
+        }
+    }
+}
+
+/// Result of evaluating a demand against a set of operating points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionPlan {
+    /// Steady-state frame period in seconds; `None` when the demand is
+    /// frameless or some cluster is saturated by background work.
+    pub frame_period_s: Option<f64>,
+    /// Time each cluster spends on one frame, in seconds
+    /// (0 for clusters with no per-frame cost).
+    pub stage_time_s: [f64; 3],
+    /// Fraction of each cluster's capacity eaten by background work
+    /// (clamped to `[0, 1]`).
+    pub background_util: [f64; 3],
+    /// Capacity fraction one produced frame per second costs on each
+    /// cluster (`frame_cycles / f`).
+    pub frame_util_per_fps: [f64; 3],
+}
+
+impl ExecutionPlan {
+    /// Unbounded renderer frame rate implied by the period (frames/s);
+    /// 0 when no frames can be produced.
+    #[must_use]
+    pub fn render_rate_hz(&self) -> f64 {
+        match self.frame_period_s {
+            Some(p) if p > 0.0 => 1.0 / p,
+            _ => 0.0,
+        }
+    }
+
+    /// Total utilisation of cluster `id` when frames are actually being
+    /// produced at `fps` per second: the background share plus the
+    /// capacity the frame work consumes.
+    #[must_use]
+    pub fn utilization(&self, id: ClusterId, fps: f64) -> f64 {
+        let i = id.index();
+        (self.background_util[i] + fps.max(0.0) * self.frame_util_per_fps[i]).clamp(0.0, 1.0)
+    }
+}
+
+/// Evaluates how `demand` executes at the given per-cluster operating
+/// points.
+#[must_use]
+pub fn plan(demand: &FrameDemand, opps: [Opp; 3]) -> ExecutionPlan {
+    let mut stage_time_s = [0.0f64; 3];
+    let mut background_util = [0.0f64; 3];
+    let mut frame_util_per_fps = [0.0f64; 3];
+    let mut saturated = false;
+    for id in ClusterId::ALL {
+        let i = id.index();
+        let f = opps[i].freq_hz();
+        let bg = demand.background_hz[i].max(0.0);
+        background_util[i] = if f > 0.0 { (bg / f).min(1.0) } else { 1.0 };
+        let headroom_hz = (f - bg).max(0.0);
+        let cycles = demand.frame_cycles[i].max(0.0);
+        if f > 0.0 {
+            frame_util_per_fps[i] = cycles / f;
+        }
+        if cycles > 0.0 {
+            if headroom_hz <= 0.0 {
+                saturated = true;
+            } else {
+                stage_time_s[i] = cycles / headroom_hz;
+            }
+        }
+    }
+    let frame_period_s = if demand.is_frameless() || saturated {
+        None
+    } else {
+        let cpu = stage_time_s[ClusterId::Big.index()] + stage_time_s[ClusterId::Little.index()];
+        let gpu = stage_time_s[ClusterId::Gpu.index()];
+        let mut period = cpu.max(gpu).max(1e-9);
+        if demand.pacing_hz > 0.0 {
+            period = period.max(1.0 / demand.pacing_hz);
+        }
+        Some(period)
+    };
+    ExecutionPlan { frame_period_s, stage_time_s, background_util, frame_util_per_fps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::OppTable;
+
+    fn opps_max() -> [Opp; 3] {
+        [
+            OppTable::exynos9810_big().max(),
+            OppTable::exynos9810_little().max(),
+            OppTable::exynos9810_gpu().max(),
+        ]
+    }
+
+    fn opps_min() -> [Opp; 3] {
+        [
+            OppTable::exynos9810_big().min(),
+            OppTable::exynos9810_little().min(),
+            OppTable::exynos9810_gpu().min(),
+        ]
+    }
+
+    #[test]
+    fn light_frames_render_fast() {
+        // 2 M big cycles + 1 M LITTLE + 3 M GPU at max clocks → well
+        // above 60 fps renderer rate.
+        let demand = FrameDemand::new(2.0e6, 1.0e6, 3.0e6);
+        let p = plan(&demand, opps_max());
+        assert!(p.render_rate_hz() > 60.0, "rate {}", p.render_rate_hz());
+    }
+
+    #[test]
+    fn heavy_frames_render_slow_at_min_clocks() {
+        let demand = FrameDemand::new(20.0e6, 5.0e6, 9.0e6);
+        let fast = plan(&demand, opps_max()).render_rate_hz();
+        let slow = plan(&demand, opps_min()).render_rate_hz();
+        assert!(fast > slow * 2.0, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn frameless_demand_has_no_period() {
+        let demand = FrameDemand::new(0.0, 0.0, 0.0).with_background(1.0e9, 0.2e9, 0.0);
+        let p = plan(&demand, opps_max());
+        assert_eq!(p.frame_period_s, None);
+        assert_eq!(p.render_rate_hz(), 0.0);
+        assert!(p.background_util[0] > 0.3);
+    }
+
+    #[test]
+    fn background_saturation_blocks_frames() {
+        // Background demand above the little cluster's capacity at min
+        // clock: frames cannot complete.
+        let little_min_hz = OppTable::exynos9810_little().min().freq_hz();
+        let demand =
+            FrameDemand::new(1.0e6, 1.0e6, 1.0e6).with_background(0.0, little_min_hz * 2.0, 0.0);
+        let p = plan(&demand, opps_min());
+        assert_eq!(p.frame_period_s, None);
+        assert_eq!(p.background_util[1], 1.0);
+    }
+
+    #[test]
+    fn pipeline_period_is_max_of_cpu_and_gpu() {
+        let opps = opps_max();
+        // GPU-bound: huge GPU cost.
+        let gpu_bound = FrameDemand::new(1.0e6, 0.5e6, 50.0e6);
+        let p = plan(&gpu_bound, opps);
+        let expect = 50.0e6 / opps[2].freq_hz();
+        assert!((p.frame_period_s.unwrap() - expect).abs() / expect < 1e-9);
+
+        // CPU-bound: big + LITTLE dominate.
+        let cpu_bound = FrameDemand::new(40.0e6, 10.0e6, 1.0e6);
+        let p = plan(&cpu_bound, opps);
+        let expect = 40.0e6 / opps[0].freq_hz() + 10.0e6 / opps[1].freq_hz();
+        assert!((p.frame_period_s.unwrap() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn utilization_combines_background_and_frames() {
+        let opps = opps_max();
+        let demand = FrameDemand::new(2.0e6, 0.0, 0.0).with_background(0.5e9, 0.0, 0.0);
+        let p = plan(&demand, opps);
+        let u = p.utilization(ClusterId::Big, 60.0);
+        let expect = 0.5e9 / opps[0].freq_hz() + 60.0 * 2.0e6 / opps[0].freq_hz();
+        assert!((u - expect).abs() < 1e-12);
+        assert!(p.utilization(ClusterId::Gpu, 60.0) < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clamped_to_one() {
+        let opps = opps_min();
+        let demand = FrameDemand::new(1.0e9, 1.0e9, 1.0e9);
+        let p = plan(&demand, opps);
+        for id in ClusterId::ALL {
+            assert!(p.utilization(id, 60.0) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn scaled_demand_scales_linearly() {
+        let base = FrameDemand::new(4.0e6, 2.0e6, 8.0e6).with_background(1.0e8, 0.0, 0.0);
+        let double = base.scaled(2.0);
+        assert_eq!(double.frame_cycles[0], 8.0e6);
+        assert_eq!(double.background_hz[0], 2.0e8);
+        let neg = base.scaled(-5.0);
+        assert!(neg.is_frameless());
+    }
+}

@@ -1,0 +1,292 @@
+//! Power model: switching (dynamic) power plus temperature-dependent
+//! leakage, per cluster, with a constant platform floor for the rails the
+//! governor cannot influence (display, memory, modem).
+//!
+//! Dynamic power follows the standard CMOS model `P = C_eff · V² · f ·
+//! u`, where `u ∈ [0, 1]` is the cluster utilisation over the interval.
+//! Leakage grows linearly with die temperature around the ambient
+//! reference, which captures the positive power-temperature feedback that
+//! makes peak-temperature reduction valuable (§I, §III-B of the paper).
+
+use crate::freq::{ClusterId, Opp};
+
+/// Power model parameters for one PE cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPowerModel {
+    cluster: ClusterId,
+    /// Effective switched capacitance in farads.
+    ceff_f: f64,
+    /// Leakage at the reference temperature, per volt (W/V).
+    leak_w_per_v: f64,
+    /// Fractional leakage increase per °C above the reference.
+    leak_temp_coeff: f64,
+    /// Reference temperature for the leakage linearisation, °C.
+    leak_ref_c: f64,
+}
+
+impl ClusterPowerModel {
+    /// Creates a model from raw coefficients.
+    #[must_use]
+    pub fn new(
+        cluster: ClusterId,
+        ceff_f: f64,
+        leak_w_per_v: f64,
+        leak_temp_coeff: f64,
+        leak_ref_c: f64,
+    ) -> Self {
+        ClusterPowerModel { cluster, ceff_f, leak_w_per_v, leak_temp_coeff, leak_ref_c }
+    }
+
+    /// The cluster this model describes.
+    #[must_use]
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// Switching power at operating point `opp` and utilisation `util`
+    /// (clamped to `[0, 1]`), in watts.
+    #[must_use]
+    pub fn dynamic_w(&self, opp: Opp, util: f64) -> f64 {
+        let util = util.clamp(0.0, 1.0);
+        self.ceff_f * opp.volt_v * opp.volt_v * opp.freq_hz() * util
+    }
+
+    /// Leakage power at operating point `opp` and die temperature
+    /// `temp_c`, in watts. Never negative.
+    #[must_use]
+    pub fn leakage_w(&self, opp: Opp, temp_c: f64) -> f64 {
+        let scale = 1.0 + self.leak_temp_coeff * (temp_c - self.leak_ref_c);
+        (self.leak_w_per_v * opp.volt_v * scale).max(0.0)
+    }
+
+    /// Total cluster power (dynamic + leakage), in watts.
+    #[must_use]
+    pub fn total_w(&self, opp: Opp, util: f64, temp_c: f64) -> f64 {
+        self.dynamic_w(opp, util) + self.leakage_w(opp, temp_c)
+    }
+
+    /// Calibration used for the Exynos 9810 big cluster (4× Mongoose 3).
+    ///
+    /// Chosen so that the fully-loaded cluster at 2704 MHz draws ≈6.5 W
+    /// and ≈0.45 W of leakage at 45 °C, in line with published Exynos
+    /// 9810 measurements.
+    #[must_use]
+    pub fn exynos9810_big() -> Self {
+        ClusterPowerModel::new(ClusterId::Big, 2.0e-9, 0.28, 0.012, 25.0)
+    }
+
+    /// Calibration used for the Exynos 9810 LITTLE cluster (4× A55).
+    #[must_use]
+    pub fn exynos9810_little() -> Self {
+        ClusterPowerModel::new(ClusterId::Little, 4.6e-10, 0.06, 0.010, 25.0)
+    }
+
+    /// Calibration used for the Mali-G72 MP18 GPU.
+    #[must_use]
+    pub fn exynos9810_gpu() -> Self {
+        ClusterPowerModel::new(ClusterId::Gpu, 1.05e-8, 0.20, 0.011, 25.0)
+    }
+}
+
+/// Whole-platform power model: the three cluster models plus a constant
+/// platform floor (display at fixed brightness, DRAM refresh, rails).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    clusters: [ClusterPowerModel; 3],
+    base_w: f64,
+}
+
+/// Per-cluster and total power for one simulation interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Power of each cluster, indexed by [`ClusterId::index`], in watts.
+    pub cluster_w: [f64; 3],
+    /// Constant platform floor, in watts.
+    pub base_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Sum of all components, in watts.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.cluster_w.iter().sum::<f64>() + self.base_w
+    }
+
+    /// Power of one cluster, in watts.
+    #[must_use]
+    pub fn cluster(&self, id: ClusterId) -> f64 {
+        self.cluster_w[id.index()]
+    }
+}
+
+impl PowerModel {
+    /// Builds a model from three cluster models (any order) and a
+    /// platform floor in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three models do not cover exactly the three
+    /// clusters.
+    #[must_use]
+    pub fn new(models: [ClusterPowerModel; 3], base_w: f64) -> Self {
+        let mut slots: [Option<ClusterPowerModel>; 3] = [None, None, None];
+        for m in models {
+            let idx = m.cluster().index();
+            assert!(slots[idx].is_none(), "duplicate model for cluster {}", m.cluster());
+            slots[idx] = Some(m);
+        }
+        let clusters = slots.map(|s| s.expect("model for every cluster"));
+        PowerModel { clusters, base_w }
+    }
+
+    /// The calibrated Exynos 9810 model with a 0.9 W platform floor.
+    #[must_use]
+    pub fn exynos9810() -> Self {
+        PowerModel::new(
+            [
+                ClusterPowerModel::exynos9810_big(),
+                ClusterPowerModel::exynos9810_little(),
+                ClusterPowerModel::exynos9810_gpu(),
+            ],
+            0.9,
+        )
+    }
+
+    /// Model for one cluster.
+    #[must_use]
+    pub fn cluster(&self, id: ClusterId) -> &ClusterPowerModel {
+        &self.clusters[id.index()]
+    }
+
+    /// Platform floor in watts.
+    #[must_use]
+    pub fn base_w(&self) -> f64 {
+        self.base_w
+    }
+
+    /// Evaluates the full breakdown given per-cluster operating points,
+    /// utilisations and die temperatures (indexed by
+    /// [`ClusterId::index`]).
+    #[must_use]
+    pub fn evaluate(&self, opps: [Opp; 3], utils: [f64; 3], temps_c: [f64; 3]) -> PowerBreakdown {
+        let mut cluster_w = [0.0f64; 3];
+        for id in ClusterId::ALL {
+            let i = id.index();
+            cluster_w[i] = self.clusters[i].total_w(opps[i], utils[i], temps_c[i]);
+        }
+        PowerBreakdown { cluster_w, base_w: self.base_w }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::OppTable;
+
+    fn max_opp(table: &OppTable) -> Opp {
+        table.max()
+    }
+
+    #[test]
+    fn big_cluster_peak_power_in_plausible_range() {
+        let model = ClusterPowerModel::exynos9810_big();
+        let opp = max_opp(&OppTable::exynos9810_big());
+        let p = model.total_w(opp, 1.0, 45.0);
+        assert!((4.0..9.0).contains(&p), "big peak power {p} W implausible");
+    }
+
+    #[test]
+    fn little_cluster_much_cheaper_than_big() {
+        let big = ClusterPowerModel::exynos9810_big();
+        let little = ClusterPowerModel::exynos9810_little();
+        let pb = big.total_w(max_opp(&OppTable::exynos9810_big()), 1.0, 40.0);
+        let pl = little.total_w(max_opp(&OppTable::exynos9810_little()), 1.0, 40.0);
+        assert!(pl < pb / 4.0, "LITTLE ({pl} W) should be far cheaper than big ({pb} W)");
+    }
+
+    #[test]
+    fn dynamic_power_monotonic_in_frequency() {
+        let model = ClusterPowerModel::exynos9810_big();
+        let table = OppTable::exynos9810_big();
+        let powers: Vec<f64> = table.iter().map(|&o| model.dynamic_w(o, 1.0)).collect();
+        for pair in powers.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    fn dynamic_power_superlinear_in_frequency() {
+        // P ∝ V²f with V rising in f ⇒ doubling f more than doubles P.
+        let model = ClusterPowerModel::exynos9810_big();
+        let table = OppTable::exynos9810_big();
+        let lo = table.min();
+        let hi = table.max();
+        let ratio_f = hi.freq_hz() / lo.freq_hz();
+        let ratio_p = model.dynamic_w(hi, 1.0) / model.dynamic_w(lo, 1.0);
+        assert!(ratio_p > ratio_f * 1.5, "power ratio {ratio_p} vs freq ratio {ratio_f}");
+    }
+
+    #[test]
+    fn util_clamps() {
+        let model = ClusterPowerModel::exynos9810_gpu();
+        let opp = max_opp(&OppTable::exynos9810_gpu());
+        assert_eq!(model.dynamic_w(opp, 2.0), model.dynamic_w(opp, 1.0));
+        assert_eq!(model.dynamic_w(opp, -1.0), 0.0);
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature_and_never_negative() {
+        let model = ClusterPowerModel::exynos9810_big();
+        let opp = max_opp(&OppTable::exynos9810_big());
+        let cold = model.leakage_w(opp, 0.0);
+        let warm = model.leakage_w(opp, 40.0);
+        let hot = model.leakage_w(opp, 90.0);
+        assert!(cold < warm && warm < hot);
+        assert!(model.leakage_w(opp, -500.0) >= 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let model = PowerModel::exynos9810();
+        let opps = [
+            OppTable::exynos9810_big().max(),
+            OppTable::exynos9810_little().max(),
+            OppTable::exynos9810_gpu().max(),
+        ];
+        let b = model.evaluate(opps, [1.0, 1.0, 1.0], [50.0, 45.0, 48.0]);
+        let manual: f64 = b.cluster_w.iter().sum::<f64>() + b.base_w;
+        assert!((b.total_w() - manual).abs() < 1e-12);
+        assert!(b.total_w() > model.base_w());
+        assert_eq!(b.base_w, 0.9);
+    }
+
+    #[test]
+    fn full_platform_peak_power_matches_paper_scale() {
+        // Fig. 3 shows schedutil peaks well above 10 W on heavy load.
+        let model = PowerModel::exynos9810();
+        let opps = [
+            OppTable::exynos9810_big().max(),
+            OppTable::exynos9810_little().max(),
+            OppTable::exynos9810_gpu().max(),
+        ];
+        let b = model.evaluate(opps, [1.0, 1.0, 1.0], [70.0, 60.0, 65.0]);
+        assert!(
+            (9.0..18.0).contains(&b.total_w()),
+            "platform peak {} W outside the paper's observed scale",
+            b.total_w()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate model")]
+    fn duplicate_cluster_models_panic() {
+        let _ = PowerModel::new(
+            [
+                ClusterPowerModel::exynos9810_big(),
+                ClusterPowerModel::exynos9810_big(),
+                ClusterPowerModel::exynos9810_gpu(),
+            ],
+            0.9,
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! The assembled system-on-chip: DVFS + execution + VSync + power +
+//! thermal, advanced in lockstep by [`Soc::tick`].
+//!
+//! One tick simulates `dt` seconds of the platform running a given
+//! [`FrameDemand`]: the kernel's utilisation-tracking policy picks
+//! frequencies within the policy caps, the frame pipeline renders and
+//! presents frames through VSync, the power model integrates the
+//! resulting utilisation, and the thermal network absorbs the dissipated
+//! heat. The output mirrors exactly what the paper's agent can observe
+//! on the real device: frequencies, FPS, power and sensor temperatures.
+
+use crate::dvfs::DvfsController;
+use crate::freq::{ClusterId, KiloHertz, Opp, OppTable};
+use crate::perf::{self, FrameDemand};
+use crate::power::{PowerBreakdown, PowerModel};
+use crate::thermal::{SensorId, ThermalConfig, ThermalNetwork};
+use crate::throttle::{ThrottleConfig, Throttler};
+use crate::vsync::{VsyncOutput, VsyncPipeline};
+use crate::{Error, Result};
+
+/// Configuration of a simulated SoC platform.
+#[derive(Debug, Clone)]
+pub struct SocConfig {
+    /// Per-cluster OPP tables.
+    pub tables: [OppTable; 3],
+    /// Power model.
+    pub power: PowerModel,
+    /// Thermal network description.
+    pub thermal: ThermalConfig,
+    /// Display refresh rate in Hz.
+    pub refresh_hz: f64,
+    /// Whether the in-kernel utilisation-tracking frequency selection
+    /// runs every tick (disable to drive levels fully externally).
+    pub util_selection: bool,
+    /// Hardware thermal throttling configuration.
+    pub throttle: ThrottleConfig,
+}
+
+impl SocConfig {
+    /// The Galaxy Note 9 configuration used throughout the paper:
+    /// Exynos 9810 ladders, calibrated power/thermal models, 60 Hz
+    /// display, 21 °C ambient, util-tracking enabled.
+    #[must_use]
+    pub fn exynos9810() -> Self {
+        SocConfig {
+            tables: [
+                OppTable::exynos9810_big(),
+                OppTable::exynos9810_little(),
+                OppTable::exynos9810_gpu(),
+            ],
+            power: PowerModel::exynos9810(),
+            thermal: ThermalConfig::exynos9810(21.0),
+            refresh_hz: 60.0,
+            util_selection: true,
+            throttle: ThrottleConfig::exynos9810(),
+        }
+    }
+
+    /// Same platform at a different ambient temperature.
+    #[must_use]
+    pub fn exynos9810_at_ambient(ambient_c: f64) -> Self {
+        let mut cfg = SocConfig::exynos9810();
+        cfg.thermal.ambient_c = ambient_c;
+        cfg
+    }
+}
+
+/// Everything a governor can observe after a tick — the paper's state
+/// vector (§IV-B): per-cluster frequencies, current FPS, power, and the
+/// big-cluster and device temperatures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocState {
+    /// Simulated wall-clock time in seconds.
+    pub time_s: f64,
+    /// Current frequency per cluster in kHz, by [`ClusterId::index`].
+    pub freq_khz: [KiloHertz; 3],
+    /// Current OPP level per cluster.
+    pub freq_level: [usize; 3],
+    /// Current `maxfreq` cap level per cluster.
+    pub max_cap_level: [usize; 3],
+    /// Presented frames per second over the rolling FPS window
+    /// (≈0.5 s) — the rate frame-rate instrumentation reports.
+    pub fps: f64,
+    /// Total platform power over the last tick, in watts.
+    pub power_w: f64,
+    /// Big-cluster sensor temperature, °C.
+    pub temp_big_c: f64,
+    /// LITTLE-cluster sensor temperature, °C.
+    pub temp_little_c: f64,
+    /// GPU sensor temperature, °C.
+    pub temp_gpu_c: f64,
+    /// Virtual device sensor temperature, °C.
+    pub temp_device_c: f64,
+    /// Battery/board sensor temperature, °C.
+    pub temp_battery_c: f64,
+    /// Per-cluster utilisation over the last tick.
+    pub util: [f64; 3],
+}
+
+impl SocState {
+    /// Frequency of one cluster in kHz.
+    #[must_use]
+    pub fn freq_of(&self, id: ClusterId) -> KiloHertz {
+        self.freq_khz[id.index()]
+    }
+}
+
+/// Detailed result of one [`Soc::tick`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickOutput {
+    /// Interval length in seconds.
+    pub dt_s: f64,
+    /// Presented frames per second over the interval.
+    pub fps: f64,
+    /// Raw VSync accounting.
+    pub vsync: VsyncOutput,
+    /// Power breakdown over the interval.
+    pub power: PowerBreakdown,
+    /// Total power in watts (convenience for `power.total_w()`).
+    pub power_w: f64,
+    /// Per-cluster utilisation.
+    pub util: [f64; 3],
+    /// Operating points used during the interval.
+    pub opps: [Opp; 3],
+}
+
+/// Length of the rolling window behind [`SocState::fps`], seconds.
+/// Instantaneous per-tick rates quantise to multiples of the tick/VSync
+/// ratio (e.g. 40/80 FPS at 25 ms ticks); half a second of history is
+/// what Android's frame-rate instrumentation effectively reports.
+const FPS_WINDOW_S: f64 = 0.5;
+
+/// The simulated SoC platform.
+#[derive(Debug, Clone)]
+pub struct Soc {
+    dvfs: DvfsController,
+    power: PowerModel,
+    thermal: ThermalNetwork,
+    vsync: VsyncPipeline,
+    util_selection: bool,
+    throttler: Throttler,
+    last_utils: [f64; 3],
+    time_s: f64,
+    last_state: SocState,
+    /// Rolling (dt, presented) history for the FPS window.
+    fps_history: std::collections::VecDeque<(f64, u32)>,
+}
+
+impl Soc {
+    /// Builds the platform from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thermal configuration is invalid (the presets never
+    /// are); use [`Soc::try_new`] to handle that case.
+    #[must_use]
+    pub fn new(config: SocConfig) -> Self {
+        Soc::try_new(config).expect("invalid SocConfig")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the thermal network or
+    /// refresh rate is invalid.
+    pub fn try_new(config: SocConfig) -> Result<Self> {
+        if !(config.refresh_hz > 0.0 && config.refresh_hz.is_finite()) {
+            return Err(Error::InvalidConfig("refresh rate must be positive".to_owned()));
+        }
+        // Size the throttler from each cluster's ladder.
+        let mut sizes = [0usize; 3];
+        for t in &config.tables {
+            sizes[t.cluster().index()] = t.len();
+        }
+        let throttler = Throttler::new(config.throttle, sizes);
+        let dvfs = DvfsController::new(config.tables);
+        let thermal = ThermalNetwork::new(config.thermal)?;
+        let vsync = VsyncPipeline::new(config.refresh_hz);
+        let mut soc = Soc {
+            dvfs,
+            power: config.power,
+            thermal,
+            vsync,
+            util_selection: config.util_selection,
+            throttler,
+            last_utils: [0.0; 3],
+            time_s: 0.0,
+            last_state: SocState {
+                time_s: 0.0,
+                freq_khz: [0; 3],
+                freq_level: [0; 3],
+                max_cap_level: [0; 3],
+                fps: 0.0,
+                power_w: 0.0,
+                temp_big_c: 0.0,
+                temp_little_c: 0.0,
+                temp_gpu_c: 0.0,
+                temp_device_c: 0.0,
+                temp_battery_c: 0.0,
+                util: [0.0; 3],
+            },
+            fps_history: std::collections::VecDeque::new(),
+        };
+        soc.refresh_state(0.0, 0.0);
+        Ok(soc)
+    }
+
+    /// DVFS controller (read access).
+    #[must_use]
+    pub fn dvfs(&self) -> &DvfsController {
+        &self.dvfs
+    }
+
+    /// DVFS controller (the governor's actuator).
+    pub fn dvfs_mut(&mut self) -> &mut DvfsController {
+        &mut self.dvfs
+    }
+
+    /// Thermal network (read access).
+    #[must_use]
+    pub fn thermal(&self) -> &ThermalNetwork {
+        &self.thermal
+    }
+
+    /// Mutable thermal network (e.g. to change ambient temperature).
+    pub fn thermal_mut(&mut self) -> &mut ThermalNetwork {
+        &mut self.thermal
+    }
+
+    /// Hardware thermal throttler (read access).
+    #[must_use]
+    pub fn throttler(&self) -> &Throttler {
+        &self.throttler
+    }
+
+    /// Simulated time in seconds.
+    #[must_use]
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// The governor-visible state after the most recent tick.
+    #[must_use]
+    pub fn state(&self) -> SocState {
+        self.last_state
+    }
+
+    /// Enables or disables the in-kernel util-tracking selection.
+    pub fn set_util_selection(&mut self, enabled: bool) {
+        self.util_selection = enabled;
+    }
+
+    /// Advances the platform by `dt_s` seconds of `demand`.
+    ///
+    /// Steps, in order: kernel frequency selection (if enabled) based on
+    /// the previous interval's utilisation, frame execution + VSync,
+    /// power integration at the resulting utilisation, thermal update.
+    pub fn tick(&mut self, dt_s: f64, demand: &FrameDemand) -> TickOutput {
+        if self.util_selection {
+            self.dvfs.select_by_util(self.last_utils);
+        }
+        // Hardware thermal throttling overrides every software policy:
+        // clamp the effective level per cluster.
+        let clamps = self.throttler.update([
+            self.thermal.sensor_c(SensorId::BigCluster),
+            self.thermal.sensor_c(SensorId::LittleCluster),
+            self.thermal.sensor_c(SensorId::Gpu),
+        ]);
+        for id in ClusterId::ALL {
+            let i = id.index();
+            let dom = self.dvfs.domain_mut(id);
+            if dom.current_level() > clamps[i] {
+                // The hardware clamp outranks the software policy range.
+                dom.force_level(clamps[i]).expect("clamp level within table");
+            }
+        }
+        let opps = self.dvfs.current_opps();
+        let plan = perf::plan(demand, opps);
+        let vout = self.vsync.tick(dt_s, plan.frame_period_s);
+        let fps = vout.fps(dt_s);
+        // The renderer runs at its natural rate until the display caps
+        // it at the refresh rate; that achieved production rate — not
+        // the presented FPS — is what loads the clusters.
+        let produced_rate = plan.render_rate_hz().min(self.vsync.refresh_hz());
+        let mut utils = [0.0f64; 3];
+        for id in ClusterId::ALL {
+            utils[id.index()] = plan.utilization(id, produced_rate);
+        }
+        let die_temps = [
+            self.thermal.sensor_c(SensorId::BigCluster),
+            self.thermal.sensor_c(SensorId::LittleCluster),
+            self.thermal.sensor_c(SensorId::Gpu),
+        ];
+        let breakdown = self.power.evaluate(opps, utils, die_temps);
+        let mut node_power = [0.0f64; crate::thermal::node::COUNT];
+        for id in ClusterId::ALL {
+            node_power[ThermalNetwork::cluster_node(id)] = breakdown.cluster(id);
+        }
+        node_power[ThermalNetwork::base_power_node()] += breakdown.base_w;
+        self.thermal.step(&node_power, dt_s);
+
+        self.last_utils = utils;
+        self.time_s += dt_s.max(0.0);
+        let windowed_fps = self.update_fps_window(dt_s, vout.presented);
+        self.refresh_state(windowed_fps, breakdown.total_w());
+        self.last_state.util = utils;
+
+        TickOutput {
+            dt_s,
+            fps,
+            vsync: vout,
+            power: breakdown,
+            power_w: breakdown.total_w(),
+            util: utils,
+            opps,
+        }
+    }
+
+    /// Resets thermal state, VSync phase and time (frequencies and caps
+    /// are preserved).
+    pub fn reset(&mut self) {
+        self.thermal.reset();
+        self.throttler.reset();
+        self.vsync = VsyncPipeline::new(self.vsync.refresh_hz());
+        self.last_utils = [0.0; 3];
+        self.time_s = 0.0;
+        self.fps_history.clear();
+        self.refresh_state(0.0, 0.0);
+    }
+
+    /// Pushes one tick into the rolling FPS window and returns the
+    /// windowed rate — what [`SocState::fps`] reports.
+    fn update_fps_window(&mut self, dt_s: f64, presented: u32) -> f64 {
+        if dt_s > 0.0 {
+            self.fps_history.push_back((dt_s, presented));
+        }
+        let mut total_dt: f64 = self.fps_history.iter().map(|(d, _)| d).sum();
+        while let Some(&(front_dt, _)) = self.fps_history.front() {
+            if total_dt - front_dt >= FPS_WINDOW_S {
+                self.fps_history.pop_front();
+                total_dt -= front_dt;
+            } else {
+                break;
+            }
+        }
+        if total_dt <= 0.0 {
+            return 0.0;
+        }
+        let frames: u32 = self.fps_history.iter().map(|(_, p)| p).sum();
+        // VSync boundaries need not align with the window edge, so the
+        // raw quotient can exceed the refresh rate by a fraction of a
+        // frame; clamp to the physical maximum.
+        (f64::from(frames) / total_dt).min(self.vsync.refresh_hz())
+    }
+
+    fn refresh_state(&mut self, fps: f64, power_w: f64) {
+        let mut freq_khz = [0u32; 3];
+        let mut freq_level = [0usize; 3];
+        let mut max_cap_level = [0usize; 3];
+        for id in ClusterId::ALL {
+            let d = self.dvfs.domain(id);
+            freq_khz[id.index()] = d.current().freq_khz;
+            freq_level[id.index()] = d.current_level();
+            max_cap_level[id.index()] = d.max_cap_level();
+        }
+        self.last_state = SocState {
+            time_s: self.time_s,
+            freq_khz,
+            freq_level,
+            max_cap_level,
+            fps,
+            power_w,
+            temp_big_c: self.thermal.sensor_c(SensorId::BigCluster),
+            temp_little_c: self.thermal.sensor_c(SensorId::LittleCluster),
+            temp_gpu_c: self.thermal.sensor_c(SensorId::Gpu),
+            temp_device_c: self.thermal.sensor_c(SensorId::Device),
+            temp_battery_c: self.thermal.sensor_c(SensorId::Battery),
+            util: self.last_utils,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn light_ui() -> FrameDemand {
+        FrameDemand::new(3.0e6, 1.5e6, 4.0e6).with_background(0.05e9, 0.05e9, 0.0)
+    }
+
+    fn heavy_game() -> FrameDemand {
+        FrameDemand::new(22.0e6, 6.0e6, 30.0e6).with_background(0.3e9, 0.1e9, 0.0)
+    }
+
+    fn run(soc: &mut Soc, demand: &FrameDemand, seconds: f64) -> (f64, f64) {
+        let mut fps_sum = 0.0;
+        let mut pow_sum = 0.0;
+        let ticks = (seconds / 0.025) as usize;
+        for _ in 0..ticks {
+            let o = soc.tick(0.025, demand);
+            fps_sum += o.fps;
+            pow_sum += o.power_w;
+        }
+        (fps_sum / ticks as f64, pow_sum / ticks as f64)
+    }
+
+    #[test]
+    fn light_ui_reaches_60fps_under_util_tracking() {
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        let (fps, power) = run(&mut soc, &light_ui(), 10.0);
+        assert!(fps > 50.0, "avg fps {fps}");
+        assert!(power > 0.9, "power {power} must exceed the platform floor");
+    }
+
+    #[test]
+    fn heavy_game_draws_more_power_and_heat_than_light_ui() {
+        let mut a = Soc::new(SocConfig::exynos9810());
+        let mut b = Soc::new(SocConfig::exynos9810());
+        let (_, p_light) = run(&mut a, &light_ui(), 30.0);
+        let (_, p_heavy) = run(&mut b, &heavy_game(), 30.0);
+        assert!(p_heavy > p_light * 1.5, "heavy {p_heavy} W vs light {p_light} W");
+        assert!(b.state().temp_big_c > a.state().temp_big_c);
+    }
+
+    #[test]
+    fn frameless_audio_keeps_cpu_busy_with_zero_fps() {
+        // The paper's Spotify observation: FPS ≈ 0, frequency and power
+        // stay high.
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        let audio = FrameDemand::new(0.0, 0.0, 0.0).with_background(1.2e9, 0.6e9, 0.0);
+        let (fps, power) = run(&mut soc, &audio, 10.0);
+        assert_eq!(fps, 0.0);
+        assert!(power > 1.5, "background work must burn power: {power} W");
+        assert!(soc.state().freq_of(ClusterId::Big) > 650_000, "util tracking must raise freq");
+    }
+
+    #[test]
+    fn maxfreq_cap_reduces_power_on_heavy_load() {
+        let mut free = Soc::new(SocConfig::exynos9810());
+        let mut capped = Soc::new(SocConfig::exynos9810());
+        capped.dvfs_mut().set_max_freq(ClusterId::Big, 1_170_000).unwrap();
+        capped.dvfs_mut().set_max_freq(ClusterId::Gpu, 338_000).unwrap();
+        let (fps_free, p_free) = run(&mut free, &heavy_game(), 20.0);
+        let (fps_capped, p_capped) = run(&mut capped, &heavy_game(), 20.0);
+        assert!(p_capped < p_free, "cap must save power: {p_capped} vs {p_free}");
+        assert!(fps_capped < fps_free, "cap trades FPS: {fps_capped} vs {fps_free}");
+    }
+
+    #[test]
+    fn state_reflects_sensors_and_freqs() {
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        run(&mut soc, &heavy_game(), 5.0);
+        let s = soc.state();
+        assert!(s.temp_big_c > 21.0);
+        assert!(s.temp_device_c > 21.0);
+        assert!(s.temp_big_c >= s.temp_device_c, "hot spot above blended device sensor");
+        assert!(s.power_w > 1.0);
+        assert_eq!(s.freq_khz[0], soc.dvfs().current_khz(ClusterId::Big));
+        assert!(s.time_s > 4.9);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        run(&mut soc, &heavy_game(), 5.0);
+        soc.reset();
+        assert_eq!(soc.time_s(), 0.0);
+        assert!((soc.state().temp_big_c - 21.0).abs() < 1e-9);
+        assert_eq!(soc.state().fps, 0.0);
+    }
+
+    #[test]
+    fn disabled_util_selection_keeps_levels() {
+        let mut cfg = SocConfig::exynos9810();
+        cfg.util_selection = false;
+        let mut soc = Soc::new(cfg);
+        let before = soc.dvfs().current_khz(ClusterId::Big);
+        run(&mut soc, &heavy_game(), 2.0);
+        assert_eq!(soc.dvfs().current_khz(ClusterId::Big), before);
+    }
+
+    #[test]
+    fn invalid_refresh_rejected() {
+        let mut cfg = SocConfig::exynos9810();
+        cfg.refresh_hz = 0.0;
+        assert!(Soc::try_new(cfg).is_err());
+    }
+
+    #[test]
+    fn thermal_throttle_caps_sustained_heat() {
+        // A low trip point plus a performance-pinned heavy load: the
+        // clamp must engage and hold the die near the trip.
+        let mut cfg = SocConfig::exynos9810();
+        cfg.throttle = crate::throttle::ThrottleConfig {
+            enabled: true,
+            trip_c: [40.0, 40.0, 40.0],
+            hysteresis_c: 3.0,
+        };
+        let mut soc = Soc::new(cfg);
+        for id in ClusterId::ALL {
+            let top = soc.dvfs().domain(id).table().max().freq_khz;
+            soc.dvfs_mut().pin_freq(id, top).unwrap();
+        }
+        let demand = heavy_game();
+        for _ in 0..(600.0 / 0.025) as usize {
+            soc.tick(0.025, &demand);
+        }
+        assert!(soc.throttler().is_throttling(), "clamp should be engaged");
+        assert!(
+            soc.state().temp_big_c < 48.0,
+            "throttle must bound the die temperature: {:.1} C",
+            soc.state().temp_big_c
+        );
+        // An unthrottled twin runs hotter.
+        let mut cfg = SocConfig::exynos9810();
+        cfg.throttle = crate::throttle::ThrottleConfig::disabled();
+        let mut hot = Soc::new(cfg);
+        for id in ClusterId::ALL {
+            let top = hot.dvfs().domain(id).table().max().freq_khz;
+            hot.dvfs_mut().pin_freq(id, top).unwrap();
+        }
+        for _ in 0..(600.0 / 0.025) as usize {
+            hot.tick(0.025, &demand);
+        }
+        assert!(hot.state().temp_big_c > soc.state().temp_big_c + 3.0);
+    }
+
+    #[test]
+    fn fps_never_exceeds_refresh_rate() {
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        let tiny = FrameDemand::new(1.0e4, 1.0e4, 1.0e4);
+        let (fps, _) = run(&mut soc, &tiny, 5.0);
+        assert!(fps <= 60.0 + 1e-9, "fps {fps}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Hardware thermal throttling (the IPA/thermal-governor layer).
+//!
+//! Real Exynos devices clamp cluster frequencies when die sensors cross
+//! trip points, independently of (and *below*) any software policy. The
+//! throttler steps a per-cluster thermal clamp down one OPP per control
+//! interval while the sensor is above the trip temperature and relaxes
+//! it one OPP per interval once the sensor falls below
+//! `trip − hysteresis`.
+//!
+//! The clamp composes with the DVFS policy caps: the effective level is
+//! `min(policy level, thermal clamp)`. Software governors (including
+//! Next) never see or control the clamp — exactly like on the phone,
+//! where the kernel thermal framework overrides userspace.
+
+use crate::freq::ClusterId;
+
+/// Configuration of the thermal throttler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleConfig {
+    /// Whether throttling is active.
+    pub enabled: bool,
+    /// Trip temperature per cluster sensor, °C
+    /// (indexed by [`ClusterId::index`]).
+    pub trip_c: [f64; 3],
+    /// Hysteresis below the trip before the clamp relaxes, °C.
+    pub hysteresis_c: f64,
+}
+
+impl ThrottleConfig {
+    /// The Exynos 9810 defaults: 75 °C trips on the CPU clusters and
+    /// 71 °C on the GPU, 5 °C hysteresis.
+    #[must_use]
+    pub fn exynos9810() -> Self {
+        ThrottleConfig { enabled: true, trip_c: [75.0, 75.0, 71.0], hysteresis_c: 5.0 }
+    }
+
+    /// Throttling disabled (useful for controlled experiments).
+    #[must_use]
+    pub fn disabled() -> Self {
+        ThrottleConfig { enabled: false, trip_c: [f64::INFINITY; 3], hysteresis_c: 0.0 }
+    }
+}
+
+impl Default for ThrottleConfig {
+    fn default() -> Self {
+        ThrottleConfig::exynos9810()
+    }
+}
+
+/// Stateful per-cluster thermal clamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Throttler {
+    config: ThrottleConfig,
+    /// Current clamp as a maximum OPP level per cluster.
+    clamp_level: [usize; 3],
+    /// Top level per cluster (unclamped position).
+    top_level: [usize; 3],
+}
+
+impl Throttler {
+    /// Creates a throttler for ladders with the given sizes.
+    #[must_use]
+    pub fn new(config: ThrottleConfig, table_sizes: [usize; 3]) -> Self {
+        let top_level = table_sizes.map(|n| n.saturating_sub(1));
+        Throttler { config, clamp_level: top_level, top_level }
+    }
+
+    /// The throttler's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ThrottleConfig {
+        &self.config
+    }
+
+    /// Current clamp level of one cluster (top level = unclamped).
+    #[must_use]
+    pub fn clamp_level(&self, id: ClusterId) -> usize {
+        self.clamp_level[id.index()]
+    }
+
+    /// Whether any cluster is currently clamped below its top level.
+    #[must_use]
+    pub fn is_throttling(&self) -> bool {
+        self.config.enabled && self.clamp_level != self.top_level
+    }
+
+    /// Advances the throttle state one control interval with the
+    /// current die temperatures (°C, by [`ClusterId::index`]) and
+    /// returns the clamp levels.
+    pub fn update(&mut self, die_temps_c: [f64; 3]) -> [usize; 3] {
+        if !self.config.enabled {
+            return self.top_level;
+        }
+        for (i, &temp) in die_temps_c.iter().enumerate() {
+            if temp > self.config.trip_c[i] {
+                self.clamp_level[i] = self.clamp_level[i].saturating_sub(1);
+            } else if temp < self.config.trip_c[i] - self.config.hysteresis_c {
+                self.clamp_level[i] = (self.clamp_level[i] + 1).min(self.top_level[i]);
+            }
+        }
+        self.clamp_level
+    }
+
+    /// Resets all clamps to unthrottled.
+    pub fn reset(&mut self) {
+        self.clamp_level = self.top_level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn throttler() -> Throttler {
+        Throttler::new(ThrottleConfig::exynos9810(), [18, 10, 6])
+    }
+
+    #[test]
+    fn starts_unclamped() {
+        let t = throttler();
+        assert!(!t.is_throttling());
+        assert_eq!(t.clamp_level(ClusterId::Big), 17);
+        assert_eq!(t.clamp_level(ClusterId::Gpu), 5);
+    }
+
+    #[test]
+    fn hot_sensor_steps_clamp_down() {
+        let mut t = throttler();
+        t.update([80.0, 30.0, 30.0]);
+        assert_eq!(t.clamp_level(ClusterId::Big), 16);
+        assert_eq!(t.clamp_level(ClusterId::Little), 9, "cool clusters untouched");
+        assert!(t.is_throttling());
+        for _ in 0..40 {
+            t.update([80.0, 30.0, 30.0]);
+        }
+        assert_eq!(t.clamp_level(ClusterId::Big), 0, "clamp saturates at the floor");
+    }
+
+    #[test]
+    fn hysteresis_gates_recovery() {
+        let mut t = throttler();
+        for _ in 0..3 {
+            t.update([80.0, 30.0, 30.0]);
+        }
+        assert_eq!(t.clamp_level(ClusterId::Big), 14);
+        // Inside the hysteresis band: hold.
+        t.update([72.0, 30.0, 30.0]);
+        assert_eq!(t.clamp_level(ClusterId::Big), 14);
+        // Below trip − hysteresis: relax one per interval.
+        t.update([69.0, 30.0, 30.0]);
+        assert_eq!(t.clamp_level(ClusterId::Big), 15);
+        for _ in 0..10 {
+            t.update([60.0, 30.0, 30.0]);
+        }
+        assert!(!t.is_throttling());
+    }
+
+    #[test]
+    fn disabled_config_never_clamps() {
+        let mut t = Throttler::new(ThrottleConfig::disabled(), [18, 10, 6]);
+        for _ in 0..10 {
+            t.update([500.0, 500.0, 500.0]);
+        }
+        assert!(!t.is_throttling());
+        assert_eq!(t.clamp_level(ClusterId::Big), 17);
+    }
+
+    #[test]
+    fn gpu_trips_earlier_than_cpu() {
+        let mut t = throttler();
+        t.update([73.0, 73.0, 73.0]);
+        assert_eq!(t.clamp_level(ClusterId::Big), 17, "73 C below CPU trip");
+        assert_eq!(t.clamp_level(ClusterId::Gpu), 4, "73 C above GPU trip");
+    }
+
+    #[test]
+    fn reset_unclamps() {
+        let mut t = throttler();
+        t.update([90.0, 90.0, 90.0]);
+        assert!(t.is_throttling());
+        t.reset();
+        assert!(!t.is_throttling());
+    }
+}

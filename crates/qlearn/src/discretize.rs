@@ -1,0 +1,167 @@
+//! Uniform quantisers for continuous observations.
+//!
+//! The paper quantises the frame rate "for improved training time"
+//! (§IV-B, Fig. 6): fewer FPS bins mean fewer states and faster
+//! convergence, at the cost of target resolution. 30 bins over the 0–60
+//! range gave the best trade-off on the Note 9. Power and temperature
+//! observations are quantised the same way before being packed into the
+//! Q-table state key.
+
+/// A uniform quantiser over `[lo, hi]` with a fixed number of bins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+impl Quantizer {
+    /// Creates a quantiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "range must be non-empty");
+        Quantizer { lo, hi, bins }
+    }
+
+    /// The paper's FPS quantiser: `bins` levels over 0–60 FPS (Fig. 6
+    /// sweeps 1..60; 30 is the recommended setting).
+    #[must_use]
+    pub fn fps(bins: usize) -> Self {
+        Quantizer::new(0.0, 60.0, bins)
+    }
+
+    /// Power quantiser: 4 levels over 0–16 W (the platform's observed
+    /// range; 4 W resolution keeps the state space tractable on-device
+    /// and stops boost-induced power flapping from fragmenting states).
+    #[must_use]
+    pub fn power() -> Self {
+        Quantizer::new(0.0, 16.0, 4)
+    }
+
+    /// Temperature quantiser: 6 levels over 20–95 °C (12.5 °C bins —
+    /// thermal state changes slowly, so coarse bins suffice).
+    #[must_use]
+    pub fn temperature() -> Self {
+        Quantizer::new(20.0, 95.0, 6)
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Lower bound of the input range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the input range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Bin index of `x`, clamped into `[0, bins)`. NaN maps to bin 0.
+    #[must_use]
+    pub fn index(&self, x: f64) -> usize {
+        // NaN and anything at or below the lower bound map to bin 0.
+        if x.is_nan() || x <= self.lo {
+            return 0;
+        }
+        if x >= self.hi {
+            return self.bins - 1;
+        }
+        let t = (x - self.lo) / (self.hi - self.lo);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = (t * self.bins as f64) as usize;
+        idx.min(self.bins - 1)
+    }
+
+    /// Centre value of bin `idx` (clamped to the last bin).
+    #[must_use]
+    pub fn center(&self, idx: usize) -> f64 {
+        let idx = idx.min(self.bins - 1);
+        let width = (self.hi - self.lo) / self.bins as f64;
+        self.lo + (idx as f64 + 0.5) * width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fps_quantizer_30_bins() {
+        let q = Quantizer::fps(30);
+        assert_eq!(q.bins(), 30);
+        assert_eq!(q.index(0.0), 0);
+        assert_eq!(q.index(-5.0), 0);
+        assert_eq!(q.index(60.0), 29);
+        assert_eq!(q.index(100.0), 29);
+        assert_eq!(q.index(30.0), 15);
+        assert_eq!(q.index(1.9), 0);
+        assert_eq!(q.index(2.1), 1);
+    }
+
+    #[test]
+    fn single_bin_maps_everything_to_zero() {
+        let q = Quantizer::fps(1);
+        for x in [-1.0, 0.0, 30.0, 60.0, 1e9] {
+            assert_eq!(q.index(x), 0);
+        }
+    }
+
+    #[test]
+    fn centers_are_inside_bins() {
+        let q = Quantizer::new(10.0, 20.0, 5);
+        for i in 0..5 {
+            let c = q.center(i);
+            assert_eq!(q.index(c), i, "center of bin {i} quantises back to it");
+        }
+        assert_eq!(q.center(99), q.center(4), "center clamps");
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        let q = Quantizer::fps(30);
+        assert_eq!(q.index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn index_monotonic() {
+        let q = Quantizer::new(0.0, 100.0, 13);
+        let mut last = 0;
+        for i in 0..=1_000 {
+            let idx = q.index(f64::from(i) * 0.1);
+            assert!(idx >= last);
+            last = idx;
+        }
+        assert_eq!(last, 12);
+    }
+
+    #[test]
+    fn preset_ranges() {
+        assert_eq!(Quantizer::power().bins(), 4);
+        assert_eq!(Quantizer::temperature().index(20.0), 0);
+        assert_eq!(Quantizer::temperature().index(200.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Quantizer::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = Quantizer::new(1.0, 1.0, 4);
+    }
+}

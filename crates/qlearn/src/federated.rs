@@ -1,0 +1,169 @@
+//! Offline training in the cloud and federated averaging (§IV-C).
+//!
+//! The paper observes that a manufacturer ships many devices running the
+//! same applications, so per-application Q-tables can be learned
+//! federated-style: devices upload their tables, the cloud merges them,
+//! and the merged action values are pushed back. Training in the cloud
+//! is also simply *faster* — Fig. 6 compares on-device training time
+//! against a 16-core Xeon E7-8860v3 with a measured round-trip
+//! communication overhead of up to 4 seconds.
+
+use crate::qtable::QTable;
+
+/// Merges device Q-tables into a fleet table by visit-weighted
+/// averaging: for every `(state, action)` the merged value is
+/// `Σ(visits·q) / Σ(visits)` over the tables that visited the pair,
+/// and the merged visit count is the sum. Pairs no device visited stay
+/// at 0 with 0 visits.
+///
+/// # Panics
+///
+/// Panics if `tables` is empty or the action counts disagree.
+#[must_use]
+pub fn merge(tables: &[&QTable]) -> QTable {
+    assert!(!tables.is_empty(), "cannot merge zero tables");
+    let n_actions = tables[0].n_actions();
+    assert!(
+        tables.iter().all(|t| t.n_actions() == n_actions),
+        "all tables must share the action space"
+    );
+    let mut merged = QTable::with_default_q(n_actions, tables[0].default_q());
+    let mut all_states: Vec<_> = tables.iter().flat_map(|t| t.state_keys()).collect();
+    all_states.sort_unstable();
+    all_states.dedup();
+    for state in all_states {
+        let mut values = vec![0.0f64; n_actions];
+        let mut weights = vec![0u64; n_actions];
+        for t in tables {
+            if let Some((v, n)) = t.entry_raw(state) {
+                for a in 0..n_actions {
+                    values[a] += v[a] * n[a] as f64;
+                    weights[a] += n[a];
+                }
+            }
+        }
+        for a in 0..n_actions {
+            if weights[a] > 0 {
+                values[a] /= weights[a] as f64;
+            }
+        }
+        merged.insert_raw(state, values, weights);
+    }
+    merged
+}
+
+/// Timing model for cloud/offline training (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudModel {
+    /// How much faster the cloud executes Q-updates than the device's
+    /// LITTLE cluster.
+    pub speedup: f64,
+    /// Fixed to-and-fro communication overhead per training round,
+    /// seconds.
+    pub comm_overhead_s: f64,
+}
+
+impl CloudModel {
+    /// The paper's setup: a 16-core Xeon E7-8860v3 with 64 GB DDR3 —
+    /// roughly an order of magnitude faster than the Cortex-A55 cluster
+    /// for the table updates — plus the measured ≤4 s round-trip.
+    #[must_use]
+    pub fn xeon_e7_8860v3() -> Self {
+        CloudModel { speedup: 9.0, comm_overhead_s: 4.0 }
+    }
+
+    /// Wall-clock time the cloud needs for a training run that takes
+    /// `online_time_s` on the device, including the communication
+    /// round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not positive.
+    #[must_use]
+    pub fn cloud_time_s(&self, online_time_s: f64) -> f64 {
+        assert!(self.speedup > 0.0, "speedup must be positive");
+        online_time_s.max(0.0) / self.speedup + self.comm_overhead_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(state: u64, action: usize, value: f64, visits: u64) -> QTable {
+        let mut t = QTable::new(3);
+        for _ in 0..visits {
+            t.set(state, action, value);
+        }
+        t
+    }
+
+    #[test]
+    fn merge_single_table_is_identity_on_values() {
+        let t = table_with(5, 1, 2.0, 3);
+        let merged = merge(&[&t]);
+        assert_eq!(merged.q(5, 1), 2.0);
+        assert_eq!(merged.visits(5, 1), 3);
+    }
+
+    #[test]
+    fn merge_weights_by_visits() {
+        // Device A visited (0,0) once with value 0; device B ten times
+        // with value 1 — the merge should sit near B.
+        let a = table_with(0, 0, 0.0, 1);
+        let b = table_with(0, 0, 1.0, 10);
+        let merged = merge(&[&a, &b]);
+        let q = merged.q(0, 0);
+        assert!((q - 10.0 / 11.0).abs() < 1e-12, "q {q}");
+        assert_eq!(merged.visits(0, 0), 11);
+    }
+
+    #[test]
+    fn merge_unions_disjoint_states() {
+        let a = table_with(1, 0, 1.0, 1);
+        let b = table_with(2, 2, -1.0, 1);
+        let merged = merge(&[&a, &b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.q(1, 0), 1.0);
+        assert_eq!(merged.q(2, 2), -1.0);
+    }
+
+    #[test]
+    fn merge_stays_in_convex_hull() {
+        let a = table_with(0, 0, -2.0, 4);
+        let b = table_with(0, 0, 3.0, 2);
+        let c = table_with(0, 0, 0.5, 1);
+        let merged = merge(&[&a, &b, &c]);
+        let q = merged.q(0, 0);
+        assert!((-2.0..=3.0).contains(&q), "merged value {q} escaped the hull");
+    }
+
+    #[test]
+    #[should_panic(expected = "share the action space")]
+    fn merge_rejects_mismatched_actions() {
+        let a = QTable::new(2);
+        let b = QTable::new(3);
+        let _ = merge(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tables")]
+    fn merge_rejects_empty_input() {
+        let _ = merge(&[]);
+    }
+
+    #[test]
+    fn cloud_time_scales_and_adds_overhead() {
+        let cloud = CloudModel::xeon_e7_8860v3();
+        let t = cloud.cloud_time_s(207.0); // paper's 3 min 27 s
+        assert!(t < 207.0 / 2.0, "cloud should be much faster: {t}");
+        assert!(t >= cloud.comm_overhead_s);
+        assert_eq!(cloud.cloud_time_s(0.0), cloud.comm_overhead_s);
+    }
+
+    #[test]
+    fn cloud_time_monotonic_in_online_time() {
+        let cloud = CloudModel::xeon_e7_8860v3();
+        assert!(cloud.cloud_time_s(100.0) < cloud.cloud_time_s(300.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! The Q-learning update rule, exactly the paper's Eq. 3:
+//!
+//! ```text
+//! Q(s_i, a_i) ← Q(s_i, a_i) + α·(r_i − Q(s_i, a_i) + γ·max_a Q(s_{i+1}, a))
+//! ```
+
+use crate::qtable::{QTable, StateKey};
+
+/// Q-learning hyper-parameters and update rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QLearning {
+    alpha: f64,
+    gamma: f64,
+}
+
+impl QLearning {
+    /// Creates a learner with learning rate `alpha` and discount
+    /// `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1` and `0 ≤ gamma < 1`.
+    #[must_use]
+    pub fn new(alpha: f64, gamma: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
+        assert!((0.0..1.0).contains(&gamma), "gamma out of range");
+        QLearning { alpha, gamma }
+    }
+
+    /// Learning rate α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Discount factor γ.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Applies one Eq. 3 update and returns the new `Q(state, action)`.
+    pub fn update(
+        &self,
+        table: &mut QTable,
+        state: StateKey,
+        action: usize,
+        reward: f64,
+        next_state: StateKey,
+    ) -> f64 {
+        self.update_with_alpha(table, state, action, reward, next_state, self.alpha)
+    }
+
+    /// Eq. 3 with an explicit per-update learning rate, for
+    /// visit-adaptive (Robbins-Monro) schedules where α shrinks as a
+    /// state-action pair accumulates visits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1`.
+    pub fn update_with_alpha(
+        &self,
+        table: &mut QTable,
+        state: StateKey,
+        action: usize,
+        reward: f64,
+        next_state: StateKey,
+        alpha: f64,
+    ) -> f64 {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
+        let q = table.q(state, action);
+        let bootstrap = table.max_q(next_state);
+        let new_q = q + alpha * (reward - q + self.gamma * bootstrap);
+        table.set(state, action, new_q);
+        new_q
+    }
+}
+
+impl Default for QLearning {
+    /// α = 0.1, γ = 0.9 — the customary tabular Q-learning defaults.
+    fn default() -> Self {
+        QLearning::new(0.1, 0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_moves_towards_reward() {
+        let learner = QLearning::new(0.5, 0.0);
+        let mut t = QTable::new(2);
+        let q1 = learner.update(&mut t, 0, 0, 1.0, 1);
+        assert!((q1 - 0.5).abs() < 1e-12);
+        let q2 = learner.update(&mut t, 0, 0, 1.0, 1);
+        assert!((q2 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_updates_converge_to_fixed_reward() {
+        let learner = QLearning::new(0.2, 0.0);
+        let mut t = QTable::new(2);
+        for _ in 0..500 {
+            learner.update(&mut t, 0, 1, 2.5, 0);
+        }
+        assert!((t.q(0, 1) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bootstrap_propagates_future_value() {
+        let learner = QLearning::new(1.0, 0.5);
+        let mut t = QTable::new(2);
+        // Make state 1 worth 4.0 via its best action.
+        t.set(1, 0, 4.0);
+        // One α=1 update on (0,0) with zero reward: Q = 0 + (0 - 0 + 0.5·4) = 2.
+        let q = learner.update(&mut t, 0, 0, 0.0, 1);
+        assert!((q - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_value_iteration_converges_to_discounted_sum() {
+        // Two-state chain: s0 -a0-> s1 (r=0), s1 -a0-> s1 (r=1).
+        // Optimal Q(s1, a0) = 1/(1-γ); Q(s0, a0) = γ/(1-γ).
+        let gamma = 0.8;
+        let learner = QLearning::new(0.3, gamma);
+        let mut t = QTable::new(1);
+        for _ in 0..2_000 {
+            learner.update(&mut t, 1, 0, 1.0, 1);
+            learner.update(&mut t, 0, 0, 0.0, 1);
+        }
+        let q1 = t.q(1, 0);
+        let q0 = t.q(0, 0);
+        assert!((q1 - 1.0 / (1.0 - gamma)).abs() < 1e-3, "q1 {q1}");
+        assert!((q0 - gamma / (1.0 - gamma)).abs() < 1e-3, "q0 {q0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of range")]
+    fn zero_alpha_rejected() {
+        let _ = QLearning::new(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma out of range")]
+    fn gamma_one_rejected() {
+        let _ = QLearning::new(0.5, 1.0);
+    }
+}

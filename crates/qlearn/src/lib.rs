@@ -1,0 +1,38 @@
+//! Tabular Q-learning toolkit underpinning the Next agent.
+//!
+//! The paper models Next as Watkins-style Q-learning (§IV-B, Eq. 3):
+//! a table of action values over a discretised state space, an ε-greedy
+//! behaviour policy, and the update rule
+//!
+//! ```text
+//! Q(s,a) ← Q(s,a) + α·(r − Q(s,a) + γ·max_a' Q(s',a'))
+//! ```
+//!
+//! This crate provides the reusable machinery:
+//!
+//! * [`qtable`] — a hash-backed Q-table with visit counting and a
+//!   self-contained text codec for on-device persistence (the paper
+//!   stores per-application tables and reloads them on later runs),
+//! * [`policy`] — ε-greedy action selection with decay schedules,
+//! * [`learner`] — the Q-learning update rule,
+//! * [`discretize`] — uniform quantisers, including the FPS quantiser
+//!   whose bin count the paper sweeps in Fig. 6 (30 bins works best),
+//! * [`federated`] — visit-weighted federated averaging of device
+//!   tables plus the cloud-training time model of §IV-C.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discretize;
+pub mod double_q;
+pub mod federated;
+pub mod learner;
+pub mod policy;
+pub mod qtable;
+
+pub use discretize::Quantizer;
+pub use double_q::DoubleQ;
+pub use federated::CloudModel;
+pub use learner::QLearning;
+pub use policy::EpsilonGreedy;
+pub use qtable::{QTable, StateKey};

@@ -1,0 +1,162 @@
+//! ε-greedy behaviour policy with decay schedules.
+//!
+//! During training the Next agent explores the 9-action space with
+//! probability ε and exploits the greedy action otherwise; once a
+//! per-application table is trained, inference runs greedily (ε = 0).
+
+use rand::Rng;
+
+use crate::qtable::{QTable, StateKey};
+
+/// ε-greedy policy with multiplicative decay per step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+    decay: f64,
+    min_epsilon: f64,
+}
+
+impl EpsilonGreedy {
+    /// Creates a policy starting at `epsilon`, multiplied by `decay`
+    /// after every [`EpsilonGreedy::step`] down to `min_epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ min_epsilon ≤ epsilon ≤ 1` and
+    /// `0 < decay ≤ 1`.
+    #[must_use]
+    pub fn new(epsilon: f64, decay: f64, min_epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon out of range");
+        assert!((0.0..=1.0).contains(&min_epsilon), "min epsilon out of range");
+        assert!(min_epsilon <= epsilon, "min epsilon above initial epsilon");
+        assert!(decay > 0.0 && decay <= 1.0, "decay out of range");
+        EpsilonGreedy { epsilon, decay, min_epsilon }
+    }
+
+    /// A purely greedy policy (ε = 0), used at inference time.
+    #[must_use]
+    pub fn greedy() -> Self {
+        EpsilonGreedy::new(0.0, 1.0, 0.0)
+    }
+
+    /// A common training schedule: ε = 0.4 decaying by 0.999 per step to
+    /// a 5 % exploration floor.
+    #[must_use]
+    pub fn training_default() -> Self {
+        EpsilonGreedy::new(0.4, 0.999, 0.05)
+    }
+
+    /// Current exploration probability.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Chooses an action for `state`: uniform-random with probability ε,
+    /// greedy otherwise. Greedy ties break uniformly at random — a
+    /// deterministic tie-break would bias an untrained table towards
+    /// one fixed action.
+    pub fn choose<R: Rng + ?Sized>(&self, rng: &mut R, table: &QTable, state: StateKey) -> usize {
+        if self.epsilon > 0.0 && rng.gen_range(0.0..1.0) < self.epsilon {
+            return rng.gen_range(0..table.n_actions());
+        }
+        let best = table.best_actions(state);
+        if best.len() == 1 {
+            best[0]
+        } else {
+            best[rng.gen_range(0..best.len())]
+        }
+    }
+
+    /// Applies one decay step.
+    pub fn step(&mut self) {
+        self.epsilon = (self.epsilon * self.decay).max(self.min_epsilon);
+    }
+
+    /// Resets ε to a new starting value (e.g. retraining).
+    pub fn reset_epsilon(&mut self, epsilon: f64) {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon out of range");
+        self.epsilon = epsilon.max(self.min_epsilon);
+    }
+}
+
+impl Default for EpsilonGreedy {
+    fn default() -> Self {
+        EpsilonGreedy::training_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table_preferring(action: usize) -> QTable {
+        let mut t = QTable::new(9);
+        t.set(0, action, 10.0);
+        t
+    }
+
+    #[test]
+    fn greedy_policy_always_exploits() {
+        let table = table_preferring(4);
+        let policy = EpsilonGreedy::greedy();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(policy.choose(&mut rng, &table, 0), 4);
+        }
+    }
+
+    #[test]
+    fn full_exploration_covers_all_actions() {
+        let table = table_preferring(4);
+        let policy = EpsilonGreedy::new(1.0, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(policy.choose(&mut rng, &table, 0));
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn decay_reaches_floor() {
+        let mut policy = EpsilonGreedy::new(0.5, 0.5, 0.1);
+        for _ in 0..100 {
+            policy.step();
+        }
+        assert!((policy.epsilon() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exploration_rate_matches_epsilon() {
+        let table = table_preferring(0);
+        let policy = EpsilonGreedy::new(0.3, 1.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mut non_greedy = 0;
+        for _ in 0..n {
+            if policy.choose(&mut rng, &table, 0) != 0 {
+                non_greedy += 1;
+            }
+        }
+        // Random draws pick the greedy action 1/9 of the time too, so
+        // the observable non-greedy rate is ε·(8/9).
+        let expected = 0.3 * 8.0 / 9.0;
+        let observed = f64::from(non_greedy) / f64::from(n);
+        assert!((observed - expected).abs() < 0.01, "observed {observed}, expected {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon out of range")]
+    fn invalid_epsilon_panics() {
+        let _ = EpsilonGreedy::new(1.5, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay out of range")]
+    fn invalid_decay_panics() {
+        let _ = EpsilonGreedy::new(0.5, 0.0, 0.0);
+    }
+}

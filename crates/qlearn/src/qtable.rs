@@ -1,0 +1,418 @@
+//! Hash-backed Q-table with visit counts and a text codec.
+//!
+//! States are pre-encoded by the caller into a [`StateKey`] (the Next
+//! agent packs its discretised observation tuple into the key), so the
+//! table itself is domain-agnostic.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An encoded discrete state.
+pub type StateKey = u64;
+
+/// Error returned when decoding a persisted table fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeQTableError {
+    line: usize,
+    reason: String,
+}
+
+impl fmt::Display for DecodeQTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid q-table at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeQTableError {}
+
+/// Action-value table: `Q(s, a)` for a fixed-size action set.
+///
+/// Unvisited state-action pairs read the table's *default value*
+/// (0 unless configured). Setting an **optimistic** default — above any
+/// realistically achievable return — makes a greedy learner try every
+/// action of every visited state at least once, the classic cure for
+/// premature exploitation under positive rewards.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QTable {
+    n_actions: usize,
+    default_q: f64,
+    entries: HashMap<StateKey, Entry>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    values: Vec<f64>,
+    visits: Vec<u64>,
+}
+
+impl Entry {
+    fn new(n_actions: usize) -> Self {
+        Entry { values: vec![0.0; n_actions], visits: vec![0; n_actions] }
+    }
+}
+
+impl QTable {
+    /// Creates an empty table for `n_actions` actions with a default
+    /// value of 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_actions` is zero.
+    #[must_use]
+    pub fn new(n_actions: usize) -> Self {
+        QTable::with_default_q(n_actions, 0.0)
+    }
+
+    /// Creates an empty table whose unvisited pairs read `default_q`
+    /// (use an optimistic value to drive exploration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_actions` is zero or `default_q` is not finite.
+    #[must_use]
+    pub fn with_default_q(n_actions: usize, default_q: f64) -> Self {
+        assert!(n_actions > 0, "action set must be non-empty");
+        assert!(default_q.is_finite(), "default q must be finite");
+        QTable { n_actions, default_q, entries: HashMap::new() }
+    }
+
+    /// Number of actions per state.
+    #[must_use]
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// The value unvisited pairs read.
+    #[must_use]
+    pub fn default_q(&self) -> f64 {
+        self.default_q
+    }
+
+    /// Number of states with at least one recorded value.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `Q(state, action)`; unvisited pairs read the table default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= n_actions`.
+    #[must_use]
+    pub fn q(&self, state: StateKey, action: usize) -> f64 {
+        assert!(action < self.n_actions, "action {action} out of range");
+        match self.entries.get(&state) {
+            Some(e) if e.visits[action] > 0 => e.values[action],
+            _ => self.default_q,
+        }
+    }
+
+    /// All action values of `state` (defaults where unvisited).
+    #[must_use]
+    pub fn values(&self, state: StateKey) -> Vec<f64> {
+        (0..self.n_actions).map(|a| self.q(state, a)).collect()
+    }
+
+    /// Overwrites `Q(state, action)` and counts a visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= n_actions` or `value` is not finite.
+    pub fn set(&mut self, state: StateKey, action: usize, value: f64) {
+        assert!(action < self.n_actions, "action {action} out of range");
+        assert!(value.is_finite(), "q-values must be finite");
+        let n = self.n_actions;
+        let e = self.entries.entry(state).or_insert_with(|| Entry::new(n));
+        e.values[action] = value;
+        e.visits[action] += 1;
+    }
+
+    /// Visits recorded for `(state, action)`.
+    #[must_use]
+    pub fn visits(&self, state: StateKey, action: usize) -> u64 {
+        self.entries.get(&state).map_or(0, |e| e.visits[action])
+    }
+
+    /// Total visits across the whole table.
+    #[must_use]
+    pub fn total_visits(&self) -> u64 {
+        self.entries.values().map(|e| e.visits.iter().sum::<u64>()).sum()
+    }
+
+    /// The greedy action and its value (defaults apply to unvisited
+    /// pairs); ties break towards the lowest action index. Use
+    /// [`QTable::best_actions`] for the full argmax set.
+    #[must_use]
+    pub fn best_action(&self, state: StateKey) -> (usize, f64) {
+        let mut best = 0;
+        let mut best_v = self.q(state, 0);
+        for a in 1..self.n_actions {
+            let v = self.q(state, a);
+            if v > best_v {
+                best = a;
+                best_v = v;
+            }
+        }
+        (best, best_v)
+    }
+
+    /// All actions whose value ties the maximum (within `1e-12`).
+    #[must_use]
+    pub fn best_actions(&self, state: StateKey) -> Vec<usize> {
+        let (_, best_v) = self.best_action(state);
+        (0..self.n_actions).filter(|&a| (self.q(state, a) - best_v).abs() <= 1e-12).collect()
+    }
+
+    /// `max_a Q(state, a)` (the default for fully unvisited states).
+    #[must_use]
+    pub fn max_q(&self, state: StateKey) -> f64 {
+        self.best_action(state).1
+    }
+
+    /// Whether the state has been visited at least once.
+    #[must_use]
+    pub fn contains(&self, state: StateKey) -> bool {
+        self.entries.contains_key(&state)
+    }
+
+    /// Iterator over `(state, action_values)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (StateKey, &[f64])> + '_ {
+        self.entries.iter().map(|(&k, e)| (k, e.values.as_slice()))
+    }
+
+    /// Serialises the table to a line-oriented text format:
+    ///
+    /// ```text
+    /// qtable v2 <n_actions> <default_q>
+    /// <state> v0 v1 ... | n0 n1 ...
+    /// ```
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = format!("qtable v2 {} {:e}\n", self.n_actions, self.default_q);
+        let mut keys: Vec<_> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let e = &self.entries[&k];
+            let vals: Vec<String> = e.values.iter().map(|v| format!("{v:e}")).collect();
+            let vis: Vec<String> = e.visits.iter().map(u64::to_string).collect();
+            out.push_str(&format!("{k} {} | {}\n", vals.join(" "), vis.join(" ")));
+        }
+        out
+    }
+
+    /// Parses the format produced by [`QTable::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeQTableError`] on any malformed input.
+    pub fn decode(text: &str) -> Result<Self, DecodeQTableError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| DecodeQTableError {
+            line: 1,
+            reason: "empty input".to_owned(),
+        })?;
+        let mut parts = header.split_whitespace();
+        let magic = parts.next();
+        let version = parts.next();
+        if magic != Some("qtable") || !matches!(version, Some("v1" | "v2")) {
+            return Err(DecodeQTableError { line: 1, reason: "bad header".to_owned() });
+        }
+        let n_actions: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(|| DecodeQTableError { line: 1, reason: "bad action count".to_owned() })?;
+        let default_q: f64 = if version == Some("v2") {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .filter(|q: &f64| q.is_finite())
+                .ok_or_else(|| DecodeQTableError { line: 1, reason: "bad default q".to_owned() })?
+        } else {
+            0.0
+        };
+        let mut table = QTable::with_default_q(n_actions, default_q);
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (left, right) = line.split_once('|').ok_or_else(|| DecodeQTableError {
+                line: lineno,
+                reason: "missing visit separator".to_owned(),
+            })?;
+            let mut left_it = left.split_whitespace();
+            let state: StateKey =
+                left_it.next().and_then(|s| s.parse().ok()).ok_or_else(|| DecodeQTableError {
+                    line: lineno,
+                    reason: "bad state key".to_owned(),
+                })?;
+            let values: Vec<f64> = left_it
+                .map(str::parse)
+                .collect::<Result<Vec<f64>, _>>()
+                .map_err(|e| DecodeQTableError { line: lineno, reason: e.to_string() })?;
+            let visits: Vec<u64> = right
+                .split_whitespace()
+                .map(str::parse)
+                .collect::<Result<Vec<u64>, _>>()
+                .map_err(|e| DecodeQTableError { line: lineno, reason: e.to_string() })?;
+            if values.len() != n_actions || visits.len() != n_actions {
+                return Err(DecodeQTableError {
+                    line: lineno,
+                    reason: format!(
+                        "expected {n_actions} values and visits, got {} and {}",
+                        values.len(),
+                        visits.len()
+                    ),
+                });
+            }
+            if values.iter().any(|v| !v.is_finite()) {
+                return Err(DecodeQTableError {
+                    line: lineno,
+                    reason: "non-finite q-value".to_owned(),
+                });
+            }
+            table.entries.insert(state, Entry { values, visits });
+        }
+        Ok(table)
+    }
+
+    /// Raw accessor used by the federated merger.
+    pub(crate) fn entry_raw(&self, state: StateKey) -> Option<(&[f64], &[u64])> {
+        self.entries.get(&state).map(|e| (e.values.as_slice(), e.visits.as_slice()))
+    }
+
+    /// Raw writer used by the federated merger (replaces values and
+    /// visits wholesale).
+    pub(crate) fn insert_raw(&mut self, state: StateKey, values: Vec<f64>, visits: Vec<u64>) {
+        debug_assert_eq!(values.len(), self.n_actions);
+        debug_assert_eq!(visits.len(), self.n_actions);
+        self.entries.insert(state, Entry { values, visits });
+    }
+
+    /// All state keys, sorted.
+    #[must_use]
+    pub fn state_keys(&self) -> Vec<StateKey> {
+        let mut keys: Vec<_> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unvisited_states_read_zero() {
+        let t = QTable::new(9);
+        assert_eq!(t.q(42, 3), 0.0);
+        assert_eq!(t.best_action(42), (0, 0.0));
+        assert_eq!(t.max_q(42), 0.0);
+        assert!(!t.contains(42));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn set_and_best_action() {
+        let mut t = QTable::new(3);
+        t.set(7, 0, 0.1);
+        t.set(7, 1, 0.9);
+        t.set(7, 2, 0.5);
+        assert_eq!(t.best_action(7), (1, 0.9));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.visits(7, 1), 1);
+        assert_eq!(t.total_visits(), 3);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index() {
+        let mut t = QTable::new(3);
+        t.set(1, 2, 0.5);
+        t.set(1, 0, 0.5);
+        assert_eq!(t.best_action(1).0, 0);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut t = QTable::new(4);
+        t.set(0, 0, -1.25);
+        t.set(9_999_999_999, 3, 1e-7);
+        t.set(5, 2, 42.0);
+        t.set(5, 2, 43.5); // overwrite, second visit
+        let text = t.encode();
+        let back = QTable::decode(&text).expect("roundtrip");
+        assert_eq!(back, t);
+        assert_eq!(back.visits(5, 2), 2);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(QTable::decode("").is_err());
+        assert!(QTable::decode("nope v1 3").is_err());
+        assert!(QTable::decode("qtable v1 0").is_err());
+        assert!(QTable::decode("qtable v1 2\n5 1.0 | 1 1").is_err(), "wrong value arity");
+        assert!(QTable::decode("qtable v1 2\n5 1.0 2.0 1 1").is_err(), "missing separator");
+        assert!(QTable::decode("qtable v1 2\nx 1.0 2.0 | 1 1").is_err(), "bad key");
+        assert!(QTable::decode("qtable v1 2\n5 NaN 2.0 | 1 1").is_err(), "NaN value");
+    }
+
+    #[test]
+    fn decode_accepts_blank_lines_and_v1_headers() {
+        let t = QTable::decode("qtable v1 2\n\n5 1.0 2.0 | 1 1\n\n").expect("blank lines ok");
+        assert_eq!(t.q(5, 1), 2.0);
+        assert_eq!(t.default_q(), 0.0, "v1 tables default to 0");
+    }
+
+    #[test]
+    fn optimistic_default_applies_to_unvisited_pairs_only() {
+        let mut t = QTable::with_default_q(3, 25.0);
+        assert_eq!(t.q(7, 1), 25.0);
+        assert_eq!(t.max_q(7), 25.0);
+        t.set(7, 1, 2.0);
+        assert_eq!(t.q(7, 1), 2.0, "visited pair reads its learned value");
+        assert_eq!(t.q(7, 0), 25.0, "sibling actions stay optimistic");
+        assert_eq!(t.best_actions(7), vec![0, 2], "untried actions tie at the optimum");
+        let back = QTable::decode(&t.encode()).expect("v2 roundtrip");
+        assert_eq!(back, t);
+        assert_eq!(back.default_q(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut t = QTable::new(2);
+        t.set(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn set_nan_panics() {
+        let mut t = QTable::new(2);
+        t.set(0, 0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_actions_panics() {
+        let _ = QTable::new(0);
+    }
+
+    #[test]
+    fn encode_is_sorted_and_stable() {
+        let mut a = QTable::new(2);
+        a.set(10, 0, 1.0);
+        a.set(3, 1, 2.0);
+        let mut b = QTable::new(2);
+        b.set(3, 1, 2.0);
+        b.set(10, 0, 1.0);
+        assert_eq!(a.encode(), b.encode(), "encoding must not depend on insertion order");
+    }
+}

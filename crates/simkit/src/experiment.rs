@@ -1,0 +1,128 @@
+//! The paper's evaluation protocol (§V).
+//!
+//! "All results for Next were observed when it was fully trained on the
+//! respective applications": the protocol first trains the agent on an
+//! application (once — the table is then stored), switches it to greedy
+//! inference, and only then measures sessions. Baselines are measured
+//! on identical seeded sessions.
+
+use governors::Governor;
+use mpsoc::soc::{Soc, SocConfig};
+use next_core::{NextAgent, NextConfig};
+use workload::{SessionPlan, SessionSim};
+
+use crate::engine::{Engine, RunOutcome};
+use crate::metrics::Summary;
+
+/// Result of training Next on one application.
+#[derive(Debug)]
+pub struct TrainOutcome {
+    /// The agent, already switched to greedy inference.
+    pub agent: NextAgent,
+    /// Simulated seconds of training actually spent.
+    pub training_time_s: f64,
+    /// Whether the TD-error convergence criterion fired (as opposed to
+    /// hitting the training budget).
+    pub converged: bool,
+}
+
+/// Trains a fresh Next agent on `app` until convergence or
+/// `max_train_s` simulated seconds, whichever comes first.
+///
+/// Training runs as a sequence of long app sessions on a dedicated
+/// simulated device, exactly like leaving the app open on the phone
+/// while the agent explores (§IV-B reports ≈3 min 27 s on average at 30
+/// FPS bins).
+#[must_use]
+pub fn train_next_for_app(
+    app: &str,
+    config: NextConfig,
+    seed: u64,
+    max_train_s: f64,
+) -> TrainOutcome {
+    let engine = Engine::new();
+    let mut agent = NextAgent::new(config);
+    let mut soc = Soc::new(SocConfig::exynos9810());
+    let session_len: f64 = 60.0;
+    let mut spent = 0.0;
+    let mut round = 0u64;
+    while spent < max_train_s && !agent.is_converged() {
+        let chunk = session_len.min(max_train_s - spent);
+        let mut session =
+            SessionSim::new(SessionPlan::single(app, chunk), seed.wrapping_add(round));
+        agent.start_session();
+        engine.run(&mut soc, &mut agent, &mut session, chunk);
+        spent += chunk;
+        round += 1;
+    }
+    let converged = agent.is_converged();
+    let training_time_s = agent.stats().converged_at_s.unwrap_or(spent);
+    agent.set_training(false);
+    TrainOutcome { agent, training_time_s, converged }
+}
+
+/// Result of measuring one governor on one session plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Governor name.
+    pub governor: String,
+    /// Summary statistics of the run.
+    pub summary: Summary,
+    /// Full run data.
+    pub outcome: RunOutcome,
+}
+
+/// Measures `governor` on `plan` with a fresh (cold) device, seeded
+/// deterministically so different governors see identical user
+/// behaviour.
+#[must_use]
+pub fn evaluate_governor(
+    governor: &mut dyn Governor,
+    plan: &SessionPlan,
+    seed: u64,
+) -> EvalResult {
+    let engine = Engine::new();
+    let mut soc = Soc::new(SocConfig::exynos9810());
+    let duration = plan.total_duration_s();
+    let mut session = SessionSim::new(plan.clone(), seed);
+    governor.reset();
+    let outcome = engine.run(&mut soc, governor, &mut session, duration);
+    EvalResult {
+        governor: governor.name().to_owned(),
+        summary: outcome.trace.summary(),
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::Schedutil;
+
+    #[test]
+    fn training_spends_time_and_learns_states() {
+        let out = train_next_for_app("facebook", NextConfig::paper(), 3, 120.0);
+        assert!(out.training_time_s > 0.0);
+        assert!(out.training_time_s <= 120.0 + 1e-9);
+        assert!(!out.agent.table().is_empty());
+        assert!(!out.agent.is_training(), "returned agent must be in inference mode");
+    }
+
+    #[test]
+    fn evaluation_is_reproducible_per_seed() {
+        let mut a = Schedutil::new();
+        let mut b = Schedutil::new();
+        let plan = SessionPlan::single("spotify", 20.0);
+        let ra = evaluate_governor(&mut a, &plan, 5);
+        let rb = evaluate_governor(&mut b, &plan, 5);
+        assert_eq!(ra.summary, rb.summary);
+    }
+
+    #[test]
+    fn different_seeds_change_the_session() {
+        let plan = SessionPlan::single("facebook", 20.0);
+        let ra = evaluate_governor(&mut Schedutil::new(), &plan, 1);
+        let rb = evaluate_governor(&mut Schedutil::new(), &plan, 2);
+        assert_ne!(ra.summary, rb.summary);
+    }
+}

@@ -1,0 +1,29 @@
+//! Closed-loop simulation engine and experiment protocol.
+//!
+//! Ties the substrates together the way the paper's testbed does: a
+//! [`workload::SessionSim`] produces the user-driven frame demand, the
+//! [`mpsoc::Soc`] executes it, and a [`governors::Governor`] (schedutil,
+//! Int. QoS PM, or the Next agent) closes the loop through the DVFS
+//! policy caps. Everything advances on a 25 ms base tick — the paper's
+//! frame-sampling period — with governors invoked at their own control
+//! periods.
+//!
+//! * [`engine`] — the simulation loop,
+//! * [`metrics`] — time-series recording and summaries (average power,
+//!   peak temperatures, FPS statistics — the quantities of Figs. 3, 7
+//!   and 8),
+//! * [`experiment`] — the paper's evaluation protocol: train Next once
+//!   per app, then measure per-governor sessions,
+//! * [`report`] — plain-text tables and series for the bench harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+
+pub use engine::{Engine, RunOutcome};
+pub use experiment::{train_next_for_app, EvalResult, TrainOutcome};
+pub use metrics::{Battery, Sample, Summary, Trace};

@@ -1,0 +1,344 @@
+//! Time-series recording and summary statistics.
+
+/// One recorded simulation tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Presented FPS over the tick.
+    pub fps: f64,
+    /// Total platform power, watts.
+    pub power_w: f64,
+    /// Big-cluster sensor temperature, °C.
+    pub temp_big_c: f64,
+    /// Virtual device sensor temperature, °C.
+    pub temp_device_c: f64,
+    /// Per-cluster frequency, kHz, by `ClusterId::index`.
+    pub freq_khz: [u32; 3],
+}
+
+/// A recorded run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    samples: Vec<Sample>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// The recorded samples in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Resamples to roughly one sample every `step_s` seconds by
+    /// averaging each bucket — how the paper's 3-second figure traces
+    /// are produced from 25 ms data.
+    #[must_use]
+    pub fn resampled(&self, step_s: f64) -> Vec<Sample> {
+        if self.samples.is_empty() || step_s <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut bucket: Vec<&Sample> = Vec::new();
+        let mut bucket_end = self.samples[0].time_s + step_s;
+        for s in &self.samples {
+            if s.time_s >= bucket_end && !bucket.is_empty() {
+                out.push(Self::average(&bucket));
+                bucket.clear();
+                while s.time_s >= bucket_end {
+                    bucket_end += step_s;
+                }
+            }
+            bucket.push(s);
+        }
+        if !bucket.is_empty() {
+            out.push(Self::average(&bucket));
+        }
+        out
+    }
+
+    fn average(bucket: &[&Sample]) -> Sample {
+        let n = bucket.len() as f64;
+        let mut avg = Sample {
+            time_s: 0.0,
+            fps: 0.0,
+            power_w: 0.0,
+            temp_big_c: 0.0,
+            temp_device_c: 0.0,
+            freq_khz: [0; 3],
+        };
+        let mut freq_acc = [0.0f64; 3];
+        for s in bucket {
+            avg.time_s += s.time_s;
+            avg.fps += s.fps;
+            avg.power_w += s.power_w;
+            avg.temp_big_c += s.temp_big_c;
+            avg.temp_device_c += s.temp_device_c;
+            for (acc, &khz) in freq_acc.iter_mut().zip(&s.freq_khz) {
+                *acc += f64::from(khz);
+            }
+        }
+        avg.time_s /= n;
+        avg.fps /= n;
+        avg.power_w /= n;
+        avg.temp_big_c /= n;
+        avg.temp_device_c /= n;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            avg.freq_khz = freq_acc.map(|f| (f / n) as u32);
+        }
+        avg
+    }
+
+    /// Computes summary statistics over the whole trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        assert!(!self.samples.is_empty(), "cannot summarise an empty trace");
+        let n = self.samples.len() as f64;
+        let mut s = Summary {
+            duration_s: self.samples.last().expect("non-empty").time_s
+                - self.samples.first().expect("non-empty").time_s,
+            ..Summary::default()
+        };
+        s.peak_power_w = f64::MIN;
+        s.peak_temp_big_c = f64::MIN;
+        s.peak_temp_device_c = f64::MIN;
+        for x in &self.samples {
+            s.avg_power_w += x.power_w;
+            s.avg_fps += x.fps;
+            s.avg_temp_big_c += x.temp_big_c;
+            s.peak_power_w = s.peak_power_w.max(x.power_w);
+            s.peak_temp_big_c = s.peak_temp_big_c.max(x.temp_big_c);
+            s.peak_temp_device_c = s.peak_temp_device_c.max(x.temp_device_c);
+        }
+        s.avg_power_w /= n;
+        s.avg_fps /= n;
+        s.avg_temp_big_c /= n;
+        let mut var = 0.0;
+        for x in &self.samples {
+            var += (x.fps - s.avg_fps).powi(2);
+        }
+        s.fps_std = (var / n).sqrt();
+        // Energy via sample spacing (uniform ticks).
+        if self.samples.len() > 1 {
+            let dt = s.duration_s / (n - 1.0);
+            s.energy_j = self.samples.iter().map(|x| x.power_w * dt).sum();
+        }
+        s
+    }
+}
+
+/// Battery model for translating session energy into user-meaningful
+/// drain: the Note 9 ships a 4000 mAh pack at a 3.85 V nominal rail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Capacity in milliamp-hours.
+    pub capacity_mah: f64,
+    /// Nominal rail voltage in volts.
+    pub nominal_v: f64,
+}
+
+impl Battery {
+    /// The Galaxy Note 9 pack (4000 mAh, 3.85 V).
+    #[must_use]
+    pub fn note9() -> Self {
+        Battery { capacity_mah: 4_000.0, nominal_v: 3.85 }
+    }
+
+    /// Total pack energy in joules.
+    #[must_use]
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_mah / 1_000.0 * 3_600.0 * self.nominal_v
+    }
+
+    /// Percentage of the pack a session consuming `energy_j` drains.
+    #[must_use]
+    pub fn drain_percent(&self, energy_j: f64) -> f64 {
+        energy_j.max(0.0) / self.capacity_j() * 100.0
+    }
+
+    /// Screen-on hours the pack sustains at a given average power.
+    #[must_use]
+    pub fn hours_at(&self, avg_power_w: f64) -> f64 {
+        if avg_power_w <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.capacity_j() / avg_power_w / 3_600.0
+    }
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Battery::note9()
+    }
+}
+
+/// Aggregates of one run — the quantities the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Trace length, seconds.
+    pub duration_s: f64,
+    /// Mean platform power, watts (Figs. 3 and 7).
+    pub avg_power_w: f64,
+    /// Peak platform power, watts.
+    pub peak_power_w: f64,
+    /// Mean presented FPS.
+    pub avg_fps: f64,
+    /// FPS standard deviation (QoS stability).
+    pub fps_std: f64,
+    /// Mean big-cluster temperature, °C.
+    pub avg_temp_big_c: f64,
+    /// Peak big-cluster temperature, °C (Figs. 3 and 8).
+    pub peak_temp_big_c: f64,
+    /// Peak device temperature, °C (Fig. 8).
+    pub peak_temp_device_c: f64,
+    /// Total energy over the run, joules.
+    pub energy_j: f64,
+}
+
+impl Summary {
+    /// Percentage saving of `self` versus a `baseline` average power
+    /// (positive = this run is cheaper).
+    #[must_use]
+    pub fn power_saving_vs(&self, baseline: &Summary) -> f64 {
+        if baseline.avg_power_w <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.avg_power_w / baseline.avg_power_w) * 100.0
+    }
+
+    /// Percentage peak-big-temperature reduction versus a baseline,
+    /// computed on the rise above the given ambient (the physically
+    /// meaningful quantity).
+    #[must_use]
+    pub fn big_temp_reduction_vs(&self, baseline: &Summary, ambient_c: f64) -> f64 {
+        let base = baseline.peak_temp_big_c - ambient_c;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - (self.peak_temp_big_c - ambient_c) / base) * 100.0
+    }
+
+    /// Percentage peak-device-temperature reduction versus a baseline.
+    #[must_use]
+    pub fn device_temp_reduction_vs(&self, baseline: &Summary, ambient_c: f64) -> f64 {
+        let base = baseline.peak_temp_device_c - ambient_c;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - (self.peak_temp_device_c - ambient_c) / base) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, fps: f64, p: f64, tb: f64) -> Sample {
+        Sample {
+            time_s: t,
+            fps,
+            power_w: p,
+            temp_big_c: tb,
+            temp_device_c: tb - 10.0,
+            freq_khz: [1_000_000, 500_000, 300_000],
+        }
+    }
+
+    #[test]
+    fn summary_basics() {
+        let mut trace = Trace::new();
+        trace.push(sample(0.0, 30.0, 2.0, 40.0));
+        trace.push(sample(1.0, 60.0, 4.0, 50.0));
+        let s = trace.summary();
+        assert_eq!(s.avg_fps, 45.0);
+        assert_eq!(s.avg_power_w, 3.0);
+        assert_eq!(s.peak_power_w, 4.0);
+        assert_eq!(s.peak_temp_big_c, 50.0);
+        assert_eq!(s.peak_temp_device_c, 40.0);
+        assert_eq!(s.duration_s, 1.0);
+        assert!((s.fps_std - 15.0).abs() < 1e-9);
+        assert!((s.energy_j - 6.0).abs() < 1e-9, "2 samples, dt=1: (2+4)·1");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_summary_panics() {
+        let _ = Trace::new().summary();
+    }
+
+    #[test]
+    fn resampling_shrinks_and_averages() {
+        let mut trace = Trace::new();
+        for i in 0..400 {
+            let t = f64::from(i) * 0.025;
+            trace.push(sample(t, 60.0, 3.0, 45.0));
+        }
+        let res = trace.resampled(1.0);
+        assert!(res.len() >= 9 && res.len() <= 11, "got {} buckets", res.len());
+        for r in &res {
+            assert!((r.fps - 60.0).abs() < 1e-9);
+            assert!((r.power_w - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resampling_empty_or_bad_step() {
+        let trace = Trace::new();
+        assert!(trace.resampled(1.0).is_empty());
+        let mut t2 = Trace::new();
+        t2.push(sample(0.0, 1.0, 1.0, 30.0));
+        assert!(t2.resampled(0.0).is_empty());
+    }
+
+    #[test]
+    fn battery_model_note9() {
+        let b = Battery::note9();
+        // 4000 mAh at 3.85 V = 55.44 kJ.
+        assert!((b.capacity_j() - 55_440.0).abs() < 1.0);
+        // A 300 s gaming session at 7 W drains ~3.8 %.
+        let drain = b.drain_percent(7.0 * 300.0);
+        assert!((drain - 3.79).abs() < 0.05, "drain {drain}");
+        // Screen-on time scales inversely with power.
+        assert!((b.hours_at(3.5) - 2.0 * b.hours_at(7.0)).abs() < 1e-9);
+        assert_eq!(b.hours_at(0.0), f64::INFINITY);
+        assert_eq!(b.drain_percent(-5.0), 0.0);
+    }
+
+    #[test]
+    fn savings_math() {
+        let a = Summary { avg_power_w: 2.0, peak_temp_big_c: 41.0, peak_temp_device_c: 31.0, ..Summary::default() };
+        let b = Summary { avg_power_w: 4.0, peak_temp_big_c: 61.0, peak_temp_device_c: 41.0, ..Summary::default() };
+        assert!((a.power_saving_vs(&b) - 50.0).abs() < 1e-9);
+        assert!((a.big_temp_reduction_vs(&b, 21.0) - 50.0).abs() < 1e-9);
+        assert!((a.device_temp_reduction_vs(&b, 21.0) - 50.0).abs() < 1e-9);
+        assert_eq!(a.power_saving_vs(&Summary::default()), 0.0);
+    }
+}

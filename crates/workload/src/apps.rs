@@ -1,0 +1,416 @@
+//! Preset application models for the workloads evaluated in the paper
+//! (§V): Facebook, Spotify, Chrome ("Web Browser"), Lineage 2 Revolution,
+//! PubG Mobile and YouTube, plus the home screen used in Figs. 1 and 3.
+//!
+//! Cycle budgets are calibrated against the Exynos 9810 ladders so that
+//! the qualitative regimes of the paper hold: UI apps can reach 60 FPS
+//! at mid clocks, the two games are GPU/CPU heavy and only approach 60
+//! FPS near the top of the ladders, loading phases burn CPU while
+//! producing no frames, and Spotify playback keeps the CPUs busy at
+//! zero FPS.
+
+use mpsoc::perf::FrameDemand;
+
+use crate::app::{AppModel, PhaseModel};
+
+/// Home screen / launcher.
+#[must_use]
+pub fn home() -> AppModel {
+    let scroll = PhaseModel::new(
+        "scroll",
+        3.0,
+        FrameDemand::new(2.2e6, 1.2e6, 3.2e6).with_background(0.4e9, 0.15e9, 0.0),
+    )
+        .with_jitter(0.25)
+        .with_interaction_gain(0.9);
+    let glance = PhaseModel::new(
+        "glance",
+        4.0,
+        FrameDemand::new(0.0, 0.0, 0.0).with_background(0.08e9, 0.06e9, 0.0),
+    )
+    .with_jitter(0.1)
+    .with_interaction_gain(0.2);
+    AppModel::new(
+        "home",
+        vec![scroll, glance],
+        vec![vec![0.3, 0.7], vec![0.6, 0.4]],
+        0,
+    )
+}
+
+/// Facebook: feed scrolling, reading pauses, embedded video.
+#[must_use]
+pub fn facebook() -> AppModel {
+    let splash = PhaseModel::new(
+        "splash",
+        1.5,
+        FrameDemand::new(0.0, 0.0, 0.0).with_background(1.6e9, 0.5e9, 0.05e9),
+    )
+    .with_jitter(0.1)
+    .with_interaction_gain(0.0);
+    let scroll = PhaseModel::new(
+        "scroll",
+        4.0,
+        FrameDemand::new(4.2e6, 2.0e6, 5.2e6).with_background(0.5e9, 0.2e9, 0.0),
+    )
+        .with_jitter(0.3)
+        .with_interaction_gain(0.9);
+    let read = PhaseModel::new(
+        "read",
+        5.0,
+        FrameDemand::new(0.9e6, 0.5e6, 1.2e6).with_background(0.15e9, 0.1e9, 0.0),
+    )
+    .with_jitter(0.3)
+    .with_interaction_gain(0.8);
+    let video = PhaseModel::new(
+        "video",
+        4.0,
+        FrameDemand::new(3.2e6, 1.4e6, 6.0e6)
+            .with_background(0.35e9, 0.25e9, 0.0)
+            .with_pacing(30.0),
+    )
+    .with_jitter(0.15)
+    .with_interaction_gain(0.1);
+    AppModel::new(
+        "facebook",
+        vec![splash, scroll, read, video],
+        vec![
+            vec![0.0, 0.8, 0.2, 0.0],
+            vec![0.0, 0.15, 0.6, 0.25],
+            vec![0.0, 0.65, 0.15, 0.2],
+            vec![0.0, 0.5, 0.5, 0.0],
+        ],
+        0,
+    )
+}
+
+/// Spotify: brief browsing, then long music playback with a static
+/// screen — the paper's showcase of high clocks at zero FPS.
+#[must_use]
+pub fn spotify() -> AppModel {
+    let splash = PhaseModel::new(
+        "splash",
+        1.2,
+        FrameDemand::new(0.0, 0.0, 0.0).with_background(1.4e9, 0.4e9, 0.0),
+    )
+    .with_jitter(0.1)
+    .with_interaction_gain(0.0);
+    let browse = PhaseModel::new(
+        "browse",
+        3.0,
+        FrameDemand::new(3.6e6, 1.8e6, 4.6e6).with_background(0.45e9, 0.2e9, 0.0),
+    )
+        .with_jitter(0.3)
+        .with_interaction_gain(0.9);
+    let playback = PhaseModel::new(
+        "playback",
+        12.0,
+        FrameDemand::new(0.0, 0.0, 0.0).with_background(0.75e9, 0.45e9, 0.0),
+    )
+    .with_jitter(0.2)
+    .with_interaction_gain(0.1);
+    AppModel::new(
+        "spotify",
+        vec![splash, browse, playback],
+        vec![
+            vec![0.0, 0.9, 0.1],
+            vec![0.0, 0.25, 0.75],
+            vec![0.0, 0.35, 0.65],
+        ],
+        0,
+    )
+}
+
+/// Chrome web browser: page loads burn CPU with few frames, then
+/// scroll/read cycles.
+#[must_use]
+pub fn web_browser() -> AppModel {
+    let load = PhaseModel::new(
+        "load",
+        2.0,
+        FrameDemand::new(1.0e6, 0.5e6, 1.0e6).with_background(2.1e9, 0.7e9, 0.05e9),
+    )
+    .with_jitter(0.2)
+    .with_interaction_gain(0.1);
+    let scroll = PhaseModel::new(
+        "scroll",
+        3.5,
+        FrameDemand::new(4.6e6, 2.2e6, 5.0e6).with_background(0.6e9, 0.2e9, 0.0),
+    )
+        .with_jitter(0.3)
+        .with_interaction_gain(0.9);
+    let read = PhaseModel::new(
+        "read",
+        6.0,
+        FrameDemand::new(0.7e6, 0.4e6, 0.9e6).with_background(0.1e9, 0.08e9, 0.0),
+    )
+    .with_jitter(0.25)
+    .with_interaction_gain(0.7);
+    AppModel::new(
+        "web-browser",
+        vec![load, scroll, read],
+        vec![
+            vec![0.05, 0.55, 0.4],
+            vec![0.2, 0.2, 0.6],
+            vec![0.25, 0.55, 0.2],
+        ],
+        0,
+    )
+}
+
+/// Lineage 2 Revolution: a computationally intensive 3D MMORPG
+/// (the paper's PPDW case study, Fig. 4).
+#[must_use]
+pub fn lineage() -> AppModel {
+    let loading = PhaseModel::new(
+        "loading",
+        5.0,
+        FrameDemand::new(0.0, 0.0, 0.0).with_background(2.4e9, 0.8e9, 0.15e9),
+    )
+    .with_jitter(0.1)
+    .with_interaction_gain(0.0);
+    let gameplay = PhaseModel::new(
+        "gameplay",
+        30.0,
+        FrameDemand::new(14.0e6, 3.5e6, 12.0e6).with_background(0.5e9, 0.2e9, 0.0),
+    )
+    .with_jitter(0.22)
+    .with_interaction_gain(0.35);
+    let menu = PhaseModel::new("menu", 4.0, FrameDemand::new(3.0e6, 1.4e6, 3.8e6))
+        .with_jitter(0.2)
+        .with_interaction_gain(0.6);
+    AppModel::new(
+        "lineage",
+        vec![loading, gameplay, menu],
+        vec![
+            vec![0.0, 0.9, 0.1],
+            vec![0.0, 0.8, 0.2],
+            vec![0.05, 0.9, 0.05],
+        ],
+        0,
+    )
+}
+
+/// PubG Mobile: heavier CPU (game logic, netcode) than Lineage with a
+/// comparable GPU load.
+#[must_use]
+pub fn pubg() -> AppModel {
+    let loading = PhaseModel::new(
+        "loading",
+        6.0,
+        FrameDemand::new(0.0, 0.0, 0.0).with_background(2.6e9, 0.9e9, 0.2e9),
+    )
+    .with_jitter(0.1)
+    .with_interaction_gain(0.0);
+    let gameplay = PhaseModel::new(
+        "gameplay",
+        35.0,
+        FrameDemand::new(22.0e6, 5.5e6, 7.0e6).with_background(0.7e9, 0.3e9, 0.0),
+    )
+    .with_jitter(0.28)
+    .with_interaction_gain(0.45);
+    let lobby = PhaseModel::new(
+        "lobby",
+        6.0,
+        FrameDemand::new(4.5e6, 2.0e6, 5.5e6).with_background(0.2e9, 0.1e9, 0.0),
+    )
+    .with_jitter(0.2)
+    .with_interaction_gain(0.5);
+    AppModel::new(
+        "pubg",
+        vec![loading, gameplay, lobby],
+        vec![
+            vec![0.0, 0.85, 0.15],
+            vec![0.0, 0.85, 0.15],
+            vec![0.05, 0.85, 0.1],
+        ],
+        0,
+    )
+}
+
+/// YouTube: browsing bursts plus long 30 FPS-class video playback with
+/// decode work in the background.
+#[must_use]
+pub fn youtube() -> AppModel {
+    let browse = PhaseModel::new(
+        "browse",
+        4.0,
+        FrameDemand::new(4.0e6, 1.9e6, 4.8e6).with_background(0.5e9, 0.2e9, 0.0),
+    )
+        .with_jitter(0.3)
+        .with_interaction_gain(0.9);
+    let playback = PhaseModel::new(
+        "playback",
+        15.0,
+        FrameDemand::new(3.4e6, 1.5e6, 9.5e6)
+            .with_background(0.85e9, 0.5e9, 0.0)
+            .with_pacing(30.0),
+    )
+    .with_jitter(0.12)
+    .with_interaction_gain(0.05);
+    let pause = PhaseModel::new(
+        "pause",
+        3.0,
+        FrameDemand::new(0.0, 0.0, 0.0).with_background(0.1e9, 0.08e9, 0.0),
+    )
+    .with_jitter(0.1)
+    .with_interaction_gain(0.2);
+    AppModel::new(
+        "youtube",
+        vec![browse, playback, pause],
+        vec![
+            vec![0.2, 0.75, 0.05],
+            vec![0.15, 0.75, 0.1],
+            vec![0.45, 0.45, 0.1],
+        ],
+        0,
+    )
+}
+
+/// All evaluated applications, in the paper's Fig. 7 order.
+#[must_use]
+pub fn all() -> Vec<AppModel> {
+    vec![facebook(), lineage(), pubg(), spotify(), web_browser(), youtube()]
+}
+
+/// Looks an application model up by name (including `"home"`).
+#[must_use]
+pub fn by_name(name: &str) -> Option<AppModel> {
+    let model = match name {
+        "home" => home(),
+        "facebook" => facebook(),
+        "spotify" => spotify(),
+        "web-browser" => web_browser(),
+        "lineage" => lineage(),
+        "pubg" => pubg(),
+        "youtube" => youtube(),
+        _ => return None,
+    };
+    Some(model)
+}
+
+/// Whether an app is one of the two games Int. QoS PM supports (§V).
+#[must_use]
+pub fn is_game(name: &str) -> bool {
+    matches!(name, "lineage" | "pubg")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::InteractionIntensity;
+    use mpsoc::freq::{ClusterId, OppTable};
+
+    #[test]
+    fn all_presets_construct_and_lookup() {
+        assert_eq!(all().len(), 6);
+        for app in all() {
+            assert!(by_name(app.name()).is_some(), "lookup failed for {}", app.name());
+        }
+        assert!(by_name("home").is_some());
+        assert!(by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn games_flagged_correctly() {
+        assert!(is_game("lineage"));
+        assert!(is_game("pubg"));
+        assert!(!is_game("facebook"));
+        assert!(!is_game("home"));
+    }
+
+    #[test]
+    fn ui_apps_can_reach_60fps_at_max_clocks() {
+        let opps = [
+            OppTable::exynos9810_big().max(),
+            OppTable::exynos9810_little().max(),
+            OppTable::exynos9810_gpu().max(),
+        ];
+        for app in [home(), facebook(), web_browser()] {
+            for phase in app.phases() {
+                if phase.demand.is_frameless() {
+                    continue;
+                }
+                let plan = mpsoc::perf::plan(&phase.demand, opps);
+                let expect = if phase.demand.pacing_hz > 0.0 {
+                    phase.demand.pacing_hz.min(60.0)
+                } else {
+                    60.0
+                };
+                assert!(
+                    plan.render_rate_hz() >= expect,
+                    "{}::{} renders at {:.1} fps at max clocks (want ≥ {expect})",
+                    app.name(),
+                    phase.name,
+                    plan.render_rate_hz()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn games_cannot_reach_60fps_at_min_clocks() {
+        let opps = [
+            OppTable::exynos9810_big().min(),
+            OppTable::exynos9810_little().min(),
+            OppTable::exynos9810_gpu().min(),
+        ];
+        for app in [lineage(), pubg()] {
+            let gameplay = app
+                .phases()
+                .iter()
+                .find(|p| p.name == "gameplay")
+                .expect("games have a gameplay phase");
+            let plan = mpsoc::perf::plan(&gameplay.demand, opps);
+            assert!(
+                plan.render_rate_hz() < 30.0,
+                "{} gameplay too cheap: {:.1} fps at min clocks",
+                app.name(),
+                plan.render_rate_hz()
+            );
+        }
+    }
+
+    #[test]
+    fn spotify_playback_is_frameless_but_busy() {
+        let app = spotify();
+        let playback =
+            app.phases().iter().find(|p| p.name == "playback").expect("playback phase");
+        assert!(playback.demand.is_frameless());
+        assert!(playback.demand.background_hz_of(ClusterId::Big) > 0.5e9);
+    }
+
+    #[test]
+    fn loading_phases_are_frameless_cpu_burners() {
+        for app in [facebook(), spotify(), lineage(), pubg()] {
+            let load = app
+                .phases()
+                .iter()
+                .find(|p| p.name == "splash" || p.name == "loading")
+                .unwrap_or_else(|| panic!("{} lacks a loading phase", app.name()));
+            assert!(load.demand.is_frameless(), "{} load phase renders frames", app.name());
+            assert!(
+                load.demand.background_hz_of(ClusterId::Big) > 1.0e9,
+                "{} load phase too light",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_produce_varied_demand() {
+        // Run Facebook for 60 s and check FPS-relevant demand actually
+        // varies (the paper's intra-app variation premise).
+        let app = facebook();
+        let mut sess = app.start_session(99);
+        let mut mins = f64::INFINITY;
+        let mut maxs: f64 = 0.0;
+        for _ in 0..2_400 {
+            let d = sess.advance(0.025, InteractionIntensity::Active);
+            let c = d.frame_cycles_of(ClusterId::Big);
+            mins = mins.min(c);
+            maxs = maxs.max(c);
+        }
+        assert!(maxs > mins * 2.0 || mins == 0.0, "demand did not vary: [{mins}, {maxs}]");
+    }
+}

@@ -1,0 +1,33 @@
+//! Application and user-interaction workload models.
+//!
+//! The paper's central observation (§I, Fig. 1) is that the frame rate an
+//! application generates varies widely *within* one session because it is
+//! driven by the user's interaction with the display/UI: scrolling a feed
+//! produces 60 FPS bursts, reading produces almost none, music playback
+//! produces none at all while the CPU stays busy decoding audio.
+//!
+//! This crate generates that behaviour synthetically:
+//!
+//! * [`app`] — phase-based application models (a Markov chain over
+//!   phases such as *splash*, *scroll*, *read*, *playback*), each phase
+//!   demanding CPU/GPU cycles per frame plus background cycles,
+//! * [`apps`] — presets for the six Google-Play applications evaluated
+//!   in the paper (Facebook, Spotify, Chrome, Lineage 2 Revolution,
+//!   PubG Mobile, YouTube) plus the home screen,
+//! * [`user`] — the user model: interaction-intensity process and the
+//!   Deloitte/RescueTime session statistics the paper cites (52 pickups
+//!   per day; 70 % of sessions < 2 min, 25 % 2–10 min, 5 % > 10 min),
+//! * [`session`] — timeline generation: sequences of app usage the
+//!   simulation engine replays deterministically from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod apps;
+pub mod session;
+pub mod user;
+
+pub use app::{AppModel, AppSession, PhaseModel};
+pub use session::{SessionEntry, SessionPlan, SessionSim};
+pub use user::{InteractionIntensity, UserModel};

@@ -1,0 +1,254 @@
+//! Session timelines: which app runs when, for how long, driven by which
+//! user.
+//!
+//! A [`SessionPlan`] is the static schedule (e.g. the paper's Fig. 1
+//! session: home screen → Facebook → Spotify over five minutes); a
+//! [`SessionSim`] replays it tick by tick, combining the active
+//! [`AppSession`] with the [`UserModel`] intensity process into the
+//! [`FrameDemand`] the SoC executes.
+
+use mpsoc::perf::FrameDemand;
+
+use crate::app::{AppModel, AppSession};
+use crate::apps;
+use crate::user::UserModel;
+
+/// One entry of a session plan: an application used for a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionEntry {
+    /// Application name (must resolve via [`apps::by_name`]).
+    pub app: String,
+    /// How long the user stays in the app, seconds.
+    pub duration_s: f64,
+}
+
+impl SessionEntry {
+    /// Creates an entry.
+    #[must_use]
+    pub fn new(app: &str, duration_s: f64) -> Self {
+        SessionEntry { app: app.to_owned(), duration_s }
+    }
+}
+
+/// An ordered schedule of app usage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionPlan {
+    entries: Vec<SessionEntry>,
+}
+
+impl SessionPlan {
+    /// Creates an empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionPlan::default()
+    }
+
+    /// Appends an app usage period.
+    #[must_use]
+    pub fn then(mut self, app: &str, duration_s: f64) -> Self {
+        self.entries.push(SessionEntry::new(app, duration_s));
+        self
+    }
+
+    /// The entries in order.
+    #[must_use]
+    pub fn entries(&self) -> &[SessionEntry] {
+        &self.entries
+    }
+
+    /// Total planned duration in seconds.
+    #[must_use]
+    pub fn total_duration_s(&self) -> f64 {
+        self.entries.iter().map(|e| e.duration_s).sum()
+    }
+
+    /// The paper's Fig. 1 / Fig. 3 session: home screen, Facebook and
+    /// Spotify over roughly five minutes (280 s trace shown).
+    #[must_use]
+    pub fn paper_fig1() -> Self {
+        SessionPlan::new().then("home", 40.0).then("facebook", 120.0).then("spotify", 120.0)
+    }
+
+    /// A single-app session of the given length, as used for the per-app
+    /// evaluations of Figs. 7 and 8 (games 5 min, other apps 1.5–3 min).
+    #[must_use]
+    pub fn single(app: &str, duration_s: f64) -> Self {
+        SessionPlan::new().then(app, duration_s)
+    }
+
+    /// The paper's per-app session length (§V experimental setup):
+    /// 300 s for the games, 150 s for everything else.
+    #[must_use]
+    pub fn paper_session_length_s(app: &str) -> f64 {
+        if apps::is_game(app) {
+            300.0
+        } else {
+            150.0
+        }
+    }
+}
+
+/// Replays a [`SessionPlan`] tick by tick.
+#[derive(Debug, Clone)]
+pub struct SessionSim {
+    plan: SessionPlan,
+    user: UserModel,
+    seed: u64,
+    entry_idx: usize,
+    entry_left_s: f64,
+    current: Option<AppSession>,
+}
+
+impl SessionSim {
+    /// Creates a simulator for `plan` with a deterministic seed feeding
+    /// both the user process and every app session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references an unknown application.
+    #[must_use]
+    pub fn new(plan: SessionPlan, seed: u64) -> Self {
+        for e in plan.entries() {
+            assert!(apps::by_name(&e.app).is_some(), "unknown app '{}' in plan", e.app);
+        }
+        let mut sim = SessionSim {
+            plan,
+            user: UserModel::new(seed),
+            seed,
+            entry_idx: 0,
+            entry_left_s: 0.0,
+            current: None,
+        };
+        sim.load_entry(0);
+        sim
+    }
+
+    fn load_entry(&mut self, idx: usize) {
+        self.entry_idx = idx;
+        if let Some(entry) = self.plan.entries().get(idx) {
+            self.entry_left_s = entry.duration_s;
+            let model: AppModel = apps::by_name(&entry.app).expect("validated in new");
+            // Derive a per-entry seed so app traces differ between
+            // entries but stay reproducible.
+            let app_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(idx as u64);
+            self.current = Some(model.start_session(app_seed));
+        } else {
+            self.current = None;
+            self.entry_left_s = 0.0;
+        }
+    }
+
+    /// Whether the plan has finished.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.current.is_none()
+    }
+
+    /// Name of the currently running app, if any.
+    #[must_use]
+    pub fn current_app(&self) -> Option<&str> {
+        self.plan.entries().get(self.entry_idx).map(|e| e.app.as_str())
+    }
+
+    /// The user model driving this session.
+    #[must_use]
+    pub fn user(&self) -> &UserModel {
+        &self.user
+    }
+
+    /// Advances by `dt_s` and returns the demand for the interval.
+    /// After the plan ends, returns an idle (zero) demand.
+    pub fn advance(&mut self, dt_s: f64) -> FrameDemand {
+        let intensity = self.user.advance(dt_s);
+        let Some(app) = self.current.as_mut() else {
+            return FrameDemand::default();
+        };
+        let demand = app.advance(dt_s, intensity);
+        self.entry_left_s -= dt_s;
+        if self.entry_left_s <= 0.0 {
+            let next = self.entry_idx + 1;
+            self.load_entry(next);
+        }
+        demand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc::freq::ClusterId;
+
+    #[test]
+    fn plan_builder_accumulates() {
+        let plan = SessionPlan::new().then("home", 10.0).then("facebook", 20.0);
+        assert_eq!(plan.entries().len(), 2);
+        assert_eq!(plan.total_duration_s(), 30.0);
+    }
+
+    #[test]
+    fn paper_fig1_plan_shape() {
+        let plan = SessionPlan::paper_fig1();
+        assert_eq!(plan.entries()[0].app, "home");
+        assert_eq!(plan.entries()[1].app, "facebook");
+        assert_eq!(plan.entries()[2].app, "spotify");
+        assert!(plan.total_duration_s() >= 280.0);
+    }
+
+    #[test]
+    fn paper_session_lengths() {
+        assert_eq!(SessionPlan::paper_session_length_s("lineage"), 300.0);
+        assert_eq!(SessionPlan::paper_session_length_s("pubg"), 300.0);
+        assert_eq!(SessionPlan::paper_session_length_s("facebook"), 150.0);
+    }
+
+    #[test]
+    fn sim_walks_through_entries_and_finishes() {
+        let plan = SessionPlan::new().then("home", 1.0).then("spotify", 1.0);
+        let mut sim = SessionSim::new(plan, 1);
+        assert_eq!(sim.current_app(), Some("home"));
+        for _ in 0..41 {
+            sim.advance(0.025);
+        }
+        assert_eq!(sim.current_app(), Some("spotify"));
+        for _ in 0..41 {
+            sim.advance(0.025);
+        }
+        assert!(sim.is_done());
+        let d = sim.advance(0.025);
+        assert!(d.is_frameless());
+        assert_eq!(d.background_hz_of(ClusterId::Big), 0.0);
+    }
+
+    #[test]
+    fn sim_is_deterministic() {
+        let mk = || SessionSim::new(SessionPlan::paper_fig1(), 77);
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..2_000 {
+            assert_eq!(a.advance(0.025), b.advance(0.025));
+        }
+    }
+
+    #[test]
+    fn different_entries_get_different_app_traces() {
+        // Two consecutive runs of the same app inside a plan should not
+        // produce identical traces.
+        let plan = SessionPlan::new().then("facebook", 5.0).then("facebook", 5.0);
+        let mut sim = SessionSim::new(plan, 3);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for _ in 0..200 {
+            first.push(sim.advance(0.025));
+        }
+        for _ in 0..200 {
+            second.push(sim.advance(0.025));
+        }
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown app")]
+    fn unknown_app_panics() {
+        let _ = SessionSim::new(SessionPlan::new().then("nope", 5.0), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! The user model.
+//!
+//! Two ingredients from the paper's §I market research:
+//!
+//! * **Session statistics** (Deloitte / RescueTime): an average user
+//!   picks the phone up 52 times a day; 70 % of sessions last under
+//!   2 minutes, 25 % last 2–10 minutes and 5 % exceed 10 minutes.
+//! * **Interaction intensity**: within a session the user alternates
+//!   between idle gazing, light taps and bursts of intense scrolling —
+//!   the stochastic process that makes FPS demand vary within one app.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How actively the user is driving the UI right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InteractionIntensity {
+    /// No input; the user is watching or has looked away.
+    Idle,
+    /// Occasional taps.
+    Light,
+    /// Normal continuous interaction.
+    Active,
+    /// Fast scrolling / frantic gameplay input.
+    Intense,
+}
+
+impl InteractionIntensity {
+    /// All levels, ordered from least to most active.
+    pub const ALL: [InteractionIntensity; 4] = [
+        InteractionIntensity::Idle,
+        InteractionIntensity::Light,
+        InteractionIntensity::Active,
+        InteractionIntensity::Intense,
+    ];
+}
+
+/// Statistics of session lengths, as fractions plus duration bounds in
+/// seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionLengthStats {
+    /// Probability of a short session, with its bounds in seconds.
+    pub short: (f64, f64, f64),
+    /// Probability of a medium session, with its bounds in seconds.
+    pub medium: (f64, f64, f64),
+    /// Probability of a long session, with its bounds in seconds.
+    pub long: (f64, f64, f64),
+}
+
+impl SessionLengthStats {
+    /// The paper's cited Deloitte/RescueTime distribution: 70 % of
+    /// sessions under 2 min, 25 % between 2 and 10 min, 5 % longer
+    /// (capped at 30 min here).
+    #[must_use]
+    pub fn deloitte() -> Self {
+        SessionLengthStats {
+            short: (0.70, 15.0, 120.0),
+            medium: (0.25, 120.0, 600.0),
+            long: (0.05, 600.0, 1_800.0),
+        }
+    }
+}
+
+/// A stochastic user: interaction-intensity Markov process plus session
+/// sampling.
+#[derive(Debug, Clone)]
+pub struct UserModel {
+    rng: StdRng,
+    intensity: InteractionIntensity,
+    /// Mean time between intensity re-draws, seconds.
+    mean_hold_s: f64,
+    hold_left_s: f64,
+    stats: SessionLengthStats,
+}
+
+impl UserModel {
+    /// Creates a user seeded deterministically, starting `Active` with a
+    /// 1.5 s mean intensity hold.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        UserModel {
+            rng: StdRng::seed_from_u64(seed),
+            intensity: InteractionIntensity::Active,
+            mean_hold_s: 1.5,
+            hold_left_s: 1.5,
+            stats: SessionLengthStats::deloitte(),
+        }
+    }
+
+    /// Overrides the session-length statistics.
+    #[must_use]
+    pub fn with_session_stats(mut self, stats: SessionLengthStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Current interaction intensity.
+    #[must_use]
+    pub fn intensity(&self) -> InteractionIntensity {
+        self.intensity
+    }
+
+    /// Advances the interaction process by `dt_s` and returns the
+    /// intensity in effect for the interval.
+    pub fn advance(&mut self, dt_s: f64) -> InteractionIntensity {
+        self.hold_left_s -= dt_s;
+        while self.hold_left_s <= 0.0 {
+            self.intensity = self.draw_intensity();
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            self.hold_left_s += (-self.mean_hold_s * u.ln()).max(0.1);
+        }
+        self.intensity
+    }
+
+    fn draw_intensity(&mut self) -> InteractionIntensity {
+        // Stationary mix biased towards engaged states; transitions from
+        // the current state favour neighbours (users rarely jump from
+        // idle straight to intense).
+        let weights: [f64; 4] = match self.intensity {
+            InteractionIntensity::Idle => [0.45, 0.35, 0.18, 0.02],
+            InteractionIntensity::Light => [0.20, 0.35, 0.38, 0.07],
+            InteractionIntensity::Active => [0.10, 0.25, 0.45, 0.20],
+            InteractionIntensity::Intense => [0.05, 0.15, 0.45, 0.35],
+        };
+        let total: f64 = weights.iter().sum();
+        let mut draw: f64 = self.rng.gen_range(0.0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return InteractionIntensity::ALL[i];
+            }
+            draw -= w;
+        }
+        InteractionIntensity::Intense
+    }
+
+    /// Samples one session length in seconds from the configured
+    /// statistics.
+    pub fn sample_session_length_s(&mut self) -> f64 {
+        let draw: f64 = self.rng.gen_range(0.0..1.0);
+        let (lo, hi) = if draw < self.stats.short.0 {
+            (self.stats.short.1, self.stats.short.2)
+        } else if draw < self.stats.short.0 + self.stats.medium.0 {
+            (self.stats.medium.1, self.stats.medium.2)
+        } else {
+            (self.stats.long.1, self.stats.long.2)
+        };
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// The paper's cited average number of pickups per workday.
+    #[must_use]
+    pub fn pickups_per_day() -> u32 {
+        52
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_process_visits_all_levels() {
+        let mut user = UserModel::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..40_000 {
+            seen.insert(user.advance(0.025));
+        }
+        assert_eq!(seen.len(), 4, "process should visit every intensity over 1000 s");
+    }
+
+    #[test]
+    fn intensity_deterministic_per_seed() {
+        let mut a = UserModel::new(9);
+        let mut b = UserModel::new(9);
+        for _ in 0..5_000 {
+            assert_eq!(a.advance(0.025), b.advance(0.025));
+        }
+    }
+
+    #[test]
+    fn session_lengths_follow_deloitte_shares() {
+        let mut user = UserModel::new(123);
+        let mut short = 0;
+        let mut medium = 0;
+        let mut long = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let len = user.sample_session_length_s();
+            assert!((15.0..1_800.0).contains(&len));
+            if len < 120.0 {
+                short += 1;
+            } else if len < 600.0 {
+                medium += 1;
+            } else {
+                long += 1;
+            }
+        }
+        let fs = f64::from(short) / f64::from(n);
+        let fm = f64::from(medium) / f64::from(n);
+        let fl = f64::from(long) / f64::from(n);
+        assert!((fs - 0.70).abs() < 0.02, "short share {fs}");
+        assert!((fm - 0.25).abs() < 0.02, "medium share {fm}");
+        assert!((fl - 0.05).abs() < 0.01, "long share {fl}");
+    }
+
+    #[test]
+    fn engaged_states_dominate() {
+        // Mobile users interact most of the time they look at the phone.
+        let mut user = UserModel::new(7);
+        let mut active_ticks = 0u32;
+        let total = 40_000u32;
+        for _ in 0..total {
+            let i = user.advance(0.025);
+            if i >= InteractionIntensity::Active {
+                active_ticks += 1;
+            }
+        }
+        let share = f64::from(active_ticks) / f64::from(total);
+        assert!(share > 0.4, "active+intense share too low: {share}");
+    }
+
+    #[test]
+    fn pickups_match_paper() {
+        assert_eq!(UserModel::pickups_per_day(), 52);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the workload generators.
+
+use proptest::prelude::*;
+
+use workload::apps;
+use workload::user::{InteractionIntensity, UserModel};
+use workload::{SessionPlan, SessionSim};
+
+proptest! {
+    /// Demands produced by any preset app are always physically valid:
+    /// non-negative cycles, finite values.
+    #[test]
+    fn app_demands_always_valid(
+        app_idx in 0usize..7,
+        seed in 0u64..1000,
+        ticks in 1usize..400,
+    ) {
+        let names = ["home", "facebook", "spotify", "web-browser", "lineage", "pubg", "youtube"];
+        let app = apps::by_name(names[app_idx]).expect("preset exists");
+        let mut sess = app.start_session(seed);
+        let mut user = UserModel::new(seed ^ 0xABCD);
+        for _ in 0..ticks {
+            let intensity = user.advance(0.025);
+            let d = sess.advance(0.025, intensity);
+            for c in d.frame_cycles {
+                prop_assert!(c.is_finite() && c >= 0.0);
+            }
+            for b in d.background_hz {
+                prop_assert!(b.is_finite() && b >= 0.0);
+            }
+            prop_assert!(d.pacing_hz >= 0.0);
+        }
+    }
+
+    /// Session simulation is a pure function of (plan, seed).
+    #[test]
+    fn sessions_deterministic(seed in 0u64..500, dur in 1.0..30.0f64) {
+        let plan = SessionPlan::new().then("facebook", dur).then("spotify", dur);
+        let mut a = SessionSim::new(plan.clone(), seed);
+        let mut b = SessionSim::new(plan, seed);
+        for _ in 0..((2.0 * dur / 0.025) as usize + 10) {
+            prop_assert_eq!(a.advance(0.025), b.advance(0.025));
+        }
+        prop_assert_eq!(a.is_done(), b.is_done());
+    }
+
+    /// The interaction process only emits valid intensities and user
+    /// session lengths stay within the configured bounds.
+    #[test]
+    fn user_outputs_in_range(seed in 0u64..1000, n in 1usize..300) {
+        let mut user = UserModel::new(seed);
+        for _ in 0..n {
+            let i = user.advance(0.1);
+            prop_assert!(InteractionIntensity::ALL.contains(&i));
+        }
+        for _ in 0..20 {
+            let len = user.sample_session_length_s();
+            prop_assert!((15.0..=1_800.0).contains(&len));
+        }
+    }
+
+    /// A plan's simulator finishes exactly when its planned duration is
+    /// exhausted (within one tick).
+    #[test]
+    fn session_finishes_on_schedule(dur in 0.5..20.0f64, seed in 0u64..100) {
+        let plan = SessionPlan::single("home", dur);
+        let mut sim = SessionSim::new(plan, seed);
+        let mut t = 0.0;
+        while !sim.is_done() {
+            sim.advance(0.025);
+            t += 0.025;
+            prop_assert!(t < dur + 1.0, "session overran: {t} vs {dur}");
+        }
+        prop_assert!(t >= dur - 0.05, "session ended early: {t} vs {dur}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Federated / cloud training (§IV-C): a small fleet of simulated
+//! devices each trains Next on the same application with *different*
+//! users; the "cloud" merges the per-device Q-tables by visit-weighted
+//! averaging and ships the merged table back. The example also prints
+//! the cloud-vs-online training-time model of Fig. 6.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example federated_training
+//! ```
+
+use next_mpsoc::governors::Schedutil;
+use next_mpsoc::next_core::{NextAgent, NextConfig};
+use next_mpsoc::qlearn::federated::{merge, CloudModel};
+use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
+use next_mpsoc::workload::SessionPlan;
+
+const FLEET: usize = 4;
+const APP: &str = "facebook";
+
+fn main() {
+    println!("== federated training: {FLEET} devices, app = {APP} ==\n");
+
+    // Each device trains with its own user (seed) — shorter budgets than
+    // a solo device would need, because the fleet shares the work.
+    let mut tables = Vec::new();
+    let mut online_times = Vec::new();
+    for device in 0..FLEET {
+        let seed = 100 + device as u64;
+        let out = train_next_for_app(APP, NextConfig::paper().with_seed(seed), seed, 300.0);
+        println!(
+            "device {device}: trained {:.0} simulated s, {} states, converged: {}",
+            out.training_time_s,
+            out.agent.table().len(),
+            out.converged
+        );
+        online_times.push(out.training_time_s);
+        tables.push(out.agent.into_table());
+    }
+
+    // Cloud-side merge.
+    let refs: Vec<&_> = tables.iter().collect();
+    let merged = merge(&refs);
+    println!(
+        "\nmerged fleet table: {} states, {} total visits",
+        merged.len(),
+        merged.total_visits()
+    );
+
+    // The merged table is pushed back and used for greedy inference.
+    let plan = SessionPlan::single(APP, 120.0);
+    let sched = evaluate_governor(&mut Schedutil::new(), &plan, 9_999);
+    let mut fleet_agent = NextAgent::with_table(NextConfig::paper(), merged, false);
+    let fleet = evaluate_governor(&mut fleet_agent, &plan, 9_999);
+    println!(
+        "fleet-table agent: {:.2} W vs schedutil {:.2} W ({:.1} % saving) at {:.1} fps",
+        fleet.summary.avg_power_w,
+        sched.summary.avg_power_w,
+        fleet.summary.power_saving_vs(&sched.summary),
+        fleet.summary.avg_fps
+    );
+
+    // Fig. 6's timing model: the same training executed in the cloud.
+    let cloud = CloudModel::xeon_e7_8860v3();
+    println!("\n== cloud timing model (Xeon E7-8860v3, {}x speedup, {} s round-trip) ==",
+        cloud.speedup, cloud.comm_overhead_s);
+    for (device, &t) in online_times.iter().enumerate() {
+        println!(
+            "device {device}: online {t:.0} s -> cloud {:.1} s",
+            cloud.cloud_time_s(t)
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build the simulated Note 9, train Next briefly on one
+//! application, and compare a session against the stock `schedutil`
+//! governor.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use next_mpsoc::governors::Schedutil;
+use next_mpsoc::next_core::NextConfig;
+use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
+use next_mpsoc::workload::SessionPlan;
+
+fn main() {
+    println!("== next-mpsoc quickstart ==");
+    println!("platform: simulated Exynos 9810 (4x M3 big + 4x A55 LITTLE + Mali-G72),");
+    println!("ambient 21 C, 60 Hz display\n");
+
+    // 1. Baseline: stock schedutil on a 90 s Facebook session.
+    let plan = SessionPlan::single("facebook", 90.0);
+    let sched = evaluate_governor(&mut Schedutil::new(), &plan, 42);
+    println!(
+        "schedutil : {:.2} W avg, {:.1} fps avg, peak big-CPU {:.1} C",
+        sched.summary.avg_power_w, sched.summary.avg_fps, sched.summary.peak_temp_big_c
+    );
+
+    // 2. Train Next once on the app (the paper's one-time on-device
+    //    training, ~minutes of simulated time).
+    println!("\ntraining Next on facebook ...");
+    let outcome = train_next_for_app("facebook", NextConfig::paper(), 7, 600.0);
+    println!(
+        "trained in {:.0} simulated s (converged: {}), {} Q-states learned",
+        outcome.training_time_s,
+        outcome.converged,
+        outcome.agent.table().len()
+    );
+
+    // 3. Evaluate the trained agent on the *same* seeded session.
+    let mut agent = outcome.agent;
+    let next = evaluate_governor(&mut agent, &plan, 42);
+    println!(
+        "next      : {:.2} W avg, {:.1} fps avg, peak big-CPU {:.1} C",
+        next.summary.avg_power_w, next.summary.avg_fps, next.summary.peak_temp_big_c
+    );
+
+    println!(
+        "\npower saving vs schedutil: {:.1} % (paper reports 37.05 % for Facebook)",
+        next.summary.power_saving_vs(&sched.summary)
+    );
+    println!(
+        "peak big-CPU temperature reduction: {:.1} % of the rise above ambient",
+        next.summary.big_temp_reduction_vs(&sched.summary, 21.0)
+    );
+}

@@ -1,0 +1,203 @@
+//! `next-sim` — command-line front end for the simulated platform.
+//!
+//! ```text
+//! next-sim run     --app <name> --governor <schedutil|intqos|next|performance|powersave|ondemand>
+//!                  [--duration <s>] [--seed <n>] [--train-budget <s>] [--table <file>]
+//! next-sim train   --app <name> [--budget <s>] [--seed <n>] [--out <file>]
+//! next-sim compare --app <name> [--duration <s>] [--seed <n>]
+//! next-sim apps
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use next_mpsoc::governors::{IntQosPm, Ondemand, Performance, Powersave, Schedutil};
+use next_mpsoc::next_core::{NextAgent, NextConfig};
+use next_mpsoc::qlearn::QTable;
+use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
+use next_mpsoc::simkit::{Battery, Summary};
+use next_mpsoc::workload::{apps, SessionPlan};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&flags),
+        "train" => cmd_train(&flags),
+        "compare" => cmd_compare(&flags),
+        "apps" => {
+            println!("home");
+            for app in apps::all() {
+                println!("{}", app.name());
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "next-sim: simulate DVFS governors on the Exynos 9810 platform
+
+USAGE:
+  next-sim run     --app <name> --governor <gov> [--duration <s>] [--seed <n>]
+                   [--train-budget <s>] [--table <file.qtable>]
+  next-sim train   --app <name> [--budget <s>] [--seed <n>] [--out <file.qtable>]
+  next-sim compare --app <name> [--duration <s>] [--seed <n>]
+  next-sim apps
+
+governors: schedutil | intqos | next | performance | powersave | ondemand";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got '{flag}'"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+    }
+}
+
+fn get_u64(flags: &Flags, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not an integer")),
+    }
+}
+
+fn require_app(flags: &Flags) -> Result<String, String> {
+    let app = flags.get("app").ok_or("--app is required")?;
+    if apps::by_name(app).is_none() {
+        return Err(format!("unknown app '{app}' (see `next-sim apps`)"));
+    }
+    Ok(app.clone())
+}
+
+fn print_summary(label: &str, s: &Summary) {
+    let battery = Battery::note9();
+    println!(
+        "{label:12} {:6.2} W avg | {:5.1} fps | peak big {:5.1} C, device {:5.1} C | \
+         {:6.0} J ({:.2} % battery)",
+        s.avg_power_w,
+        s.avg_fps,
+        s.peak_temp_big_c,
+        s.peak_temp_device_c,
+        s.energy_j,
+        battery.drain_percent(s.energy_j)
+    );
+}
+
+fn make_next_agent(app: &str, flags: &Flags) -> Result<NextAgent, String> {
+    if let Some(path) = flags.get("table") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let table = QTable::decode(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        return Ok(NextAgent::with_table(NextConfig::paper(), table, false));
+    }
+    let budget = get_f64(flags, "train-budget", 600.0)?;
+    let seed = get_u64(flags, "seed", 7)?;
+    eprintln!("training next on {app} (budget {budget} simulated s) ...");
+    let out = train_next_for_app(app, NextConfig::paper(), seed, budget);
+    eprintln!(
+        "trained {:.0} s (converged: {}), {} states",
+        out.training_time_s,
+        out.converged,
+        out.agent.table().len()
+    );
+    Ok(out.agent)
+}
+
+fn cmd_run(flags: &Flags) -> Result<(), String> {
+    let app = require_app(flags)?;
+    let duration = get_f64(flags, "duration", SessionPlan::paper_session_length_s(&app))?;
+    let seed = get_u64(flags, "seed", 1000)?;
+    let plan = SessionPlan::single(&app, duration);
+    let gov_name = flags.get("governor").map_or("schedutil", String::as_str);
+
+    let summary = match gov_name {
+        "next" => {
+            let mut agent = make_next_agent(&app, flags)?;
+            evaluate_governor(&mut agent, &plan, seed).summary
+        }
+        "schedutil" => evaluate_governor(&mut Schedutil::new(), &plan, seed).summary,
+        "intqos" => evaluate_governor(&mut IntQosPm::new(), &plan, seed).summary,
+        "performance" => evaluate_governor(&mut Performance::new(), &plan, seed).summary,
+        "powersave" => evaluate_governor(&mut Powersave::new(), &plan, seed).summary,
+        "ondemand" => evaluate_governor(&mut Ondemand::new(), &plan, seed).summary,
+        other => return Err(format!("unknown governor '{other}'")),
+    };
+    println!("app {app}, {duration:.0} s session, seed {seed}");
+    print_summary(gov_name, &summary);
+    Ok(())
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let app = require_app(flags)?;
+    let budget = get_f64(flags, "budget", 600.0)?;
+    let seed = get_u64(flags, "seed", 7)?;
+    let out = train_next_for_app(&app, NextConfig::paper(), seed, budget);
+    println!(
+        "trained {app}: {:.0} simulated s, converged: {}, {} states, {} visits",
+        out.training_time_s,
+        out.converged,
+        out.agent.table().len(),
+        out.agent.table().total_visits()
+    );
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, out.agent.table().encode())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("table written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    let app = require_app(flags)?;
+    let duration = get_f64(flags, "duration", SessionPlan::paper_session_length_s(&app))?;
+    let seed = get_u64(flags, "seed", 1000)?;
+    let plan = SessionPlan::single(&app, duration);
+
+    println!("app {app}, {duration:.0} s session, seed {seed}\n");
+    let sched = evaluate_governor(&mut Schedutil::new(), &plan, seed).summary;
+    print_summary("schedutil", &sched);
+    if apps::is_game(&app) {
+        let qos = evaluate_governor(&mut IntQosPm::new(), &plan, seed).summary;
+        print_summary("int-qos-pm", &qos);
+    }
+    let mut agent = make_next_agent(&app, flags)?;
+    let next = evaluate_governor(&mut agent, &plan, seed).summary;
+    print_summary("next", &next);
+    println!("\nnext saves {:.1} % vs schedutil", next.power_saving_vs(&sched));
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Q-table persistence across "reboots": train, store on disk, reload
+//! into a fresh agent, and verify behaviour is preserved (§IV-B's
+//! train-once / reuse-forever lifecycle).
+
+use std::fs;
+
+use next_mpsoc::next_core::{NextAgent, NextConfig, QTableStore};
+use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
+use next_mpsoc::workload::SessionPlan;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("next-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn trained_table_survives_reboot_and_reproduces_behaviour() {
+    let dir = temp_dir("reboot");
+    let out = train_next_for_app("facebook", NextConfig::paper(), 7, 300.0);
+    let table = out.agent.into_table();
+
+    {
+        let mut store = QTableStore::at_dir(&dir).expect("create store dir");
+        store.save("facebook", &table).expect("save table");
+    }
+
+    // "Reboot": a brand-new store over the same directory.
+    let mut store = QTableStore::at_dir(&dir).expect("reopen store dir");
+    assert!(store.contains("facebook"));
+    let reloaded = store.load("facebook").expect("table present");
+    assert_eq!(reloaded, table, "codec must round-trip the learned table");
+
+    // Same table + same seed -> identical greedy evaluation.
+    let plan = SessionPlan::single("facebook", 60.0);
+    let mut agent_a = NextAgent::with_table(NextConfig::paper(), table, false);
+    let mut agent_b = NextAgent::with_table(NextConfig::paper(), reloaded, false);
+    let a = evaluate_governor(&mut agent_a, &plan, 123);
+    let b = evaluate_governor(&mut agent_b, &plan, 123);
+    assert_eq!(a.summary, b.summary);
+
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn store_keeps_apps_separate() {
+    let dir = temp_dir("multi");
+    let mut store = QTableStore::at_dir(&dir).expect("create store dir");
+
+    let fb = train_next_for_app("facebook", NextConfig::paper(), 7, 120.0);
+    let sp = train_next_for_app("spotify", NextConfig::paper(), 7, 120.0);
+    store.save("facebook", fb.agent.table()).expect("save");
+    store.save("spotify", sp.agent.table()).expect("save");
+
+    let fb_loaded = store.load("facebook").expect("facebook stored");
+    let sp_loaded = store.load("spotify").expect("spotify stored");
+    assert_ne!(fb_loaded, sp_loaded, "per-app tables must differ");
+    assert_eq!(store.cached_apps(), vec!["facebook".to_owned(), "spotify".to_owned()]);
+
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn continued_training_resumes_from_stored_table() {
+    let out = train_next_for_app("home", NextConfig::paper(), 7, 120.0);
+    let states_before = out.agent.table().len();
+    let visits_before = out.agent.table().total_visits();
+
+    // Resume training from the stored table.
+    let mut agent = NextAgent::with_table(NextConfig::paper(), out.agent.into_table(), true);
+    assert!(agent.is_training());
+    let mut soc = next_mpsoc::mpsoc::Soc::new(next_mpsoc::mpsoc::SocConfig::exynos9810());
+    let engine = next_mpsoc::simkit::Engine::new();
+    let mut session =
+        next_mpsoc::workload::SessionSim::new(SessionPlan::single("home", 60.0), 11);
+    engine.run(&mut soc, &mut agent, &mut session, 60.0);
+
+    assert!(agent.table().total_visits() > visits_before, "resumed training must learn");
+    assert!(agent.table().len() >= states_before);
+}
