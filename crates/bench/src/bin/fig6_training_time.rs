@@ -9,20 +9,25 @@
 use next_core::NextConfig;
 use qlearn::federated::CloudModel;
 use simkit::experiment::train_next_for_app;
-use simkit::report;
+use simkit::{report, sweep};
 
 fn main() {
     let bins_sweep = [1usize, 10, 20, 30, 60];
     let cloud = CloudModel::xeon_e7_8860v3();
     let budget = 1_800.0;
 
+    // The five quantisation levels train independently — run them on
+    // all cores and keep the output in sweep order.
+    let outcomes = sweep::parallel_map(&bins_sweep, bench::default_workers(), |&bins| {
+        let config = NextConfig::paper().with_fps_bins(bins);
+        train_next_for_app("facebook", config, bench::TRAIN_SEED, budget)
+    });
+
     let mut xs = Vec::new();
     let mut online = Vec::new();
     let mut cloud_times = Vec::new();
     let mut states = Vec::new();
-    for &bins in &bins_sweep {
-        let config = NextConfig::paper().with_fps_bins(bins);
-        let out = train_next_for_app("facebook", config, bench::TRAIN_SEED, budget);
+    for (&bins, out) in bins_sweep.iter().zip(&outcomes) {
         let online_s = out.training_time_s;
         xs.push(bins as f64);
         online.push(online_s);

@@ -4,13 +4,16 @@
 //! Paper numbers: Next saves 37.05 / 50.68 / 40.95 / 32.98 / 32.11 /
 //! 40.6 % versus schedutil on Facebook / Lineage / PubG / Spotify / Web
 //! Browser / YouTube; Int. QoS PM (games only) saves 16.31 / 23.84 %.
+//!
+//! The whole grid (6 apps × up to 3 governors, plus per-app training)
+//! runs in parallel through `simkit::sweep`.
 
-use governors::{IntQosPm, Schedutil};
-use simkit::experiment::evaluate_governor;
 use simkit::report::Table;
 use workload::apps;
 
 fn main() {
+    let grid = bench::eval_grid(&["schedutil", "next", "intqos"]);
+
     let mut table = Table::new(
         "fig7: average power (W) per application",
         &["app", "schedutil", "next", "int-qos-pm", "next_saving_%", "intqos_saving_%"],
@@ -18,19 +21,16 @@ fn main() {
     let mut next_savings: Vec<f64> = Vec::new();
 
     for app in bench::PAPER_APPS {
-        let plan = bench::paper_plan(app);
-        let sched = evaluate_governor(&mut Schedutil::new(), &plan, bench::EVAL_SEED);
-        let train = bench::trained_next(app);
-        let mut agent = train.agent;
-        let next = evaluate_governor(&mut agent, &plan, bench::EVAL_SEED);
-        let next_saving = next.summary.power_saving_vs(&sched.summary);
+        let sched = grid.summary(app, "schedutil").expect("schedutil cell ran");
+        let next = grid.summary(app, "next").expect("next cell ran");
+        let next_saving = next.power_saving_vs(sched);
         next_savings.push(next_saving);
 
         let (qos_cell, qos_saving_cell) = if apps::is_game(app) {
-            let qos = evaluate_governor(&mut IntQosPm::new(), &plan, bench::EVAL_SEED);
+            let qos = grid.summary(app, "intqos").expect("intqos cell ran");
             (
-                format!("{:.2}", qos.summary.avg_power_w),
-                format!("{:.1}", qos.summary.power_saving_vs(&sched.summary)),
+                format!("{:.2}", qos.avg_power_w),
+                format!("{:.1}", qos.power_saving_vs(sched)),
             )
         } else {
             ("n/a".to_owned(), "n/a".to_owned())
@@ -38,15 +38,16 @@ fn main() {
 
         table.push_row(vec![
             app.to_owned(),
-            format!("{:.2}", sched.summary.avg_power_w),
-            format!("{:.2}", next.summary.avg_power_w),
+            format!("{:.2}", sched.avg_power_w),
+            format!("{:.2}", next.avg_power_w),
             qos_cell,
             format!("{next_saving:.1}"),
             qos_saving_cell,
         ]);
+        let train = grid.evaluator.telemetry(app).expect("next was trained");
         eprintln!(
             "# {app}: trained {:.0} s (converged: {}), next fps {:.1} vs sched {:.1}",
-            train.training_time_s, train.converged, next.summary.avg_fps, sched.summary.avg_fps
+            train.training_time_s, train.converged, next.avg_fps, sched.avg_fps
         );
     }
 

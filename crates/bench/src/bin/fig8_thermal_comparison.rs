@@ -7,15 +7,18 @@
 //! 22.80 % and 3.51 % respectively. Reductions are computed on the
 //! temperature rise above the 21 °C ambient, the physically meaningful
 //! quantity.
+//!
+//! The whole grid (6 apps × up to 3 governors, plus per-app training)
+//! runs in parallel through `simkit::sweep`.
 
-use governors::{IntQosPm, Schedutil};
-use simkit::experiment::evaluate_governor;
 use simkit::report::Table;
 use workload::apps;
 
 const AMBIENT_C: f64 = 21.0;
 
 fn main() {
+    let grid = bench::eval_grid(&["schedutil", "next", "intqos"]);
+
     let mut table = Table::new(
         "fig8: peak temperature (C) per application, big cluster / device",
         &["app", "sched_big", "sched_dev", "next_big", "next_dev", "qos_big", "qos_dev"],
@@ -29,27 +32,21 @@ fn main() {
     let mut best_dev_red_abs = 0.0f64;
 
     for app in bench::PAPER_APPS {
-        let plan = bench::paper_plan(app);
-        let sched = evaluate_governor(&mut Schedutil::new(), &plan, bench::EVAL_SEED);
-        let train = bench::trained_next(app);
-        let mut agent = train.agent;
-        let next = evaluate_governor(&mut agent, &plan, bench::EVAL_SEED);
-        best_big_red = best_big_red.max(next.summary.big_temp_reduction_vs(&sched.summary, AMBIENT_C));
-        best_dev_red =
-            best_dev_red.max(next.summary.device_temp_reduction_vs(&sched.summary, AMBIENT_C));
-        best_big_red_abs = best_big_red_abs
-            .max((1.0 - next.summary.peak_temp_big_c / sched.summary.peak_temp_big_c) * 100.0);
-        best_dev_red_abs = best_dev_red_abs.max(
-            (1.0 - next.summary.peak_temp_device_c / sched.summary.peak_temp_device_c) * 100.0,
-        );
+        let sched = grid.summary(app, "schedutil").expect("schedutil cell ran");
+        let next = grid.summary(app, "next").expect("next cell ran");
+        best_big_red = best_big_red.max(next.big_temp_reduction_vs(sched, AMBIENT_C));
+        best_dev_red = best_dev_red.max(next.device_temp_reduction_vs(sched, AMBIENT_C));
+        best_big_red_abs =
+            best_big_red_abs.max((1.0 - next.peak_temp_big_c / sched.peak_temp_big_c) * 100.0);
+        best_dev_red_abs = best_dev_red_abs
+            .max((1.0 - next.peak_temp_device_c / sched.peak_temp_device_c) * 100.0);
 
         let (qb, qd) = if apps::is_game(app) {
-            let qos = evaluate_governor(&mut IntQosPm::new(), &plan, bench::EVAL_SEED);
-            best_qos_big_red =
-                best_qos_big_red.max(qos.summary.big_temp_reduction_vs(&sched.summary, AMBIENT_C));
+            let qos = grid.summary(app, "intqos").expect("intqos cell ran");
+            best_qos_big_red = best_qos_big_red.max(qos.big_temp_reduction_vs(sched, AMBIENT_C));
             (
-                format!("{:.1}", qos.summary.peak_temp_big_c),
-                format!("{:.1}", qos.summary.peak_temp_device_c),
+                format!("{:.1}", qos.peak_temp_big_c),
+                format!("{:.1}", qos.peak_temp_device_c),
             )
         } else {
             ("n/a".to_owned(), "n/a".to_owned())
@@ -57,10 +54,10 @@ fn main() {
 
         table.push_row(vec![
             app.to_owned(),
-            format!("{:.1}", sched.summary.peak_temp_big_c),
-            format!("{:.1}", sched.summary.peak_temp_device_c),
-            format!("{:.1}", next.summary.peak_temp_big_c),
-            format!("{:.1}", next.summary.peak_temp_device_c),
+            format!("{:.1}", sched.peak_temp_big_c),
+            format!("{:.1}", sched.peak_temp_device_c),
+            format!("{:.1}", next.peak_temp_big_c),
+            format!("{:.1}", next.peak_temp_device_c),
             qb,
             qd,
         ]);

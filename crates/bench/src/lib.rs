@@ -11,6 +11,8 @@
 
 use next_core::{NextAgent, NextConfig};
 use simkit::experiment::{train_next_for_app, TrainOutcome};
+use simkit::sweep::{self, StandardEvaluator, SweepCell, SweepRow};
+use simkit::Summary;
 use workload::apps;
 use workload::SessionPlan;
 
@@ -18,23 +20,18 @@ use workload::SessionPlan;
 /// user behaviour.
 pub const EVAL_SEED: u64 = 1000;
 
-/// Seed used for training sessions.
-pub const TRAIN_SEED: u64 = 7;
+/// Seed used for training sessions (the sweep engine's protocol seed).
+pub const TRAIN_SEED: u64 = StandardEvaluator::TRAIN_SEED;
 
 /// The six applications of Figs. 7 and 8, in the paper's order.
 pub const PAPER_APPS: [&str; 6] =
     ["facebook", "lineage", "pubg", "spotify", "web-browser", "youtube"];
 
-/// Training budget per application, simulated seconds. Games explore a
-/// much larger state region (FPS spans the whole 0–60 range during
-/// gameplay), so they get a larger budget.
+/// Training budget per application, simulated seconds — the sweep
+/// engine's §V protocol (games get twice the base budget).
 #[must_use]
 pub fn train_budget_s(app: &str) -> f64 {
-    if apps::is_game(app) {
-        1_200.0
-    } else {
-        600.0
-    }
+    StandardEvaluator::train_budget_for(StandardEvaluator::BASE_TRAIN_BUDGET_S, app)
 }
 
 /// Trains a fresh Next agent on `app` with the standard protocol and
@@ -72,6 +69,61 @@ pub fn trained_next_on_plan(plan: &SessionPlan, budget_s: f64) -> NextAgent {
 #[must_use]
 pub fn paper_plan(app: &str) -> SessionPlan {
     SessionPlan::single(app, SessionPlan::paper_session_length_s(app))
+}
+
+/// Default worker count for the parallel figure grids: every core.
+#[must_use]
+pub fn default_workers() -> usize {
+    sweep::default_workers()
+}
+
+/// A finished §V measurement grid plus the evaluator that ran it (which
+/// keeps the per-app training telemetry for the figure footers).
+#[derive(Debug)]
+pub struct EvalGrid {
+    /// One row per measured (app, governor) cell, in cell order.
+    pub rows: Vec<SweepRow>,
+    /// The evaluator, holding trained tables and training telemetry.
+    pub evaluator: StandardEvaluator,
+}
+
+impl EvalGrid {
+    /// The summary measured for `(app, governor)`, if that cell ran.
+    #[must_use]
+    pub fn summary(&self, app: &str, governor: &str) -> Option<&Summary> {
+        self.rows
+            .iter()
+            .find(|r| r.cell.app == app && r.cell.governor == governor)
+            .map(|r| &r.summary)
+    }
+}
+
+/// Runs the §V measurement grid for the figure binaries in parallel:
+/// every paper app under each of `governors` at [`EVAL_SEED`] and the
+/// paper's session lengths, with Next trained once per app at exactly
+/// [`train_budget_s`]. `intqos` cells are restricted to the two games,
+/// as in the paper.
+#[must_use]
+pub fn eval_grid(governors: &[&str]) -> EvalGrid {
+    let mut cells = Vec::new();
+    for app in PAPER_APPS {
+        for &governor in governors {
+            if governor == "intqos" && !apps::is_game(app) {
+                continue;
+            }
+            cells.push(SweepCell {
+                app: app.to_owned(),
+                governor: governor.to_owned(),
+                seed: EVAL_SEED,
+                duration_s: SessionPlan::paper_session_length_s(app),
+            });
+        }
+    }
+    let workers = default_workers();
+    let evaluator =
+        StandardEvaluator::prepare(&cells, StandardEvaluator::BASE_TRAIN_BUDGET_S, workers);
+    let rows = sweep::run_cells(&cells, workers, |cell| evaluator.eval(cell));
+    EvalGrid { rows, evaluator }
 }
 
 #[cfg(test)]

@@ -73,7 +73,14 @@ impl FrameWindow {
 
     /// Pushes one FPS sample (clamped to `[0, 60]`, rounded to whole
     /// FPS), evicting the oldest when full.
+    ///
+    /// Non-finite samples (NaN, ±∞ from a degenerate frame interval) are
+    /// dropped: recording them would alias to 0 FPS after the clamp and
+    /// silently skew the mode — the target FPS — toward idle.
     pub fn push(&mut self, fps: f64) {
+        if !fps.is_finite() {
+            return;
+        }
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let value = fps.clamp(0.0, f64::from(MAX_FPS)).round() as u32;
         if self.samples.len() == self.capacity {
@@ -188,6 +195,30 @@ mod tests {
         w.push(0.4); // → 0
         let collected: Vec<u32> = w.iter().collect();
         assert_eq!(collected, vec![60, 60, 0, 0]);
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped() {
+        // Regression: NaN used to survive the clamp (`NaN as u32 == 0`)
+        // and count as a 0 FPS sample, dragging the mode — and with it
+        // the agent's target FPS — toward idle.
+        let mut w = FrameWindow::new(8);
+        w.push(60.0);
+        w.push(f64::NAN);
+        w.push(f64::INFINITY);
+        w.push(f64::NEG_INFINITY);
+        w.push(60.0);
+        assert_eq!(w.len(), 2, "non-finite samples must not be recorded");
+        assert_eq!(w.mode(), Some(60));
+        assert!(w.iter().all(|s| s == 60));
+
+        // A NaN-heavy stream must not manufacture an idle mode.
+        let mut w2 = FrameWindow::new(4);
+        for _ in 0..10 {
+            w2.push(f64::NAN);
+        }
+        assert_eq!(w2.mode(), None, "only non-finite input: no mode");
+        assert!(w2.is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// An encoded discrete state.
 pub type StateKey = u64;
@@ -202,7 +203,7 @@ impl QTable {
             let e = &self.entries[&k];
             let vals: Vec<String> = e.values.iter().map(|v| format!("{v:e}")).collect();
             let vis: Vec<String> = e.visits.iter().map(u64::to_string).collect();
-            out.push_str(&format!("{k} {} | {}\n", vals.join(" "), vis.join(" ")));
+            let _ = writeln!(out, "{k} {} | {}", vals.join(" "), vis.join(" "));
         }
         out
     }

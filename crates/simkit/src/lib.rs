@@ -14,7 +14,9 @@
 //!   and 8),
 //! * [`experiment`] — the paper's evaluation protocol: train Next once
 //!   per app, then measure per-governor sessions,
-//! * [`report`] — plain-text tables and series for the bench harness.
+//! * [`report`] — plain-text tables and series for the bench harness,
+//! * [`sweep`] — the work-stealing parallel runner for governor×app×seed
+//!   grids, with deterministic row merging.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +25,9 @@ pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod report;
+pub mod sweep;
 
 pub use engine::{Engine, RunOutcome};
 pub use experiment::{train_next_for_app, EvalResult, TrainOutcome};
 pub use metrics::{Battery, Sample, Summary, Trace};
+pub use sweep::{parallel_map, run_cells, StandardEvaluator, SweepCell, SweepRow};

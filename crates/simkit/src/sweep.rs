@@ -1,0 +1,498 @@
+//! Parallel governor×app×seed sweeps.
+//!
+//! The paper's §V evaluation protocol measures every governor on every
+//! application over seeded sessions — an embarrassingly parallel grid of
+//! fully independent simulations. This module runs that grid across
+//! threads with a small work-stealing scheduler built on scoped
+//! `std::thread` (no external dependencies) and merges the per-cell
+//! [`Summary`] rows **deterministically**: the output is a pure function
+//! of the cell list, identical for any worker count.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`parallel_map`] — generic ordered work-stealing map over a slice,
+//! * [`grid`] / [`run_cells`] — sweep cells and their parallel execution
+//!   with a caller-supplied evaluator,
+//! * [`StandardEvaluator`] — the stock evaluator covering every governor
+//!   this workspace ships (training Next once per app, in parallel,
+//!   before the measurement grid runs).
+//!
+//! Determinism argument: every cell is evaluated by a *pure* function of
+//! the cell itself (fresh SoC, fresh governor, fixed seeds — see
+//! [`crate::experiment::evaluate_governor`]), results are written back
+//! by cell index, and [`report`] sorts rows by key before rendering.
+//! Thread scheduling can change only *when* a cell runs, never its
+//! result or its place in the output.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::thread;
+
+use governors::{Governor, IntQosPm, Ondemand, Performance, Powersave, Schedutil};
+use next_core::{NextAgent, NextConfig};
+use qlearn::QTable;
+use workload::{apps, SessionPlan};
+
+use crate::experiment::{evaluate_governor, train_next_for_app};
+use crate::metrics::Summary;
+use crate::report::Table;
+
+/// One point of the sweep grid: a governor measured on an app session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Application name (see `workload::apps`).
+    pub app: String,
+    /// Governor name (see [`StandardEvaluator::GOVERNORS`]).
+    pub governor: String,
+    /// Session seed.
+    pub seed: u64,
+    /// Session length, simulated seconds.
+    pub duration_s: f64,
+}
+
+/// One finished cell: the cell plus its run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The grid point that was measured.
+    pub cell: SweepCell,
+    /// Summary statistics of the run.
+    pub summary: Summary,
+}
+
+/// Builds the full `apps × governors × seeds` cell list in deterministic
+/// (app-major, then governor, then seed) order.
+///
+/// `duration_s` of `None` uses the paper's per-app session length
+/// (games 5 min, other apps 2.5 min).
+#[must_use]
+pub fn grid(
+    apps: &[String],
+    governors: &[String],
+    seeds: &[u64],
+    duration_s: Option<f64>,
+) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(apps.len() * governors.len() * seeds.len());
+    for app in apps {
+        let duration =
+            duration_s.unwrap_or_else(|| SessionPlan::paper_session_length_s(app));
+        for governor in governors {
+            for &seed in seeds {
+                cells.push(SweepCell {
+                    app: app.clone(),
+                    governor: governor.clone(),
+                    seed,
+                    duration_s: duration,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Per-worker index stripes with round-robin stealing: a worker that
+/// drains its own stripe takes items from the back of the next
+/// non-empty neighbour.
+struct StripeQueue {
+    stripes: Vec<Mutex<(usize, usize)>>,
+}
+
+impl StripeQueue {
+    /// Splits `0..n` into one contiguous stripe per worker.
+    fn new(n: usize, workers: usize) -> Self {
+        let per = n.div_ceil(workers);
+        let stripes = (0..workers)
+            .map(|w| Mutex::new(((w * per).min(n), ((w + 1) * per).min(n))))
+            .collect();
+        StripeQueue { stripes }
+    }
+
+    /// Next index for worker `w`: front of its own stripe, else one
+    /// stolen from the back of another worker's stripe. `None` only
+    /// after a full scan found every stripe empty — since stripes never
+    /// grow, that state is permanent and the worker can retire.
+    fn next(&self, w: usize) -> Option<usize> {
+        {
+            let mut own = self.stripes[w].lock().expect("queue lock");
+            if own.0 < own.1 {
+                let i = own.0;
+                own.0 += 1;
+                return Some(i);
+            }
+        }
+        let n = self.stripes.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            let mut g = self.stripes[victim].lock().expect("queue lock");
+            if g.0 < g.1 {
+                g.1 -= 1;
+                return Some(g.1);
+            }
+        }
+        None
+    }
+}
+
+/// Default worker count for a sweep: every available core.
+#[must_use]
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Applies `f` to every item on `workers` threads and returns the
+/// results **in item order**, whatever order the threads ran in.
+///
+/// Work is distributed by stealing: each worker drains its own stripe of
+/// the index space and then takes cells from the back of the next
+/// non-empty neighbour's stripe, so a stripe of slow cells (e.g. the
+/// 5-minute game sessions) cannot serialise the sweep.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let queue = StripeQueue::new(n, workers);
+    let collected: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Some(i) = queue.next(w) {
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in collected.into_iter().flatten() {
+        results[i] = Some(r);
+    }
+    results.into_iter().map(|r| r.expect("every cell ran exactly once")).collect()
+}
+
+/// Runs `cells` on `workers` threads with a caller-supplied evaluator
+/// and returns one row per cell, in cell order.
+pub fn run_cells<F>(cells: &[SweepCell], workers: usize, eval: F) -> Vec<SweepRow>
+where
+    F: Fn(&SweepCell) -> Summary + Sync,
+{
+    let summaries = parallel_map(cells, workers, eval);
+    cells
+        .iter()
+        .cloned()
+        .zip(summaries)
+        .map(|(cell, summary)| SweepRow { cell, summary })
+        .collect()
+}
+
+/// The stock cell evaluator: measures any governor this workspace ships
+/// on a fresh, deterministically seeded device.
+///
+/// `next` cells need a trained agent; [`StandardEvaluator::prepare`]
+/// trains one table per app up front (itself in parallel) so each `next`
+/// cell only pays a table clone, and repeated seeds of the same app
+/// reuse the same trained policy — the paper's train-once / measure-many
+/// protocol.
+#[derive(Debug)]
+pub struct StandardEvaluator {
+    tables: BTreeMap<String, TrainedApp>,
+}
+
+/// A per-app trained Next policy plus its training telemetry.
+#[derive(Debug, Clone)]
+struct TrainedApp {
+    table: QTable,
+    telemetry: TrainTelemetry,
+}
+
+/// Training telemetry for one app, kept for report footers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainTelemetry {
+    /// Simulated seconds of training actually spent.
+    pub training_time_s: f64,
+    /// Whether the TD-error convergence criterion fired.
+    pub converged: bool,
+    /// Number of visited states in the trained table.
+    pub states: usize,
+}
+
+impl StandardEvaluator {
+    /// Every governor name the evaluator accepts.
+    pub const GOVERNORS: [&'static str; 6] =
+        ["schedutil", "intqos", "next", "performance", "powersave", "ondemand"];
+
+    /// Training seed for the per-app Next tables (the bench protocol's
+    /// dedicated training device).
+    pub const TRAIN_SEED: u64 = 7;
+
+    /// The §V base training budget per app, simulated seconds.
+    pub const BASE_TRAIN_BUDGET_S: f64 = 600.0;
+
+    /// The training budget for `app` given a base budget: games get
+    /// twice the base (their FPS spans the whole 0–60 range, so they
+    /// explore a much larger state region).
+    #[must_use]
+    pub fn train_budget_for(base_budget_s: f64, app: &str) -> f64 {
+        if apps::is_game(app) {
+            2.0 * base_budget_s
+        } else {
+            base_budget_s
+        }
+    }
+
+    /// Prepares an evaluator for `cells`: trains a Next table for every
+    /// distinct app that appears in a `next` cell, running the training
+    /// jobs themselves on `workers` threads.
+    ///
+    /// `train_budget_s` is the per-app base training budget in
+    /// simulated seconds (see [`StandardEvaluator::train_budget_for`]).
+    #[must_use]
+    pub fn prepare(cells: &[SweepCell], train_budget_s: f64, workers: usize) -> Self {
+        let mut train_apps: Vec<String> = cells
+            .iter()
+            .filter(|c| c.governor == "next")
+            .map(|c| c.app.clone())
+            .collect();
+        train_apps.sort();
+        train_apps.dedup();
+
+        let tables = parallel_map(&train_apps, workers, |app| {
+            let budget = Self::train_budget_for(train_budget_s, app);
+            let out =
+                train_next_for_app(app, NextConfig::paper(), Self::TRAIN_SEED, budget);
+            let table = out.agent.into_table();
+            let telemetry = TrainTelemetry {
+                training_time_s: out.training_time_s,
+                converged: out.converged,
+                states: table.len(),
+            };
+            TrainedApp { table, telemetry }
+        });
+        StandardEvaluator {
+            tables: train_apps.into_iter().zip(tables).collect(),
+        }
+    }
+
+    /// Training telemetry for `app`, if a Next table was trained for it.
+    #[must_use]
+    pub fn telemetry(&self, app: &str) -> Option<TrainTelemetry> {
+        self.tables.get(app).map(|t| t.telemetry)
+    }
+
+    /// Evaluates one cell. Pure: identical cells give identical
+    /// summaries regardless of which thread runs them, or when.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown governor name or a `next` cell whose app was
+    /// not covered by [`StandardEvaluator::prepare`].
+    #[must_use]
+    pub fn eval(&self, cell: &SweepCell) -> Summary {
+        let plan = SessionPlan::single(&cell.app, cell.duration_s);
+        let mut governor: Box<dyn Governor> = match cell.governor.as_str() {
+            "schedutil" => Box::new(Schedutil::new()),
+            "intqos" => Box::new(IntQosPm::new()),
+            "performance" => Box::new(Performance::new()),
+            "powersave" => Box::new(Powersave::new()),
+            "ondemand" => Box::new(Ondemand::new()),
+            "next" => {
+                let table = self
+                    .tables
+                    .get(&cell.app)
+                    .unwrap_or_else(|| panic!("no trained table for app '{}'", cell.app))
+                    .table
+                    .clone();
+                Box::new(NextAgent::with_table(NextConfig::paper(), table, false))
+            }
+            other => panic!("unknown governor '{other}'"),
+        };
+        evaluate_governor(governor.as_mut(), &plan, cell.seed).summary
+    }
+}
+
+/// Renders sweep rows as a deterministic plain-text report: one aligned
+/// table sorted by (app, governor, seed), then per-governor mean power
+/// with savings versus `schedutil` where both were measured.
+///
+/// The output is byte-identical for a given row set — it carries no
+/// wall-clock times, worker counts or any other run-dependent data.
+#[must_use]
+pub fn report(rows: &[SweepRow]) -> String {
+    let mut sorted: Vec<&SweepRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.cell.app, &a.cell.governor, a.cell.seed)
+            .cmp(&(&b.cell.app, &b.cell.governor, b.cell.seed))
+    });
+
+    let mut table = Table::new(
+        "sweep: governor x app x seed",
+        &["app", "governor", "seed", "dur_s", "avg_w", "peak_w", "avg_fps", "fps_std", "peak_big_c", "peak_dev_c", "energy_j"],
+    );
+    for row in &sorted {
+        let s = &row.summary;
+        table.push_row(vec![
+            row.cell.app.clone(),
+            row.cell.governor.clone(),
+            row.cell.seed.to_string(),
+            format!("{:.0}", row.cell.duration_s),
+            format!("{:.3}", s.avg_power_w),
+            format!("{:.3}", s.peak_power_w),
+            format!("{:.2}", s.avg_fps),
+            format!("{:.2}", s.fps_std),
+            format!("{:.2}", s.peak_temp_big_c),
+            format!("{:.2}", s.peak_temp_device_c),
+            format!("{:.1}", s.energy_j),
+        ]);
+    }
+    let mut out = table.render();
+
+    // Per-governor aggregate: mean of per-cell average power, and the
+    // mean saving versus the schedutil cell with the same (app, seed).
+    let mut by_gov: BTreeMap<&str, Vec<&SweepRow>> = BTreeMap::new();
+    for row in &sorted {
+        by_gov.entry(&row.cell.governor).or_default().push(row);
+    }
+    let sched_power: BTreeMap<(&str, u64), f64> = sorted
+        .iter()
+        .filter(|r| r.cell.governor == "schedutil")
+        .map(|r| ((r.cell.app.as_str(), r.cell.seed), r.summary.avg_power_w))
+        .collect();
+    out.push('\n');
+    for (gov, rows) in &by_gov {
+        let mean_w =
+            rows.iter().map(|r| r.summary.avg_power_w).sum::<f64>() / rows.len() as f64;
+        let savings: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| {
+                sched_power
+                    .get(&(r.cell.app.as_str(), r.cell.seed))
+                    .map(|&base| (1.0 - r.summary.avg_power_w / base) * 100.0)
+            })
+            .collect();
+        if *gov == "schedutil" || savings.is_empty() {
+            let _ = writeln!(out, "# {gov}: mean power {mean_w:.3} W over {} cells", rows.len());
+        } else {
+            let mean_saving = savings.iter().sum::<f64>() / savings.len() as f64;
+            let _ = writeln!(
+                out,
+                "# {gov}: mean power {mean_w:.3} W over {} cells, mean saving vs schedutil {mean_saving:.1} %",
+                rows.len()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_app_major_and_sized() {
+        let cells = grid(
+            &["facebook".into(), "spotify".into()],
+            &["schedutil".into(), "powersave".into()],
+            &[1, 2, 3],
+            Some(10.0),
+        );
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells[0].app, "facebook");
+        assert_eq!(cells[0].governor, "schedutil");
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[11].app, "spotify");
+        assert_eq!(cells[11].governor, "powersave");
+        assert_eq!(cells[11].seed, 3);
+    }
+
+    #[test]
+    fn grid_defaults_to_paper_session_lengths() {
+        let cells = grid(&["pubg".into()], &["schedutil".into()], &[1], None);
+        assert!((cells[0].duration_s - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..203).collect();
+        let doubled = parallel_map(&items, 7, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], 4, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn parallel_map_balances_skewed_work() {
+        // Front-loaded stripe: worker 0 would own all the heavy items
+        // under static partitioning; stealing must still complete and
+        // preserve order.
+        let items: Vec<u64> = (0..64).map(|i| if i < 8 { 2_000_000 } else { 10 }).collect();
+        let spin = |&n: &u64| -> u64 {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(i ^ acc.rotate_left(7));
+            }
+            acc
+        };
+        assert_eq!(parallel_map(&items, 8, spin), items.iter().map(spin).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stripe_queue_hands_out_every_index_once() {
+        let q = StripeQueue::new(10, 3);
+        let mut seen: Vec<usize> = std::iter::from_fn(|| q.next(1)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn standard_evaluator_is_pure_per_cell() {
+        let cell = SweepCell {
+            app: "facebook".into(),
+            governor: "schedutil".into(),
+            seed: 42,
+            duration_s: 10.0,
+        };
+        let eval = StandardEvaluator::prepare(std::slice::from_ref(&cell), 30.0, 1);
+        assert_eq!(eval.eval(&cell), eval.eval(&cell));
+    }
+
+    #[test]
+    fn report_sorts_rows_regardless_of_input_order() {
+        let mk = |app: &str, gov: &str, seed| SweepRow {
+            cell: SweepCell {
+                app: app.into(),
+                governor: gov.into(),
+                seed,
+                duration_s: 10.0,
+            },
+            summary: Summary { avg_power_w: 1.0, ..Summary::default() },
+        };
+        let fwd = vec![mk("a", "next", 1), mk("b", "schedutil", 1)];
+        let rev = vec![mk("b", "schedutil", 1), mk("a", "next", 1)];
+        assert_eq!(report(&fwd), report(&rev));
+    }
+}

@@ -5,6 +5,8 @@
 //!                  [--duration <s>] [--seed <n>] [--train-budget <s>] [--table <file>]
 //! next-sim train   --app <name> [--budget <s>] [--seed <n>] [--out <file>]
 //! next-sim compare --app <name> [--duration <s>] [--seed <n>]
+//! next-sim sweep   [--apps <a,b,..|all>] [--governors <g,h,..>] [--seeds <n,m,..>]
+//!                  [--duration <s>] [--train-budget <s>] [--workers <n>]
 //! next-sim apps
 //! ```
 
@@ -15,7 +17,7 @@ use next_mpsoc::governors::{IntQosPm, Ondemand, Performance, Powersave, Scheduti
 use next_mpsoc::next_core::{NextAgent, NextConfig};
 use next_mpsoc::qlearn::QTable;
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
-use next_mpsoc::simkit::{Battery, Summary};
+use next_mpsoc::simkit::{sweep, Battery, StandardEvaluator, Summary};
 use next_mpsoc::workload::{apps, SessionPlan};
 
 fn main() -> ExitCode {
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "train" => cmd_train(&flags),
         "compare" => cmd_compare(&flags),
+        "sweep" => cmd_sweep(&flags),
         "apps" => {
             println!("home");
             for app in apps::all() {
@@ -64,9 +67,16 @@ USAGE:
                    [--train-budget <s>] [--table <file.qtable>]
   next-sim train   --app <name> [--budget <s>] [--seed <n>] [--out <file.qtable>]
   next-sim compare --app <name> [--duration <s>] [--seed <n>]
+  next-sim sweep   [--apps <a,b,..|all>] [--governors <g,h,..>] [--seeds <n,m,..>]
+                   [--duration <s>] [--train-budget <s>] [--workers <n>]
   next-sim apps
 
-governors: schedutil | intqos | next | performance | powersave | ondemand";
+governors: schedutil | intqos | next | performance | powersave | ondemand
+
+sweep runs the full governor x app x seed grid in parallel (defaults:
+the six paper apps, schedutil+intqos+next, seed 1000, paper session
+lengths, all CPU cores) and prints a deterministic report — identical
+bytes for any --workers value.";
 
 type Flags = HashMap<String, String>;
 
@@ -179,6 +189,74 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("table written to {path}");
     }
+    Ok(())
+}
+
+fn parse_list(flags: &Flags, name: &str, default: Vec<String>) -> Vec<String> {
+    match flags.get(name) {
+        None => default,
+        Some(v) => v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect(),
+    }
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+    // `apps::all()` is exactly the paper's Fig. 7 grid; `all` also
+    // includes the home screen.
+    let paper_apps: Vec<String> = apps::all().iter().map(|a| a.name().to_owned()).collect();
+    let apps_list: Vec<String> = match flags.get("apps").map(String::as_str) {
+        Some("all") => std::iter::once("home".to_owned()).chain(paper_apps).collect(),
+        _ => parse_list(flags, "apps", paper_apps),
+    };
+    for app in &apps_list {
+        if apps::by_name(app).is_none() {
+            return Err(format!("unknown app '{app}' (see `next-sim apps`)"));
+        }
+    }
+    let default_governors = ["schedutil", "intqos", "next"].map(str::to_owned).to_vec();
+    let governors = parse_list(flags, "governors", default_governors);
+    for gov in &governors {
+        if !StandardEvaluator::GOVERNORS.contains(&gov.as_str()) {
+            return Err(format!("unknown governor '{gov}'"));
+        }
+    }
+    let seeds: Vec<u64> = match flags.get("seeds") {
+        None => vec![1000],
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("--seeds: '{s}' is not an integer")))
+            .collect::<Result<_, _>>()?,
+    };
+    let mut duration = None;
+    if flags.contains_key("duration") {
+        let d = get_f64(flags, "duration", 0.0)?;
+        // Shorter than one 25 ms tick would produce an empty trace,
+        // which cannot be summarised.
+        if !d.is_finite() || d < 0.025 {
+            return Err(format!("--duration must be at least 0.025 s, got {d}"));
+        }
+        duration = Some(d);
+    }
+    let train_budget =
+        get_f64(flags, "train-budget", StandardEvaluator::BASE_TRAIN_BUDGET_S)?;
+    let workers = usize::try_from(get_u64(flags, "workers", sweep::default_workers() as u64)?)
+        .map_err(|_| "--workers out of range".to_owned())?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+
+    let cells = sweep::grid(&apps_list, &governors, &seeds, duration);
+    eprintln!(
+        "sweeping {} cells ({} apps x {} governors x {} seeds) on {workers} workers ...",
+        cells.len(),
+        apps_list.len(),
+        governors.len(),
+        seeds.len()
+    );
+    let started = std::time::Instant::now();
+    let evaluator = StandardEvaluator::prepare(&cells, train_budget, workers);
+    let rows = sweep::run_cells(&cells, workers, |cell| evaluator.eval(cell));
+    eprintln!("sweep finished in {:.1} s wall clock", started.elapsed().as_secs_f64());
+    print!("{}", sweep::report(&rows));
     Ok(())
 }
 

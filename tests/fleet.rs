@@ -23,9 +23,11 @@ fn fleet_merge_produces_a_working_agent() {
     let merged = merge(&refs);
 
     // The union covers at least as many states as any single device.
-    let max_single = tables.iter().map(qlearn::QTable::len).max().unwrap();
+    // Integration tests of the facade crate only see the workspace
+    // members through `next_mpsoc::*`, so path the methods accordingly.
+    let max_single = tables.iter().map(next_mpsoc::qlearn::QTable::len).max().unwrap();
     assert!(merged.len() >= max_single, "merge must not lose states");
-    let visit_sum: u64 = tables.iter().map(qlearn::QTable::total_visits).sum();
+    let visit_sum: u64 = tables.iter().map(next_mpsoc::qlearn::QTable::total_visits).sum();
     assert_eq!(merged.total_visits(), visit_sum);
 
     // The merged table drives greedy inference without issue.

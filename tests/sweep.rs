@@ -1,0 +1,58 @@
+//! Determinism of the parallel sweep engine: the same grid must produce
+//! identical `Summary` rows — and byte-identical reports — whatever the
+//! worker-thread count, because thread scheduling may change only when a
+//! cell runs, never its result or its place in the output.
+
+use next_mpsoc::simkit::sweep::{self, StandardEvaluator};
+
+/// A small but representative grid: two app classes, three governor
+/// kinds (including the trained `next` agent), two seeds.
+fn test_cells() -> Vec<sweep::SweepCell> {
+    sweep::grid(
+        &["facebook".into(), "pubg".into()],
+        &["schedutil".into(), "powersave".into(), "next".into()],
+        &[1000, 1001],
+        Some(15.0),
+    )
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_row_for_row() {
+    let cells = test_cells();
+
+    let eval_serial = StandardEvaluator::prepare(&cells, 45.0, 1);
+    let serial = sweep::run_cells(&cells, 1, |c| eval_serial.eval(c));
+
+    let eval_parallel = StandardEvaluator::prepare(&cells, 45.0, 8);
+    let parallel = sweep::run_cells(&cells, 8, |c| eval_parallel.eval(c));
+
+    assert_eq!(serial.len(), cells.len());
+    assert_eq!(serial, parallel, "rows must be identical under parallelism");
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    let cells = test_cells();
+    let reports: Vec<String> = [1usize, 2, 5]
+        .iter()
+        .map(|&workers| {
+            let eval = StandardEvaluator::prepare(&cells, 45.0, workers);
+            let rows = sweep::run_cells(&cells, workers, |c| eval.eval(c));
+            sweep::report(&rows)
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[1], reports[2]);
+    assert!(reports[0].contains("facebook"), "report lists the swept apps");
+    assert!(reports[0].contains("next"), "report lists the swept governors");
+}
+
+#[test]
+fn rows_come_back_in_cell_order() {
+    let cells = test_cells();
+    let eval = StandardEvaluator::prepare(&cells, 45.0, 4);
+    let rows = sweep::run_cells(&cells, 4, |c| eval.eval(c));
+    for (cell, row) in cells.iter().zip(&rows) {
+        assert_eq!(cell, &row.cell);
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the small API the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] —
+//! backed by a plain wall-clock timing loop (short warm-up, then a
+//! fixed measurement budget, reporting the mean time per iteration).
+//! There is no statistical analysis, plotting or HTML output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working; upstream
+/// deprecates it in favour of `std::hint::black_box`, which this is.
+pub use std::hint::black_box;
+
+/// Benchmark driver: runs named benchmark functions and prints their
+/// mean iteration time.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warmup: Duration::from_millis(150), measure: Duration::from_millis(750) }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints the result.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_secs_f64() * 1e9 / b.iters as f64
+        };
+        println!("{id:40} {per_iter_ns:12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Handed to the benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`: a short warm-up, then as many
+    /// iterations as fit in the measurement budget.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let warm_until = Instant::now() + self.warmup;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            // Batch iterations to amortise the clock reads.
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion { warmup: Duration::from_millis(1), measure: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}
