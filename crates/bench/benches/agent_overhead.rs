@@ -14,8 +14,8 @@ use next_core::{FrameWindow, NextAgent, NextConfig};
 fn trained_setup() -> (NextAgent, Soc) {
     let mut agent = NextAgent::new(NextConfig::paper());
     let mut soc = Soc::new(SocConfig::exynos9810());
-    let demand = mpsoc::perf::FrameDemand::new(4.0e6, 2.0e6, 5.0e6)
-        .with_background(0.3e9, 0.1e9, 0.0);
+    let demand =
+        mpsoc::perf::FrameDemand::new(4.0e6, 2.0e6, 5.0e6).with_background(0.3e9, 0.1e9, 0.0);
     for t in 0..12_000 {
         let out = soc.tick(0.025, &demand);
         agent.observe_frame_sample(out.fps);

@@ -53,10 +53,7 @@ fn bench_substrates(c: &mut Criterion) {
         });
     });
 
-    let mut session = workload::SessionSim::new(
-        workload::SessionPlan::paper_fig1(),
-        42,
-    );
+    let mut session = workload::SessionSim::new(workload::SessionPlan::paper_fig1(), 42);
     c.bench_function("workload_advance_25ms", |b| {
         b.iter(|| black_box(session.advance(0.025)));
     });

@@ -15,7 +15,14 @@ fn main() {
 
     let mut table = Table::new(
         "ablation: epsilon schedule (facebook)",
-        &["eps0", "decay", "train_s", "converged", "saving_%", "avg_fps"],
+        &[
+            "eps0",
+            "decay",
+            "train_s",
+            "converged",
+            "saving_%",
+            "avg_fps",
+        ],
     );
     for &(eps0, decay) in &[
         (0.1f64, 0.999f64),

@@ -16,7 +16,12 @@ use simkit::report::Table;
 
 fn run(label: &str, config: NextConfig, table: &mut Table, sched: &simkit::Summary) {
     let plan = bench::paper_plan("pubg");
-    let out = train_next_for_app("pubg", config, bench::TRAIN_SEED, bench::train_budget_s("pubg"));
+    let out = train_next_for_app(
+        "pubg",
+        config,
+        bench::TRAIN_SEED,
+        bench::train_budget_s("pubg"),
+    );
     let mut agent = out.agent;
     let next = evaluate_governor(&mut agent, &plan, bench::EVAL_SEED);
     table.push_row(vec![
@@ -45,7 +50,12 @@ fn main() {
     ]);
 
     run("full", NextConfig::paper(), &mut table, &sched.summary);
-    run("pure-ppdw", NextConfig::paper().pure_ppdw(), &mut table, &sched.summary);
+    run(
+        "pure-ppdw",
+        NextConfig::paper().pure_ppdw(),
+        &mut table,
+        &sched.summary,
+    );
 
     let mut no_headroom = NextConfig::paper();
     no_headroom.headroom_weight = 0.0;

@@ -17,7 +17,11 @@ use workload::{SessionPlan, SessionSim};
 /// A hot environment: 35 °C ambient and trips 10 °C lower than stock.
 fn constrained_soc() -> Soc {
     let mut cfg = SocConfig::exynos9810_at_ambient(35.0);
-    cfg.throttle = ThrottleConfig { enabled: true, trip_c: [65.0, 65.0, 61.0], hysteresis_c: 5.0 };
+    cfg.throttle = ThrottleConfig {
+        enabled: true,
+        trip_c: [65.0, 65.0, 61.0],
+        hysteresis_c: 5.0,
+    };
     Soc::new(cfg)
 }
 
@@ -50,13 +54,22 @@ fn run(gov: &mut dyn Governor) -> (simkit::Summary, f64) {
             freq_khz: state.freq_khz,
         });
     }
-    (trace.summary(), throttled_ticks as f64 / total_ticks as f64 * 100.0)
+    (
+        trace.summary(),
+        throttled_ticks as f64 / total_ticks as f64 * 100.0,
+    )
 }
 
 fn main() {
     let mut table = Table::new(
         "thermal throttling under a hot environment (pubg, 35 C ambient, low trips)",
-        &["governor", "power_w", "avg_fps", "peak_big_c", "throttled_%"],
+        &[
+            "governor",
+            "power_w",
+            "avg_fps",
+            "peak_big_c",
+            "throttled_%",
+        ],
     );
 
     let (s, pct) = run(&mut Schedutil::new());

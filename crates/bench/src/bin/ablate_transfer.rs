@@ -32,7 +32,10 @@ fn train_more(mut agent: NextAgent, app: &str, seed: u64, budget_s: f64) -> (Nex
         spent += chunk;
         round += 1;
     }
-    let time = agent.stats().converged_at_s.map_or(spent, |t| (t - base_time).max(0.0));
+    let time = agent
+        .stats()
+        .converged_at_s
+        .map_or(spent, |t| (t - base_time).max(0.0));
     (agent, time)
 }
 
@@ -48,7 +51,13 @@ fn main() {
 
     let mut table = Table::new(
         "transfer learning: facebook table warm-starting other apps",
-        &["app", "cold_train_s", "warm_train_s", "cold_saving_%", "warm_saving_%"],
+        &[
+            "app",
+            "cold_train_s",
+            "warm_train_s",
+            "cold_saving_%",
+            "warm_saving_%",
+        ],
     );
     for app in ["web-browser", "youtube", "spotify"] {
         let plan = bench::paper_plan(app);
@@ -58,16 +67,17 @@ fn main() {
         let cold = train_next_for_app(app, NextConfig::paper(), bench::TRAIN_SEED, 600.0);
         let cold_time = cold.training_time_s;
         let mut cold_agent = cold.agent;
-        let cold_saving =
-            evaluate_governor(&mut cold_agent, &plan, bench::EVAL_SEED).summary.power_saving_vs(&sched.summary);
+        let cold_saving = evaluate_governor(&mut cold_agent, &plan, bench::EVAL_SEED)
+            .summary
+            .power_saving_vs(&sched.summary);
 
         // Warm start from the donor table (training resumes on it).
-        let warm_agent =
-            NextAgent::with_table(NextConfig::paper(), donor_table.clone(), true);
+        let warm_agent = NextAgent::with_table(NextConfig::paper(), donor_table.clone(), true);
         let (mut warm_agent, warm_time) = train_more(warm_agent, app, bench::TRAIN_SEED, 600.0);
         warm_agent.set_training(false);
-        let warm_saving =
-            evaluate_governor(&mut warm_agent, &plan, bench::EVAL_SEED).summary.power_saving_vs(&sched.summary);
+        let warm_saving = evaluate_governor(&mut warm_agent, &plan, bench::EVAL_SEED)
+            .summary
+            .power_saving_vs(&sched.summary);
 
         table.push_row(vec![
             app.to_owned(),

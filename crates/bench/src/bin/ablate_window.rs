@@ -16,7 +16,14 @@ fn main() {
 
     let mut table = Table::new(
         "ablation: frame-window length (facebook)",
-        &["window_s", "samples", "saving_%", "avg_fps", "train_s", "converged"],
+        &[
+            "window_s",
+            "samples",
+            "saving_%",
+            "avg_fps",
+            "train_s",
+            "converged",
+        ],
     );
     for &window_s in &[1.0f64, 2.0, 4.0, 8.0] {
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -37,7 +44,10 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("# schedutil baseline: {:.2} W, {:.1} fps", sched.summary.avg_power_w, sched.summary.avg_fps);
+    println!(
+        "# schedutil baseline: {:.2} W, {:.1} fps",
+        sched.summary.avg_power_w, sched.summary.avg_fps
+    );
     println!("# shorter windows chase transients; longer windows lag the user —");
     println!("# the paper's 4 s setting balances both.");
 }

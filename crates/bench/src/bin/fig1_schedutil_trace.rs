@@ -24,10 +24,14 @@ fn main() {
     let resampled = outcome.trace.resampled(3.0);
     let xs: Vec<f64> = resampled.iter().map(|s| s.time_s).collect();
     let fps: Vec<f64> = resampled.iter().map(|s| s.fps).collect();
-    let f_big: Vec<f64> =
-        resampled.iter().map(|s| f64::from(s.freq_khz[0]) / 1e6).collect();
-    let f_little: Vec<f64> =
-        resampled.iter().map(|s| f64::from(s.freq_khz[1]) / 1e6).collect();
+    let f_big: Vec<f64> = resampled
+        .iter()
+        .map(|s| f64::from(s.freq_khz[0]) / 1e6)
+        .collect();
+    let f_little: Vec<f64> = resampled
+        .iter()
+        .map(|s| f64::from(s.freq_khz[1]) / 1e6)
+        .collect();
 
     println!(
         "{}",
@@ -47,8 +51,14 @@ fn main() {
     let summary = outcome.trace.summary();
     let fps_min = fps.iter().copied().fold(f64::INFINITY, f64::min);
     let fps_max = fps.iter().copied().fold(0.0f64, f64::max);
-    println!("# avg fps {:.1}, range [{fps_min:.1}, {fps_max:.1}]", summary.avg_fps);
-    println!("# avg power {:.2} W, peak big temp {:.1} C", summary.avg_power_w, summary.peak_temp_big_c);
+    println!(
+        "# avg fps {:.1}, range [{fps_min:.1}, {fps_max:.1}]",
+        summary.avg_fps
+    );
+    println!(
+        "# avg power {:.2} W, peak big temp {:.1} C",
+        summary.avg_power_w, summary.peak_temp_big_c
+    );
     println!("# paper shape: FPS spans near-0 to 60 within one session while CPU");
     println!("# frequencies stay high (Spotify playback keeps big cores clocked up).");
 }

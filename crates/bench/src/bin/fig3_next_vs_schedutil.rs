@@ -40,20 +40,44 @@ fn main() {
             "time_s",
             &xs,
             &[
-                ("pow_schedutil_w", s_res.iter().take(n).map(|s| s.power_w).collect()),
-                ("pow_next_w", n_res.iter().take(n).map(|s| s.power_w).collect()),
-                ("temp_schedutil_c", s_res.iter().take(n).map(|s| s.temp_big_c).collect()),
-                ("temp_next_c", n_res.iter().take(n).map(|s| s.temp_big_c).collect()),
+                (
+                    "pow_schedutil_w",
+                    s_res.iter().take(n).map(|s| s.power_w).collect()
+                ),
+                (
+                    "pow_next_w",
+                    n_res.iter().take(n).map(|s| s.power_w).collect()
+                ),
+                (
+                    "temp_schedutil_c",
+                    s_res.iter().take(n).map(|s| s.temp_big_c).collect()
+                ),
+                (
+                    "temp_next_c",
+                    n_res.iter().take(n).map(|s| s.temp_big_c).collect()
+                ),
             ],
         )
     );
 
     let ss = sched_out.trace.summary();
     let ns = next_out.trace.summary();
-    println!("# avg power schedutil: {:.4} W   (paper: 3.5154 W)", ss.avg_power_w);
-    println!("# avg power Next:      {:.4} W   (paper: 2.0433 W)", ns.avg_power_w);
-    println!("# avg big temp schedutil: {:.2} C (paper: 52.33 C)", ss.avg_temp_big_c);
-    println!("# avg big temp Next:      {:.2} C (paper: 41.33 C)", ns.avg_temp_big_c);
+    println!(
+        "# avg power schedutil: {:.4} W   (paper: 3.5154 W)",
+        ss.avg_power_w
+    );
+    println!(
+        "# avg power Next:      {:.4} W   (paper: 2.0433 W)",
+        ns.avg_power_w
+    );
+    println!(
+        "# avg big temp schedutil: {:.2} C (paper: 52.33 C)",
+        ss.avg_temp_big_c
+    );
+    println!(
+        "# avg big temp Next:      {:.2} C (paper: 41.33 C)",
+        ns.avg_temp_big_c
+    );
     println!(
         "# power saving: {:.2} %  (paper: 41.88 %)",
         ns.power_saving_vs(&ss)
@@ -62,5 +86,8 @@ fn main() {
         "# peak big-temp reduction (above 21 C ambient): {:.2} %  (paper: 21.02 % avg-temp)",
         ns.big_temp_reduction_vs(&ss, 21.0)
     );
-    println!("# avg fps schedutil {:.1} / Next {:.1}", ss.avg_fps, ns.avg_fps);
+    println!(
+        "# avg fps schedutil {:.1} / Next {:.1}",
+        ss.avg_fps, ns.avg_fps
+    );
 }

@@ -102,9 +102,16 @@ fn main() {
 
     println!("{}", table.render());
     // Shape check mirroring the figure.
-    let frontier_max =
-        points.iter().filter(|p| !p.2).map(|p| p.1).fold(0.0f64, f64::max);
-    let worst_max = points.iter().filter(|p| p.2).map(|p| p.1).fold(0.0f64, f64::max);
+    let frontier_max = points
+        .iter()
+        .filter(|p| !p.2)
+        .map(|p| p.1)
+        .fold(0.0f64, f64::max);
+    let worst_max = points
+        .iter()
+        .filter(|p| p.2)
+        .map(|p| p.1)
+        .fold(0.0f64, f64::max);
     println!("# frontier PPDW rises with FPS up to {frontier_max:.4} (paper: up to 0.5316)");
     println!("# worst-case points stay near zero, max {worst_max:.4} (paper: 0.0039-0.0395)");
 }

@@ -54,8 +54,17 @@ fn main() {
         )
     );
     println!("# paper online: 67, 75, 146, 207, 312 s; cloud: 7, 10, 16, 41, 73 s");
-    println!("# shape: online time grows with quantisation level; cloud is ~{}x", cloud.speedup);
-    println!("# faster plus {} s communication overhead.", cloud.comm_overhead_s);
+    println!(
+        "# shape: online time grows with quantisation level; cloud is ~{}x",
+        cloud.speedup
+    );
+    println!(
+        "# faster plus {} s communication overhead.",
+        cloud.comm_overhead_s
+    );
     let rising = online.windows(2).filter(|w| w[1] >= w[0]).count();
-    println!("# monotone-rising online segments: {rising}/{}", online.len() - 1);
+    println!(
+        "# monotone-rising online segments: {rising}/{}",
+        online.len() - 1
+    );
 }

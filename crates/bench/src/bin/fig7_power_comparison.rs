@@ -16,7 +16,14 @@ fn main() {
 
     let mut table = Table::new(
         "fig7: average power (W) per application",
-        &["app", "schedutil", "next", "int-qos-pm", "next_saving_%", "intqos_saving_%"],
+        &[
+            "app",
+            "schedutil",
+            "next",
+            "int-qos-pm",
+            "next_saving_%",
+            "intqos_saving_%",
+        ],
     );
     let mut next_savings: Vec<f64> = Vec::new();
 

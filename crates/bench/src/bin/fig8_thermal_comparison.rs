@@ -21,7 +21,15 @@ fn main() {
 
     let mut table = Table::new(
         "fig8: peak temperature (C) per application, big cluster / device",
-        &["app", "sched_big", "sched_dev", "next_big", "next_dev", "qos_big", "qos_dev"],
+        &[
+            "app",
+            "sched_big",
+            "sched_dev",
+            "next_big",
+            "next_dev",
+            "qos_big",
+            "qos_dev",
+        ],
     );
     let mut best_big_red = 0.0f64;
     let mut best_dev_red = 0.0f64;
@@ -65,7 +73,9 @@ fn main() {
 
     println!("{}", table.render());
     println!("# Next, reduction of the rise above ambient: big {best_big_red:.1} %, device {best_dev_red:.1} %.");
-    println!("# Next, reduction of the absolute reading: big {best_big_red_abs:.1} % (paper: 29.16 %),");
+    println!(
+        "# Next, reduction of the absolute reading: big {best_big_red_abs:.1} % (paper: 29.16 %),"
+    );
     println!("#       device {best_dev_red_abs:.1} % (paper: 21.21 %).");
     println!("# Int. QoS PM max big-cluster reduction (above ambient) {best_qos_big_red:.1} % (paper: 22.80 %).");
 }

@@ -9,6 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod perf;
+
 use next_core::{NextAgent, NextConfig};
 use simkit::experiment::{train_next_for_app, TrainOutcome};
 use simkit::sweep::{self, StandardEvaluator, SweepCell, SweepRow};
@@ -24,8 +27,14 @@ pub const EVAL_SEED: u64 = 1000;
 pub const TRAIN_SEED: u64 = StandardEvaluator::TRAIN_SEED;
 
 /// The six applications of Figs. 7 and 8, in the paper's order.
-pub const PAPER_APPS: [&str; 6] =
-    ["facebook", "lineage", "pubg", "spotify", "web-browser", "youtube"];
+pub const PAPER_APPS: [&str; 6] = [
+    "facebook",
+    "lineage",
+    "pubg",
+    "spotify",
+    "web-browser",
+    "youtube",
+];
 
 /// Training budget per application, simulated seconds — the sweep
 /// engine's §V protocol (games get twice the base budget).
@@ -46,18 +55,22 @@ pub fn trained_next(app: &str) -> TrainOutcome {
 /// mixed home→Facebook→Spotify session of Figs. 1 and 3).
 #[must_use]
 pub fn trained_next_on_plan(plan: &SessionPlan, budget_s: f64) -> NextAgent {
-    use simkit::Engine;
+    use simkit::{Engine, RunOutcome, Trace};
     let engine = Engine::new();
     let mut agent = NextAgent::new(NextConfig::paper());
     let mut soc = mpsoc::Soc::new(mpsoc::SocConfig::exynos9810());
     let mut spent = 0.0;
     let mut round = 0u64;
+    let mut outcome = RunOutcome {
+        trace: Trace::new(),
+        presented_frames: 0,
+        repeated_vsyncs: 0,
+    };
     while spent < budget_s && !agent.is_converged() {
-        let mut session =
-            workload::SessionSim::new(plan.clone(), TRAIN_SEED.wrapping_add(round));
+        let mut session = workload::SessionSim::new(plan.clone(), TRAIN_SEED.wrapping_add(round));
         agent.start_session();
         let chunk = plan.total_duration_s();
-        engine.run(&mut soc, &mut agent, &mut session, chunk);
+        engine.run_into(&mut soc, &mut agent, &mut session, chunk, &mut outcome);
         spent += chunk;
         round += 1;
     }

@@ -1,0 +1,570 @@
+//! The machine-readable performance harness behind `next-sim perf`.
+//!
+//! Runs a fixed governor×app×seed grid through the parallel sweep
+//! engine with per-cell wall-clock timing, microbenches the Q-table
+//! storage backends (hash vs dense-indexed) on a fully-populated
+//! synthetic table, and emits everything as a `BENCH.json` artifact —
+//! the document the CI `perf-smoke` job gates on and the repo's
+//! `BENCH_*.json` trajectory entries consume.
+//!
+//! Everything in the artifact except wall-clock readings is
+//! deterministic: the grid, tick counts and summaries are pure
+//! functions of the config, so two runs differ only in their `*_s`,
+//! `*_ns` and `*_per_sec` fields.
+
+use std::time::Instant;
+
+use governors::{Governor, IntQosPm, Ondemand, Performance, Powersave, Schedutil};
+use next_core::NextConfig;
+use qlearn::{QLearning, QStore, QTable};
+use simkit::sweep::{self, StandardEvaluator, SweepCell};
+use simkit::{Engine, Summary};
+
+use crate::json::Json;
+
+/// Version of the `BENCH.json` schema this harness writes. Bump when a
+/// field changes meaning; additions are backwards-compatible.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Configuration of one perf-harness run.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Label recorded in the artifact (`"quick"` / `"full"` / custom).
+    pub mode: String,
+    /// Applications of the grid.
+    pub apps: Vec<String>,
+    /// Governors of the grid.
+    pub governors: Vec<String>,
+    /// Session seeds of the grid.
+    pub seeds: Vec<u64>,
+    /// Session length per cell, simulated seconds.
+    pub duration_s: f64,
+    /// Next training budget per app, simulated seconds.
+    pub train_budget_s: f64,
+    /// Worker threads for the grid.
+    pub workers: usize,
+    /// States populated in the Q-table backend microbenchmark.
+    pub probe_states: usize,
+}
+
+impl PerfConfig {
+    /// The CI smoke grid: small but exercising every layer (training,
+    /// the RL governor, a baseline governor, the sweep engine).
+    #[must_use]
+    pub fn quick() -> Self {
+        PerfConfig {
+            mode: "quick".to_owned(),
+            apps: vec!["facebook".to_owned(), "spotify".to_owned()],
+            governors: vec!["schedutil".to_owned(), "next".to_owned()],
+            seeds: vec![1000],
+            duration_s: 60.0,
+            train_budget_s: 120.0,
+            workers: sweep::default_workers(),
+            probe_states: 20_000,
+        }
+    }
+
+    /// The full grid: the six paper apps under the three §V governors.
+    #[must_use]
+    pub fn full() -> Self {
+        PerfConfig {
+            mode: "full".to_owned(),
+            apps: crate::PAPER_APPS.iter().map(|&a| a.to_owned()).collect(),
+            governors: vec![
+                "schedutil".to_owned(),
+                "intqos".to_owned(),
+                "next".to_owned(),
+            ],
+            seeds: vec![1000],
+            duration_s: 120.0,
+            train_budget_s: 300.0,
+            workers: sweep::default_workers(),
+            probe_states: 100_000,
+        }
+    }
+}
+
+/// Timing and outcome of one measured grid cell.
+#[derive(Debug, Clone)]
+pub struct CellPerf {
+    /// The grid point.
+    pub cell: SweepCell,
+    /// Run summary (power/fps/thermals) of the cell.
+    pub summary: Summary,
+    /// Wall-clock seconds the cell took on its worker.
+    pub wall_s: f64,
+    /// 25 ms engine ticks executed.
+    pub ticks: u64,
+    /// Simulated ticks per wall-clock second.
+    pub ticks_per_sec: f64,
+    /// Governor control invocations during the run.
+    pub control_steps: u64,
+    /// Wall-clock nanoseconds per control step (includes the platform
+    /// simulation between steps — an upper bound on governor overhead).
+    pub ns_per_control_step: f64,
+}
+
+/// Microbenchmark of one Q-table storage backend: a fully-populated
+/// table driven through the hot argmax + Q-update loop.
+#[derive(Debug, Clone)]
+pub struct BackendProbe {
+    /// Backend name (`"hash"` / `"dense"`).
+    pub backend: String,
+    /// States populated (each with every action visited).
+    pub states: usize,
+    /// Actions per state.
+    pub actions: usize,
+    /// Mean nanoseconds per `best_action` (argmax) probe.
+    pub argmax_ns: f64,
+    /// Mean nanoseconds per Q-learning update (read + bootstrap + set).
+    pub update_ns: f64,
+}
+
+/// A finished perf run, renderable as `BENCH.json`.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// The configuration that ran.
+    pub config: PerfConfig,
+    /// Wall-clock seconds spent training Next tables (all apps).
+    pub train_wall_s: f64,
+    /// Wall-clock seconds of the measured grid phase (parallel).
+    pub grid_wall_s: f64,
+    /// Per-cell results, in grid order.
+    pub cells: Vec<CellPerf>,
+    /// Backend microbenchmarks (hash then dense).
+    pub probes: Vec<BackendProbe>,
+}
+
+/// Wall-clock period of governor `name`, seconds.
+///
+/// # Panics
+///
+/// Panics on an unknown governor name.
+#[must_use]
+pub fn governor_period_s(name: &str) -> f64 {
+    let gov: Box<dyn Governor> = match name {
+        "schedutil" => Box::new(Schedutil::new()),
+        "intqos" => Box::new(IntQosPm::new()),
+        "performance" => Box::new(Performance::new()),
+        "powersave" => Box::new(Powersave::new()),
+        "ondemand" => Box::new(Ondemand::new()),
+        "next" => return NextConfig::paper().control_period_s,
+        other => panic!("unknown governor '{other}'"),
+    };
+    gov.period_s()
+}
+
+/// Runs the harness: trains, measures the grid, probes the backends.
+///
+/// # Panics
+///
+/// Panics on unknown app or governor names in the config.
+#[must_use]
+pub fn run(config: &PerfConfig) -> PerfReport {
+    let cells = sweep::grid(
+        &config.apps,
+        &config.governors,
+        &config.seeds,
+        Some(config.duration_s),
+    );
+
+    let train_started = Instant::now();
+    let evaluator = StandardEvaluator::prepare(&cells, config.train_budget_s, config.workers);
+    let train_wall_s = train_started.elapsed().as_secs_f64();
+
+    let grid_started = Instant::now();
+    let timed: Vec<(Summary, f64)> = sweep::parallel_map(&cells, config.workers, |cell| {
+        let started = Instant::now();
+        let summary = evaluator.eval(cell);
+        (summary, started.elapsed().as_secs_f64())
+    });
+    let grid_wall_s = grid_started.elapsed().as_secs_f64();
+
+    // Tick accounting comes from the same Engine the evaluator runs
+    // cells on, so BENCH.json cannot drift from what actually executed.
+    let engine = Engine::new();
+    let cells = cells
+        .into_iter()
+        .zip(timed)
+        .map(|(cell, (summary, wall_s))| {
+            let ticks = engine.ticks_for(cell.duration_s);
+            let period = governor_period_s(&cell.governor);
+            let control_every = engine.control_every_ticks(period);
+            let control_steps = ticks / control_every;
+            CellPerf {
+                ticks,
+                ticks_per_sec: if wall_s > 0.0 {
+                    ticks as f64 / wall_s
+                } else {
+                    0.0
+                },
+                control_steps,
+                ns_per_control_step: if control_steps > 0 {
+                    wall_s * 1e9 / control_steps as f64
+                } else {
+                    0.0
+                },
+                cell,
+                summary,
+                wall_s,
+            }
+        })
+        .collect();
+
+    let probes = probe_backends(config.probe_states);
+
+    PerfReport {
+        config: config.clone(),
+        train_wall_s,
+        grid_wall_s,
+        cells,
+        probes,
+    }
+}
+
+/// Total simulated ticks across the grid.
+#[must_use]
+pub fn total_ticks(report: &PerfReport) -> u64 {
+    report.cells.iter().map(|c| c.ticks).sum()
+}
+
+/// Aggregate throughput of the measured grid phase: simulated ticks per
+/// wall-clock second, all workers combined. This is the number the CI
+/// floor gates on.
+#[must_use]
+pub fn throughput_ticks_per_sec(report: &PerfReport) -> f64 {
+    if report.grid_wall_s > 0.0 {
+        total_ticks(report) as f64 / report.grid_wall_s
+    } else {
+        0.0
+    }
+}
+
+fn populate(table: &mut QTable<impl QStore>, states: usize) {
+    let actions = table.n_actions();
+    for s in 0..states as u64 {
+        for a in 0..actions {
+            // Any finite value pattern works; vary it so argmax has no
+            // degenerate all-equal rows.
+            let v = f64::from(u32::try_from((s + a as u64 * 7) % 13).expect("small")) - 6.0;
+            table.set(s, a, v);
+        }
+    }
+}
+
+/// A deterministic, hash-scattering permutation of `0..states`, so the
+/// probe loop does not walk the table in its insertion order.
+fn probe_sequence(states: usize) -> Vec<u64> {
+    let mut keys: Vec<u64> = (0..states as u64).collect();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for i in (1..keys.len()).rev() {
+        // xorshift64* for the shuffle.
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let j = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % (i as u64 + 1)) as usize;
+        keys.swap(i, j);
+    }
+    keys
+}
+
+fn time_per_op<F: FnMut(u64)>(keys: &[u64], mut op: F) -> f64 {
+    // Warm-up pass, then measure whole passes until ≥ 20 ms and ≥ 3
+    // passes have accumulated.
+    for &k in keys {
+        op(k);
+    }
+    let started = Instant::now();
+    let mut ops = 0u64;
+    let mut passes = 0u32;
+    while passes < 3 || started.elapsed().as_secs_f64() < 0.02 {
+        for &k in keys {
+            op(k);
+        }
+        ops += keys.len() as u64;
+        passes += 1;
+    }
+    started.elapsed().as_secs_f64() * 1e9 / ops as f64
+}
+
+fn probe_backend<S: QStore>(mut table: QTable<S>, states: usize) -> BackendProbe {
+    populate(&mut table, states);
+    let keys = probe_sequence(states);
+    let learner = QLearning::new(0.25, 0.5);
+
+    let argmax_ns = time_per_op(&keys, |k| {
+        std::hint::black_box(table.best_action(std::hint::black_box(k)));
+    });
+    let mut i = 0usize;
+    let update_ns = time_per_op(&keys, |k| {
+        let next = keys[i];
+        i = (i + 1) % keys.len();
+        let (a, _) = table.best_action(k);
+        std::hint::black_box(learner.update(&mut table, k, a, 0.5, next));
+    });
+
+    BackendProbe {
+        backend: S::backend_name().to_owned(),
+        states,
+        actions: table.n_actions(),
+        argmax_ns,
+        update_ns,
+    }
+}
+
+/// Actions per state in the backend probes (the Next action space).
+const PROBE_ACTIONS: usize = 9;
+
+/// Benchmarks the argmax + update hot loop of both storage backends on
+/// a fully-populated `states`-state table (compact keys, as produced by
+/// the dense `StateSpace` encoding; the dense table declares the space
+/// so it gets its direct slot-table index, exactly as the agent does).
+#[must_use]
+pub fn probe_backends(states: usize) -> Vec<BackendProbe> {
+    vec![
+        probe_backend(
+            QTable::<qlearn::HashStore>::empty(PROBE_ACTIONS, 0.0),
+            states,
+        ),
+        probe_backend(
+            qlearn::DenseQTable::dense_for_space(PROBE_ACTIONS, 0.0, states as u64),
+            states,
+        ),
+    ]
+}
+
+impl PerfReport {
+    /// The `BENCH.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let cfg = &self.config;
+        let grid = Json::Obj(vec![
+            (
+                "apps".into(),
+                Json::Arr(cfg.apps.iter().map(Json::str).collect()),
+            ),
+            (
+                "governors".into(),
+                Json::Arr(cfg.governors.iter().map(Json::str).collect()),
+            ),
+            (
+                "seeds".into(),
+                Json::Arr(cfg.seeds.iter().map(|&s| Json::num(s as f64)).collect()),
+            ),
+            ("duration_s".into(), Json::num(cfg.duration_s)),
+            ("train_budget_s".into(), Json::num(cfg.train_budget_s)),
+            ("workers".into(), Json::num(cfg.workers as f64)),
+        ]);
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("app".into(), Json::str(&c.cell.app)),
+                    ("governor".into(), Json::str(&c.cell.governor)),
+                    ("seed".into(), Json::num(c.cell.seed as f64)),
+                    ("duration_s".into(), Json::num(c.cell.duration_s)),
+                    ("ticks".into(), Json::num(c.ticks as f64)),
+                    ("wall_s".into(), Json::num(c.wall_s)),
+                    ("ticks_per_sec".into(), Json::num(c.ticks_per_sec)),
+                    ("control_steps".into(), Json::num(c.control_steps as f64)),
+                    (
+                        "ns_per_control_step".into(),
+                        Json::num(c.ns_per_control_step),
+                    ),
+                    ("avg_power_w".into(), Json::num(c.summary.avg_power_w)),
+                    ("avg_fps".into(), Json::num(c.summary.avg_fps)),
+                ])
+            })
+            .collect();
+        let probes = self
+            .probes
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("backend".into(), Json::str(&p.backend)),
+                    ("states".into(), Json::num(p.states as f64)),
+                    ("actions".into(), Json::num(p.actions as f64)),
+                    ("argmax_ns".into(), Json::num(p.argmax_ns)),
+                    ("update_ns".into(), Json::num(p.update_ns)),
+                ])
+            })
+            .collect();
+        let dense_speedup = self.dense_speedup().map_or(Json::Null, Json::num);
+        Json::Obj(vec![
+            ("schema".into(), Json::num(f64::from(SCHEMA_VERSION))),
+            ("harness".into(), Json::str("next-sim perf")),
+            ("mode".into(), Json::str(&cfg.mode)),
+            ("grid".into(), grid),
+            (
+                "train".into(),
+                Json::Obj(vec![("wall_s".into(), Json::num(self.train_wall_s))]),
+            ),
+            ("cells".into(), Json::Arr(cells)),
+            (
+                "totals".into(),
+                Json::Obj(vec![
+                    ("cells".into(), Json::num(self.cells.len() as f64)),
+                    ("ticks".into(), Json::num(total_ticks(self) as f64)),
+                    ("grid_wall_s".into(), Json::num(self.grid_wall_s)),
+                    (
+                        "ticks_per_sec".into(),
+                        Json::num(throughput_ticks_per_sec(self)),
+                    ),
+                ]),
+            ),
+            ("qtable".into(), Json::Arr(probes)),
+            ("dense_speedup".into(), dense_speedup),
+        ])
+    }
+
+    /// How much faster the dense backend ran the argmax+update loop
+    /// than the hash backend (`hash_time / dense_time`), if both probes
+    /// are present.
+    #[must_use]
+    pub fn dense_speedup(&self) -> Option<f64> {
+        let hash = self.probes.iter().find(|p| p.backend == "hash")?;
+        let dense = self.probes.iter().find(|p| p.backend == "dense")?;
+        let dense_total = dense.argmax_ns + dense.update_ns;
+        (dense_total > 0.0).then(|| (hash.argmax_ns + hash.update_ns) / dense_total)
+    }
+}
+
+/// Applies the CI throughput floor: the report's aggregate ticks/sec
+/// must reach `min_ratio` of the baseline's `ticks_per_sec`.
+///
+/// `baseline_text` is the checked-in baseline JSON (see
+/// `ci/perf-baseline.json`); it needs a top-level numeric
+/// `ticks_per_sec` field.
+///
+/// # Errors
+///
+/// Returns a human-readable description when the baseline cannot be
+/// read or the floor is violated.
+pub fn check_floor(
+    report: &PerfReport,
+    baseline_text: &str,
+    min_ratio: f64,
+) -> Result<String, String> {
+    let baseline = Json::parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let base_tps = baseline
+        .get("ticks_per_sec")
+        .and_then(Json::as_f64)
+        .ok_or("baseline: missing numeric 'ticks_per_sec'")?;
+    if base_tps <= 0.0 || base_tps.is_nan() {
+        return Err("baseline: 'ticks_per_sec' must be positive".to_owned());
+    }
+    let measured = throughput_ticks_per_sec(report);
+    let floor = base_tps * min_ratio;
+    if measured < floor {
+        return Err(format!(
+            "throughput {measured:.0} ticks/s fell below the floor {floor:.0} ticks/s \
+             (= {min_ratio} x baseline {base_tps:.0})",
+        ));
+    }
+    Ok(format!(
+        "throughput {measured:.0} ticks/s >= floor {floor:.0} ticks/s \
+         ({:.1}x the gated minimum)",
+        measured / floor
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PerfConfig {
+        PerfConfig {
+            mode: "test".to_owned(),
+            apps: vec!["facebook".to_owned()],
+            governors: vec!["schedutil".to_owned(), "next".to_owned()],
+            seeds: vec![1],
+            duration_s: 5.0,
+            train_budget_s: 10.0,
+            workers: 2,
+            probe_states: 500,
+        }
+    }
+
+    #[test]
+    fn report_renders_valid_json_with_expected_fields() {
+        let report = run(&tiny_config());
+        assert_eq!(report.cells.len(), 2);
+        let text = report.to_json().render();
+        let doc = Json::parse(&text).expect("BENCH.json must be valid JSON");
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("mode").and_then(Json::as_str), Some("test"));
+        let cells = doc
+            .get("cells")
+            .and_then(Json::as_array)
+            .expect("cells array");
+        assert_eq!(cells.len(), 2);
+        for cell in cells {
+            assert_eq!(
+                cell.get("ticks").and_then(Json::as_f64),
+                Some(200.0),
+                "5 s grid"
+            );
+            assert!(cell.get("wall_s").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(
+                cell.get("ns_per_control_step")
+                    .and_then(Json::as_f64)
+                    .unwrap()
+                    > 0.0
+            );
+        }
+        let probes = doc.get("qtable").and_then(Json::as_array).expect("probes");
+        assert_eq!(probes.len(), 2);
+        assert_eq!(
+            probes[0].get("backend").and_then(Json::as_str),
+            Some("hash")
+        );
+        assert_eq!(
+            probes[1].get("backend").and_then(Json::as_str),
+            Some("dense")
+        );
+        assert!(doc
+            .get("totals")
+            .and_then(|t| t.get("ticks_per_sec"))
+            .is_some());
+    }
+
+    #[test]
+    fn control_step_accounting_follows_governor_period() {
+        let report = run(&tiny_config());
+        for cell in &report.cells {
+            let expect = match cell.cell.governor.as_str() {
+                "schedutil" | "next" => 50, // 5 s / 100 ms
+                other => panic!("unexpected governor {other}"),
+            };
+            assert_eq!(cell.control_steps, expect);
+        }
+    }
+
+    #[test]
+    fn floor_check_passes_and_fails_correctly() {
+        let report = run(&tiny_config());
+        let tps = throughput_ticks_per_sec(&report);
+        assert!(tps > 0.0);
+        let generous = format!("{{\"ticks_per_sec\": {}}}", tps / 10.0);
+        assert!(check_floor(&report, &generous, 0.5).is_ok());
+        let impossible = format!("{{\"ticks_per_sec\": {}}}", tps * 1e6);
+        assert!(check_floor(&report, &impossible, 0.5).is_err());
+        assert!(check_floor(&report, "not json", 0.5).is_err());
+        assert!(check_floor(&report, "{}", 0.5).is_err());
+    }
+
+    #[test]
+    fn governor_periods_are_positive() {
+        for gov in StandardEvaluator::GOVERNORS {
+            assert!(governor_period_s(gov) > 0.0, "{gov}");
+        }
+    }
+
+    #[test]
+    fn probe_sequence_is_a_permutation() {
+        let mut seq = probe_sequence(1000);
+        seq.sort_unstable();
+        assert_eq!(seq, (0..1000).collect::<Vec<u64>>());
+    }
+}

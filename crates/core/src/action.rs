@@ -37,15 +37,42 @@ impl Action {
 
     /// All actions in index order.
     pub const ALL: [Action; 9] = [
-        Action { cluster: ClusterId::Big, direction: Direction::Up },
-        Action { cluster: ClusterId::Big, direction: Direction::Down },
-        Action { cluster: ClusterId::Big, direction: Direction::Hold },
-        Action { cluster: ClusterId::Little, direction: Direction::Up },
-        Action { cluster: ClusterId::Little, direction: Direction::Down },
-        Action { cluster: ClusterId::Little, direction: Direction::Hold },
-        Action { cluster: ClusterId::Gpu, direction: Direction::Up },
-        Action { cluster: ClusterId::Gpu, direction: Direction::Down },
-        Action { cluster: ClusterId::Gpu, direction: Direction::Hold },
+        Action {
+            cluster: ClusterId::Big,
+            direction: Direction::Up,
+        },
+        Action {
+            cluster: ClusterId::Big,
+            direction: Direction::Down,
+        },
+        Action {
+            cluster: ClusterId::Big,
+            direction: Direction::Hold,
+        },
+        Action {
+            cluster: ClusterId::Little,
+            direction: Direction::Up,
+        },
+        Action {
+            cluster: ClusterId::Little,
+            direction: Direction::Down,
+        },
+        Action {
+            cluster: ClusterId::Little,
+            direction: Direction::Hold,
+        },
+        Action {
+            cluster: ClusterId::Gpu,
+            direction: Direction::Up,
+        },
+        Action {
+            cluster: ClusterId::Gpu,
+            direction: Direction::Down,
+        },
+        Action {
+            cluster: ClusterId::Gpu,
+            direction: Direction::Hold,
+        },
     ];
 
     /// The action at table index `idx`.
@@ -61,7 +88,10 @@ impl Action {
     /// The table index of this action.
     #[must_use]
     pub fn index(self) -> usize {
-        Action::ALL.iter().position(|a| *a == self).expect("action in table")
+        Action::ALL
+            .iter()
+            .position(|a| *a == self)
+            .expect("action in table")
     }
 
     /// Applies the action to the DVFS controller by stepping the
@@ -105,30 +135,50 @@ mod tests {
     fn up_down_move_the_cap() {
         let mut dvfs = DvfsController::exynos9810();
         let start = dvfs.domain(ClusterId::Big).max_cap().freq_khz;
-        Action { cluster: ClusterId::Big, direction: Direction::Down }.apply(&mut dvfs);
+        Action {
+            cluster: ClusterId::Big,
+            direction: Direction::Down,
+        }
+        .apply(&mut dvfs);
         let lowered = dvfs.domain(ClusterId::Big).max_cap().freq_khz;
         assert!(lowered < start);
-        Action { cluster: ClusterId::Big, direction: Direction::Up }.apply(&mut dvfs);
+        Action {
+            cluster: ClusterId::Big,
+            direction: Direction::Up,
+        }
+        .apply(&mut dvfs);
         assert_eq!(dvfs.domain(ClusterId::Big).max_cap().freq_khz, start);
     }
 
     #[test]
     fn hold_changes_nothing() {
         let mut dvfs = DvfsController::exynos9810();
-        let before: Vec<u32> =
-            ClusterId::ALL.iter().map(|&c| dvfs.domain(c).max_cap().freq_khz).collect();
+        let before: Vec<u32> = ClusterId::ALL
+            .iter()
+            .map(|&c| dvfs.domain(c).max_cap().freq_khz)
+            .collect();
         for c in ClusterId::ALL {
-            Action { cluster: c, direction: Direction::Hold }.apply(&mut dvfs);
+            Action {
+                cluster: c,
+                direction: Direction::Hold,
+            }
+            .apply(&mut dvfs);
         }
-        let after: Vec<u32> =
-            ClusterId::ALL.iter().map(|&c| dvfs.domain(c).max_cap().freq_khz).collect();
+        let after: Vec<u32> = ClusterId::ALL
+            .iter()
+            .map(|&c| dvfs.domain(c).max_cap().freq_khz)
+            .collect();
         assert_eq!(before, after);
     }
 
     #[test]
     fn actions_only_touch_their_cluster() {
         let mut dvfs = DvfsController::exynos9810();
-        Action { cluster: ClusterId::Gpu, direction: Direction::Down }.apply(&mut dvfs);
+        Action {
+            cluster: ClusterId::Gpu,
+            direction: Direction::Down,
+        }
+        .apply(&mut dvfs);
         assert_eq!(dvfs.domain(ClusterId::Big).max_cap().freq_khz, 2_704_000);
         assert_eq!(dvfs.domain(ClusterId::Little).max_cap().freq_khz, 1_794_000);
         assert_eq!(dvfs.domain(ClusterId::Gpu).max_cap().freq_khz, 546_000);
@@ -138,7 +188,11 @@ mod tests {
     fn repeated_down_saturates_at_bottom() {
         let mut dvfs = DvfsController::exynos9810();
         for _ in 0..50 {
-            Action { cluster: ClusterId::Big, direction: Direction::Down }.apply(&mut dvfs);
+            Action {
+                cluster: ClusterId::Big,
+                direction: Direction::Down,
+            }
+            .apply(&mut dvfs);
         }
         assert_eq!(dvfs.domain(ClusterId::Big).max_cap().freq_khz, 650_000);
     }

@@ -19,7 +19,7 @@ use governors::Governor;
 use mpsoc::dvfs::DvfsController;
 use mpsoc::soc::SocState;
 use qlearn::policy::EpsilonGreedy;
-use qlearn::qtable::{QTable, StateKey};
+use qlearn::qtable::{DenseQTable, StateKey};
 use qlearn::QLearning;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -188,14 +188,18 @@ pub struct TrainingStats {
 }
 
 /// The Next agent.
+///
+/// The Q-tables run on the dense-indexed backend: the control loop's
+/// argmax and update touch one contiguous row per invocation instead of
+/// probing a hash map once per action.
 #[derive(Debug, Clone)]
 pub struct NextAgent {
     config: NextConfig,
     encoder: StateEncoder,
     window: FrameWindow,
-    table: QTable,
+    table: DenseQTable,
     /// Second table for double Q-learning (None in single-Q mode).
-    table_b: Option<QTable>,
+    table_b: Option<DenseQTable>,
     learner: QLearning,
     policy: EpsilonGreedy,
     rng: StdRng,
@@ -219,31 +223,66 @@ impl NextAgent {
     /// optimistic initialisation).
     #[must_use]
     pub fn new(config: NextConfig) -> Self {
-        let table = QTable::with_default_q(Action::COUNT, config.optimistic_q);
-        NextAgent::with_table(config, table, true)
+        // Declaring the encoder's state-space size lets small spaces
+        // (coarse FPS bins) use the direct slot-table row index; the
+        // paper's 30-bin space exceeds the direct limit and keeps the
+        // fast-hashed index automatically.
+        let encoder = StateEncoder::exynos9810(config.fps_bins);
+        let table = DenseQTable::dense_for_space(
+            Action::COUNT,
+            config.optimistic_q,
+            encoder.state_space_size(),
+        );
+        NextAgent::from_parts(config, encoder, table, true)
     }
 
     /// Creates an agent from a previously-trained table. `training`
     /// selects between continued learning and greedy inference.
+    ///
+    /// A table whose direct index was declared for a smaller state
+    /// space (e.g. trained at coarser FPS bins) is re-homed into one
+    /// covering this config's space, so warm-starting across configs
+    /// cannot run out of index capacity mid-training.
     ///
     /// # Panics
     ///
     /// Panics if the table's action count is not [`Action::COUNT`] or
     /// the configuration is invalid.
     #[must_use]
-    pub fn with_table(config: NextConfig, table: QTable, training: bool) -> Self {
-        assert_eq!(table.n_actions(), Action::COUNT, "table action count mismatch");
-        assert!(config.fps_bins > 0, "fps_bins must be positive");
-        assert!(config.control_period_s > 0.0, "control period must be positive");
+    pub fn with_table(config: NextConfig, table: DenseQTable, training: bool) -> Self {
         let encoder = StateEncoder::exynos9810(config.fps_bins);
+        let table = table.resized_for_space(encoder.state_space_size());
+        NextAgent::from_parts(config, encoder, table, training)
+    }
+
+    fn from_parts(
+        config: NextConfig,
+        encoder: StateEncoder,
+        table: DenseQTable,
+        training: bool,
+    ) -> Self {
+        assert_eq!(
+            table.n_actions(),
+            Action::COUNT,
+            "table action count mismatch"
+        );
+        assert!(config.fps_bins > 0, "fps_bins must be positive");
+        assert!(
+            config.control_period_s > 0.0,
+            "control period must be positive"
+        );
         let policy = if training {
             EpsilonGreedy::new(config.epsilon0, config.epsilon_decay, config.epsilon_min)
         } else {
             EpsilonGreedy::greedy()
         };
-        let table_b = config
-            .double_q
-            .then(|| QTable::with_default_q(Action::COUNT, config.optimistic_q));
+        let table_b = config.double_q.then(|| {
+            DenseQTable::dense_for_space(
+                Action::COUNT,
+                config.optimistic_q,
+                encoder.state_space_size(),
+            )
+        });
         NextAgent {
             encoder,
             window: FrameWindow::new(config.window_samples),
@@ -316,7 +355,7 @@ impl NextAgent {
     /// Read access to the learned Q-table (persist via
     /// [`crate::store::QTableStore`]).
     #[must_use]
-    pub fn table(&self) -> &QTable {
+    pub fn table(&self) -> &DenseQTable {
         &self.table
     }
 
@@ -324,7 +363,7 @@ impl NextAgent {
     /// mode the two tables are merged (visit-weighted average), which
     /// preserves the greedy ordering of the combined estimate.
     #[must_use]
-    pub fn into_table(self) -> QTable {
+    pub fn into_table(self) -> DenseQTable {
         match self.table_b {
             None => self.table,
             Some(b) => qlearn::federated::merge(&[&self.table, &b]),
@@ -364,7 +403,12 @@ impl NextAgent {
         // power and running cooler, otherwise the agent has no gradient
         // during exactly the sessions the paper showcases (Spotify).
         let fps_floored = state.fps.max(self.config.bounds.fps_least);
-        let raw = ppdw(fps_floored, state.power_w, state.temp_big_c, self.config.ambient_c);
+        let raw = ppdw(
+            fps_floored,
+            state.power_w,
+            state.temp_big_c,
+            self.config.ambient_c,
+        );
         let ppdw_term = self.config.bounds.soft_normalize(raw);
         let undershoot = (self.target_fps - state.fps).max(0.0);
         let overshoot = (state.fps - self.target_fps).max(0.0);
@@ -415,8 +459,7 @@ impl NextAgent {
         use crate::action::Direction;
         let i = action.cluster.index();
         let util = state.util[i];
-        let slack =
-            state.max_cap_level[i] as f64 - state.freq_level[i] as f64;
+        let slack = state.max_cap_level[i] as f64 - state.freq_level[i] as f64;
         let undershooting = state.fps < target_fps - 2.0;
         match action.direction {
             Direction::Up => {
@@ -482,8 +525,9 @@ impl NextAgent {
             self.guard_steps = 0;
         }
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let guard_limit =
-            (self.config.qos_guard_s / self.config.control_period_s).round().max(1.0) as u32;
+        let guard_limit = (self.config.qos_guard_s / self.config.control_period_s)
+            .round()
+            .max(1.0) as u32;
         if self.guard_steps >= guard_limit {
             dvfs.reset_caps();
             self.guard_steps = 0;
@@ -513,9 +557,9 @@ impl NextAgent {
                     self.double_q_update(ps, pa, reward, key, alpha)
                 } else {
                     let q_before = self.table.q(ps, pa);
-                    let td =
-                        reward + self.learner.gamma() * self.table.max_q(key) - q_before;
-                    self.learner.update_with_alpha(&mut self.table, ps, pa, reward, key, alpha);
+                    let td = reward + self.learner.gamma() * self.table.max_q(key) - q_before;
+                    self.learner
+                        .update_with_alpha(&mut self.table, ps, pa, reward, key, alpha);
                     (td, q_before)
                 };
                 self.track_convergence(td, q_before);
@@ -579,8 +623,11 @@ impl NextAgent {
         let b = self.table_b.as_mut().expect("double-Q mode");
         let gamma = self.learner.gamma();
         let coin = self.rng.gen_range(0.0..1.0) < 0.5;
-        let (primary, other): (&mut QTable, &QTable) =
-            if coin { (&mut self.table, b) } else { (b, &self.table) };
+        let (primary, other): (&mut DenseQTable, &DenseQTable) = if coin {
+            (&mut self.table, b)
+        } else {
+            (b, &self.table)
+        };
         let greedy = primary.best_action(next_state).0;
         let bootstrap = other.q(next_state, greedy);
         let q_before = primary.q(state, action);
@@ -732,8 +779,14 @@ mod tests {
         let on_target_cheap = agent.reward(&mk(60.0, 2.0, 35.0));
         let on_target_hot = agent.reward(&mk(60.0, 8.0, 70.0));
         let off_target = agent.reward(&mk(10.0, 2.0, 35.0));
-        assert!(on_target_cheap > on_target_hot, "cooler/cheaper must score higher");
-        assert!(on_target_cheap > off_target, "missing the target must cost reward");
+        assert!(
+            on_target_cheap > on_target_hot,
+            "cooler/cheaper must score higher"
+        );
+        assert!(
+            on_target_cheap > off_target,
+            "missing the target must cost reward"
+        );
     }
 
     #[test]
@@ -758,7 +811,10 @@ mod tests {
         // (the PPDW numerator) and ignores the distance to target.
         let r30 = agent.reward(&mk(30.0));
         let r60 = agent.reward(&mk(60.0));
-        assert!(r60 > r30, "higher FPS at equal power/temp must raise pure-PPDW reward");
+        assert!(
+            r60 > r30,
+            "higher FPS at equal power/temp must raise pure-PPDW reward"
+        );
     }
 
     #[test]
@@ -784,7 +840,11 @@ mod tests {
         let mut soc2 = Soc::new(SocConfig::exynos9810());
         run_loop(&mut agent, &mut soc2, &ui_demand(), 10.0);
         assert_eq!(agent.stats().updates, 0);
-        assert_eq!(agent.table().total_visits(), before, "greedy mode must not learn");
+        assert_eq!(
+            agent.table().total_visits(),
+            before,
+            "greedy mode must not learn"
+        );
     }
 
     #[test]
@@ -792,13 +852,18 @@ mod tests {
         let mut agent = NextAgent::new(NextConfig::paper());
         let mut soc = Soc::new(SocConfig::exynos9810());
         run_loop(&mut agent, &mut soc, &ui_demand(), 30.0);
-        let caps: Vec<usize> =
-            ClusterId::ALL.iter().map(|&c| soc.dvfs().domain(c).max_cap_level()).collect();
+        let caps: Vec<usize> = ClusterId::ALL
+            .iter()
+            .map(|&c| soc.dvfs().domain(c).max_cap_level())
+            .collect();
         let tops: Vec<usize> = ClusterId::ALL
             .iter()
             .map(|&c| soc.dvfs().domain(c).table().len() - 1)
             .collect();
-        assert_ne!(caps, tops, "after 30 s of light UI the agent should have lowered some cap");
+        assert_ne!(
+            caps, tops,
+            "after 30 s of light UI the agent should have lowered some cap"
+        );
     }
 
     #[test]
@@ -880,8 +945,31 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_across_fps_bin_configs_does_not_outgrow_the_index() {
+        // Train at 2 FPS bins: the 622k-state space fits the direct
+        // slot-table index. Warm-starting that table under the paper's
+        // 30-bin config produces keys far beyond the small index's
+        // declared capacity — with_table must re-home the rows.
+        let mut coarse = NextAgent::new(NextConfig::paper().with_fps_bins(2));
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        run_loop(&mut coarse, &mut soc, &ui_demand(), 10.0);
+        let table = coarse.into_table();
+        let states = table.len();
+        assert!(states > 0);
+
+        let mut warm = NextAgent::with_table(NextConfig::paper(), table, true);
+        let mut soc2 = Soc::new(SocConfig::exynos9810());
+        run_loop(&mut warm, &mut soc2, &ui_demand(), 10.0);
+        assert!(warm.stats().updates > 0);
+        assert!(
+            warm.table().len() >= states,
+            "rows must survive the re-homing"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "action count mismatch")]
     fn wrong_table_arity_panics() {
-        let _ = NextAgent::with_table(NextConfig::paper(), QTable::new(4), true);
+        let _ = NextAgent::with_table(NextConfig::paper(), DenseQTable::dense(4), true);
     }
 }

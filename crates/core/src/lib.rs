@@ -51,6 +51,7 @@ pub mod action;
 pub mod agent;
 pub mod frame_window;
 pub mod ppdw;
+pub mod space;
 pub mod state;
 pub mod store;
 
@@ -58,5 +59,6 @@ pub use action::Action;
 pub use agent::{NextAgent, NextConfig, TrainingStats};
 pub use frame_window::FrameWindow;
 pub use ppdw::{ppdw, PpdwBounds};
+pub use space::StateSpace;
 pub use state::StateEncoder;
 pub use store::QTableStore;

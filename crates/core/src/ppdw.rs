@@ -66,13 +66,15 @@ impl PpdwBounds {
     /// `PPDW_best = FPS_max / (ΔT_least × P_least)` (Eq. 2).
     #[must_use]
     pub fn best(&self) -> f64 {
-        self.fps_max / (self.delta_t_least_c.max(DELTA_T_FLOOR_C) * self.power_least_w.max(POWER_FLOOR_W))
+        self.fps_max
+            / (self.delta_t_least_c.max(DELTA_T_FLOOR_C) * self.power_least_w.max(POWER_FLOOR_W))
     }
 
     /// `PPDW_worst = FPS_least / (ΔT_max × P_max)` (Eq. 2).
     #[must_use]
     pub fn worst(&self) -> f64 {
-        self.fps_least / (self.delta_t_max_c.max(DELTA_T_FLOOR_C) * self.power_max_w.max(POWER_FLOOR_W))
+        self.fps_least
+            / (self.delta_t_max_c.max(DELTA_T_FLOOR_C) * self.power_max_w.max(POWER_FLOOR_W))
     }
 
     /// Whether a measured PPDW value lies inside the Eq. 2 envelope
@@ -158,7 +160,12 @@ mod tests {
         assert!(b.best() > b.worst());
         // A sane operating point sits inside the envelope.
         let v = ppdw(45.0, 3.0, 45.0, 21.0);
-        assert!(b.contains(v), "typical point {v} outside [{}, {}]", b.worst(), b.best());
+        assert!(
+            b.contains(v),
+            "typical point {v} outside [{}, {}]",
+            b.worst(),
+            b.best()
+        );
         assert!(!b.contains(b.best() * 2.0));
         assert!(!b.contains(0.0));
     }

@@ -13,10 +13,17 @@ use mpsoc::soc::SocState;
 use qlearn::discretize::Quantizer;
 use qlearn::qtable::StateKey;
 
+use crate::space::StateSpace;
+
 /// Packs the paper's 8-signal observation into Q-table state keys.
+///
+/// The mixed-radix packing itself lives in [`StateSpace`]; the encoder
+/// only quantises the continuous signals into digits. Keys are dense
+/// (`0..state_space_size()`), which the dense-indexed Q-table backend
+/// exploits.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateEncoder {
-    freq_levels: [usize; 3],
+    space: StateSpace,
     fps_quant: Quantizer,
     power_quant: Quantizer,
     temp_quant: Quantizer,
@@ -48,12 +55,28 @@ impl StateEncoder {
     /// Panics if any table size or `fps_bins` is zero.
     #[must_use]
     pub fn new(freq_levels: [usize; 3], fps_bins: usize) -> Self {
-        assert!(freq_levels.iter().all(|&n| n > 0), "cluster tables must be non-empty");
+        assert!(
+            freq_levels.iter().all(|&n| n > 0),
+            "cluster tables must be non-empty"
+        );
+        let fps_quant = Quantizer::fps(fps_bins);
+        let power_quant = Quantizer::power();
+        let temp_quant = Quantizer::temperature();
+        let space = StateSpace::new(&[
+            freq_levels[0],
+            freq_levels[1],
+            freq_levels[2],
+            fps_quant.bins(),
+            fps_quant.bins(),
+            power_quant.bins(),
+            temp_quant.bins(),
+            temp_quant.bins(),
+        ]);
         StateEncoder {
-            freq_levels,
-            fps_quant: Quantizer::fps(fps_bins),
-            power_quant: Quantizer::power(),
-            temp_quant: Quantizer::temperature(),
+            space,
+            fps_quant,
+            power_quant,
+            temp_quant,
         }
     }
 
@@ -70,24 +93,16 @@ impl StateEncoder {
         &self.fps_quant
     }
 
+    /// The dense state-space descriptor behind the encoding.
+    #[must_use]
+    pub fn space(&self) -> &StateSpace {
+        &self.space
+    }
+
     /// Total number of distinct encodable states.
     #[must_use]
     pub fn state_space_size(&self) -> u64 {
-        let radices = self.radices();
-        radices.iter().map(|&r| r as u64).product()
-    }
-
-    fn radices(&self) -> [usize; 8] {
-        [
-            self.freq_levels[0],
-            self.freq_levels[1],
-            self.freq_levels[2],
-            self.fps_quant.bins(),
-            self.fps_quant.bins(),
-            self.power_quant.bins(),
-            self.temp_quant.bins(),
-            self.temp_quant.bins(),
-        ]
+        self.space.size()
     }
 
     /// Encodes an observed SoC state plus the frame-window target FPS.
@@ -115,34 +130,15 @@ impl StateEncoder {
             self.temp_quant.index(state.temp_big_c),
             self.temp_quant.index(state.temp_device_c),
         ];
-        self.pack(digits)
-    }
-
-    fn pack(&self, digits: [usize; 8]) -> StateKey {
-        let radices = self.radices();
-        let mut key: u64 = 0;
-        for (digit, radix) in digits.iter().zip(radices.iter()) {
-            assert!(digit < radix, "digit {digit} exceeds radix {radix}");
-            key = key * (*radix as u64) + *digit as u64;
-        }
-        key
+        self.space.flat_index(&digits)
     }
 
     /// Decodes a key back into its components (inverse of
     /// [`StateEncoder::encode`] at bin resolution).
     #[must_use]
     pub fn decode(&self, key: StateKey) -> DecodedState {
-        let radices = self.radices();
         let mut digits = [0usize; 8];
-        let mut rest = key;
-        for i in (0..8).rev() {
-            let r = radices[i] as u64;
-            #[allow(clippy::cast_possible_truncation)]
-            {
-                digits[i] = (rest % r) as usize;
-            }
-            rest /= r;
-        }
+        self.space.unpack_into(key, &mut digits);
         DecodedState {
             freq_level: [digits[0], digits[1], digits[2]],
             fps_bin: digits[3],
@@ -206,7 +202,10 @@ mod tests {
         let enc = StateEncoder::exynos9810(30);
         let a = enc.encode(&sample_state(30.2, 5.0, 50.0, 40.0, [4, 4, 2]), 60.0);
         let b = enc.encode(&sample_state(31.0, 5.1, 50.4, 40.3, [4, 4, 2]), 60.0);
-        assert_eq!(a, b, "quantisation should coalesce near-identical observations");
+        assert_eq!(
+            a, b,
+            "quantisation should coalesce near-identical observations"
+        );
     }
 
     #[test]

@@ -12,13 +12,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use qlearn::qtable::QTable;
+use qlearn::qtable::DenseQTable;
 
 /// In-memory, optionally disk-backed store of per-app Q-tables.
 #[derive(Debug, Default)]
 pub struct QTableStore {
     dir: Option<PathBuf>,
-    cache: HashMap<String, QTable>,
+    cache: HashMap<String, DenseQTable>,
 }
 
 impl QTableStore {
@@ -35,14 +35,20 @@ impl QTableStore {
     /// Returns any I/O error from creating the directory.
     pub fn at_dir<P: AsRef<Path>>(dir: P) -> io::Result<Self> {
         fs::create_dir_all(&dir)?;
-        Ok(QTableStore { dir: Some(dir.as_ref().to_path_buf()), cache: HashMap::new() })
+        Ok(QTableStore {
+            dir: Some(dir.as_ref().to_path_buf()),
+            cache: HashMap::new(),
+        })
     }
 
     /// Whether a table for `app` exists (cache or disk).
     #[must_use]
     pub fn contains(&self, app: &str) -> bool {
         self.cache.contains_key(app)
-            || self.dir.as_ref().is_some_and(|d| d.join(Self::file_name(app)).exists())
+            || self
+                .dir
+                .as_ref()
+                .is_some_and(|d| d.join(Self::file_name(app)).exists())
     }
 
     /// Loads the table for `app` if present.
@@ -50,13 +56,13 @@ impl QTableStore {
     /// Disk corruption is reported as `None` (the paper's agent would
     /// simply retrain).
     #[must_use]
-    pub fn load(&mut self, app: &str) -> Option<QTable> {
+    pub fn load(&mut self, app: &str) -> Option<DenseQTable> {
         if let Some(t) = self.cache.get(app) {
             return Some(t.clone());
         }
         let dir = self.dir.as_ref()?;
         let text = fs::read_to_string(dir.join(Self::file_name(app))).ok()?;
-        let table = QTable::decode(&text).ok()?;
+        let table = DenseQTable::decode(&text).ok()?;
         self.cache.insert(app.to_owned(), table.clone());
         Some(table)
     }
@@ -66,7 +72,7 @@ impl QTableStore {
     /// # Errors
     ///
     /// Returns any I/O error from writing the file.
-    pub fn save(&mut self, app: &str, table: &QTable) -> io::Result<()> {
+    pub fn save(&mut self, app: &str, table: &DenseQTable) -> io::Result<()> {
         self.cache.insert(app.to_owned(), table.clone());
         if let Some(dir) = &self.dir {
             fs::write(dir.join(Self::file_name(app)), table.encode())?;
@@ -104,7 +110,13 @@ impl QTableStore {
     fn file_name(app: &str) -> String {
         let safe: String = app
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         format!("{safe}.qtable")
     }
@@ -114,15 +126,16 @@ impl QTableStore {
 mod tests {
     use super::*;
 
-    fn sample_table() -> QTable {
-        let mut t = QTable::new(9);
+    fn sample_table() -> DenseQTable {
+        let mut t = DenseQTable::dense(9);
         t.set(1, 2, 3.5);
         t.set(99, 0, -1.0);
         t
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("next-store-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("next-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -176,7 +189,10 @@ mod tests {
 
     #[test]
     fn file_names_are_sanitised() {
-        assert_eq!(QTableStore::file_name("web/browser v2!"), "web_browser_v2_.qtable");
+        assert_eq!(
+            QTableStore::file_name("web/browser v2!"),
+            "web_browser_v2_.qtable"
+        );
         assert_eq!(QTableStore::file_name("pubg"), "pubg.qtable");
     }
 }

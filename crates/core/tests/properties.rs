@@ -8,10 +8,10 @@ use next_core::{FrameWindow, StateEncoder};
 
 fn arb_soc_state() -> impl Strategy<Value = SocState> {
     (
-        0.0..80.0f64,         // fps (can exceed 60 transiently)
-        0.0..20.0f64,         // power
-        15.0..110.0f64,       // temp big
-        15.0..90.0f64,        // temp device
+        0.0..80.0f64,   // fps (can exceed 60 transiently)
+        0.0..20.0f64,   // power
+        15.0..110.0f64, // temp big
+        15.0..90.0f64,  // temp device
         0usize..18,
         0usize..10,
         0usize..6,

@@ -69,7 +69,11 @@ impl FrameCost {
             return;
         }
         let sample = busy_hz / fps;
-        self.cycles = if self.cycles <= 0.0 { sample } else { 0.7 * self.cycles + 0.3 * sample };
+        self.cycles = if self.cycles <= 0.0 {
+            sample
+        } else {
+            0.7 * self.cycles + 0.3 * sample
+        };
     }
 
     fn get(&self) -> Option<f64> {
@@ -124,8 +128,10 @@ impl IntQosPm {
         }
         let f_big = f64::from(state.freq_khz[ClusterId::Big.index()]) * 1e3;
         let f_gpu = f64::from(state.freq_khz[ClusterId::Gpu.index()]) * 1e3;
-        self.big_cost.observe(state.util[ClusterId::Big.index()] * f_big, state.fps);
-        self.gpu_cost.observe(state.util[ClusterId::Gpu.index()] * f_gpu, state.fps);
+        self.big_cost
+            .observe(state.util[ClusterId::Big.index()] * f_big, state.fps);
+        self.gpu_cost
+            .observe(state.util[ClusterId::Gpu.index()] * f_gpu, state.fps);
     }
 
     /// Predicted achievable FPS for a candidate frequency pair under the
@@ -168,7 +174,8 @@ impl Governor for IntQosPm {
         self.window.push(state.fps);
         self.observe(state);
 
-        dvfs.set_min_freq(ClusterId::Little, LITTLE_FLOOR_KHZ).expect("OPP in LITTLE table");
+        dvfs.set_min_freq(ClusterId::Little, LITTLE_FLOOR_KHZ)
+            .expect("OPP in LITTLE table");
 
         let target = (self.target_fps() * FPS_MARGIN).clamp(MIN_TARGET_FPS, MAX_TARGET_FPS);
 
@@ -216,8 +223,10 @@ impl Governor for IntQosPm {
         } else {
             (big_table.max(), gpu_table.max())
         };
-        dvfs.pin_freq(ClusterId::Big, big.freq_khz).expect("OPP from table valid");
-        dvfs.pin_freq(ClusterId::Gpu, gpu.freq_khz).expect("OPP from table valid");
+        dvfs.pin_freq(ClusterId::Big, big.freq_khz)
+            .expect("OPP from table valid");
+        dvfs.pin_freq(ClusterId::Gpu, gpu.freq_khz)
+            .expect("OPP from table valid");
     }
 
     fn reset(&mut self) {
@@ -267,7 +276,10 @@ mod tests {
         let mut gov = IntQosPm::new();
         drive(&mut gov, &mut soc, &game_demand(), 60.0);
         let big = soc.dvfs().current_khz(ClusterId::Big);
-        assert!(big < 2_704_000, "should back off from the top once the model converges: {big}");
+        assert!(
+            big < 2_704_000,
+            "should back off from the top once the model converges: {big}"
+        );
         assert!(gov.target_fps() > 25.0, "target fps {}", gov.target_fps());
     }
 
@@ -286,7 +298,10 @@ mod tests {
             p_perf += soc_perf.tick(0.025, &game_demand()).power_w;
         }
         p_perf /= 2_400.0;
-        assert!(p_qos < p_perf, "IntQos {p_qos} W must undercut performance {p_perf} W");
+        assert!(
+            p_qos < p_perf,
+            "IntQos {p_qos} W must undercut performance {p_perf} W"
+        );
     }
 
     #[test]
@@ -331,7 +346,10 @@ mod tests {
         let mut gov = IntQosPm::new();
         drive(&mut gov, &mut soc, &game_demand(), 30.0);
         let before = gov.target_fps();
-        assert!(before > 25.0, "converged target should be playable: {before}");
+        assert!(
+            before > 25.0,
+            "converged target should be playable: {before}"
+        );
         // One epoch of zero-FPS loading.
         let loading = FrameDemand::new(0.0, 0.0, 0.0).with_background(2.0e9, 0.5e9, 0.0);
         drive(&mut gov, &mut soc, &loading, 1.0);

@@ -57,7 +57,9 @@ mod tests {
     fn opens_caps_and_lets_util_tracking_ramp() {
         let mut soc = Soc::new(SocConfig::exynos9810());
         // Pre-constrain, as if a previous agent left caps behind.
-        soc.dvfs_mut().set_max_freq(ClusterId::Big, 962_000).unwrap();
+        soc.dvfs_mut()
+            .set_max_freq(ClusterId::Big, 962_000)
+            .unwrap();
         let mut gov = Schedutil::new();
         let heavy = FrameDemand::new(25.0e6, 6.0e6, 30.0e6).with_background(0.5e9, 0.2e9, 0.0);
         for _ in 0..200 {
@@ -85,14 +87,22 @@ mod tests {
         let mut soc = Soc::new(SocConfig::exynos9810());
         let mut gov = Schedutil::new();
         gov.control(&soc.state(), soc.dvfs_mut());
-        soc.dvfs_mut().set_max_freq(ClusterId::Gpu, 299_000).unwrap();
+        soc.dvfs_mut()
+            .set_max_freq(ClusterId::Gpu, 299_000)
+            .unwrap();
         // Without reset, the governor leaves foreign caps alone.
         gov.control(&soc.state(), soc.dvfs_mut());
-        assert_eq!(soc.dvfs().domain(ClusterId::Gpu).max_cap().freq_khz, 299_000);
+        assert_eq!(
+            soc.dvfs().domain(ClusterId::Gpu).max_cap().freq_khz,
+            299_000
+        );
         // After reset it re-opens them.
         gov.reset();
         gov.control(&soc.state(), soc.dvfs_mut());
-        assert_eq!(soc.dvfs().domain(ClusterId::Gpu).max_cap().freq_khz, 572_000);
+        assert_eq!(
+            soc.dvfs().domain(ClusterId::Gpu).max_cap().freq_khz,
+            572_000
+        );
     }
 
     #[test]

@@ -93,11 +93,15 @@ impl Governor for Ondemand {
             let util = state.util[id.index()];
             let table = dvfs.domain(id).table().clone();
             if util > self.up_threshold {
-                dvfs.pin_freq(id, table.max().freq_khz).expect("top OPP valid");
+                dvfs.pin_freq(id, table.max().freq_khz)
+                    .expect("top OPP valid");
             } else {
                 let cur_level = dvfs.domain(id).current_level();
                 let next = cur_level.saturating_sub(1);
-                let target = table.opp(next).expect("level below current is valid").freq_khz;
+                let target = table
+                    .opp(next)
+                    .expect("level below current is valid")
+                    .freq_khz;
                 dvfs.pin_freq(id, target).expect("OPP from table valid");
             }
         }
@@ -146,7 +150,10 @@ mod tests {
         let demand = FrameDemand::new(10.0e6, 3.0e6, 9.0e6).with_background(0.3e9, 0.1e9, 0.0);
         let (_, p_hi) = run(&mut Performance::new(), &demand, 10.0);
         let (_, p_lo) = run(&mut Powersave::new(), &demand, 10.0);
-        assert!(p_lo < p_hi, "powersave {p_lo} W must undercut performance {p_hi} W");
+        assert!(
+            p_lo < p_hi,
+            "powersave {p_lo} W must undercut performance {p_hi} W"
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl DvfsController {
         let mut slots: [Option<FreqDomain>; 3] = [None, None, None];
         for t in tables {
             let idx = t.cluster().index();
-            assert!(slots[idx].is_none(), "duplicate OPP table for {}", t.cluster());
+            assert!(
+                slots[idx].is_none(),
+                "duplicate OPP table for {}",
+                t.cluster()
+            );
             slots[idx] = Some(FreqDomain::new(t));
         }
         DvfsController {
@@ -231,7 +235,11 @@ mod tests {
             ctl.select_by_util([1.0, 0.0, 0.0]);
         }
         assert_eq!(ctl.current_khz(ClusterId::Big), 2_704_000);
-        assert_eq!(ctl.current_khz(ClusterId::Little), 455_000, "idle cluster stays at floor");
+        assert_eq!(
+            ctl.current_khz(ClusterId::Little),
+            455_000,
+            "idle cluster stays at floor"
+        );
     }
 
     #[test]
@@ -278,7 +286,11 @@ mod tests {
         for _ in 0..10 {
             ctl.select_by_util([1.0, 1.0, 1.0]);
         }
-        assert_eq!(ctl.current_khz(ClusterId::Big), 858_000, "pinned freq immune to util policy");
+        assert_eq!(
+            ctl.current_khz(ClusterId::Big),
+            858_000,
+            "pinned freq immune to util policy"
+        );
     }
 
     #[test]

@@ -41,12 +41,26 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UnknownFrequency { cluster, freq_khz } => {
-                write!(f, "frequency {freq_khz} kHz is not an OPP of cluster {cluster}")
+                write!(
+                    f,
+                    "frequency {freq_khz} kHz is not an OPP of cluster {cluster}"
+                )
             }
-            Error::LevelOutOfRange { cluster, level, len } => {
-                write!(f, "level {level} out of range for cluster {cluster} ({len} levels)")
+            Error::LevelOutOfRange {
+                cluster,
+                level,
+                len,
+            } => {
+                write!(
+                    f,
+                    "level {level} out of range for cluster {cluster} ({len} levels)"
+                )
             }
-            Error::InvertedFreqRange { cluster, min_khz, max_khz } => {
+            Error::InvertedFreqRange {
+                cluster,
+                min_khz,
+                max_khz,
+            } => {
                 write!(
                     f,
                     "inverted frequency range for cluster {cluster}: min {min_khz} kHz > max {max_khz} kHz"
@@ -65,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_mentions_cluster_and_value() {
-        let err = Error::UnknownFrequency { cluster: ClusterId::Big, freq_khz: 123 };
+        let err = Error::UnknownFrequency {
+            cluster: ClusterId::Big,
+            freq_khz: 123,
+        };
         let msg = err.to_string();
         assert!(msg.contains("123"));
         assert!(msg.contains("big"));

@@ -92,7 +92,9 @@ impl OppTable {
     /// strictly ascending in frequency, or has a non-positive voltage.
     pub fn new(cluster: ClusterId, opps: Vec<Opp>) -> Result<Self> {
         if opps.is_empty() {
-            return Err(Error::InvalidConfig(format!("empty OPP table for cluster {cluster}")));
+            return Err(Error::InvalidConfig(format!(
+                "empty OPP table for cluster {cluster}"
+            )));
         }
         for pair in opps.windows(2) {
             if pair[1].freq_khz <= pair[0].freq_khz {
@@ -103,7 +105,9 @@ impl OppTable {
             }
         }
         if opps.iter().any(|o| o.volt_v <= 0.0) {
-            return Err(Error::InvalidConfig(format!("non-positive voltage in {cluster} table")));
+            return Err(Error::InvalidConfig(format!(
+                "non-positive voltage in {cluster} table"
+            )));
         }
         Ok(OppTable { cluster, opps })
     }
@@ -192,14 +196,20 @@ impl OppTable {
         self.opps
             .iter()
             .position(|o| o.freq_khz == freq_khz)
-            .ok_or(Error::UnknownFrequency { cluster: self.cluster, freq_khz })
+            .ok_or(Error::UnknownFrequency {
+                cluster: self.cluster,
+                freq_khz,
+            })
     }
 
     /// Highest level whose frequency does not exceed `freq_khz`; level 0
     /// if every entry exceeds it.
     #[must_use]
     pub fn floor_level(&self, freq_khz: KiloHertz) -> usize {
-        self.opps.iter().rposition(|o| o.freq_khz <= freq_khz).unwrap_or(0)
+        self.opps
+            .iter()
+            .rposition(|o| o.freq_khz <= freq_khz)
+            .unwrap_or(0)
     }
 
     /// Slowest OPP.
@@ -265,7 +275,12 @@ impl FreqDomain {
     #[must_use]
     pub fn new(table: OppTable) -> Self {
         let max_level = table.len() - 1;
-        FreqDomain { table, min_level: 0, max_level, cur_level: 0 }
+        FreqDomain {
+            table,
+            min_level: 0,
+            max_level,
+            cur_level: 0,
+        }
     }
 
     /// The cluster this domain drives.
@@ -443,12 +458,17 @@ mod tests {
 
     #[test]
     fn voltages_rise_with_frequency() {
-        for table in
-            [OppTable::exynos9810_big(), OppTable::exynos9810_little(), OppTable::exynos9810_gpu()]
-        {
+        for table in [
+            OppTable::exynos9810_big(),
+            OppTable::exynos9810_little(),
+            OppTable::exynos9810_gpu(),
+        ] {
             let volts: Vec<f64> = table.iter().map(|o| o.volt_v).collect();
             for pair in volts.windows(2) {
-                assert!(pair[1] > pair[0], "voltage must rise with frequency in {table:?}");
+                assert!(
+                    pair[1] > pair[0],
+                    "voltage must rise with frequency in {table:?}"
+                );
             }
         }
     }
@@ -459,7 +479,10 @@ mod tests {
         for (idx, opp) in table.iter().enumerate() {
             assert_eq!(table.level_of(opp.freq_khz).unwrap(), idx);
         }
-        assert!(matches!(table.level_of(1), Err(Error::UnknownFrequency { .. })));
+        assert!(matches!(
+            table.level_of(1),
+            Err(Error::UnknownFrequency { .. })
+        ));
     }
 
     #[test]
@@ -474,8 +497,7 @@ mod tests {
     #[test]
     fn empty_and_unsorted_tables_rejected() {
         assert!(OppTable::new(ClusterId::Big, vec![]).is_err());
-        let unsorted =
-            vec![Opp::new(2_000_000, 1.0), Opp::new(1_000_000, 0.8)];
+        let unsorted = vec![Opp::new(2_000_000, 1.0), Opp::new(1_000_000, 0.8)];
         assert!(OppTable::new(ClusterId::Big, unsorted).is_err());
         let dup = vec![Opp::new(1_000_000, 0.8), Opp::new(1_000_000, 0.9)];
         assert!(OppTable::new(ClusterId::Big, dup).is_err());
@@ -487,9 +509,17 @@ mod tests {
         dom.set_level(17).unwrap();
         assert_eq!(dom.current().freq_khz, 2_704_000);
         dom.set_max_freq(1_794_000).unwrap();
-        assert_eq!(dom.current().freq_khz, 1_794_000, "current must clamp to new cap");
+        assert_eq!(
+            dom.current().freq_khz,
+            1_794_000,
+            "current must clamp to new cap"
+        );
         dom.set_level(17).unwrap();
-        assert_eq!(dom.current().freq_khz, 1_794_000, "requests above cap clamp");
+        assert_eq!(
+            dom.current().freq_khz,
+            1_794_000,
+            "requests above cap clamp"
+        );
     }
 
     #[test]
@@ -509,7 +539,10 @@ mod tests {
             Err(Error::InvertedFreqRange { .. })
         ));
         dom.set_min_freq(949_000).unwrap();
-        assert!(matches!(dom.set_max_freq(455_000), Err(Error::InvertedFreqRange { .. })));
+        assert!(matches!(
+            dom.set_max_freq(455_000),
+            Err(Error::InvertedFreqRange { .. })
+        ));
     }
 
     #[test]

@@ -163,7 +163,12 @@ pub fn plan(demand: &FrameDemand, opps: [Opp; 3]) -> ExecutionPlan {
         }
         Some(period)
     };
-    ExecutionPlan { frame_period_s, stage_time_s, background_util, frame_util_per_fps }
+    ExecutionPlan {
+        frame_period_s,
+        stage_time_s,
+        background_util,
+        frame_util_per_fps,
+    }
 }
 
 #[cfg(test)]

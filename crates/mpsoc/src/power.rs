@@ -34,7 +34,13 @@ impl ClusterPowerModel {
         leak_temp_coeff: f64,
         leak_ref_c: f64,
     ) -> Self {
-        ClusterPowerModel { cluster, ceff_f, leak_w_per_v, leak_temp_coeff, leak_ref_c }
+        ClusterPowerModel {
+            cluster,
+            ceff_f,
+            leak_w_per_v,
+            leak_temp_coeff,
+            leak_ref_c,
+        }
     }
 
     /// The cluster this model describes.
@@ -132,7 +138,11 @@ impl PowerModel {
         let mut slots: [Option<ClusterPowerModel>; 3] = [None, None, None];
         for m in models {
             let idx = m.cluster().index();
-            assert!(slots[idx].is_none(), "duplicate model for cluster {}", m.cluster());
+            assert!(
+                slots[idx].is_none(),
+                "duplicate model for cluster {}",
+                m.cluster()
+            );
             slots[idx] = Some(m);
         }
         let clusters = slots.map(|s| s.expect("model for every cluster"));
@@ -174,7 +184,10 @@ impl PowerModel {
             let i = id.index();
             cluster_w[i] = self.clusters[i].total_w(opps[i], utils[i], temps_c[i]);
         }
-        PowerBreakdown { cluster_w, base_w: self.base_w }
+        PowerBreakdown {
+            cluster_w,
+            base_w: self.base_w,
+        }
     }
 }
 
@@ -201,7 +214,10 @@ mod tests {
         let little = ClusterPowerModel::exynos9810_little();
         let pb = big.total_w(max_opp(&OppTable::exynos9810_big()), 1.0, 40.0);
         let pl = little.total_w(max_opp(&OppTable::exynos9810_little()), 1.0, 40.0);
-        assert!(pl < pb / 4.0, "LITTLE ({pl} W) should be far cheaper than big ({pb} W)");
+        assert!(
+            pl < pb / 4.0,
+            "LITTLE ({pl} W) should be far cheaper than big ({pb} W)"
+        );
     }
 
     #[test]
@@ -223,7 +239,10 @@ mod tests {
         let hi = table.max();
         let ratio_f = hi.freq_hz() / lo.freq_hz();
         let ratio_p = model.dynamic_w(hi, 1.0) / model.dynamic_w(lo, 1.0);
-        assert!(ratio_p > ratio_f * 1.5, "power ratio {ratio_p} vs freq ratio {ratio_f}");
+        assert!(
+            ratio_p > ratio_f * 1.5,
+            "power ratio {ratio_p} vs freq ratio {ratio_f}"
+        );
     }
 
     #[test]

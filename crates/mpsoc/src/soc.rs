@@ -166,7 +166,9 @@ impl Soc {
     /// refresh rate is invalid.
     pub fn try_new(config: SocConfig) -> Result<Self> {
         if !(config.refresh_hz > 0.0 && config.refresh_hz.is_finite()) {
-            return Err(Error::InvalidConfig("refresh rate must be positive".to_owned()));
+            return Err(Error::InvalidConfig(
+                "refresh rate must be positive".to_owned(),
+            ));
         }
         // Size the throttler from each cluster's ladder.
         let mut sizes = [0usize; 3];
@@ -272,7 +274,8 @@ impl Soc {
             let dom = self.dvfs.domain_mut(id);
             if dom.current_level() > clamps[i] {
                 // The hardware clamp outranks the software policy range.
-                dom.force_level(clamps[i]).expect("clamp level within table");
+                dom.force_level(clamps[i])
+                    .expect("clamp level within table");
             }
         }
         let opps = self.dvfs.current_opps();
@@ -419,7 +422,10 @@ mod tests {
         let mut b = Soc::new(SocConfig::exynos9810());
         let (_, p_light) = run(&mut a, &light_ui(), 30.0);
         let (_, p_heavy) = run(&mut b, &heavy_game(), 30.0);
-        assert!(p_heavy > p_light * 1.5, "heavy {p_heavy} W vs light {p_light} W");
+        assert!(
+            p_heavy > p_light * 1.5,
+            "heavy {p_heavy} W vs light {p_light} W"
+        );
         assert!(b.state().temp_big_c > a.state().temp_big_c);
     }
 
@@ -432,19 +438,34 @@ mod tests {
         let (fps, power) = run(&mut soc, &audio, 10.0);
         assert_eq!(fps, 0.0);
         assert!(power > 1.5, "background work must burn power: {power} W");
-        assert!(soc.state().freq_of(ClusterId::Big) > 650_000, "util tracking must raise freq");
+        assert!(
+            soc.state().freq_of(ClusterId::Big) > 650_000,
+            "util tracking must raise freq"
+        );
     }
 
     #[test]
     fn maxfreq_cap_reduces_power_on_heavy_load() {
         let mut free = Soc::new(SocConfig::exynos9810());
         let mut capped = Soc::new(SocConfig::exynos9810());
-        capped.dvfs_mut().set_max_freq(ClusterId::Big, 1_170_000).unwrap();
-        capped.dvfs_mut().set_max_freq(ClusterId::Gpu, 338_000).unwrap();
+        capped
+            .dvfs_mut()
+            .set_max_freq(ClusterId::Big, 1_170_000)
+            .unwrap();
+        capped
+            .dvfs_mut()
+            .set_max_freq(ClusterId::Gpu, 338_000)
+            .unwrap();
         let (fps_free, p_free) = run(&mut free, &heavy_game(), 20.0);
         let (fps_capped, p_capped) = run(&mut capped, &heavy_game(), 20.0);
-        assert!(p_capped < p_free, "cap must save power: {p_capped} vs {p_free}");
-        assert!(fps_capped < fps_free, "cap trades FPS: {fps_capped} vs {fps_free}");
+        assert!(
+            p_capped < p_free,
+            "cap must save power: {p_capped} vs {p_free}"
+        );
+        assert!(
+            fps_capped < fps_free,
+            "cap trades FPS: {fps_capped} vs {fps_free}"
+        );
     }
 
     #[test]
@@ -454,7 +475,10 @@ mod tests {
         let s = soc.state();
         assert!(s.temp_big_c > 21.0);
         assert!(s.temp_device_c > 21.0);
-        assert!(s.temp_big_c >= s.temp_device_c, "hot spot above blended device sensor");
+        assert!(
+            s.temp_big_c >= s.temp_device_c,
+            "hot spot above blended device sensor"
+        );
         assert!(s.power_w > 1.0);
         assert_eq!(s.freq_khz[0], soc.dvfs().current_khz(ClusterId::Big));
         assert!(s.time_s > 4.9);

@@ -138,20 +138,54 @@ impl ThermalConfig {
             },
         ];
         let edges = vec![
-            EdgeConfig { a: node::BIG, b: node::BOARD, conductance_w_per_k: 0.20 },
-            EdgeConfig { a: node::LITTLE, b: node::BOARD, conductance_w_per_k: 0.35 },
-            EdgeConfig { a: node::GPU, b: node::BOARD, conductance_w_per_k: 0.25 },
-            EdgeConfig { a: node::BIG, b: node::LITTLE, conductance_w_per_k: 0.15 },
-            EdgeConfig { a: node::BIG, b: node::GPU, conductance_w_per_k: 0.12 },
-            EdgeConfig { a: node::LITTLE, b: node::GPU, conductance_w_per_k: 0.10 },
-            EdgeConfig { a: node::BOARD, b: node::SKIN, conductance_w_per_k: 0.60 },
+            EdgeConfig {
+                a: node::BIG,
+                b: node::BOARD,
+                conductance_w_per_k: 0.20,
+            },
+            EdgeConfig {
+                a: node::LITTLE,
+                b: node::BOARD,
+                conductance_w_per_k: 0.35,
+            },
+            EdgeConfig {
+                a: node::GPU,
+                b: node::BOARD,
+                conductance_w_per_k: 0.25,
+            },
+            EdgeConfig {
+                a: node::BIG,
+                b: node::LITTLE,
+                conductance_w_per_k: 0.15,
+            },
+            EdgeConfig {
+                a: node::BIG,
+                b: node::GPU,
+                conductance_w_per_k: 0.12,
+            },
+            EdgeConfig {
+                a: node::LITTLE,
+                b: node::GPU,
+                conductance_w_per_k: 0.10,
+            },
+            EdgeConfig {
+                a: node::BOARD,
+                b: node::SKIN,
+                conductance_w_per_k: 0.60,
+            },
         ];
-        ThermalConfig { nodes, edges, ambient_c }
+        ThermalConfig {
+            nodes,
+            edges,
+            ambient_c,
+        }
     }
 
     fn validate(&self) -> Result<()> {
         if self.nodes.is_empty() {
-            return Err(Error::InvalidConfig("thermal network has no nodes".to_owned()));
+            return Err(Error::InvalidConfig(
+                "thermal network has no nodes".to_owned(),
+            ));
         }
         for n in &self.nodes {
             if n.capacitance_j_per_k <= 0.0 {
@@ -225,7 +259,11 @@ impl ThermalNetwork {
                 max_stable_dt_s = max_stable_dt_s.min(0.5 * n.capacitance_j_per_k / g_sum);
             }
         }
-        Ok(ThermalNetwork { config, temps_c, max_stable_dt_s })
+        Ok(ThermalNetwork {
+            config,
+            temps_c,
+            max_stable_dt_s,
+        })
     }
 
     /// The preset Note 9 network (see [`ThermalConfig::exynos9810`]).
@@ -288,9 +326,7 @@ impl ThermalNetwork {
                 flux[e.a] -= q;
                 flux[e.b] += q;
             }
-            for ((t, f), node) in
-                self.temps_c.iter_mut().zip(&flux).zip(&self.config.nodes)
-            {
+            for ((t, f), node) in self.temps_c.iter_mut().zip(&flux).zip(&self.config.nodes) {
                 *t += h * f / node.capacitance_j_per_k;
             }
         }
@@ -380,7 +416,10 @@ mod tests {
         assert!(net.node_temp_c(node::BIG) > 30.0);
         net.step(&[0.0; 5], 5_000.0);
         for &t in net.temps_c() {
-            assert!((t - 21.0).abs() < 0.5, "node stuck at {t} °C after cooldown");
+            assert!(
+                (t - 21.0).abs() < 0.5,
+                "node stuck at {t} °C after cooldown"
+            );
         }
     }
 
@@ -391,7 +430,10 @@ mod tests {
         let mut net = ThermalNetwork::exynos9810(21.0);
         net.step(&powers(5.5, 0.5, 4.0, 0.9), 1_800.0);
         let big = net.sensor_c(SensorId::BigCluster);
-        assert!((45.0..90.0).contains(&big), "steady big temp {big} °C out of band");
+        assert!(
+            (45.0..90.0).contains(&big),
+            "steady big temp {big} °C out of band"
+        );
     }
 
     #[test]
@@ -420,7 +462,10 @@ mod tests {
         let dev = net.sensor_c(SensorId::Device);
         let skin = net.node_temp_c(node::SKIN);
         let big = net.sensor_c(SensorId::BigCluster);
-        assert!(dev > skin * 0.99, "device sensor should not read below skin");
+        assert!(
+            dev > skin * 0.99,
+            "device sensor should not read below skin"
+        );
         assert!(dev < big, "device sensor should read below the hot spot");
     }
 
@@ -448,9 +493,16 @@ mod tests {
         for n in &mut cfg.nodes {
             n.to_ambient_w_per_k = 0.0;
         }
-        assert!(ThermalNetwork::new(cfg).is_err(), "no ambient path must be rejected");
+        assert!(
+            ThermalNetwork::new(cfg).is_err(),
+            "no ambient path must be rejected"
+        );
 
-        let empty = ThermalConfig { nodes: vec![], edges: vec![], ambient_c: 21.0 };
+        let empty = ThermalConfig {
+            nodes: vec![],
+            edges: vec![],
+            ambient_c: 21.0,
+        };
         assert!(ThermalNetwork::new(empty).is_err());
     }
 
@@ -484,7 +536,11 @@ mod tests {
                     to_ambient_w_per_k: 0.0,
                 },
             ],
-            edges: vec![EdgeConfig { a: 0, b: 1, conductance_w_per_k: 0.5 }],
+            edges: vec![EdgeConfig {
+                a: 0,
+                b: 1,
+                conductance_w_per_k: 0.5,
+            }],
             ambient_c: 20.0,
         };
         let mut net = ThermalNetwork::new(cfg).unwrap();

@@ -31,13 +31,21 @@ impl ThrottleConfig {
     /// 71 °C on the GPU, 5 °C hysteresis.
     #[must_use]
     pub fn exynos9810() -> Self {
-        ThrottleConfig { enabled: true, trip_c: [75.0, 75.0, 71.0], hysteresis_c: 5.0 }
+        ThrottleConfig {
+            enabled: true,
+            trip_c: [75.0, 75.0, 71.0],
+            hysteresis_c: 5.0,
+        }
     }
 
     /// Throttling disabled (useful for controlled experiments).
     #[must_use]
     pub fn disabled() -> Self {
-        ThrottleConfig { enabled: false, trip_c: [f64::INFINITY; 3], hysteresis_c: 0.0 }
+        ThrottleConfig {
+            enabled: false,
+            trip_c: [f64::INFINITY; 3],
+            hysteresis_c: 0.0,
+        }
     }
 }
 
@@ -62,7 +70,11 @@ impl Throttler {
     #[must_use]
     pub fn new(config: ThrottleConfig, table_sizes: [usize; 3]) -> Self {
         let top_level = table_sizes.map(|n| n.saturating_sub(1));
-        Throttler { config, clamp_level: top_level, top_level }
+        Throttler {
+            config,
+            clamp_level: top_level,
+            top_level,
+        }
     }
 
     /// The throttler's configuration.
@@ -127,12 +139,20 @@ mod tests {
         let mut t = throttler();
         t.update([80.0, 30.0, 30.0]);
         assert_eq!(t.clamp_level(ClusterId::Big), 16);
-        assert_eq!(t.clamp_level(ClusterId::Little), 9, "cool clusters untouched");
+        assert_eq!(
+            t.clamp_level(ClusterId::Little),
+            9,
+            "cool clusters untouched"
+        );
         assert!(t.is_throttling());
         for _ in 0..40 {
             t.update([80.0, 30.0, 30.0]);
         }
-        assert_eq!(t.clamp_level(ClusterId::Big), 0, "clamp saturates at the floor");
+        assert_eq!(
+            t.clamp_level(ClusterId::Big),
+            0,
+            "clamp saturates at the floor"
+        );
     }
 
     #[test]

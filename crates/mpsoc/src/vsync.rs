@@ -58,7 +58,10 @@ impl VsyncPipeline {
     /// Panics if `refresh_hz` is not positive and finite.
     #[must_use]
     pub fn new(refresh_hz: f64) -> Self {
-        assert!(refresh_hz > 0.0 && refresh_hz.is_finite(), "refresh rate must be positive");
+        assert!(
+            refresh_hz > 0.0 && refresh_hz.is_finite(),
+            "refresh rate must be positive"
+        );
         VsyncPipeline {
             refresh_hz,
             to_next_vsync_s: 1.0 / refresh_hz,

@@ -16,18 +16,21 @@
 
 use rand::Rng;
 
+use crate::backend::{DenseStore, HashStore, QStore};
 use crate::qtable::{QTable, StateKey};
 
-/// A pair of Q-tables updated with the double-Q rule.
+/// A pair of Q-tables updated with the double-Q rule (hash-backed by
+/// default; `DoubleQ<DenseStore>` runs both tables on the dense
+/// hot-path backend).
 #[derive(Debug, Clone, PartialEq)]
-pub struct DoubleQ {
-    a: QTable,
-    b: QTable,
+pub struct DoubleQ<S: QStore = HashStore> {
+    a: QTable<S>,
+    b: QTable<S>,
     gamma: f64,
 }
 
-impl DoubleQ {
-    /// Creates a double-Q learner for `n_actions` actions.
+impl DoubleQ<HashStore> {
+    /// Creates a hash-backed double-Q learner for `n_actions` actions.
     ///
     /// # Panics
     ///
@@ -35,9 +38,32 @@ impl DoubleQ {
     #[must_use]
     pub fn new(n_actions: usize, gamma: f64) -> Self {
         assert!((0.0..1.0).contains(&gamma), "gamma out of range");
-        DoubleQ { a: QTable::new(n_actions), b: QTable::new(n_actions), gamma }
+        DoubleQ {
+            a: QTable::new(n_actions),
+            b: QTable::new(n_actions),
+            gamma,
+        }
     }
+}
 
+impl DoubleQ<DenseStore> {
+    /// Creates a dense-backed double-Q learner for `n_actions` actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ gamma < 1` and `n_actions > 0`.
+    #[must_use]
+    pub fn dense(n_actions: usize, gamma: f64) -> Self {
+        assert!((0.0..1.0).contains(&gamma), "gamma out of range");
+        DoubleQ {
+            a: QTable::dense(n_actions),
+            b: QTable::dense(n_actions),
+            gamma,
+        }
+    }
+}
+
+impl<S: QStore> DoubleQ<S> {
     /// Rebuilds a learner from two persisted tables.
     ///
     /// # Panics
@@ -45,7 +71,7 @@ impl DoubleQ {
     /// Panics if the tables' action counts differ or `gamma` is out of
     /// range.
     #[must_use]
-    pub fn from_tables(a: QTable, b: QTable, gamma: f64) -> Self {
+    pub fn from_tables(a: QTable<S>, b: QTable<S>, gamma: f64) -> Self {
         assert_eq!(a.n_actions(), b.n_actions(), "table arity mismatch");
         assert!((0.0..1.0).contains(&gamma), "gamma out of range");
         DoubleQ { a, b, gamma }
@@ -59,19 +85,19 @@ impl DoubleQ {
 
     /// The first table.
     #[must_use]
-    pub fn table_a(&self) -> &QTable {
+    pub fn table_a(&self) -> &QTable<S> {
         &self.a
     }
 
     /// The second table.
     #[must_use]
-    pub fn table_b(&self) -> &QTable {
+    pub fn table_b(&self) -> &QTable<S> {
         &self.b
     }
 
     /// Consumes the learner, returning both tables.
     #[must_use]
-    pub fn into_tables(self) -> (QTable, QTable) {
+    pub fn into_tables(self) -> (QTable<S>, QTable<S>) {
         (self.a, self.b)
     }
 
@@ -189,6 +215,27 @@ mod tests {
             double_bias < single_bias,
             "double-Q bias {double_bias:.3} should undercut single-Q {single_bias:.3}"
         );
+    }
+
+    #[test]
+    fn dense_backend_matches_hash_backend() {
+        let mut hq = DoubleQ::new(3, 0.5);
+        let mut dq = DoubleQ::dense(3, 0.5);
+        // Identical RNG streams => identical coin flips => identical
+        // tables, whatever the backend.
+        let mut rng_h = StdRng::seed_from_u64(9);
+        let mut rng_d = StdRng::seed_from_u64(9);
+        for s in 0..300u64 {
+            let a = (s % 3) as usize;
+            let r = f64::from(u32::try_from(s % 7).unwrap()) - 3.0;
+            hq.update(&mut rng_h, s % 20, a, r, (s + 1) % 20, 0.3);
+            dq.update(&mut rng_d, s % 20, a, r, (s + 1) % 20, 0.3);
+        }
+        assert_eq!(hq.table_a().encode(), dq.table_a().encode());
+        assert_eq!(hq.table_b().encode(), dq.table_b().encode());
+        for s in 0..20 {
+            assert_eq!(hq.best_action(s), dq.best_action(s));
+        }
     }
 
     #[test]

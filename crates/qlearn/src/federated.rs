@@ -8,6 +8,7 @@
 //! against a 16-core Xeon E7-8860v3 with a measured round-trip
 //! communication overhead of up to 4 seconds.
 
+use crate::backend::QStore;
 use crate::qtable::QTable;
 
 /// Merges device Q-tables into a fleet table by visit-weighted
@@ -16,18 +17,22 @@ use crate::qtable::QTable;
 /// and the merged visit count is the sum. Pairs no device visited stay
 /// at 0 with 0 visits.
 ///
+/// Works on any storage backend (the output uses the inputs' backend);
+/// the open-ended hash backend remains the natural fit for cloud-side
+/// merging of tables from heterogeneous encoders.
+///
 /// # Panics
 ///
 /// Panics if `tables` is empty or the action counts disagree.
 #[must_use]
-pub fn merge(tables: &[&QTable]) -> QTable {
+pub fn merge<S: QStore>(tables: &[&QTable<S>]) -> QTable<S> {
     assert!(!tables.is_empty(), "cannot merge zero tables");
     let n_actions = tables[0].n_actions();
     assert!(
         tables.iter().all(|t| t.n_actions() == n_actions),
         "all tables must share the action space"
     );
-    let mut merged = QTable::with_default_q(n_actions, tables[0].default_q());
+    let mut merged: QTable<S> = QTable::empty(n_actions, tables[0].default_q());
     let mut all_states: Vec<_> = tables.iter().flat_map(|t| t.state_keys()).collect();
     all_states.sort_unstable();
     all_states.dedup();
@@ -47,7 +52,7 @@ pub fn merge(tables: &[&QTable]) -> QTable {
                 values[a] /= weights[a] as f64;
             }
         }
-        merged.insert_raw(state, values, weights);
+        merged.insert_raw(state, &values, &weights);
     }
     merged
 }
@@ -69,7 +74,10 @@ impl CloudModel {
     /// for the table updates — plus the measured ≤4 s round-trip.
     #[must_use]
     pub fn xeon_e7_8860v3() -> Self {
-        CloudModel { speedup: 9.0, comm_overhead_s: 4.0 }
+        CloudModel {
+            speedup: 9.0,
+            comm_overhead_s: 4.0,
+        }
     }
 
     /// Wall-clock time the cloud needs for a training run that takes
@@ -135,7 +143,10 @@ mod tests {
         let c = table_with(0, 0, 0.5, 1);
         let merged = merge(&[&a, &b, &c]);
         let q = merged.q(0, 0);
-        assert!((-2.0..=3.0).contains(&q), "merged value {q} escaped the hull");
+        assert!(
+            (-2.0..=3.0).contains(&q),
+            "merged value {q} escaped the hull"
+        );
     }
 
     #[test]
@@ -149,7 +160,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero tables")]
     fn merge_rejects_empty_input() {
-        let _ = merge(&[]);
+        let _ = merge::<crate::backend::HashStore>(&[]);
     }
 
     #[test]

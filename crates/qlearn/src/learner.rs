@@ -4,6 +4,7 @@
 //! Q(s_i, a_i) ← Q(s_i, a_i) + α·(r_i − Q(s_i, a_i) + γ·max_a Q(s_{i+1}, a))
 //! ```
 
+use crate::backend::QStore;
 use crate::qtable::{QTable, StateKey};
 
 /// Q-learning hyper-parameters and update rule.
@@ -40,9 +41,9 @@ impl QLearning {
     }
 
     /// Applies one Eq. 3 update and returns the new `Q(state, action)`.
-    pub fn update(
+    pub fn update<S: QStore>(
         &self,
-        table: &mut QTable,
+        table: &mut QTable<S>,
         state: StateKey,
         action: usize,
         reward: f64,
@@ -58,9 +59,9 @@ impl QLearning {
     /// # Panics
     ///
     /// Panics unless `0 < alpha ≤ 1`.
-    pub fn update_with_alpha(
+    pub fn update_with_alpha<S: QStore>(
         &self,
-        table: &mut QTable,
+        table: &mut QTable<S>,
         state: StateKey,
         action: usize,
         reward: f64,

@@ -10,9 +10,13 @@
 //!
 //! This crate provides the reusable machinery:
 //!
-//! * [`qtable`] — a hash-backed Q-table with visit counting and a
-//!   self-contained text codec for on-device persistence (the paper
-//!   stores per-application tables and reloads them on later runs),
+//! * [`qtable`] — the Q-table with visit counting and a self-contained
+//!   text codec for on-device persistence (the paper stores
+//!   per-application tables and reloads them on later runs),
+//! * [`backend`] — the [`QStore`] storage abstraction with two
+//!   backends: the hash map for open-ended key spaces, and the
+//!   dense-indexed arena ([`DenseQTable`]) whose contiguous rows make
+//!   the per-control-period argmax+update loop cache-friendly,
 //! * [`policy`] — ε-greedy action selection with decay schedules,
 //! * [`learner`] — the Q-learning update rule,
 //! * [`discretize`] — uniform quantisers, including the FPS quantiser
@@ -23,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod discretize;
 pub mod double_q;
 pub mod federated;
@@ -30,9 +35,10 @@ pub mod learner;
 pub mod policy;
 pub mod qtable;
 
+pub use backend::{DenseStore, HashStore, QStore};
 pub use discretize::Quantizer;
 pub use double_q::DoubleQ;
 pub use federated::CloudModel;
 pub use learner::QLearning;
 pub use policy::EpsilonGreedy;
-pub use qtable::{QTable, StateKey};
+pub use qtable::{DecodeQTableError, DenseQTable, QTable, StateKey};

@@ -6,6 +6,7 @@
 
 use rand::Rng;
 
+use crate::backend::QStore;
 use crate::qtable::{QTable, StateKey};
 
 /// ε-greedy policy with multiplicative decay per step.
@@ -27,10 +28,17 @@ impl EpsilonGreedy {
     #[must_use]
     pub fn new(epsilon: f64, decay: f64, min_epsilon: f64) -> Self {
         assert!((0.0..=1.0).contains(&epsilon), "epsilon out of range");
-        assert!((0.0..=1.0).contains(&min_epsilon), "min epsilon out of range");
+        assert!(
+            (0.0..=1.0).contains(&min_epsilon),
+            "min epsilon out of range"
+        );
         assert!(min_epsilon <= epsilon, "min epsilon above initial epsilon");
         assert!(decay > 0.0 && decay <= 1.0, "decay out of range");
-        EpsilonGreedy { epsilon, decay, min_epsilon }
+        EpsilonGreedy {
+            epsilon,
+            decay,
+            min_epsilon,
+        }
     }
 
     /// A purely greedy policy (ε = 0), used at inference time.
@@ -56,7 +64,12 @@ impl EpsilonGreedy {
     /// greedy otherwise. Greedy ties break uniformly at random — a
     /// deterministic tie-break would bias an untrained table towards
     /// one fixed action.
-    pub fn choose<R: Rng + ?Sized>(&self, rng: &mut R, table: &QTable, state: StateKey) -> usize {
+    pub fn choose<R: Rng + ?Sized, S: QStore>(
+        &self,
+        rng: &mut R,
+        table: &QTable<S>,
+        state: StateKey,
+    ) -> usize {
         if self.epsilon > 0.0 && rng.gen_range(0.0..1.0) < self.epsilon {
             return rng.gen_range(0..table.n_actions());
         }
@@ -145,7 +158,10 @@ mod tests {
         // the observable non-greedy rate is ε·(8/9).
         let expected = 0.3 * 8.0 / 9.0;
         let observed = f64::from(non_greedy) / f64::from(n);
-        assert!((observed - expected).abs() < 0.01, "observed {observed}, expected {expected}");
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed {observed}, expected {expected}"
+        );
     }
 
     #[test]

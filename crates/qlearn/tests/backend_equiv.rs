@@ -1,0 +1,127 @@
+//! Property tests: the hash and dense Q-table backends are
+//! observationally identical under arbitrary update sequences, and the
+//! text codec round-trips across backends.
+
+use proptest::prelude::*;
+
+use qlearn::qtable::{DenseQTable, QTable};
+use qlearn::{DenseStore, HashStore, QLearning};
+
+/// An arbitrary update sequence over a 9-action table: `(state, action,
+/// value)` triples, with states drawn from a smallish range so
+/// collisions (re-updates of the same pair) are common.
+fn arb_updates() -> impl Strategy<Value = Vec<(u64, usize, f64)>> {
+    proptest::collection::vec((0u64..400, 0usize..9, -50.0..50.0f64), 0..120)
+}
+
+/// Applies the same update sequence to both backends.
+fn build_pair(default_q: f64, updates: &[(u64, usize, f64)]) -> (QTable<HashStore>, DenseQTable) {
+    let mut hash = QTable::with_default_q(9, default_q);
+    let mut dense = DenseQTable::dense_with_default_q(9, default_q);
+    for &(s, a, v) in updates {
+        hash.set(s, a, v);
+        dense.set(s, a, v);
+    }
+    (hash, dense)
+}
+
+proptest! {
+    /// `q`, `set`, `best_action`, `best_actions`, `values`, `visits`,
+    /// `contains` and `len` agree between the backends after any update
+    /// sequence.
+    #[test]
+    fn backends_observationally_identical(
+        updates in arb_updates(),
+        default_q in -10.0..10.0f64,
+        probe_state in 0u64..500,
+    ) {
+        let (hash, dense) = build_pair(default_q, &updates);
+        prop_assert_eq!(hash.len(), dense.len());
+        prop_assert_eq!(hash.is_empty(), dense.is_empty());
+        prop_assert_eq!(hash.total_visits(), dense.total_visits());
+        prop_assert_eq!(hash.state_keys(), dense.state_keys());
+        prop_assert_eq!(hash.contains(probe_state), dense.contains(probe_state));
+        prop_assert_eq!(hash.best_action(probe_state), dense.best_action(probe_state));
+        prop_assert_eq!(hash.best_actions(probe_state), dense.best_actions(probe_state));
+        prop_assert_eq!(hash.values(probe_state), dense.values(probe_state));
+        for a in 0..9 {
+            prop_assert_eq!(hash.q(probe_state, a), dense.q(probe_state, a));
+            prop_assert_eq!(hash.visits(probe_state, a), dense.visits(probe_state, a));
+        }
+    }
+
+    /// Both backends encode to the same bytes, whatever the insertion
+    /// order was.
+    #[test]
+    fn backends_encode_identically(updates in arb_updates(), default_q in -10.0..10.0f64) {
+        let (hash, dense) = build_pair(default_q, &updates);
+        prop_assert_eq!(hash.encode(), dense.encode());
+    }
+
+    /// Codec cross-compatibility: encode on one backend, decode into
+    /// the other, re-encode — all byte-identical.
+    #[test]
+    fn codec_crosses_backends(updates in arb_updates(), default_q in -10.0..10.0f64) {
+        let (hash, dense) = build_pair(default_q, &updates);
+        let text = hash.encode();
+        let dense_decoded: DenseQTable = DenseQTable::decode(&text).expect("dense reads hash");
+        prop_assert_eq!(dense_decoded.encode(), text.clone());
+        prop_assert_eq!(&dense_decoded, &dense);
+        let hash_decoded: QTable<HashStore> =
+            QTable::decode(&dense.encode()).expect("hash reads dense");
+        prop_assert_eq!(hash_decoded.encode(), text);
+        prop_assert_eq!(&hash_decoded, &hash);
+    }
+
+    /// `to_backend` conversion preserves the encoded form both ways.
+    #[test]
+    fn conversion_roundtrips(updates in arb_updates(), default_q in -10.0..10.0f64) {
+        let (hash, dense) = build_pair(default_q, &updates);
+        let converted_dense: DenseQTable = hash.to_backend::<DenseStore>();
+        prop_assert_eq!(&converted_dense, &dense);
+        let converted_hash: QTable<HashStore> = dense.to_backend::<HashStore>();
+        prop_assert_eq!(&converted_hash, &hash);
+    }
+
+    /// The Q-learning update rule produces identical trajectories on
+    /// both backends (same transitions, same resulting tables).
+    #[test]
+    fn learner_trajectories_identical(
+        transitions in proptest::collection::vec(
+            (0u64..50, 0usize..9, -3.0..3.0f64, 0u64..50),
+            1..200,
+        ),
+        alpha in 0.01..1.0f64,
+        gamma in 0.0..0.95f64,
+    ) {
+        let learner = QLearning::new(alpha, gamma);
+        let mut hash = QTable::new(9);
+        let mut dense = DenseQTable::dense(9);
+        for &(s, a, r, s2) in &transitions {
+            let qh = learner.update(&mut hash, s, a, r, s2);
+            let qd = learner.update(&mut dense, s, a, r, s2);
+            prop_assert_eq!(qh, qd, "update diverged at ({}, {})", s, a);
+        }
+        prop_assert_eq!(hash.encode(), dense.encode());
+    }
+
+    /// The direct slot-table index (bounded key space) behaves exactly
+    /// like the hashed index.
+    #[test]
+    fn direct_index_matches_hashed_index(
+        updates in proptest::collection::vec((0u64..400, 0usize..9, -50.0..50.0f64), 0..120),
+        default_q in -10.0..10.0f64,
+    ) {
+        let mut mapped = DenseQTable::dense_with_default_q(9, default_q);
+        let mut direct = DenseQTable::dense_for_space(9, default_q, 400);
+        for &(s, a, v) in &updates {
+            mapped.set(s, a, v);
+            direct.set(s, a, v);
+        }
+        prop_assert_eq!(&mapped, &direct);
+        prop_assert_eq!(mapped.encode(), direct.encode());
+        for s in 0..400 {
+            prop_assert_eq!(mapped.best_action(s), direct.best_action(s));
+        }
+    }
+}

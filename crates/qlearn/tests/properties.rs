@@ -12,19 +12,17 @@ use rand::SeedableRng;
 
 /// Strategy: an arbitrary small Q-table with 9 actions.
 fn arb_table() -> impl Strategy<Value = QTable> {
-    proptest::collection::vec(
-        (0u64..500, 0usize..9, -50.0..50.0f64, 1usize..4),
-        0..40,
-    )
-    .prop_map(|entries| {
-        let mut t = QTable::new(9);
-        for (s, a, v, visits) in entries {
-            for _ in 0..visits {
-                t.set(s, a, v);
+    proptest::collection::vec((0u64..500, 0usize..9, -50.0..50.0f64, 1usize..4), 0..40).prop_map(
+        |entries| {
+            let mut t = QTable::new(9);
+            for (s, a, v, visits) in entries {
+                for _ in 0..visits {
+                    t.set(s, a, v);
+                }
             }
-        }
-        t
-    })
+            t
+        },
+    )
 }
 
 proptest! {

@@ -57,6 +57,29 @@ impl Engine {
         self.tick_s
     }
 
+    /// Number of base ticks a run of `duration_s` executes — the exact
+    /// count [`Engine::run`] uses (perf accounting reads this instead
+    /// of re-deriving it).
+    #[must_use]
+    pub fn ticks_for(&self, duration_s: f64) -> u64 {
+        let ticks = (duration_s / self.tick_s).round().max(0.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            ticks as u64
+        }
+    }
+
+    /// Base ticks between control invocations for a governor period —
+    /// the exact cadence [`Engine::run`] uses (at least 1).
+    #[must_use]
+    pub fn control_every_ticks(&self, period_s: f64) -> u64 {
+        let every = (period_s / self.tick_s).round().max(1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            every as u64
+        }
+    }
+
     /// Runs `session` on `soc` under `governor` for `duration_s`
     /// simulated seconds (or until the session plan ends, whichever is
     /// later — pass the plan duration to stop with it).
@@ -67,27 +90,58 @@ impl Engine {
         session: &mut SessionSim,
         duration_s: f64,
     ) -> RunOutcome {
-        let mut trace = Trace::new();
+        let mut outcome = RunOutcome {
+            trace: Trace::new(),
+            presented_frames: 0,
+            repeated_vsyncs: 0,
+        };
+        self.run_into(soc, governor, session, duration_s, &mut outcome);
+        outcome
+    }
+
+    /// Like [`Engine::run`], but writes into a caller-owned
+    /// [`RunOutcome`], reusing its trace allocation. Training loops and
+    /// the perf harness run many back-to-back sessions; recycling the
+    /// multi-thousand-sample trace buffer keeps those loops off the
+    /// allocator.
+    ///
+    /// The outcome is fully overwritten — any previous contents are
+    /// discarded.
+    pub fn run_into(
+        &self,
+        soc: &mut Soc,
+        governor: &mut dyn Governor,
+        session: &mut SessionSim,
+        duration_s: f64,
+        outcome: &mut RunOutcome,
+    ) {
+        outcome.trace.clear();
+        outcome.presented_frames = 0;
+        outcome.repeated_vsyncs = 0;
+        // Hoist everything that is loop-invariant out of the 25 ms tick
+        // loop: tick count, control cadence, and the trace reservation.
+        let ticks = self.ticks_for(duration_s);
+        let control_every = self.control_every_ticks(governor.period_s());
+        #[allow(clippy::cast_possible_truncation)]
+        outcome.trace.reserve(ticks as usize);
+
+        let dt = self.tick_s;
         let mut presented = 0u64;
         let mut repeated = 0u64;
-        let ticks = (duration_s / self.tick_s).round().max(0.0);
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let ticks = ticks as u64;
-        let control_every = (governor.period_s() / self.tick_s).round().max(1.0);
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let control_every = control_every as u64;
-
-        for t in 0..ticks {
-            let demand = session.advance(self.tick_s);
-            let out = soc.tick(self.tick_s, &demand);
+        let mut until_control = control_every;
+        for _ in 0..ticks {
+            let demand = session.advance(dt);
+            let out = soc.tick(dt, &demand);
             presented += u64::from(out.vsync.presented);
             repeated += u64::from(out.vsync.repeated);
             let state = soc.state();
             governor.observe(&state);
-            if (t + 1) % control_every == 0 {
+            until_control -= 1;
+            if until_control == 0 {
                 governor.control(&state, soc.dvfs_mut());
+                until_control = control_every;
             }
-            trace.push(Sample {
+            outcome.trace.push(Sample {
                 time_s: state.time_s,
                 fps: out.fps,
                 power_w: out.power_w,
@@ -96,7 +150,8 @@ impl Engine {
                 freq_khz: state.freq_khz,
             });
         }
-        RunOutcome { trace, presented_frames: presented, repeated_vsyncs: repeated }
+        outcome.presented_frames = presented;
+        outcome.repeated_vsyncs = repeated;
     }
 }
 
@@ -136,6 +191,30 @@ mod tests {
             engine.run(&mut soc, &mut gov, &mut session, 30.0)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_into_reuses_outcome_and_matches_run() {
+        let engine = Engine::new();
+        let fresh = {
+            let mut soc = Soc::new(SocConfig::exynos9810());
+            let mut gov = Schedutil::new();
+            let mut session = SessionSim::new(SessionPlan::single("facebook", 10.0), 42);
+            engine.run(&mut soc, &mut gov, &mut session, 10.0)
+        };
+        // Same run through run_into, into an outcome polluted by a
+        // previous (different) run.
+        let mut reused = {
+            let mut soc = Soc::new(SocConfig::exynos9810());
+            let mut gov = Schedutil::new();
+            let mut session = SessionSim::new(SessionPlan::single("spotify", 5.0), 7);
+            engine.run(&mut soc, &mut gov, &mut session, 5.0)
+        };
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        let mut gov = Schedutil::new();
+        let mut session = SessionSim::new(SessionPlan::single("facebook", 10.0), 42);
+        engine.run_into(&mut soc, &mut gov, &mut session, 10.0, &mut reused);
+        assert_eq!(reused, fresh, "reused outcome must be fully overwritten");
     }
 
     #[test]

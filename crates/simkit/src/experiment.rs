@@ -46,19 +46,30 @@ pub fn train_next_for_app(
     let session_len: f64 = 60.0;
     let mut spent = 0.0;
     let mut round = 0u64;
+    // One outcome buffer for the whole training run: each 60 s chunk
+    // reuses the previous chunk's trace allocation.
+    let mut outcome = RunOutcome {
+        trace: crate::metrics::Trace::new(),
+        presented_frames: 0,
+        repeated_vsyncs: 0,
+    };
     while spent < max_train_s && !agent.is_converged() {
         let chunk = session_len.min(max_train_s - spent);
         let mut session =
             SessionSim::new(SessionPlan::single(app, chunk), seed.wrapping_add(round));
         agent.start_session();
-        engine.run(&mut soc, &mut agent, &mut session, chunk);
+        engine.run_into(&mut soc, &mut agent, &mut session, chunk, &mut outcome);
         spent += chunk;
         round += 1;
     }
     let converged = agent.is_converged();
     let training_time_s = agent.stats().converged_at_s.unwrap_or(spent);
     agent.set_training(false);
-    TrainOutcome { agent, training_time_s, converged }
+    TrainOutcome {
+        agent,
+        training_time_s,
+        converged,
+    }
 }
 
 /// Result of measuring one governor on one session plan.
@@ -76,11 +87,7 @@ pub struct EvalResult {
 /// deterministically so different governors see identical user
 /// behaviour.
 #[must_use]
-pub fn evaluate_governor(
-    governor: &mut dyn Governor,
-    plan: &SessionPlan,
-    seed: u64,
-) -> EvalResult {
+pub fn evaluate_governor(governor: &mut dyn Governor, plan: &SessionPlan, seed: u64) -> EvalResult {
     let engine = Engine::new();
     let mut soc = Soc::new(SocConfig::exynos9810());
     let duration = plan.total_duration_s();
@@ -105,7 +112,10 @@ mod tests {
         assert!(out.training_time_s > 0.0);
         assert!(out.training_time_s <= 120.0 + 1e-9);
         assert!(!out.agent.table().is_empty());
-        assert!(!out.agent.is_training(), "returned agent must be in inference mode");
+        assert!(
+            !out.agent.is_training(),
+            "returned agent must be in inference mode"
+        );
     }
 
     #[test]

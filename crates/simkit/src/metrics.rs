@@ -35,6 +35,17 @@ impl Trace {
         self.samples.push(sample);
     }
 
+    /// Drops all samples, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Reserves room for at least `additional` further samples, so a
+    /// run of known length pays for at most one allocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
     /// The recorded samples in time order.
     #[must_use]
     pub fn samples(&self) -> &[Sample] {
@@ -169,7 +180,10 @@ impl Battery {
     /// The Galaxy Note 9 pack (4000 mAh, 3.85 V).
     #[must_use]
     pub fn note9() -> Self {
-        Battery { capacity_mah: 4_000.0, nominal_v: 3.85 }
+        Battery {
+            capacity_mah: 4_000.0,
+            nominal_v: 3.85,
+        }
     }
 
     /// Total pack energy in joules.
@@ -302,7 +316,11 @@ mod tests {
             trace.push(sample(t, 60.0, 3.0, 45.0));
         }
         let res = trace.resampled(1.0);
-        assert!(res.len() >= 9 && res.len() <= 11, "got {} buckets", res.len());
+        assert!(
+            res.len() >= 9 && res.len() <= 11,
+            "got {} buckets",
+            res.len()
+        );
         for r in &res {
             assert!((r.fps - 60.0).abs() < 1e-9);
             assert!((r.power_w - 3.0).abs() < 1e-9);
@@ -334,8 +352,18 @@ mod tests {
 
     #[test]
     fn savings_math() {
-        let a = Summary { avg_power_w: 2.0, peak_temp_big_c: 41.0, peak_temp_device_c: 31.0, ..Summary::default() };
-        let b = Summary { avg_power_w: 4.0, peak_temp_big_c: 61.0, peak_temp_device_c: 41.0, ..Summary::default() };
+        let a = Summary {
+            avg_power_w: 2.0,
+            peak_temp_big_c: 41.0,
+            peak_temp_device_c: 31.0,
+            ..Summary::default()
+        };
+        let b = Summary {
+            avg_power_w: 4.0,
+            peak_temp_big_c: 61.0,
+            peak_temp_device_c: 41.0,
+            ..Summary::default()
+        };
         assert!((a.power_saving_vs(&b) - 50.0).abs() < 1e-9);
         assert!((a.big_temp_reduction_vs(&b, 21.0) - 50.0).abs() < 1e-9);
         assert!((a.device_temp_reduction_vs(&b, 21.0) - 50.0).abs() < 1e-9);

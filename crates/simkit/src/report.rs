@@ -51,7 +51,11 @@ impl Table {
             .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()

@@ -31,7 +31,7 @@ use std::thread;
 
 use governors::{Governor, IntQosPm, Ondemand, Performance, Powersave, Schedutil};
 use next_core::{NextAgent, NextConfig};
-use qlearn::QTable;
+use qlearn::DenseQTable;
 use workload::{apps, SessionPlan};
 
 use crate::experiment::{evaluate_governor, train_next_for_app};
@@ -74,8 +74,7 @@ pub fn grid(
 ) -> Vec<SweepCell> {
     let mut cells = Vec::with_capacity(apps.len() * governors.len() * seeds.len());
     for app in apps {
-        let duration =
-            duration_s.unwrap_or_else(|| SessionPlan::paper_session_length_s(app));
+        let duration = duration_s.unwrap_or_else(|| SessionPlan::paper_session_length_s(app));
         for governor in governors {
             for &seed in seeds {
                 cells.push(SweepCell {
@@ -180,14 +179,20 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
 
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in collected.into_iter().flatten() {
         results[i] = Some(r);
     }
-    results.into_iter().map(|r| r.expect("every cell ran exactly once")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell ran exactly once"))
+        .collect()
 }
 
 /// Runs `cells` on `workers` threads with a caller-supplied evaluator
@@ -221,7 +226,7 @@ pub struct StandardEvaluator {
 /// A per-app trained Next policy plus its training telemetry.
 #[derive(Debug, Clone)]
 struct TrainedApp {
-    table: QTable,
+    table: DenseQTable,
     telemetry: TrainTelemetry,
 }
 
@@ -238,8 +243,14 @@ pub struct TrainTelemetry {
 
 impl StandardEvaluator {
     /// Every governor name the evaluator accepts.
-    pub const GOVERNORS: [&'static str; 6] =
-        ["schedutil", "intqos", "next", "performance", "powersave", "ondemand"];
+    pub const GOVERNORS: [&'static str; 6] = [
+        "schedutil",
+        "intqos",
+        "next",
+        "performance",
+        "powersave",
+        "ondemand",
+    ];
 
     /// Training seed for the per-app Next tables (the bench protocol's
     /// dedicated training device).
@@ -278,8 +289,7 @@ impl StandardEvaluator {
 
         let tables = parallel_map(&train_apps, workers, |app| {
             let budget = Self::train_budget_for(train_budget_s, app);
-            let out =
-                train_next_for_app(app, NextConfig::paper(), Self::TRAIN_SEED, budget);
+            let out = train_next_for_app(app, NextConfig::paper(), Self::TRAIN_SEED, budget);
             let table = out.agent.into_table();
             let telemetry = TrainTelemetry {
                 training_time_s: out.training_time_s,
@@ -340,13 +350,28 @@ impl StandardEvaluator {
 pub fn report(rows: &[SweepRow]) -> String {
     let mut sorted: Vec<&SweepRow> = rows.iter().collect();
     sorted.sort_by(|a, b| {
-        (&a.cell.app, &a.cell.governor, a.cell.seed)
-            .cmp(&(&b.cell.app, &b.cell.governor, b.cell.seed))
+        (&a.cell.app, &a.cell.governor, a.cell.seed).cmp(&(
+            &b.cell.app,
+            &b.cell.governor,
+            b.cell.seed,
+        ))
     });
 
     let mut table = Table::new(
         "sweep: governor x app x seed",
-        &["app", "governor", "seed", "dur_s", "avg_w", "peak_w", "avg_fps", "fps_std", "peak_big_c", "peak_dev_c", "energy_j"],
+        &[
+            "app",
+            "governor",
+            "seed",
+            "dur_s",
+            "avg_w",
+            "peak_w",
+            "avg_fps",
+            "fps_std",
+            "peak_big_c",
+            "peak_dev_c",
+            "energy_j",
+        ],
     );
     for row in &sorted {
         let s = &row.summary;
@@ -379,8 +404,7 @@ pub fn report(rows: &[SweepRow]) -> String {
         .collect();
     out.push('\n');
     for (gov, rows) in &by_gov {
-        let mean_w =
-            rows.iter().map(|r| r.summary.avg_power_w).sum::<f64>() / rows.len() as f64;
+        let mean_w = rows.iter().map(|r| r.summary.avg_power_w).sum::<f64>() / rows.len() as f64;
         let savings: Vec<f64> = rows
             .iter()
             .filter_map(|r| {
@@ -390,7 +414,11 @@ pub fn report(rows: &[SweepRow]) -> String {
             })
             .collect();
         if *gov == "schedutil" || savings.is_empty() {
-            let _ = writeln!(out, "# {gov}: mean power {mean_w:.3} W over {} cells", rows.len());
+            let _ = writeln!(
+                out,
+                "# {gov}: mean power {mean_w:.3} W over {} cells",
+                rows.len()
+            );
         } else {
             let mean_saving = savings.iter().sum::<f64>() / savings.len() as f64;
             let _ = writeln!(
@@ -449,7 +477,9 @@ mod tests {
         // Front-loaded stripe: worker 0 would own all the heavy items
         // under static partitioning; stealing must still complete and
         // preserve order.
-        let items: Vec<u64> = (0..64).map(|i| if i < 8 { 2_000_000 } else { 10 }).collect();
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i < 8 { 2_000_000 } else { 10 })
+            .collect();
         let spin = |&n: &u64| -> u64 {
             let mut acc = 0u64;
             for i in 0..n {
@@ -457,7 +487,10 @@ mod tests {
             }
             acc
         };
-        assert_eq!(parallel_map(&items, 8, spin), items.iter().map(spin).collect::<Vec<_>>());
+        assert_eq!(
+            parallel_map(&items, 8, spin),
+            items.iter().map(spin).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -489,7 +522,10 @@ mod tests {
                 seed,
                 duration_s: 10.0,
             },
-            summary: Summary { avg_power_w: 1.0, ..Summary::default() },
+            summary: Summary {
+                avg_power_w: 1.0,
+                ..Summary::default()
+            },
         };
         let fwd = vec![mk("a", "next", 1), mk("b", "schedutil", 1)];
         let rev = vec![mk("b", "schedutil", 1), mk("a", "next", 1)];

@@ -86,15 +86,34 @@ impl AppModel {
         initial_phase: usize,
     ) -> Self {
         assert!(!phases.is_empty(), "app must have phases");
-        assert_eq!(transitions.len(), phases.len(), "transition rows must match phase count");
+        assert_eq!(
+            transitions.len(),
+            phases.len(),
+            "transition rows must match phase count"
+        );
         for (i, row) in transitions.iter().enumerate() {
-            assert_eq!(row.len(), phases.len(), "transition row {i} has wrong width");
+            assert_eq!(
+                row.len(),
+                phases.len(),
+                "transition row {i} has wrong width"
+            );
             let sum: f64 = row.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-6, "transition row {i} sums to {sum}, expected 1");
-            assert!(row.iter().all(|&p| p >= 0.0), "negative probability in row {i}");
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "transition row {i} sums to {sum}, expected 1"
+            );
+            assert!(
+                row.iter().all(|&p| p >= 0.0),
+                "negative probability in row {i}"
+            );
         }
         assert!(initial_phase < phases.len(), "initial phase out of range");
-        AppModel { name: name.to_owned(), phases, transitions, initial_phase }
+        AppModel {
+            name: name.to_owned(),
+            phases,
+            transitions,
+            initial_phase,
+        }
     }
 
     /// The application's name.
@@ -138,7 +157,13 @@ impl AppSession {
         let mut rng = StdRng::seed_from_u64(seed);
         let phase = model.initial_phase;
         let dwell = sample_dwell(&mut rng, model.phases[phase].mean_dwell_s);
-        AppSession { model, rng, phase, phase_left_s: dwell, jitter_state: 0.0 }
+        AppSession {
+            model,
+            rng,
+            phase,
+            phase_left_s: dwell,
+            jitter_state: 0.0,
+        }
     }
 
     /// The application model this session runs.
@@ -278,7 +303,10 @@ mod tests {
         let mut sess = app.start_session(3);
         let idle = sess.advance(0.025, InteractionIntensity::Idle);
         let intense = sess.advance(0.025, InteractionIntensity::Intense);
-        assert!(idle.frame_cycles_of(ClusterId::Big) < 1e-6, "gain 1 idles demand fully");
+        assert!(
+            idle.frame_cycles_of(ClusterId::Big) < 1e-6,
+            "gain 1 idles demand fully"
+        );
         assert!(intense.frame_cycles_of(ClusterId::Big) > 4.0e6);
     }
 

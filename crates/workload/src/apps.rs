@@ -21,8 +21,8 @@ pub fn home() -> AppModel {
         3.0,
         FrameDemand::new(2.2e6, 1.2e6, 3.2e6).with_background(0.4e9, 0.15e9, 0.0),
     )
-        .with_jitter(0.25)
-        .with_interaction_gain(0.9);
+    .with_jitter(0.25)
+    .with_interaction_gain(0.9);
     let glance = PhaseModel::new(
         "glance",
         4.0,
@@ -53,8 +53,8 @@ pub fn facebook() -> AppModel {
         4.0,
         FrameDemand::new(4.2e6, 2.0e6, 5.2e6).with_background(0.5e9, 0.2e9, 0.0),
     )
-        .with_jitter(0.3)
-        .with_interaction_gain(0.9);
+    .with_jitter(0.3)
+    .with_interaction_gain(0.9);
     let read = PhaseModel::new(
         "read",
         5.0,
@@ -100,8 +100,8 @@ pub fn spotify() -> AppModel {
         3.0,
         FrameDemand::new(3.6e6, 1.8e6, 4.6e6).with_background(0.45e9, 0.2e9, 0.0),
     )
-        .with_jitter(0.3)
-        .with_interaction_gain(0.9);
+    .with_jitter(0.3)
+    .with_interaction_gain(0.9);
     let playback = PhaseModel::new(
         "playback",
         12.0,
@@ -137,8 +137,8 @@ pub fn web_browser() -> AppModel {
         3.5,
         FrameDemand::new(4.6e6, 2.2e6, 5.0e6).with_background(0.6e9, 0.2e9, 0.0),
     )
-        .with_jitter(0.3)
-        .with_interaction_gain(0.9);
+    .with_jitter(0.3)
+    .with_interaction_gain(0.9);
     let read = PhaseModel::new(
         "read",
         6.0,
@@ -237,8 +237,8 @@ pub fn youtube() -> AppModel {
         4.0,
         FrameDemand::new(4.0e6, 1.9e6, 4.8e6).with_background(0.5e9, 0.2e9, 0.0),
     )
-        .with_jitter(0.3)
-        .with_interaction_gain(0.9);
+    .with_jitter(0.3)
+    .with_interaction_gain(0.9);
     let playback = PhaseModel::new(
         "playback",
         15.0,
@@ -270,7 +270,14 @@ pub fn youtube() -> AppModel {
 /// All evaluated applications, in the paper's Fig. 7 order.
 #[must_use]
 pub fn all() -> Vec<AppModel> {
-    vec![facebook(), lineage(), pubg(), spotify(), web_browser(), youtube()]
+    vec![
+        facebook(),
+        lineage(),
+        pubg(),
+        spotify(),
+        web_browser(),
+        youtube(),
+    ]
 }
 
 /// Looks an application model up by name (including `"home"`).
@@ -305,7 +312,11 @@ mod tests {
     fn all_presets_construct_and_lookup() {
         assert_eq!(all().len(), 6);
         for app in all() {
-            assert!(by_name(app.name()).is_some(), "lookup failed for {}", app.name());
+            assert!(
+                by_name(app.name()).is_some(),
+                "lookup failed for {}",
+                app.name()
+            );
         }
         assert!(by_name("home").is_some());
         assert!(by_name("does-not-exist").is_none());
@@ -374,8 +385,11 @@ mod tests {
     #[test]
     fn spotify_playback_is_frameless_but_busy() {
         let app = spotify();
-        let playback =
-            app.phases().iter().find(|p| p.name == "playback").expect("playback phase");
+        let playback = app
+            .phases()
+            .iter()
+            .find(|p| p.name == "playback")
+            .expect("playback phase");
         assert!(playback.demand.is_frameless());
         assert!(playback.demand.background_hz_of(ClusterId::Big) > 0.5e9);
     }
@@ -388,7 +402,11 @@ mod tests {
                 .iter()
                 .find(|p| p.name == "splash" || p.name == "loading")
                 .unwrap_or_else(|| panic!("{} lacks a loading phase", app.name()));
-            assert!(load.demand.is_frameless(), "{} load phase renders frames", app.name());
+            assert!(
+                load.demand.is_frameless(),
+                "{} load phase renders frames",
+                app.name()
+            );
             assert!(
                 load.demand.background_hz_of(ClusterId::Big) > 1.0e9,
                 "{} load phase too light",
@@ -411,6 +429,9 @@ mod tests {
             mins = mins.min(c);
             maxs = maxs.max(c);
         }
-        assert!(maxs > mins * 2.0 || mins == 0.0, "demand did not vary: [{mins}, {maxs}]");
+        assert!(
+            maxs > mins * 2.0 || mins == 0.0,
+            "demand did not vary: [{mins}, {maxs}]"
+        );
     }
 }

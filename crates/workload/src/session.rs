@@ -26,7 +26,10 @@ impl SessionEntry {
     /// Creates an entry.
     #[must_use]
     pub fn new(app: &str, duration_s: f64) -> Self {
-        SessionEntry { app: app.to_owned(), duration_s }
+        SessionEntry {
+            app: app.to_owned(),
+            duration_s,
+        }
     }
 }
 
@@ -66,7 +69,10 @@ impl SessionPlan {
     /// Spotify over roughly five minutes (280 s trace shown).
     #[must_use]
     pub fn paper_fig1() -> Self {
-        SessionPlan::new().then("home", 40.0).then("facebook", 120.0).then("spotify", 120.0)
+        SessionPlan::new()
+            .then("home", 40.0)
+            .then("facebook", 120.0)
+            .then("spotify", 120.0)
     }
 
     /// A single-app session of the given length, as used for the per-app
@@ -109,7 +115,11 @@ impl SessionSim {
     #[must_use]
     pub fn new(plan: SessionPlan, seed: u64) -> Self {
         for e in plan.entries() {
-            assert!(apps::by_name(&e.app).is_some(), "unknown app '{}' in plan", e.app);
+            assert!(
+                apps::by_name(&e.app).is_some(),
+                "unknown app '{}' in plan",
+                e.app
+            );
         }
         let mut sim = SessionSim {
             plan,
@@ -130,7 +140,10 @@ impl SessionSim {
             let model: AppModel = apps::by_name(&entry.app).expect("validated in new");
             // Derive a per-entry seed so app traces differ between
             // entries but stay reproducible.
-            let app_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(idx as u64);
+            let app_seed = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(idx as u64);
             self.current = Some(model.start_session(app_seed));
         } else {
             self.current = None;
@@ -147,7 +160,10 @@ impl SessionSim {
     /// Name of the currently running app, if any.
     #[must_use]
     pub fn current_app(&self) -> Option<&str> {
-        self.plan.entries().get(self.entry_idx).map(|e| e.app.as_str())
+        self.plan
+            .entries()
+            .get(self.entry_idx)
+            .map(|e| e.app.as_str())
     }
 
     /// The user model driving this session.
@@ -233,7 +249,9 @@ mod tests {
     fn different_entries_get_different_app_traces() {
         // Two consecutive runs of the same app inside a plan should not
         // produce identical traces.
-        let plan = SessionPlan::new().then("facebook", 5.0).then("facebook", 5.0);
+        let plan = SessionPlan::new()
+            .then("facebook", 5.0)
+            .then("facebook", 5.0);
         let mut sim = SessionSim::new(plan, 3);
         let mut first = Vec::new();
         let mut second = Vec::new();

@@ -165,7 +165,11 @@ mod tests {
         for _ in 0..40_000 {
             seen.insert(user.advance(0.025));
         }
-        assert_eq!(seen.len(), 4, "process should visit every intensity over 1000 s");
+        assert_eq!(
+            seen.len(),
+            4,
+            "process should visit every intensity over 1000 s"
+        );
     }
 
     #[test]

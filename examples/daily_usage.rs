@@ -19,7 +19,14 @@ use next_mpsoc::next_core::{NextAgent, NextConfig, QTableStore};
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
 use next_mpsoc::workload::{SessionPlan, UserModel};
 
-const APPS: [&str; 6] = ["facebook", "spotify", "web-browser", "youtube", "lineage", "pubg"];
+const APPS: [&str; 6] = [
+    "facebook",
+    "spotify",
+    "web-browser",
+    "youtube",
+    "lineage",
+    "pubg",
+];
 
 fn main() {
     println!("== a (compressed) day in the life: 52 pickups ==\n");
@@ -38,9 +45,15 @@ fn main() {
 
         // First use of an app: one-time training, table stored.
         if !store.contains(app) {
-            let budget = if app == "lineage" || app == "pubg" { 1_200.0 } else { 600.0 };
+            let budget = if app == "lineage" || app == "pubg" {
+                1_200.0
+            } else {
+                600.0
+            };
             let out = train_next_for_app(app, NextConfig::paper(), 7, budget);
-            store.save(app, out.agent.table()).expect("in-memory save cannot fail");
+            store
+                .save(app, out.agent.table())
+                .expect("in-memory save cannot fail");
             trainings += 1;
             println!(
                 "[pickup {:2}] trained {app} in {:.0} simulated s ({} states)",
@@ -70,7 +83,10 @@ fn main() {
     }
 
     println!("\n== day summary ==");
-    println!("screen-on time: {:.1} min across 52 pickups", seconds_used / 60.0);
+    println!(
+        "screen-on time: {:.1} min across 52 pickups",
+        seconds_used / 60.0
+    );
     println!("one-time trainings performed: {trainings} (then reused from the store)");
     println!(
         "energy: next {:.0} J vs schedutil {:.0} J -> {:.1} % saved over the day",

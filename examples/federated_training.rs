@@ -63,8 +63,10 @@ fn main() {
 
     // Fig. 6's timing model: the same training executed in the cloud.
     let cloud = CloudModel::xeon_e7_8860v3();
-    println!("\n== cloud timing model (Xeon E7-8860v3, {}x speedup, {} s round-trip) ==",
-        cloud.speedup, cloud.comm_overhead_s);
+    println!(
+        "\n== cloud timing model (Xeon E7-8860v3, {}x speedup, {} s round-trip) ==",
+        cloud.speedup, cloud.comm_overhead_s
+    );
     for (device, &t) in online_times.iter().enumerate() {
         println!(
             "device {device}: online {t:.0} s -> cloud {:.1} s",

@@ -7,15 +7,18 @@
 //! next-sim compare --app <name> [--duration <s>] [--seed <n>]
 //! next-sim sweep   [--apps <a,b,..|all>] [--governors <g,h,..>] [--seeds <n,m,..>]
 //!                  [--duration <s>] [--train-budget <s>] [--workers <n>]
+//! next-sim perf    [--quick] [--out <BENCH.json>] [--baseline <file>]
+//!                  [--min-ratio <f>] [--workers <n>]
 //! next-sim apps
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use next_mpsoc::bench::{json::Json, perf};
 use next_mpsoc::governors::{IntQosPm, Ondemand, Performance, Powersave, Schedutil};
 use next_mpsoc::next_core::{NextAgent, NextConfig};
-use next_mpsoc::qlearn::QTable;
+use next_mpsoc::qlearn::DenseQTable;
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
 use next_mpsoc::simkit::{sweep, Battery, StandardEvaluator, Summary};
 use next_mpsoc::workload::{apps, SessionPlan};
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "compare" => cmd_compare(&flags),
         "sweep" => cmd_sweep(&flags),
+        "perf" => cmd_perf(&flags),
         "apps" => {
             println!("home");
             for app in apps::all() {
@@ -69,6 +73,8 @@ USAGE:
   next-sim compare --app <name> [--duration <s>] [--seed <n>]
   next-sim sweep   [--apps <a,b,..|all>] [--governors <g,h,..>] [--seeds <n,m,..>]
                    [--duration <s>] [--train-budget <s>] [--workers <n>]
+  next-sim perf    [--quick] [--out <BENCH.json>] [--baseline <file>]
+                   [--min-ratio <f>] [--workers <n>]
   next-sim apps
 
 governors: schedutil | intqos | next | performance | powersave | ondemand
@@ -76,9 +82,20 @@ governors: schedutil | intqos | next | performance | powersave | ondemand
 sweep runs the full governor x app x seed grid in parallel (defaults:
 the six paper apps, schedutil+intqos+next, seed 1000, paper session
 lengths, all CPU cores) and prints a deterministic report — identical
-bytes for any --workers value.";
+bytes for any --workers value.
+
+perf runs a fixed measurement grid plus a Q-table backend
+microbenchmark and writes a machine-readable BENCH.json (--out,
+default stdout). With --baseline it exits non-zero when aggregate
+throughput falls below --min-ratio (default 0.5) of the baseline's
+ticks_per_sec — the CI perf gate. --quick selects the small smoke
+grid.";
 
 type Flags = HashMap<String, String>;
+
+/// Flags that take no value; every other flag still requires one, so a
+/// forgotten value stays a hard usage error.
+const BOOLEAN_FLAGS: [&str; 1] = ["quick"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags::new();
@@ -87,8 +104,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got '{flag}'"));
         };
-        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
-        flags.insert(name.to_owned(), value.clone());
+        let value = if BOOLEAN_FLAGS.contains(&name) {
+            "true".to_owned()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{name} needs a value"))?
+                .clone()
+        };
+        flags.insert(name.to_owned(), value);
     }
     Ok(flags)
 }
@@ -96,14 +119,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 fn get_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not a number")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: '{v}' is not a number")),
     }
 }
 
 fn get_u64(flags: &Flags, name: &str, default: u64) -> Result<u64, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: '{v}' is not an integer")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: '{v}' is not an integer")),
     }
 }
 
@@ -132,7 +159,7 @@ fn print_summary(label: &str, s: &Summary) {
 fn make_next_agent(app: &str, flags: &Flags) -> Result<NextAgent, String> {
     if let Some(path) = flags.get("table") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let table = QTable::decode(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let table = DenseQTable::decode(&text).map_err(|e| format!("parsing {path}: {e}"))?;
         return Ok(NextAgent::with_table(NextConfig::paper(), table, false));
     }
     let budget = get_f64(flags, "train-budget", 600.0)?;
@@ -195,7 +222,11 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
 fn parse_list(flags: &Flags, name: &str, default: Vec<String>) -> Vec<String> {
     match flags.get(name) {
         None => default,
-        Some(v) => v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect(),
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect(),
     }
 }
 
@@ -204,7 +235,9 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
     // includes the home screen.
     let paper_apps: Vec<String> = apps::all().iter().map(|a| a.name().to_owned()).collect();
     let apps_list: Vec<String> = match flags.get("apps").map(String::as_str) {
-        Some("all") => std::iter::once("home".to_owned()).chain(paper_apps).collect(),
+        Some("all") => std::iter::once("home".to_owned())
+            .chain(paper_apps)
+            .collect(),
         _ => parse_list(flags, "apps", paper_apps),
     };
     for app in &apps_list {
@@ -223,7 +256,11 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
         None => vec![1000],
         Some(v) => v
             .split(',')
-            .map(|s| s.trim().parse().map_err(|_| format!("--seeds: '{s}' is not an integer")))
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("--seeds: '{s}' is not an integer"))
+            })
             .collect::<Result<_, _>>()?,
     };
     let mut duration = None;
@@ -236,8 +273,11 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
         }
         duration = Some(d);
     }
-    let train_budget =
-        get_f64(flags, "train-budget", StandardEvaluator::BASE_TRAIN_BUDGET_S)?;
+    let train_budget = get_f64(
+        flags,
+        "train-budget",
+        StandardEvaluator::BASE_TRAIN_BUDGET_S,
+    )?;
     let workers = usize::try_from(get_u64(flags, "workers", sweep::default_workers() as u64)?)
         .map_err(|_| "--workers out of range".to_owned())?;
     if workers == 0 {
@@ -255,8 +295,71 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
     let started = std::time::Instant::now();
     let evaluator = StandardEvaluator::prepare(&cells, train_budget, workers);
     let rows = sweep::run_cells(&cells, workers, |cell| evaluator.eval(cell));
-    eprintln!("sweep finished in {:.1} s wall clock", started.elapsed().as_secs_f64());
+    eprintln!(
+        "sweep finished in {:.1} s wall clock",
+        started.elapsed().as_secs_f64()
+    );
     print!("{}", sweep::report(&rows));
+    Ok(())
+}
+
+fn cmd_perf(flags: &Flags) -> Result<(), String> {
+    let mut config = if flags.contains_key("quick") {
+        perf::PerfConfig::quick()
+    } else {
+        perf::PerfConfig::full()
+    };
+    if flags.contains_key("workers") {
+        let workers = usize::try_from(get_u64(flags, "workers", config.workers as u64)?)
+            .map_err(|_| "--workers out of range".to_owned())?;
+        if workers == 0 {
+            return Err("--workers must be at least 1".to_owned());
+        }
+        config.workers = workers;
+    }
+    let min_ratio = get_f64(flags, "min-ratio", 0.5)?;
+    if !(min_ratio > 0.0 && min_ratio.is_finite()) {
+        return Err(format!("--min-ratio must be positive, got {min_ratio}"));
+    }
+
+    eprintln!(
+        "perf: {} grid, {} apps x {} governors x {} seeds, {} workers ...",
+        config.mode,
+        config.apps.len(),
+        config.governors.len(),
+        config.seeds.len(),
+        config.workers
+    );
+    let report = perf::run(&config);
+    eprintln!(
+        "perf: {} cells in {:.2} s (train {:.2} s), {:.0} ticks/s aggregate",
+        report.cells.len(),
+        report.grid_wall_s,
+        report.train_wall_s,
+        perf::throughput_ticks_per_sec(&report)
+    );
+    if let Some(speedup) = report.dense_speedup() {
+        eprintln!("perf: dense backend {speedup:.2}x faster than hash on argmax+update");
+    }
+
+    let text = report.to_json().render();
+    debug_assert!(Json::parse(&text).is_ok(), "BENCH.json must be valid JSON");
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{text}\n"))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("perf: wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+
+    if let Some(baseline_path) = flags.get("baseline") {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+        let verdict = perf::check_floor(&report, &baseline, min_ratio)
+            .map_err(|e| format!("perf gate: {e}"))?;
+        eprintln!("perf gate: {verdict}");
+    }
     Ok(())
 }
 
@@ -276,6 +379,9 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
     let mut agent = make_next_agent(&app, flags)?;
     let next = evaluate_governor(&mut agent, &plan, seed).summary;
     print_summary("next", &next);
-    println!("\nnext saves {:.1} % vs schedutil", next.power_saving_vs(&sched));
+    println!(
+        "\nnext saves {:.1} % vs schedutil",
+        next.power_saving_vs(&sched)
+    );
     Ok(())
 }

@@ -15,7 +15,10 @@
 //! * [`next_core`] — **Next**, the paper's user-interaction-aware RL
 //!   DVFS agent (frame window, PPDW metric, 9-action Q-learning),
 //! * [`simkit`] — the closed-loop simulation engine, metrics and the
-//!   §V evaluation protocol.
+//!   §V evaluation protocol,
+//! * [`bench`](mod@bench) — the figure-reproduction protocol plus the
+//!   machine-readable perf harness behind `next-sim perf` (the
+//!   `BENCH.json` artifact CI gates on).
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ::bench;
 pub use governors;
 pub use mpsoc;
 pub use next_core;

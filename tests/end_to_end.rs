@@ -54,7 +54,11 @@ fn intqos_sits_between_schedutil_and_top_pinning_on_a_game() {
         qos.summary.avg_power_w,
         sched.summary.avg_power_w
     );
-    assert!(qos.summary.avg_fps > 25.0, "unplayable: {:.1} fps", qos.summary.avg_fps);
+    assert!(
+        qos.summary.avg_fps > 25.0,
+        "unplayable: {:.1} fps",
+        qos.summary.avg_fps
+    );
 }
 
 #[test]
@@ -64,10 +68,19 @@ fn fig1_session_shows_intra_app_fps_variation() {
     let plan = SessionPlan::paper_fig1();
     let result = evaluate_governor(&mut Schedutil::new(), &plan, SEED);
     let resampled = result.outcome.trace.resampled(3.0);
-    let fps_min = resampled.iter().map(|s| s.fps).fold(f64::INFINITY, f64::min);
+    let fps_min = resampled
+        .iter()
+        .map(|s| s.fps)
+        .fold(f64::INFINITY, f64::min);
     let fps_max = resampled.iter().map(|s| s.fps).fold(0.0f64, f64::max);
-    assert!(fps_max > 50.0, "some 60 fps bursts expected, max {fps_max:.1}");
-    assert!(fps_min < 10.0, "near-zero fps phases expected, min {fps_min:.1}");
+    assert!(
+        fps_max > 50.0,
+        "some 60 fps bursts expected, max {fps_max:.1}"
+    );
+    assert!(
+        fps_min < 10.0,
+        "near-zero fps phases expected, min {fps_min:.1}"
+    );
     // During the zero-fps tail (Spotify playback) the big cluster must
     // still be clocked well above its floor — the inefficiency Next
     // exploits.

@@ -25,9 +25,16 @@ fn fleet_merge_produces_a_working_agent() {
     // The union covers at least as many states as any single device.
     // Integration tests of the facade crate only see the workspace
     // members through `next_mpsoc::*`, so path the methods accordingly.
-    let max_single = tables.iter().map(next_mpsoc::qlearn::QTable::len).max().unwrap();
+    let max_single = tables
+        .iter()
+        .map(next_mpsoc::qlearn::DenseQTable::len)
+        .max()
+        .unwrap();
     assert!(merged.len() >= max_single, "merge must not lose states");
-    let visit_sum: u64 = tables.iter().map(next_mpsoc::qlearn::QTable::total_visits).sum();
+    let visit_sum: u64 = tables
+        .iter()
+        .map(next_mpsoc::qlearn::DenseQTable::total_visits)
+        .sum();
     assert_eq!(merged.total_visits(), visit_sum);
 
     // The merged table drives greedy inference without issue.
@@ -35,7 +42,11 @@ fn fleet_merge_produces_a_working_agent() {
     let plan = SessionPlan::single("facebook", 60.0);
     let result = evaluate_governor(&mut agent, &plan, 4321);
     assert!(result.summary.avg_power_w > 0.5);
-    assert!(result.summary.avg_fps > 20.0, "fleet agent unusable: {:.1} fps", result.summary.avg_fps);
+    assert!(
+        result.summary.avg_fps > 20.0,
+        "fleet agent unusable: {:.1} fps",
+        result.summary.avg_fps
+    );
 }
 
 #[test]
@@ -44,7 +55,10 @@ fn cloud_model_matches_fig6_shape() {
     // Paper: 207 s online at 30 bins maps to ~27 s in the cloud
     // (roughly an order of magnitude, plus the 4 s round trip).
     let t = cloud.cloud_time_s(207.0);
-    assert!(t > 4.0 && t < 207.0 / 4.0, "cloud time {t} out of the paper's band");
+    assert!(
+        t > 4.0 && t < 207.0 / 4.0,
+        "cloud time {t} out of the paper's band"
+    );
     // Monotone in online time; overhead-dominated at zero.
     assert!(cloud.cloud_time_s(60.0) < cloud.cloud_time_s(300.0));
     assert_eq!(cloud.cloud_time_s(0.0), 4.0);
@@ -59,7 +73,10 @@ fn merging_identical_tables_is_idempotent_on_values() {
         for action in 0..9 {
             let a = table.q(state, action);
             let b = merged.q(state, action);
-            assert!((a - b).abs() < 1e-12, "value changed by self-merge: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "value changed by self-merge: {a} vs {b}"
+            );
         }
     }
 }

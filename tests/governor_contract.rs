@@ -51,8 +51,16 @@ fn invariants_hold_under_every_governor() {
                 assert!(cur >= dom.min_cap().freq_khz && cur <= dom.max_cap().freq_khz);
             }
             // Physical sanity.
-            assert!(out.power_w.is_finite() && out.power_w >= 0.0, "{}", gov.name());
-            assert!(state.temp_big_c >= 20.9 && state.temp_big_c < 150.0, "{}", gov.name());
+            assert!(
+                out.power_w.is_finite() && out.power_w >= 0.0,
+                "{}",
+                gov.name()
+            );
+            assert!(
+                state.temp_big_c >= 20.9 && state.temp_big_c < 150.0,
+                "{}",
+                gov.name()
+            );
             assert!(state.fps >= 0.0 && state.fps <= 61.0, "{}", gov.name());
             for u in state.util {
                 assert!((0.0..=1.0).contains(&u), "{}", gov.name());
@@ -67,7 +75,11 @@ fn governors_report_distinct_names() {
     let mut unique = names.clone();
     unique.sort();
     unique.dedup();
-    assert_eq!(unique.len(), names.len(), "duplicate governor names: {names:?}");
+    assert_eq!(
+        unique.len(),
+        names.len(),
+        "duplicate governor names: {names:?}"
+    );
 }
 
 #[test]

@@ -55,7 +55,10 @@ fn store_keeps_apps_separate() {
     let fb_loaded = store.load("facebook").expect("facebook stored");
     let sp_loaded = store.load("spotify").expect("spotify stored");
     assert_ne!(fb_loaded, sp_loaded, "per-app tables must differ");
-    assert_eq!(store.cached_apps(), vec!["facebook".to_owned(), "spotify".to_owned()]);
+    assert_eq!(
+        store.cached_apps(),
+        vec!["facebook".to_owned(), "spotify".to_owned()]
+    );
 
     fs::remove_dir_all(&dir).expect("cleanup");
 }
@@ -71,10 +74,12 @@ fn continued_training_resumes_from_stored_table() {
     assert!(agent.is_training());
     let mut soc = next_mpsoc::mpsoc::Soc::new(next_mpsoc::mpsoc::SocConfig::exynos9810());
     let engine = next_mpsoc::simkit::Engine::new();
-    let mut session =
-        next_mpsoc::workload::SessionSim::new(SessionPlan::single("home", 60.0), 11);
+    let mut session = next_mpsoc::workload::SessionSim::new(SessionPlan::single("home", 60.0), 11);
     engine.run(&mut soc, &mut agent, &mut session, 60.0);
 
-    assert!(agent.table().total_visits() > visits_before, "resumed training must learn");
+    assert!(
+        agent.table().total_visits() > visits_before,
+        "resumed training must learn"
+    );
     assert!(agent.table().len() >= states_before);
 }

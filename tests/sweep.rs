@@ -43,8 +43,14 @@ fn reports_are_byte_identical_across_worker_counts() {
         .collect();
     assert_eq!(reports[0], reports[1]);
     assert_eq!(reports[1], reports[2]);
-    assert!(reports[0].contains("facebook"), "report lists the swept apps");
-    assert!(reports[0].contains("next"), "report lists the swept governors");
+    assert!(
+        reports[0].contains("facebook"),
+        "report lists the swept apps"
+    );
+    assert!(
+        reports[0].contains("next"),
+        "report lists the swept governors"
+    );
 }
 
 #[test]

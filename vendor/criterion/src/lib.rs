@@ -26,7 +26,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { warmup: Duration::from_millis(150), measure: Duration::from_millis(750) }
+        Criterion {
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(750),
+        }
     }
 }
 
@@ -114,7 +117,10 @@ mod tests {
 
     #[test]
     fn bencher_counts_iterations() {
-        let mut c = Criterion { warmup: Duration::from_millis(1), measure: Duration::from_millis(5) };
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
         let mut ran = false;
         c.bench_function("smoke", |b| {
             b.iter(|| black_box(1 + 1));

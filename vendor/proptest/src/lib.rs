@@ -4,8 +4,9 @@
 //! implements the subset of the proptest API the workspace's property
 //! tests use:
 //!
-//! * [`Strategy`] implemented for numeric ranges, tuples of strategies
-//!   and [`collection::vec`], plus [`Strategy::prop_map`],
+//! * [`strategy::Strategy`] implemented for numeric ranges, tuples of
+//!   strategies and [`collection::vec`], plus
+//!   [`strategy::Strategy::prop_map`],
 //! * the [`proptest!`] macro wrapping `fn name(arg in strategy, ...)`
 //!   test cases,
 //! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and

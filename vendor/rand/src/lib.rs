@@ -48,7 +48,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
         unit_f64(self.next_u64()) < p
     }
 }
