@@ -1,0 +1,253 @@
+//! Schema-v2 `fleet.json` rendering and schema-aware document parsing.
+//!
+//! `next-sim fleet` writes one machine-readable document per fleet
+//! simulation. Schema v2 extends the v1 `BENCH.json` family with an
+//! optional top-level `fleet` section; v1 documents (no `fleet`
+//! section) still parse through [`parse_document`], so trajectory
+//! snapshots and CI baselines from earlier PRs keep loading.
+//!
+//! Everything rendered here is a pure function of the
+//! [`FleetReport`] — no wall-clock readings — so a fleet document is
+//! **byte-identical** for a fixed config across worker counts and
+//! machines. Round timing is the modeled kind: slowest device's
+//! simulated training time plus the configured up-/down-link
+//! latencies.
+
+use simkit::fleet::FleetReport;
+
+use crate::json::Json;
+use crate::perf::SCHEMA_VERSION;
+
+/// Renders a fleet simulation as a schema-v2 document.
+#[must_use]
+pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
+    let cfg = &report.config;
+    let devices = report
+        .devices
+        .iter()
+        .map(|d| {
+            let bin = &simkit::fleet::SOC_BINS[d.bin];
+            Json::Obj(vec![
+                ("id".into(), Json::num(d.id as f64)),
+                ("bin".into(), Json::str(bin.name)),
+                ("ambient_c".into(), Json::num(bin.ambient_c)),
+                ("power_scale".into(), Json::num(bin.power_scale)),
+                // Seeds are full-range u64s; a JSON number (f64) would
+                // round anything above 2^53, so they travel as strings.
+                ("user_seed".into(), Json::str(d.user_seed.to_string())),
+            ])
+        })
+        .collect();
+    let rounds = report
+        .rounds
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("round".into(), Json::num(r.round as f64)),
+                ("states".into(), Json::num(r.states as f64)),
+                ("visits".into(), Json::num(r.visits as f64)),
+                (
+                    "converged_devices".into(),
+                    Json::num(r.converged_devices as f64),
+                ),
+                ("local_train_s".into(), Json::num(r.local_train_s)),
+                ("comm_s".into(), Json::num(r.comm_s)),
+                ("round_time_s".into(), Json::num(r.round_time_s)),
+                (
+                    "eval".into(),
+                    Json::Obj(vec![
+                        ("avg_fps".into(), Json::num(r.eval.avg_fps)),
+                        ("fps_std".into(), Json::num(r.eval.fps_std)),
+                        ("avg_power_w".into(), Json::num(r.eval.avg_power_w)),
+                        ("ppdw".into(), Json::num(r.eval.ppdw)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let fleet = Json::Obj(vec![
+        ("app".into(), Json::str(&cfg.app)),
+        ("devices".into(), Json::num(cfg.devices as f64)),
+        ("rounds".into(), Json::num(cfg.rounds as f64)),
+        // String for the same u64-exactness reason as user_seed.
+        ("seed".into(), Json::str(cfg.seed.to_string())),
+        ("round_budget_s".into(), Json::num(cfg.round_budget_s)),
+        ("uplink_s".into(), Json::num(cfg.link.uplink_s)),
+        ("downlink_s".into(), Json::num(cfg.link.downlink_s)),
+        (
+            "eval".into(),
+            Json::Obj(vec![
+                (
+                    "seeds".into(),
+                    Json::Arr(
+                        cfg.eval_seeds
+                            .iter()
+                            .map(|&s| Json::num(s as f64))
+                            .collect(),
+                    ),
+                ),
+                ("duration_s".into(), Json::num(cfg.eval_duration_s)),
+            ]),
+        ),
+        ("device_profiles".into(), Json::Arr(devices)),
+        ("rounds_log".into(), Json::Arr(rounds)),
+        (
+            "final".into(),
+            Json::Obj(vec![
+                ("states".into(), Json::num(report.table.len() as f64)),
+                (
+                    "visits".into(),
+                    Json::num(report.table.total_visits() as f64),
+                ),
+            ]),
+        ),
+    ]);
+    Json::Obj(vec![
+        ("schema".into(), Json::num(f64::from(SCHEMA_VERSION))),
+        ("harness".into(), Json::str("next-sim fleet")),
+        ("mode".into(), Json::str(mode)),
+        ("fleet".into(), fleet),
+    ])
+}
+
+/// A parsed `BENCH.json`-family document: schema v1 (perf only) or
+/// v2 (perf and/or fleet sections).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Declared schema version (1 or 2).
+    pub schema: u32,
+    /// The `fleet` section, when present (v2 only).
+    pub fleet: Option<Json>,
+    /// The whole document tree.
+    pub doc: Json,
+}
+
+/// Parses and validates a `BENCH.json` / `fleet.json` document:
+/// accepts schema v1 (which must not carry a `fleet` section) and
+/// schema v2 (which may).
+///
+/// # Errors
+///
+/// Returns a human-readable description on malformed JSON, a missing
+/// or unsupported `schema` field, or a v1 document with a `fleet`
+/// section.
+pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric 'schema' field")?;
+    if schema.fract() != 0.0 || !(1.0..=2.0).contains(&schema) {
+        return Err(format!("unsupported schema version {schema}"));
+    }
+    let schema = schema as u32;
+    let fleet = doc.get("fleet").cloned();
+    if schema < 2 && fleet.is_some() {
+        return Err("schema v1 documents cannot carry a 'fleet' section".to_owned());
+    }
+    Ok(BenchDoc { schema, fleet, doc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::fleet::{run_fleet, FleetConfig};
+
+    fn tiny_report() -> FleetReport {
+        let config = FleetConfig {
+            round_budget_s: 30.0,
+            eval_seeds: vec![9_001],
+            eval_duration_s: 15.0,
+            ..FleetConfig::new("facebook", 2, 1, 11)
+        };
+        run_fleet(&config, 2)
+    }
+
+    #[test]
+    fn v2_fleet_document_is_a_render_parse_fixpoint() {
+        let doc = fleet_to_json(&tiny_report(), "test");
+        let text = doc.render();
+        let parsed = parse_document(&text).expect("own rendering parses");
+        assert_eq!(parsed.schema, 2);
+        let fleet = parsed.fleet.expect("fleet section present");
+        assert_eq!(fleet.get("app").and_then(Json::as_str), Some("facebook"));
+        assert_eq!(
+            parsed.doc.render(),
+            text,
+            "render ∘ parse must be a fixpoint"
+        );
+        // Round log carries the held-out quality metrics.
+        let rounds = fleet
+            .get("rounds_log")
+            .and_then(Json::as_array)
+            .expect("rounds_log");
+        assert_eq!(rounds.len(), 1);
+        let eval = rounds[0].get("eval").expect("eval");
+        assert!(eval.get("ppdw").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(eval.get("avg_power_w").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn seeds_survive_the_artifact_exactly() {
+        // Seeds are full-range u64s — a JSON number would round them
+        // above 2^53, so they are rendered as strings and must
+        // round-trip digit for digit.
+        let report = tiny_report();
+        let doc = fleet_to_json(&report, "test");
+        let fleet = doc.get("fleet").expect("fleet");
+        assert_eq!(
+            fleet.get("seed").and_then(Json::as_str),
+            Some(report.config.seed.to_string().as_str())
+        );
+        let profiles = fleet
+            .get("device_profiles")
+            .and_then(Json::as_array)
+            .expect("profiles");
+        for (profile, device) in profiles.iter().zip(&report.devices) {
+            let seed: u64 = profile
+                .get("user_seed")
+                .and_then(Json::as_str)
+                .expect("seed string")
+                .parse()
+                .expect("decimal u64");
+            assert_eq!(seed, device.user_seed, "seed must not lose precision");
+        }
+    }
+
+    #[test]
+    fn v1_documents_still_parse_as_a_fixpoint() {
+        // A v1-era BENCH.json shape (perf harness, no fleet section).
+        let v1 = Json::Obj(vec![
+            ("schema".into(), Json::num(1.0)),
+            ("harness".into(), Json::str("next-sim perf")),
+            ("mode".into(), Json::str("quick")),
+            (
+                "totals".into(),
+                Json::Obj(vec![("ticks_per_sec".into(), Json::num(160_000.0))]),
+            ),
+        ]);
+        let text = v1.render();
+        let parsed = parse_document(&text).expect("v1 parses");
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.fleet, None);
+        assert_eq!(parsed.doc.render(), text, "v1 fixpoint");
+    }
+
+    #[test]
+    fn parser_rejects_bad_documents() {
+        assert!(parse_document("not json").is_err());
+        assert!(
+            parse_document("{\"mode\":\"quick\"}").is_err(),
+            "missing schema"
+        );
+        assert!(
+            parse_document("{\"schema\":3}").is_err(),
+            "future schema rejected"
+        );
+        assert!(
+            parse_document("{\"schema\":1,\"fleet\":{}}").is_err(),
+            "v1 cannot carry a fleet section"
+        );
+        assert!(parse_document("{\"schema\":2,\"fleet\":{}}").is_ok());
+    }
+}

@@ -23,8 +23,11 @@ use simkit::{Engine, Summary};
 use crate::json::Json;
 
 /// Version of the `BENCH.json` schema this harness writes. Bump when a
-/// field changes meaning; additions are backwards-compatible.
-pub const SCHEMA_VERSION: u32 = 1;
+/// field changes meaning; additions are backwards-compatible. v2 adds
+/// the optional `fleet` section (`next-sim fleet`) and the federated
+/// merge probe; [`crate::fleet::parse_document`] still accepts v1
+/// documents.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Configuration of one perf-harness run.
 #[derive(Debug, Clone)]
@@ -120,6 +123,35 @@ pub struct BackendProbe {
     pub update_ns: f64,
 }
 
+/// Microbenchmark of the federated merge: the seed's eager all-keys
+/// algorithm versus the streaming accumulator on the same
+/// fully-populated dense tables — the fleet's cloud-side throughput.
+#[derive(Debug, Clone)]
+pub struct MergeProbe {
+    /// Tables merged per pass.
+    pub tables: usize,
+    /// States per table (every one populated).
+    pub states: usize,
+    /// Actions per state.
+    pub actions: usize,
+    /// Nanoseconds per full eager merge pass.
+    pub eager_ns: f64,
+    /// Nanoseconds per full streaming merge pass.
+    pub streaming_ns: f64,
+}
+
+impl MergeProbe {
+    /// How much faster the streaming merge ran (`eager / streaming`).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.streaming_ns > 0.0 {
+            self.eager_ns / self.streaming_ns
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A finished perf run, renderable as `BENCH.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -133,6 +165,8 @@ pub struct PerfReport {
     pub cells: Vec<CellPerf>,
     /// Backend microbenchmarks (hash then dense).
     pub probes: Vec<BackendProbe>,
+    /// Federated merge throughput probe (fleet cloud path).
+    pub merge: MergeProbe,
 }
 
 /// Wall-clock period of governor `name`, seconds.
@@ -212,6 +246,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         .collect();
 
     let probes = probe_backends(config.probe_states);
+    let merge = probe_merge(config.probe_states.min(MERGE_PROBE_MAX_STATES), 16);
 
     PerfReport {
         config: config.clone(),
@@ -219,6 +254,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         grid_wall_s,
         cells,
         probes,
+        merge,
     }
 }
 
@@ -241,12 +277,16 @@ pub fn throughput_ticks_per_sec(report: &PerfReport) -> f64 {
 }
 
 fn populate(table: &mut QTable<impl QStore>, states: usize) {
+    populate_salted(table, states, 0);
+}
+
+fn populate_salted(table: &mut QTable<impl QStore>, states: usize, salt: u64) {
     let actions = table.n_actions();
     for s in 0..states as u64 {
         for a in 0..actions {
             // Any finite value pattern works; vary it so argmax has no
-            // degenerate all-equal rows.
-            let v = f64::from(u32::try_from((s + a as u64 * 7) % 13).expect("small")) - 6.0;
+            // degenerate all-equal rows (the salt makes tables differ).
+            let v = f64::from(u32::try_from((s + salt + a as u64 * 7) % 13).expect("small")) - 6.0;
             table.set(s, a, v);
         }
     }
@@ -314,6 +354,45 @@ fn probe_backend<S: QStore>(mut table: QTable<S>, states: usize) -> BackendProbe
 
 /// Actions per state in the backend probes (the Next action space).
 const PROBE_ACTIONS: usize = 9;
+
+/// Cap on the merge-probe table size, keeping the probe's transient
+/// memory (a handful of fully-populated tables) in the tens of MB.
+const MERGE_PROBE_MAX_STATES: usize = 50_000;
+
+/// Measures one full federated merge of `tables` fully-populated
+/// `states`-state dense tables, eager vs streaming, in nanoseconds per
+/// pass. Two distinct tables are cycled so every fold sees real data
+/// without holding `tables` copies in memory.
+#[must_use]
+pub fn probe_merge(states: usize, tables: usize) -> MergeProbe {
+    let build = |salt: u64| {
+        let mut t = qlearn::DenseQTable::dense_for_space(PROBE_ACTIONS, 0.0, states as u64);
+        populate_salted(&mut t, states, salt);
+        t
+    };
+    let distinct = [build(0), build(5)];
+    let refs: Vec<&qlearn::DenseQTable> = (0..tables).map(|i| &distinct[i % 2]).collect();
+
+    let time_pass = |f: &dyn Fn() -> qlearn::DenseQTable| {
+        // At least 2 passes and 20 ms, like the backend probes.
+        let started = Instant::now();
+        let mut passes = 0u32;
+        while passes < 2 || started.elapsed().as_secs_f64() < 0.02 {
+            std::hint::black_box(f());
+            passes += 1;
+        }
+        started.elapsed().as_secs_f64() * 1e9 / f64::from(passes)
+    };
+    let eager_ns = time_pass(&|| qlearn::federated::merge_eager(&refs));
+    let streaming_ns = time_pass(&|| qlearn::federated::merge(&refs));
+    MergeProbe {
+        tables,
+        states,
+        actions: PROBE_ACTIONS,
+        eager_ns,
+        streaming_ns,
+    }
+}
 
 /// Benchmarks the argmax + update hot loop of both storage backends on
 /// a fully-populated `states`-state table (compact keys, as produced by
@@ -391,6 +470,14 @@ impl PerfReport {
             })
             .collect();
         let dense_speedup = self.dense_speedup().map_or(Json::Null, Json::num);
+        let merge = Json::Obj(vec![
+            ("tables".into(), Json::num(self.merge.tables as f64)),
+            ("states".into(), Json::num(self.merge.states as f64)),
+            ("actions".into(), Json::num(self.merge.actions as f64)),
+            ("eager_ns".into(), Json::num(self.merge.eager_ns)),
+            ("streaming_ns".into(), Json::num(self.merge.streaming_ns)),
+            ("speedup".into(), Json::num(self.merge.speedup())),
+        ]);
         Json::Obj(vec![
             ("schema".into(), Json::num(f64::from(SCHEMA_VERSION))),
             ("harness".into(), Json::str("next-sim perf")),
@@ -415,6 +502,7 @@ impl PerfReport {
             ),
             ("qtable".into(), Json::Arr(probes)),
             ("dense_speedup".into(), dense_speedup),
+            ("merge".into(), merge),
         ])
     }
 
@@ -492,7 +580,7 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         let text = report.to_json().render();
         let doc = Json::parse(&text).expect("BENCH.json must be valid JSON");
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(2.0));
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("test"));
         let cells = doc
             .get("cells")
@@ -527,6 +615,22 @@ mod tests {
             .get("totals")
             .and_then(|t| t.get("ticks_per_sec"))
             .is_some());
+        let merge = doc.get("merge").expect("merge probe section");
+        assert_eq!(merge.get("tables").and_then(Json::as_f64), Some(16.0));
+        assert!(merge.get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn merge_probe_measures_both_paths() {
+        // Structural checks only — the performance claim itself lives
+        // in the `federated_merge` criterion bench and the BENCH.json
+        // artifact, where wall-clock noise doesn't fail `cargo test`.
+        let probe = probe_merge(2_000, 8);
+        assert_eq!(probe.tables, 8);
+        assert_eq!(probe.states, 2_000);
+        assert_eq!(probe.actions, PROBE_ACTIONS);
+        assert!(probe.eager_ns > 0.0 && probe.streaming_ns > 0.0);
+        assert!(probe.speedup() > 0.0);
     }
 
     #[test]

@@ -255,6 +255,40 @@ impl NextAgent {
         NextAgent::from_parts(config, encoder, table, training)
     }
 
+    /// Fraction of `epsilon0` a warm-started agent explores with: the
+    /// fleet table already encodes the fleet's experience, so local
+    /// rounds refine it instead of re-exploring from scratch.
+    pub const WARM_START_EPSILON_SCALE: f64 = 0.3;
+
+    /// Creates a **training** agent warm-started from a previously
+    /// learned table — the §IV-C device-side hook: the cloud pushes the
+    /// merged fleet table down and the device continues learning from
+    /// it. Unlike a fresh agent, exploration restarts at
+    /// [`NextAgent::WARM_START_EPSILON_SCALE`]`·epsilon0` (floored at
+    /// `epsilon_min`), while convergence tracking starts clean so a
+    /// fleet round re-converges on its own evidence.
+    ///
+    /// A table declared for a smaller state space is re-homed exactly
+    /// as in [`NextAgent::with_table`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's action count is not [`Action::COUNT`] or
+    /// the configuration is invalid.
+    #[must_use]
+    pub fn warm_start(config: NextConfig, table: DenseQTable) -> Self {
+        let eps = (config.epsilon0 * Self::WARM_START_EPSILON_SCALE).max(config.epsilon_min);
+        let mut agent = NextAgent::with_table(config, table, true);
+        agent.policy.reset_epsilon(eps);
+        agent
+    }
+
+    /// The exploration rate currently in effect (0 in greedy mode).
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.policy.epsilon()
+    }
+
     fn from_parts(
         config: NextConfig,
         encoder: StateEncoder,
@@ -971,5 +1005,33 @@ mod tests {
     #[should_panic(expected = "action count mismatch")]
     fn wrong_table_arity_panics() {
         let _ = NextAgent::with_table(NextConfig::paper(), DenseQTable::dense(4), true);
+    }
+
+    #[test]
+    fn warm_start_trains_with_reduced_exploration() {
+        let mut donor = NextAgent::new(NextConfig::paper());
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        run_loop(&mut donor, &mut soc, &ui_demand(), 10.0);
+        let table = donor.into_table();
+        let states = table.len();
+
+        let config = NextConfig::paper();
+        let warm = NextAgent::warm_start(config.clone(), table);
+        assert!(warm.is_training(), "warm start must keep learning");
+        assert!(
+            warm.epsilon() < config.epsilon0,
+            "warm start explores less than a cold start: {} vs {}",
+            warm.epsilon(),
+            config.epsilon0
+        );
+        assert!(warm.epsilon() >= config.epsilon_min);
+        assert_eq!(warm.stats(), TrainingStats::default(), "fresh telemetry");
+        assert_eq!(warm.table().len(), states, "fleet knowledge retained");
+
+        // And it keeps learning: updates accumulate on the warm table.
+        let mut warm = warm;
+        let mut soc2 = Soc::new(SocConfig::exynos9810());
+        run_loop(&mut warm, &mut soc2, &ui_demand(), 10.0);
+        assert!(warm.stats().updates > 0);
     }
 }

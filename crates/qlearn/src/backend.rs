@@ -121,7 +121,40 @@ pub trait QStore: fmt::Debug + Clone + PartialEq {
 
     /// Calls `f` once per touched row, in unspecified order.
     fn for_each_row(&self, f: &mut RowVisitor<'_>);
+
+    /// Calls `f` once per touched row with mutable access, in
+    /// unspecified order.
+    fn for_each_row_mut(&mut self, f: &mut RowVisitorMut<'_>);
+
+    /// Folds `other` into `self` as **visit-weighted sums**: for every
+    /// row of `other`, `values[a] += q[a]·n[a]` and `visits[a] += n[a]`
+    /// (rows absent from `self` start at zero).
+    ///
+    /// This is the streaming kernel behind
+    /// [`crate::federated::MergeAccumulator`]: `self` temporarily holds
+    /// Σ(q·n)/Σn numerators and denominators, *not* Q-values, and is
+    /// normalised only when the accumulator finishes. One fold touches
+    /// each input row exactly once, so merging T tables costs
+    /// O(rows·T) with memory bounded by the union of visited states —
+    /// no all-keys materialisation, no sort.
+    ///
+    /// The default implementation walks `other` row by row through the
+    /// index; backends may override it with a faster layout-aware path
+    /// (see [`DenseStore`]'s arena zip).
+    fn fold_weighted(&mut self, other: &Self) {
+        debug_assert_eq!(self.n_actions(), other.n_actions());
+        other.for_each_row(&mut |state, values, visits| {
+            let (v, n) = self.row_mut(state, 0.0);
+            for a in 0..v.len() {
+                v[a] += values[a] * visits[a] as f64;
+                n[a] += visits[a];
+            }
+        });
+    }
 }
+
+/// Callback receiving mutable `(state, values, visits)` for one row.
+pub type RowVisitorMut<'a> = dyn FnMut(StateKey, &mut [f64], &mut [u64]) + 'a;
 
 /// One per-state entry of the hash backend.
 #[derive(Debug, Clone, PartialEq)]
@@ -190,6 +223,12 @@ impl QStore for HashStore {
     fn for_each_row(&self, f: &mut RowVisitor<'_>) {
         for (&k, e) in &self.entries {
             f(k, &e.values, &e.visits);
+        }
+    }
+
+    fn for_each_row_mut(&mut self, f: &mut RowVisitorMut<'_>) {
+        for (&k, e) in &mut self.entries {
+            f(k, &mut e.values, &mut e.visits);
         }
     }
 }
@@ -345,6 +384,29 @@ impl DenseStore {
         let start = row as usize * self.n_actions;
         start..start + self.n_actions
     }
+
+    /// Whether the index can store `state` without panicking (the
+    /// direct slot table is bounded by its declared capacity).
+    fn index_accepts(&self, state: StateKey) -> bool {
+        match &self.index {
+            RowIndex::Map(_) => true,
+            RowIndex::Direct(slots) => usize::try_from(state).is_ok_and(|i| i < slots.len()),
+        }
+    }
+
+    /// Replaces a capacity-bounded direct index with an equivalent
+    /// hashed map, so keys beyond the declared space can be folded in
+    /// (federated merging unions tables from arbitrary encoders).
+    fn demote_index_to_map(&mut self) {
+        if let RowIndex::Direct(_) = self.index {
+            let mut map: HashMap<StateKey, u32, KeyHashBuilder> = HashMap::default();
+            map.reserve(self.keys.len());
+            for (row, &k) in self.keys.iter().enumerate() {
+                map.insert(k, u32::try_from(row).expect("row count fits u32"));
+            }
+            self.index = RowIndex::Map(map);
+        }
+    }
 }
 
 impl QStore for DenseStore {
@@ -409,6 +471,67 @@ impl QStore for DenseStore {
                 start..start + self.n_actions
             };
             f(k, &self.values[span.clone()], &self.visits[span]);
+        }
+    }
+
+    fn for_each_row_mut(&mut self, f: &mut RowVisitorMut<'_>) {
+        let rows = self
+            .values
+            .chunks_exact_mut(self.n_actions)
+            .zip(self.visits.chunks_exact_mut(self.n_actions));
+        for (&k, (values, visits)) in self.keys.iter().zip(rows) {
+            f(k, values, visits);
+        }
+    }
+
+    /// Dense fast path: when the two arenas share the exact row layout
+    /// (same keys in the same row order — e.g. an accumulator seeded
+    /// from a sibling table, or fully-populated tables built over the
+    /// same `StateSpace` walk), the fold is a straight zip of the four
+    /// arena `Vec`s: no index probes, no key decoding, just one
+    /// contiguous multiply-add pass. An empty accumulator bulk-adopts
+    /// the first input's layout wholesale. Only genuinely divergent
+    /// layouts pay the per-row index path — and even that is one
+    /// slot-table load per row for space-declared tables.
+    fn fold_weighted(&mut self, other: &Self) {
+        debug_assert_eq!(self.n_actions, other.n_actions);
+        if self.keys.is_empty() {
+            // First fold: adopt the input's layout and weight in place.
+            self.index = other.index.clone();
+            self.keys.clone_from(&other.keys);
+            self.visits.clone_from(&other.visits);
+            self.values = other
+                .values
+                .iter()
+                .zip(&other.visits)
+                .map(|(&q, &n)| q * n as f64)
+                .collect();
+            return;
+        }
+        if self.keys == other.keys {
+            // Identical layout: zip the arenas directly.
+            let rows = self.values.iter_mut().zip(self.visits.iter_mut());
+            let others = other.values.iter().zip(&other.visits);
+            for ((v, n), (&q, &m)) in rows.zip(others) {
+                *v += q * m as f64;
+                *n += m;
+            }
+            return;
+        }
+        // Divergent layouts: per-row probe of this store's index. A key
+        // beyond a direct index's declared capacity demotes the index
+        // to the hashed map once (unions may exceed any one space).
+        for (i, &k) in other.keys.iter().enumerate() {
+            let span = i * self.n_actions..(i + 1) * self.n_actions;
+            if !self.index_accepts(k) {
+                self.demote_index_to_map();
+            }
+            let (v, n) = self.row_mut(k, 0.0);
+            let (ov, on) = (&other.values[span.clone()], &other.visits[span]);
+            for a in 0..v.len() {
+                v[a] += ov[a] * on[a] as f64;
+                n[a] += on[a];
+            }
         }
     }
 }

@@ -7,25 +7,209 @@
 //! is also simply *faster* — Fig. 6 compares on-device training time
 //! against a 16-core Xeon E7-8860v3 with a measured round-trip
 //! communication overhead of up to 4 seconds.
+//!
+//! # Streaming merge
+//!
+//! At fleet scale the cloud folds tables from millions of devices, so
+//! the merger is a **streaming accumulator** ([`MergeAccumulator`]):
+//! tables are folded one at a time, each fold touching every input row
+//! exactly once, with memory bounded by the *union* of visited states —
+//! a device's table can be dropped (or streamed from the network) the
+//! moment it has been folded. The seed implementation
+//! ([`merge_eager`]) instead materialised and sorted the concatenated
+//! key set of *every* table before probing each table per key; it is
+//! kept as the reference the equivalence tests and the perf probes
+//! compare against.
+//!
+//! On the dense backend the fold zips the value/visit arenas directly
+//! when the row layouts line up (see [`QStore::fold_weighted`]) — no
+//! sorting, no key decoding, no per-key hashing. Heterogeneous
+//! encoders keep working through the open-ended hash backend.
+
+use std::fmt;
 
 use crate::backend::QStore;
 use crate::qtable::QTable;
 
+/// Error returned by the fallible merge entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No table was provided/folded — there is nothing to merge.
+    NoTables,
+    /// A table's action count disagrees with the accumulator's.
+    ActionMismatch {
+        /// Action count the accumulator was created with.
+        expected: usize,
+        /// Action count of the offending table.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoTables => write!(f, "cannot merge zero tables"),
+            MergeError::ActionMismatch { expected, got } => write!(
+                f,
+                "all tables must share the action space: expected {expected} actions, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Streaming visit-weighted merger: fold device tables one at a time,
+/// then [`finish`](MergeAccumulator::finish) into the fleet table.
+///
+/// Internally the store holds per-pair numerators `Σ(visits·q)` in the
+/// value cells and denominators `Σ visits` in the visit cells; `finish`
+/// normalises in place. Memory stays proportional to the union of
+/// visited states — tables never need to coexist, unlike the eager
+/// reference ([`merge_eager`]) which keeps every table alive and sorts
+/// their concatenated key sets.
+///
+/// ```
+/// use qlearn::federated::MergeAccumulator;
+/// use qlearn::QTable;
+///
+/// let mut a = QTable::new(3);
+/// a.set(7, 1, 2.0);
+/// let mut b = QTable::new(3);
+/// b.set(7, 1, 4.0);
+///
+/// let mut acc = MergeAccumulator::new(3, 0.0);
+/// acc.fold(&a).unwrap();
+/// drop(a); // folded tables can be released immediately
+/// acc.fold(&b).unwrap();
+/// let fleet = acc.finish().unwrap();
+/// assert_eq!(fleet.q(7, 1), 3.0);
+/// assert_eq!(fleet.visits(7, 1), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MergeAccumulator<S: QStore = crate::backend::HashStore> {
+    store: S,
+    default_q: f64,
+    folded: usize,
+}
+
+impl<S: QStore> MergeAccumulator<S> {
+    /// Creates an empty accumulator for `n_actions` actions whose
+    /// merged table will read `default_q` on unvisited pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_actions` is zero or `default_q` is not finite.
+    #[must_use]
+    pub fn new(n_actions: usize, default_q: f64) -> Self {
+        assert!(default_q.is_finite(), "default q must be finite");
+        MergeAccumulator {
+            store: S::with_actions(n_actions),
+            default_q,
+            folded: 0,
+        }
+    }
+
+    /// Number of tables folded so far.
+    #[must_use]
+    pub fn n_folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Folds one device table into the accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::ActionMismatch`] when the table's action
+    /// count differs from the accumulator's; the accumulator is left
+    /// untouched in that case.
+    pub fn fold(&mut self, table: &QTable<S>) -> Result<(), MergeError> {
+        if table.n_actions() != self.store.n_actions() {
+            return Err(MergeError::ActionMismatch {
+                expected: self.store.n_actions(),
+                got: table.n_actions(),
+            });
+        }
+        self.store.fold_weighted(table.store());
+        self.folded += 1;
+        Ok(())
+    }
+
+    /// Normalises the accumulated sums into the merged fleet table:
+    /// every visited pair becomes `Σ(visits·q) / Σ visits` with the
+    /// summed visit count; unvisited pairs read the default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::NoTables`] when nothing was folded.
+    pub fn finish(mut self) -> Result<QTable<S>, MergeError> {
+        if self.folded == 0 {
+            return Err(MergeError::NoTables);
+        }
+        let default_q = self.default_q;
+        self.store.for_each_row_mut(&mut |_, values, visits| {
+            for (v, &n) in values.iter_mut().zip(visits.iter()) {
+                if n > 0 {
+                    *v /= n as f64;
+                } else {
+                    *v = default_q;
+                }
+            }
+        });
+        Ok(QTable::from_store(default_q, self.store))
+    }
+}
+
 /// Merges device Q-tables into a fleet table by visit-weighted
 /// averaging: for every `(state, action)` the merged value is
 /// `Σ(visits·q) / Σ(visits)` over the tables that visited the pair,
-/// and the merged visit count is the sum. Pairs no device visited stay
-/// at 0 with 0 visits.
+/// and the merged visit count is the sum. Pairs no device visited read
+/// the first table's default.
 ///
-/// Works on any storage backend (the output uses the inputs' backend);
-/// the open-ended hash backend remains the natural fit for cloud-side
-/// merging of tables from heterogeneous encoders.
+/// Streams through [`MergeAccumulator`] — bounded memory, dense arena
+/// fast path — and returns a typed error instead of panicking. Use
+/// [`merge`] when the inputs are known-good.
+///
+/// # Errors
+///
+/// Returns [`MergeError`] when `tables` is empty or the action counts
+/// disagree.
+pub fn try_merge<S: QStore>(tables: &[&QTable<S>]) -> Result<QTable<S>, MergeError> {
+    let first = tables.first().ok_or(MergeError::NoTables)?;
+    let mut acc = MergeAccumulator::new(first.n_actions(), first.default_q());
+    for t in tables {
+        acc.fold(t)?;
+    }
+    acc.finish()
+}
+
+/// Panicking convenience wrapper around [`try_merge`] for call sites
+/// with known-good inputs (the seed API).
 ///
 /// # Panics
 ///
 /// Panics if `tables` is empty or the action counts disagree.
 #[must_use]
 pub fn merge<S: QStore>(tables: &[&QTable<S>]) -> QTable<S> {
+    match try_merge(tables) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The seed repo's eager merge: materialises and sorts the concatenated
+/// key set of every table, then probes each table once per key.
+///
+/// Kept as the reference implementation: the equivalence tests assert
+/// [`try_merge`] reproduces it bit for bit (the per-pair fold order is
+/// identical, so even the floating-point rounding matches), and the
+/// perf harness measures the streaming speedup against it.
+///
+/// # Panics
+///
+/// Panics if `tables` is empty or the action counts disagree.
+#[must_use]
+pub fn merge_eager<S: QStore>(tables: &[&QTable<S>]) -> QTable<S> {
     assert!(!tables.is_empty(), "cannot merge zero tables");
     let n_actions = tables[0].n_actions();
     assert!(
@@ -97,6 +281,8 @@ impl CloudModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{DenseStore, HashStore};
+    use crate::qtable::DenseQTable;
 
     fn table_with(state: u64, action: usize, value: f64, visits: u64) -> QTable {
         let mut t = QTable::new(3);
@@ -160,7 +346,133 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero tables")]
     fn merge_rejects_empty_input() {
-        let _ = merge::<crate::backend::HashStore>(&[]);
+        let _ = merge::<HashStore>(&[]);
+    }
+
+    #[test]
+    fn try_merge_returns_typed_errors() {
+        assert_eq!(try_merge::<HashStore>(&[]), Err(MergeError::NoTables));
+        let a = QTable::new(2);
+        let b = QTable::new(3);
+        assert_eq!(
+            try_merge(&[&a, &b]),
+            Err(MergeError::ActionMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+        assert!(try_merge(&[&a]).is_ok());
+    }
+
+    #[test]
+    fn accumulator_rejects_mismatch_and_stays_usable() {
+        let mut acc: MergeAccumulator = MergeAccumulator::new(3, 0.0);
+        let good = table_with(1, 0, 1.0, 2);
+        let bad = QTable::new(2);
+        acc.fold(&good).expect("3-action table folds");
+        assert!(matches!(
+            acc.fold(&bad),
+            Err(MergeError::ActionMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+        assert_eq!(acc.n_folded(), 1, "failed fold must not count");
+        let merged = acc.finish().expect("one table folded");
+        assert_eq!(merged.q(1, 0), 1.0);
+    }
+
+    #[test]
+    fn empty_accumulator_refuses_to_finish() {
+        let acc: MergeAccumulator = MergeAccumulator::new(3, 0.0);
+        assert_eq!(acc.finish().err(), Some(MergeError::NoTables));
+    }
+
+    #[test]
+    fn streaming_matches_eager_reference_exactly() {
+        let tables = [
+            table_with(0, 0, 1.5, 3),
+            table_with(0, 0, -2.0, 5),
+            table_with(9, 2, 0.25, 1),
+            table_with(0, 1, 4.0, 2),
+        ];
+        let refs: Vec<&QTable> = tables.iter().collect();
+        let eager = merge_eager(&refs);
+        let streaming = merge(&refs);
+        assert_eq!(streaming, eager);
+        assert_eq!(streaming.encode(), eager.encode(), "bit-identical");
+    }
+
+    #[test]
+    fn dense_merge_matches_hash_merge() {
+        let hash_tables = [
+            table_with(3, 0, 2.0, 2),
+            table_with(3, 1, -1.0, 4),
+            table_with(700, 2, 9.0, 1),
+        ];
+        let dense_tables: Vec<DenseQTable> = hash_tables.iter().map(QTable::to_backend).collect();
+        let h = merge(&hash_tables.iter().collect::<Vec<_>>());
+        let d = merge(&dense_tables.iter().collect::<Vec<_>>());
+        assert_eq!(h.encode(), d.encode(), "backends must merge identically");
+    }
+
+    #[test]
+    fn dense_fast_path_handles_divergent_layouts_and_spaces() {
+        // Table A: direct-indexed space of 10 states; table B visits a
+        // key far beyond it in a different row order. The accumulator
+        // must union them without panicking on index capacity.
+        let mut a = DenseQTable::dense_for_space(3, 0.0, 10);
+        a.set(4, 1, 2.0);
+        a.set(2, 0, 1.0);
+        let mut b = DenseQTable::dense(3);
+        b.set(2, 0, 3.0);
+        b.set(5_000, 2, -1.0);
+        let mut acc: MergeAccumulator<DenseStore> = MergeAccumulator::new(3, 0.0);
+        acc.fold(&a).unwrap();
+        acc.fold(&b).unwrap();
+        let merged = acc.finish().unwrap();
+        assert_eq!(merged.q(2, 0), 2.0, "visit-weighted mean of 1 and 3");
+        assert_eq!(merged.q(4, 1), 2.0);
+        assert_eq!(merged.q(5_000, 2), -1.0);
+        assert_eq!(merged.len(), 3);
+
+        // Same inputs through the hash backend give the same bytes.
+        let ha: QTable = a.to_backend();
+        let hb: QTable = b.to_backend();
+        let hashed = merge(&[&ha, &hb]);
+        assert_eq!(merged.encode(), hashed.encode());
+    }
+
+    #[test]
+    fn dense_identical_layout_zips_arenas() {
+        // Two tables built by the same population walk share row order,
+        // so folds after the first take the arena-zip path; the result
+        // must still match the eager reference bit for bit.
+        let build = |scale: f64| {
+            let mut t = DenseQTable::dense_for_space(4, 0.0, 64);
+            for s in 0..64u64 {
+                for a in 0..4 {
+                    t.set(s, a, scale * (s as f64 - a as f64));
+                }
+            }
+            t
+        };
+        let a = build(1.0);
+        let b = build(-0.5);
+        let c = build(0.25);
+        let refs = vec![&a, &b, &c];
+        assert_eq!(merge(&refs), merge_eager(&refs));
+    }
+
+    #[test]
+    fn merge_preserves_default_q_of_first_table() {
+        let a = QTable::with_default_q(2, 7.5);
+        let mut b = QTable::with_default_q(2, 7.5);
+        b.set(3, 0, 1.0);
+        let merged = merge(&[&a, &b]);
+        assert_eq!(merged.default_q(), 7.5);
+        assert_eq!(merged.q(3, 1), 7.5, "unvisited sibling reads default");
+        assert_eq!(merged.q(3, 0), 1.0);
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //! * [`learner`] — the Q-learning update rule,
 //! * [`discretize`] — uniform quantisers, including the FPS quantiser
 //!   whose bin count the paper sweeps in Fig. 6 (30 bins works best),
-//! * [`federated`] — visit-weighted federated averaging of device
-//!   tables plus the cloud-training time model of §IV-C.
+//! * [`federated`] — streaming visit-weighted federated averaging of
+//!   device tables ([`MergeAccumulator`]: bounded memory, dense arena
+//!   fast path) plus the cloud-training time model of §IV-C.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,7 +39,7 @@ pub mod qtable;
 pub use backend::{DenseStore, HashStore, QStore};
 pub use discretize::Quantizer;
 pub use double_q::DoubleQ;
-pub use federated::CloudModel;
+pub use federated::{CloudModel, MergeAccumulator, MergeError};
 pub use learner::QLearning;
 pub use policy::EpsilonGreedy;
 pub use qtable::{DecodeQTableError, DenseQTable, QTable, StateKey};

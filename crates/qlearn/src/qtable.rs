@@ -470,6 +470,24 @@ impl<S: QStore> QTable<S> {
         Ok(table)
     }
 
+    /// Wraps a raw store into a table. The caller guarantees the store
+    /// upholds the table invariant (unvisited cells physically hold
+    /// `default_q`) — used by the federated merge accumulator after it
+    /// normalises its weighted sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default_q` is not finite.
+    pub(crate) fn from_store(default_q: f64, store: S) -> Self {
+        assert!(default_q.is_finite(), "default q must be finite");
+        QTable { default_q, store }
+    }
+
+    /// Read access to the raw store (crate-internal machinery).
+    pub(crate) fn store(&self) -> &S {
+        &self.store
+    }
+
     /// Raw accessor used by the federated merger.
     pub(crate) fn entry_raw(&self, state: StateKey) -> Option<(&[f64], &[u64])> {
         self.store.row(state)

@@ -3,9 +3,9 @@
 use proptest::prelude::*;
 
 use qlearn::discretize::Quantizer;
-use qlearn::federated::merge;
+use qlearn::federated::{merge, merge_eager, MergeAccumulator};
 use qlearn::policy::EpsilonGreedy;
-use qlearn::qtable::QTable;
+use qlearn::qtable::{DenseQTable, QTable};
 use qlearn::QLearning;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -106,6 +106,42 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The streaming merge reproduces the seed's eager all-keys merge
+    /// bit for bit on arbitrary tables.
+    #[test]
+    fn streaming_merge_matches_eager(a in arb_table(), b in arb_table(), c in arb_table()) {
+        let refs = [&a, &b, &c];
+        let streaming = merge(&refs);
+        let eager = merge_eager(&refs);
+        prop_assert_eq!(streaming.encode(), eager.encode());
+    }
+
+    /// The dense fast-path merge equals the hash-path merge on random
+    /// tables: same inputs re-homed onto the dense backend produce a
+    /// byte-identical merged table.
+    #[test]
+    fn dense_fast_path_merge_equals_hash_path(a in arb_table(), b in arb_table(), c in arb_table()) {
+        let hash_merged = merge(&[&a, &b, &c]);
+        let (da, db, dc): (DenseQTable, DenseQTable, DenseQTable) =
+            (a.to_backend(), b.to_backend(), c.to_backend());
+        let dense_merged = merge(&[&da, &db, &dc]);
+        prop_assert_eq!(dense_merged.encode(), hash_merged.encode());
+    }
+
+    /// Folding tables one at a time through the accumulator (dropping
+    /// each immediately) gives the same result as the batch entry point.
+    #[test]
+    fn accumulator_fold_order_is_batch_merge(a in arb_table(), b in arb_table()) {
+        let batch = merge(&[&a, &b]);
+        let mut acc = MergeAccumulator::new(9, a.default_q());
+        acc.fold(&a).unwrap();
+        drop(a);
+        acc.fold(&b).unwrap();
+        drop(b);
+        let streamed = acc.finish().unwrap();
+        prop_assert_eq!(streamed.encode(), batch.encode());
     }
 
     /// Quantiser indices stay in range and `center` round-trips.

@@ -8,23 +8,14 @@
 
 use governors::Governor;
 use mpsoc::soc::{Soc, SocConfig};
-use next_core::{NextAgent, NextConfig};
+use next_core::NextConfig;
 use workload::{SessionPlan, SessionSim};
 
 use crate::engine::{Engine, RunOutcome};
 use crate::metrics::Summary;
+use crate::trainer::{TrainSpec, Trainer};
 
-/// Result of training Next on one application.
-#[derive(Debug)]
-pub struct TrainOutcome {
-    /// The agent, already switched to greedy inference.
-    pub agent: NextAgent,
-    /// Simulated seconds of training actually spent.
-    pub training_time_s: f64,
-    /// Whether the TD-error convergence criterion fired (as opposed to
-    /// hitting the training budget).
-    pub converged: bool,
-}
+pub use crate::trainer::TrainOutcome;
 
 /// Trains a fresh Next agent on `app` until convergence or
 /// `max_train_s` simulated seconds, whichever comes first.
@@ -32,7 +23,8 @@ pub struct TrainOutcome {
 /// Training runs as a sequence of long app sessions on a dedicated
 /// simulated device, exactly like leaving the app open on the phone
 /// while the agent explores (§IV-B reports ≈3 min 27 s on average at 30
-/// FPS bins).
+/// FPS bins). Thin wrapper over [`Trainer`] with the seed protocol's
+/// defaults (60 s episodes, stock Exynos 9810, cold start).
 #[must_use]
 pub fn train_next_for_app(
     app: &str,
@@ -40,36 +32,7 @@ pub fn train_next_for_app(
     seed: u64,
     max_train_s: f64,
 ) -> TrainOutcome {
-    let engine = Engine::new();
-    let mut agent = NextAgent::new(config);
-    let mut soc = Soc::new(SocConfig::exynos9810());
-    let session_len: f64 = 60.0;
-    let mut spent = 0.0;
-    let mut round = 0u64;
-    // One outcome buffer for the whole training run: each 60 s chunk
-    // reuses the previous chunk's trace allocation.
-    let mut outcome = RunOutcome {
-        trace: crate::metrics::Trace::new(),
-        presented_frames: 0,
-        repeated_vsyncs: 0,
-    };
-    while spent < max_train_s && !agent.is_converged() {
-        let chunk = session_len.min(max_train_s - spent);
-        let mut session =
-            SessionSim::new(SessionPlan::single(app, chunk), seed.wrapping_add(round));
-        agent.start_session();
-        engine.run_into(&mut soc, &mut agent, &mut session, chunk, &mut outcome);
-        spent += chunk;
-        round += 1;
-    }
-    let converged = agent.is_converged();
-    let training_time_s = agent.stats().converged_at_s.unwrap_or(spent);
-    agent.set_training(false);
-    TrainOutcome {
-        agent,
-        training_time_s,
-        converged,
-    }
+    Trainer::new().train(TrainSpec::new(app, config, seed, max_train_s))
 }
 
 /// Result of measuring one governor on one session plan.

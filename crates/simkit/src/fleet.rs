@@ -1,0 +1,460 @@
+//! Fleet-scale federated training (§IV-C at production scale).
+//!
+//! The paper's deployment story: a manufacturer ships a fleet of
+//! devices that train per-application Q-tables locally and federate
+//! them through the cloud. This module simulates that story end to end
+//! as **R federated rounds over D heterogeneous devices**:
+//!
+//! ```text
+//!            ┌────────────── one federated round ──────────────┐
+//!            │                                                 │
+//!  fleet ────┤ downlink ─▶ device 0 (bin A, user u₀) ─ train ─┐│
+//!  table     │ downlink ─▶ device 1 (bin B, user u₁) ─ train ─┤│
+//!  (round    │      …                                         ├┼─▶ uplink
+//!  r − 1)    │ downlink ─▶ device D−1 (bin …, user …) ─ train ┘│    │
+//!            │                                                 │    ▼
+//!            │        cloud: streaming visit-weighted merge ◀──┘
+//!            │        held-out eval: PPDW / FPS / power on the
+//!            │        merged table (seeds disjoint from training)
+//!            └─────────────────────────────────────────────────┘
+//! ```
+//!
+//! Devices are heterogeneous: each is assigned an [`SocBin`] (ambient
+//! temperature and platform-power variation — the silicon/thermal
+//! lottery of a real fleet) and its own user seed (the user mix).
+//! Local training runs through [`crate::trainer::Trainer`], executed
+//! across devices with the work-stealing
+//! [`crate::sweep::parallel_map`]; the cloud merge streams the device
+//! tables through `qlearn::federated::MergeAccumulator` in device
+//! order. Every quantity in a [`FleetReport`] is a pure function of
+//! the [`FleetConfig`] — identical for any worker count — so the
+//! `next-sim fleet` JSON artifact is byte-identical across machines'
+//! parallelism. Round timing is *modeled* (slowest device's simulated
+//! training time plus the configurable up/down-link latencies of the
+//! Fig. 6 communication-overhead measurement), never wall clock.
+
+use mpsoc::soc::SocConfig;
+use next_core::ppdw::ppdw;
+use next_core::{NextAgent, NextConfig};
+use qlearn::federated::MergeAccumulator;
+use qlearn::{DenseQTable, DenseStore};
+use workload::{apps, SessionPlan};
+
+use crate::experiment::evaluate_governor;
+use crate::sweep::parallel_map;
+use crate::trainer::{TrainSpec, Trainer};
+
+/// Up-/down-link latency of one federated round — the configurable
+/// generalisation of Fig. 6's measured ≤4 s round-trip overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Device → cloud table upload latency, seconds.
+    pub uplink_s: f64,
+    /// Cloud → device merged-table push latency, seconds.
+    pub downlink_s: f64,
+}
+
+impl LinkModel {
+    /// The paper's measured round trip: ≤4 s, split evenly.
+    #[must_use]
+    pub fn paper() -> Self {
+        LinkModel {
+            uplink_s: 2.0,
+            downlink_s: 2.0,
+        }
+    }
+
+    /// Total per-round communication overhead, seconds.
+    #[must_use]
+    pub fn round_trip_s(&self) -> f64 {
+        self.uplink_s + self.downlink_s
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::paper()
+    }
+}
+
+/// One hardware bin of the fleet: the silicon/thermal lottery a real
+/// production run exhibits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocBin {
+    /// Bin label (recorded in the fleet artifact).
+    pub name: &'static str,
+    /// Ambient temperature the device lives at, °C (thermal bin).
+    pub ambient_c: f64,
+    /// Multiplier on the platform's base power floor (power bin:
+    /// leakier or better-binned silicon).
+    pub power_scale: f64,
+}
+
+/// The fleet's hardware bins; devices are assigned round-robin.
+pub const SOC_BINS: [SocBin; 4] = [
+    SocBin {
+        name: "typical",
+        ambient_c: 21.0,
+        power_scale: 1.0,
+    },
+    SocBin {
+        name: "warm-climate",
+        ambient_c: 27.0,
+        power_scale: 1.0,
+    },
+    SocBin {
+        name: "leaky-silicon",
+        ambient_c: 21.0,
+        power_scale: 1.15,
+    },
+    SocBin {
+        name: "cool-efficient",
+        ambient_c: 15.0,
+        power_scale: 0.9,
+    },
+];
+
+/// Builds the simulated device for a hardware bin: the stock Exynos
+/// 9810 at the bin's ambient with its base-power scale applied.
+#[must_use]
+pub fn soc_config_for(bin: &SocBin) -> SocConfig {
+    let mut cfg = SocConfig::exynos9810_at_ambient(bin.ambient_c);
+    let power = &cfg.power;
+    cfg.power = mpsoc::power::PowerModel::new(
+        [
+            power.cluster(mpsoc::freq::ClusterId::Big).clone(),
+            power.cluster(mpsoc::freq::ClusterId::Little).clone(),
+            power.cluster(mpsoc::freq::ClusterId::Gpu).clone(),
+        ],
+        power.base_w() * bin.power_scale,
+    );
+    cfg
+}
+
+/// One device of the simulated fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Device number (stable across rounds).
+    pub id: usize,
+    /// Index into [`SOC_BINS`].
+    pub bin: usize,
+    /// Base seed of this device's user (per-round seeds derive from
+    /// it, so every round sees fresh but reproducible behaviour).
+    pub user_seed: u64,
+}
+
+/// SplitMix64 — derives independent per-device / per-round seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the deterministic device roster of a fleet.
+#[must_use]
+pub fn device_profiles(devices: usize, seed: u64) -> Vec<DeviceProfile> {
+    (0..devices)
+        .map(|id| DeviceProfile {
+            id,
+            bin: id % SOC_BINS.len(),
+            user_seed: splitmix64(seed ^ (id as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
+        })
+        .collect()
+}
+
+/// Configuration of a fleet simulation.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Application the fleet trains (the paper federates per-app
+    /// tables).
+    pub app: String,
+    /// Number of devices.
+    pub devices: usize,
+    /// Number of federated rounds.
+    pub rounds: usize,
+    /// Master seed: device roster, user seeds and the held-out eval
+    /// grid all derive from it.
+    pub seed: u64,
+    /// Local training budget per device per round, simulated seconds.
+    pub round_budget_s: f64,
+    /// Agent configuration shared by the fleet.
+    pub next: NextConfig,
+    /// Up-/down-link latency model.
+    pub link: LinkModel,
+    /// Held-out session seeds the merged table is evaluated on after
+    /// every round (disjoint from training seeds by construction).
+    pub eval_seeds: Vec<u64>,
+    /// Session length of each held-out evaluation, simulated seconds.
+    pub eval_duration_s: f64,
+}
+
+impl FleetConfig {
+    /// Full-scale defaults: §V training budgets, paper link model, a
+    /// 3-session held-out grid.
+    #[must_use]
+    pub fn new(app: &str, devices: usize, rounds: usize, seed: u64) -> Self {
+        FleetConfig {
+            app: app.to_owned(),
+            devices,
+            rounds,
+            seed,
+            round_budget_s: 300.0,
+            next: NextConfig::paper(),
+            link: LinkModel::paper(),
+            eval_seeds: vec![9_001, 9_002, 9_003],
+            eval_duration_s: 120.0,
+        }
+    }
+
+    /// CI-smoke defaults: short local rounds and evaluations.
+    #[must_use]
+    pub fn quick(app: &str, devices: usize, rounds: usize, seed: u64) -> Self {
+        FleetConfig {
+            round_budget_s: 90.0,
+            eval_seeds: vec![9_001, 9_002],
+            eval_duration_s: 40.0,
+            ..FleetConfig::new(app, devices, rounds, seed)
+        }
+    }
+}
+
+/// Held-out quality of a merged fleet table (means over the eval grid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundEval {
+    /// Mean presented FPS.
+    pub avg_fps: f64,
+    /// Mean FPS standard deviation (QoS stability).
+    pub fps_std: f64,
+    /// Mean platform power, watts.
+    pub avg_power_w: f64,
+    /// PPDW (Eq. 1) of the mean operating point, against the agent's
+    /// ambient.
+    pub ppdw: f64,
+}
+
+/// Telemetry of one federated round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetRound {
+    /// Round number, 0-based.
+    pub round: usize,
+    /// Visited states in the merged table after this round.
+    pub states: usize,
+    /// Total visits in the merged table after this round.
+    pub visits: u64,
+    /// Devices whose local training converged this round.
+    pub converged_devices: usize,
+    /// Slowest device's simulated local training time, seconds
+    /// (devices train in parallel, so the round waits for the slowest).
+    pub local_train_s: f64,
+    /// Modeled communication overhead of the round, seconds.
+    pub comm_s: f64,
+    /// Modeled wall time of the round: slowest local training plus the
+    /// communication round trip.
+    pub round_time_s: f64,
+    /// Held-out quality of the merged table.
+    pub eval: RoundEval,
+}
+
+/// Result of a fleet simulation.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The configuration that ran.
+    pub config: FleetConfig,
+    /// The device roster.
+    pub devices: Vec<DeviceProfile>,
+    /// Per-round telemetry, in round order.
+    pub rounds: Vec<FleetRound>,
+    /// The final merged fleet table.
+    pub table: DenseQTable,
+}
+
+/// Evaluates a merged fleet table on the held-out session grid.
+fn evaluate_round(config: &FleetConfig, table: &DenseQTable, workers: usize) -> RoundEval {
+    let summaries = parallel_map(&config.eval_seeds, workers, |&seed| {
+        let mut agent = NextAgent::with_table(config.next.clone(), table.clone(), false);
+        let plan = SessionPlan::single(&config.app, config.eval_duration_s);
+        evaluate_governor(&mut agent, &plan, seed).summary
+    });
+    let n = summaries.len() as f64;
+    let avg_fps = summaries.iter().map(|s| s.avg_fps).sum::<f64>() / n;
+    let fps_std = summaries.iter().map(|s| s.fps_std).sum::<f64>() / n;
+    let avg_power_w = summaries.iter().map(|s| s.avg_power_w).sum::<f64>() / n;
+    let avg_temp_big_c = summaries.iter().map(|s| s.avg_temp_big_c).sum::<f64>() / n;
+    RoundEval {
+        avg_fps,
+        fps_std,
+        avg_power_w,
+        ppdw: ppdw(
+            avg_fps.max(config.next.bounds.fps_least),
+            avg_power_w,
+            avg_temp_big_c,
+            config.next.ambient_c,
+        ),
+    }
+}
+
+/// Runs the fleet simulation: R federated rounds over D heterogeneous
+/// devices, local training via the work-stealing parallel runner, one
+/// streaming merge and one held-out evaluation per round.
+///
+/// Deterministic for a fixed config: the report — including every
+/// float — is identical for any `workers` value (the 1-vs-N guarantee
+/// the sweep engine already gives).
+///
+/// # Panics
+///
+/// Panics if the config names an unknown app, or `devices`, `rounds`,
+/// or the eval grid is empty.
+#[must_use]
+pub fn run_fleet(config: &FleetConfig, workers: usize) -> FleetReport {
+    assert!(
+        apps::by_name(&config.app).is_some(),
+        "unknown app '{}'",
+        config.app
+    );
+    assert!(config.devices > 0, "fleet needs at least one device");
+    assert!(config.rounds > 0, "fleet needs at least one round");
+    assert!(
+        !config.eval_seeds.is_empty(),
+        "fleet needs a held-out eval grid"
+    );
+
+    let devices = device_profiles(config.devices, config.seed);
+    let trainer = Trainer::new();
+    let mut fleet_table: Option<DenseQTable> = None;
+    let mut rounds = Vec::with_capacity(config.rounds);
+
+    for round in 0..config.rounds {
+        // Local training on every device, in parallel. Each device's
+        // run is a pure function of (profile, round, fleet table).
+        let outcomes = parallel_map(&devices, workers, |dev| {
+            let round_seed =
+                splitmix64(dev.user_seed ^ (round as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
+            let mut spec = TrainSpec::new(
+                &config.app,
+                config.next.clone().with_seed(round_seed),
+                round_seed,
+                config.round_budget_s,
+            )
+            .with_soc(soc_config_for(&SOC_BINS[dev.bin]));
+            if let Some(table) = &fleet_table {
+                spec = spec.with_warm_start(table.clone());
+            }
+            trainer.train(spec)
+        });
+
+        // Cloud-side streaming merge, in device order: each uploaded
+        // table is folded and released — the accumulator is the only
+        // fleet-sized state.
+        let first = &outcomes[0].agent;
+        let mut acc: MergeAccumulator<DenseStore> =
+            MergeAccumulator::new(first.table().n_actions(), first.table().default_q());
+        let mut converged_devices = 0usize;
+        let mut local_train_s = 0.0f64;
+        for outcome in outcomes {
+            converged_devices += usize::from(outcome.converged);
+            local_train_s = local_train_s.max(outcome.training_time_s);
+            acc.fold(outcome.agent.table())
+                .expect("fleet devices share the action space");
+        }
+        let merged = acc.finish().expect("at least one device folded");
+
+        let eval = evaluate_round(config, &merged, workers);
+        let comm_s = config.link.round_trip_s();
+        rounds.push(FleetRound {
+            round,
+            states: merged.len(),
+            visits: merged.total_visits(),
+            converged_devices,
+            local_train_s,
+            comm_s,
+            round_time_s: local_train_s + comm_s,
+            eval,
+        });
+        fleet_table = Some(merged);
+    }
+
+    FleetReport {
+        config: config.clone(),
+        devices,
+        rounds,
+        table: fleet_table.expect("rounds > 0"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetConfig {
+        FleetConfig {
+            round_budget_s: 40.0,
+            eval_seeds: vec![9_001],
+            eval_duration_s: 20.0,
+            ..FleetConfig::new("facebook", 3, 2, 7)
+        }
+    }
+
+    #[test]
+    fn fleet_runs_and_accumulates_knowledge() {
+        let report = run_fleet(&tiny(), 2);
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.devices.len(), 3);
+        let (r0, r1) = (&report.rounds[0], &report.rounds[1]);
+        assert!(r0.states > 0);
+        assert!(
+            r1.visits > r0.visits,
+            "later rounds accumulate visits: {} vs {}",
+            r1.visits,
+            r0.visits
+        );
+        assert!(r0.eval.avg_power_w > 0.5);
+        assert!(r0.eval.ppdw > 0.0);
+        assert_eq!(r0.comm_s, LinkModel::paper().round_trip_s());
+        assert!(r0.round_time_s > r0.comm_s);
+        assert_eq!(report.table.len(), r1.states);
+    }
+
+    #[test]
+    fn fleet_is_worker_count_invariant() {
+        let config = tiny();
+        let a = run_fleet(&config, 1);
+        let b = run_fleet(&config, 4);
+        assert_eq!(a.rounds, b.rounds, "telemetry must not depend on workers");
+        assert_eq!(
+            a.table.encode(),
+            b.table.encode(),
+            "merged table must be byte-identical across worker counts"
+        );
+    }
+
+    #[test]
+    fn device_roster_is_deterministic_and_heterogeneous() {
+        let a = device_profiles(8, 42);
+        let b = device_profiles(8, 42);
+        assert_eq!(a, b);
+        let bins: std::collections::HashSet<usize> = a.iter().map(|d| d.bin).collect();
+        assert_eq!(bins.len(), SOC_BINS.len(), "8 devices cover all 4 bins");
+        let seeds: std::collections::HashSet<u64> = a.iter().map(|d| d.user_seed).collect();
+        assert_eq!(seeds.len(), 8, "every device gets its own user");
+        assert_ne!(device_profiles(8, 43), a, "master seed matters");
+    }
+
+    #[test]
+    fn soc_bins_shape_the_device() {
+        let leaky = soc_config_for(&SOC_BINS[2]);
+        let stock = SocConfig::exynos9810();
+        assert!(leaky.power.base_w() > stock.power.base_w());
+        let warm = soc_config_for(&SOC_BINS[1]);
+        assert!(warm.thermal.ambient_c > stock.thermal.ambient_c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        let mut config = tiny();
+        config.devices = 0;
+        let _ = run_fleet(&config, 1);
+    }
+}

@@ -14,6 +14,12 @@
 //!   and 8),
 //! * [`experiment`] — the paper's evaluation protocol: train Next once
 //!   per app, then measure per-governor sessions,
+//! * [`trainer`] — the reusable training loop (episode budget,
+//!   convergence stop, warm starts, per-device SoC bins) behind both
+//!   the experiment protocol and the fleet,
+//! * [`fleet`] — fleet-scale federated training: R rounds over D
+//!   heterogeneous devices with streaming cloud merges and held-out
+//!   evaluation (§IV-C at production scale),
 //! * [`report`] — plain-text tables and series for the bench harness,
 //! * [`sweep`] — the work-stealing parallel runner for governor×app×seed
 //!   grids, with deterministic row merging.
@@ -23,11 +29,15 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod fleet;
 pub mod metrics;
 pub mod report;
 pub mod sweep;
+pub mod trainer;
 
 pub use engine::{Engine, RunOutcome};
-pub use experiment::{train_next_for_app, EvalResult, TrainOutcome};
+pub use experiment::{train_next_for_app, EvalResult};
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use metrics::{Battery, Sample, Summary, Trace};
 pub use sweep::{parallel_map, run_cells, StandardEvaluator, SweepCell, SweepRow};
+pub use trainer::{TrainOutcome, TrainSpec, Trainer};

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use workload::apps;
-use workload::user::{InteractionIntensity, UserModel};
+use workload::user::{InteractionIntensity, SessionLengthStats, UserModel};
 use workload::{SessionPlan, SessionSim};
 
 proptest! {
@@ -72,5 +72,52 @@ proptest! {
             prop_assert!(t < dur + 1.0, "session overran: {t} vs {dur}");
         }
         prop_assert!(t >= dur - 0.05, "session ended early: {t} vs {dur}");
+    }
+}
+
+/// The paper's cited Deloitte/RescueTime session-length split — 70 % of
+/// sessions under 2 min, 25 % between 2 and 10 min, 5 % longer — must
+/// hold within tight tolerance over a large sample, for *every* user
+/// seed (the fleet's user mix draws from many).
+#[test]
+fn session_length_sampling_reproduces_deloitte_split_at_scale() {
+    let stats = SessionLengthStats::deloitte();
+    let total_p = stats.short.0 + stats.medium.0 + stats.long.0;
+    assert!((total_p - 1.0).abs() < 1e-12, "shares must sum to 1");
+    assert_eq!(
+        (stats.short.0, stats.medium.0, stats.long.0),
+        (0.70, 0.25, 0.05)
+    );
+    // The bucket boundaries are the cited 2 min / 10 min cut points.
+    assert_eq!(stats.short.2, 120.0);
+    assert_eq!(stats.medium.1, 120.0);
+    assert_eq!(stats.medium.2, 600.0);
+    assert_eq!(stats.long.1, 600.0);
+
+    for seed in [1u64, 77, 4_242] {
+        let mut user = UserModel::new(seed);
+        let n = 100_000u32;
+        let (mut short, mut medium, mut long) = (0u32, 0u32, 0u32);
+        for _ in 0..n {
+            let len = user.sample_session_length_s();
+            assert!((15.0..1_800.0).contains(&len), "length {len} out of bounds");
+            if len < 120.0 {
+                short += 1;
+            } else if len < 600.0 {
+                medium += 1;
+            } else {
+                long += 1;
+            }
+        }
+        let (fs, fm, fl) = (
+            f64::from(short) / f64::from(n),
+            f64::from(medium) / f64::from(n),
+            f64::from(long) / f64::from(n),
+        );
+        // 100k draws put the binomial σ at ≈0.15 % for the 70 % bucket;
+        // ±1 % is > 6σ, so a failure means the sampler, not the dice.
+        assert!((fs - 0.70).abs() < 0.01, "seed {seed}: short share {fs}");
+        assert!((fm - 0.25).abs() < 0.01, "seed {seed}: medium share {fm}");
+        assert!((fl - 0.05).abs() < 0.005, "seed {seed}: long share {fl}");
     }
 }

@@ -12,7 +12,8 @@
 
 use next_mpsoc::governors::Schedutil;
 use next_mpsoc::next_core::{NextAgent, NextConfig};
-use next_mpsoc::qlearn::federated::{merge, CloudModel};
+use next_mpsoc::qlearn::federated::{CloudModel, MergeAccumulator};
+use next_mpsoc::qlearn::DenseStore;
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
 use next_mpsoc::workload::SessionPlan;
 
@@ -23,8 +24,11 @@ fn main() {
     println!("== federated training: {FLEET} devices, app = {APP} ==\n");
 
     // Each device trains with its own user (seed) — shorter budgets than
-    // a solo device would need, because the fleet shares the work.
-    let mut tables = Vec::new();
+    // a solo device would need, because the fleet shares the work. The
+    // cloud folds each uploaded table into the streaming accumulator
+    // and releases it immediately: memory stays bounded by the union of
+    // visited states no matter how large the fleet grows.
+    let mut acc: MergeAccumulator<DenseStore> = MergeAccumulator::new(9, 0.0);
     let mut online_times = Vec::new();
     for device in 0..FLEET {
         let seed = 100 + device as u64;
@@ -36,12 +40,12 @@ fn main() {
             out.converged
         );
         online_times.push(out.training_time_s);
-        tables.push(out.agent.into_table());
+        acc.fold(out.agent.table()).expect("shared action space");
+        // out (and its table) is dropped here — already folded.
     }
 
-    // Cloud-side merge.
-    let refs: Vec<&_> = tables.iter().collect();
-    let merged = merge(&refs);
+    // Cloud-side merge: normalise the accumulated sums.
+    let merged = acc.finish().expect("fleet uploaded tables");
     println!(
         "\nmerged fleet table: {} states, {} total visits",
         merged.len(),

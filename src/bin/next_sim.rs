@@ -9,17 +9,20 @@
 //!                  [--duration <s>] [--train-budget <s>] [--workers <n>]
 //! next-sim perf    [--quick] [--out <BENCH.json>] [--baseline <file>]
 //!                  [--min-ratio <f>] [--workers <n>]
+//! next-sim fleet   --devices <D> --rounds <R> --seed <S> [--app <name>]
+//!                  [--round-budget <s>] [--quick] [--workers <n>] [--out <fleet.json>]
 //! next-sim apps
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use next_mpsoc::bench::{json::Json, perf};
+use next_mpsoc::bench::{fleet as bench_fleet, json::Json, perf};
 use next_mpsoc::governors::{IntQosPm, Ondemand, Performance, Powersave, Schedutil};
 use next_mpsoc::next_core::{NextAgent, NextConfig};
 use next_mpsoc::qlearn::DenseQTable;
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
+use next_mpsoc::simkit::fleet::{self, FleetConfig};
 use next_mpsoc::simkit::{sweep, Battery, StandardEvaluator, Summary};
 use next_mpsoc::workload::{apps, SessionPlan};
 
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&flags),
         "sweep" => cmd_sweep(&flags),
         "perf" => cmd_perf(&flags),
+        "fleet" => cmd_fleet(&flags),
         "apps" => {
             println!("home");
             for app in apps::all() {
@@ -75,6 +79,8 @@ USAGE:
                    [--duration <s>] [--train-budget <s>] [--workers <n>]
   next-sim perf    [--quick] [--out <BENCH.json>] [--baseline <file>]
                    [--min-ratio <f>] [--workers <n>]
+  next-sim fleet   [--devices <D>] [--rounds <R>] [--seed <S>] [--app <name>]
+                   [--round-budget <s>] [--quick] [--workers <n>] [--out <fleet.json>]
   next-sim apps
 
 governors: schedutil | intqos | next | performance | powersave | ondemand
@@ -89,7 +95,15 @@ microbenchmark and writes a machine-readable BENCH.json (--out,
 default stdout). With --baseline it exits non-zero when aggregate
 throughput falls below --min-ratio (default 0.5) of the baseline's
 ticks_per_sec — the CI perf gate. --quick selects the small smoke
-grid.";
+grid.
+
+fleet simulates federated training (§IV-C at scale): D heterogeneous
+devices (per-device SoC power/thermal bins and users) train the app
+locally for R rounds, the cloud streaming-merges their Q-tables each
+round, and the merged table is scored on a held-out session grid. The
+schema-v2 JSON artifact (--out, default stdout) is byte-identical for
+a fixed --seed across any --workers value. --quick shortens the local
+rounds for CI smoke runs.";
 
 type Flags = HashMap<String, String>;
 
@@ -359,6 +373,87 @@ fn cmd_perf(flags: &Flags) -> Result<(), String> {
         let verdict = perf::check_floor(&report, &baseline, min_ratio)
             .map_err(|e| format!("perf gate: {e}"))?;
         eprintln!("perf gate: {verdict}");
+    }
+    Ok(())
+}
+
+fn cmd_fleet(flags: &Flags) -> Result<(), String> {
+    let app = match flags.get("app") {
+        None => "facebook".to_owned(),
+        Some(app) => {
+            if apps::by_name(app).is_none() {
+                return Err(format!("unknown app '{app}' (see `next-sim apps`)"));
+            }
+            app.clone()
+        }
+    };
+    let devices = usize::try_from(get_u64(flags, "devices", 16)?)
+        .map_err(|_| "--devices out of range".to_owned())?;
+    let rounds = usize::try_from(get_u64(flags, "rounds", 5)?)
+        .map_err(|_| "--rounds out of range".to_owned())?;
+    if devices == 0 || rounds == 0 {
+        return Err("--devices and --rounds must be at least 1".to_owned());
+    }
+    let seed = get_u64(flags, "seed", 42)?;
+    let quick = flags.contains_key("quick");
+    let mut config = if quick {
+        FleetConfig::quick(&app, devices, rounds, seed)
+    } else {
+        FleetConfig::new(&app, devices, rounds, seed)
+    };
+    if flags.contains_key("round-budget") {
+        let budget = get_f64(flags, "round-budget", config.round_budget_s)?;
+        if !(budget > 0.0 && budget.is_finite()) {
+            return Err(format!("--round-budget must be positive, got {budget}"));
+        }
+        config.round_budget_s = budget;
+    }
+    let workers = usize::try_from(get_u64(flags, "workers", sweep::default_workers() as u64)?)
+        .map_err(|_| "--workers out of range".to_owned())?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+
+    eprintln!(
+        "fleet: {devices} devices x {rounds} rounds on {app}, \
+         {:.0} s local budget per round, {workers} workers ...",
+        config.round_budget_s
+    );
+    let started = std::time::Instant::now();
+    let report = fleet::run_fleet(&config, workers);
+    eprintln!(
+        "fleet: finished in {:.1} s wall clock; final table {} states / {} visits",
+        started.elapsed().as_secs_f64(),
+        report.table.len(),
+        report.table.total_visits()
+    );
+    for round in &report.rounds {
+        eprintln!(
+            "fleet: round {}: {} states, {:.1} fps / {:.2} W / ppdw {:.3} on held-out grid, \
+             modeled round time {:.0} s ({:.0} s comm)",
+            round.round,
+            round.states,
+            round.eval.avg_fps,
+            round.eval.avg_power_w,
+            round.eval.ppdw,
+            round.round_time_s,
+            round.comm_s
+        );
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    let text = bench_fleet::fleet_to_json(&report, mode).render();
+    debug_assert!(
+        bench_fleet::parse_document(&text).is_ok(),
+        "fleet.json must round-trip its own schema"
+    );
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{text}\n"))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("fleet: wrote {path}");
+        }
+        None => println!("{text}"),
     }
     Ok(())
 }

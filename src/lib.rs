@@ -14,11 +14,13 @@
 //!   quantisers, federated merging),
 //! * [`next_core`] — **Next**, the paper's user-interaction-aware RL
 //!   DVFS agent (frame window, PPDW metric, 9-action Q-learning),
-//! * [`simkit`] — the closed-loop simulation engine, metrics and the
-//!   §V evaluation protocol,
+//! * [`simkit`] — the closed-loop simulation engine, metrics, the
+//!   §V evaluation protocol, the reusable trainer layer and the
+//!   federated fleet simulator behind `next-sim fleet`,
 //! * [`bench`](mod@bench) — the figure-reproduction protocol plus the
-//!   machine-readable perf harness behind `next-sim perf` (the
-//!   `BENCH.json` artifact CI gates on).
+//!   machine-readable perf/fleet harnesses behind `next-sim perf` and
+//!   `next-sim fleet` (the `BENCH.json`/`fleet.json` artifacts CI
+//!   gates on and archives).
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,61 @@
+//! Fleet determinism: the schema-v2 `fleet.json` document must be
+//! **byte-identical** for a fixed seed whatever the worker count — the
+//! same 1-vs-N guarantee the sweep engine gives, extended through
+//! local training, the streaming cloud merge, the held-out evaluation
+//! and the JSON rendering.
+
+use next_mpsoc::bench::fleet::{fleet_to_json, parse_document};
+use next_mpsoc::bench::json::Json;
+use next_mpsoc::simkit::fleet::{run_fleet, FleetConfig};
+
+fn tiny_config() -> FleetConfig {
+    FleetConfig {
+        round_budget_s: 40.0,
+        eval_seeds: vec![9_001],
+        eval_duration_s: 20.0,
+        ..FleetConfig::new("facebook", 3, 2, 7)
+    }
+}
+
+#[test]
+fn fleet_json_is_byte_identical_across_worker_counts() {
+    let config = tiny_config();
+    let one = fleet_to_json(&run_fleet(&config, 1), "test").render();
+    let many = fleet_to_json(&run_fleet(&config, 4), "test").render();
+    assert_eq!(one, many, "fleet.json must not depend on parallelism");
+
+    // And it is a valid schema-v2 document with the promised sections.
+    let doc = parse_document(&one).expect("fleet.json parses");
+    assert_eq!(doc.schema, 2);
+    let fleet = doc.fleet.expect("fleet section");
+    let rounds = fleet
+        .get("rounds_log")
+        .and_then(Json::as_array)
+        .expect("rounds_log");
+    assert_eq!(rounds.len(), 2);
+    for round in rounds {
+        assert!(round.get("eval").and_then(|e| e.get("ppdw")).is_some());
+        assert!(round.get("round_time_s").is_some());
+        assert!(round.get("comm_s").is_some());
+    }
+}
+
+#[test]
+fn fleet_seed_changes_the_document() {
+    let a = fleet_to_json(&run_fleet(&tiny_config(), 2), "test").render();
+    let mut other = tiny_config();
+    other.seed = 8;
+    let b = fleet_to_json(&run_fleet(&other, 2), "test").render();
+    assert_ne!(a, b, "different fleets must differ");
+}
+
+#[test]
+fn fleet_quality_improves_on_schedutil_energy_or_matches_fps() {
+    // Sanity of the held-out metrics: the merged table drives a real
+    // agent — power and FPS land in physical ranges.
+    let report = run_fleet(&tiny_config(), 2);
+    let last = report.rounds.last().unwrap();
+    assert!(last.eval.avg_fps > 10.0 && last.eval.avg_fps <= 60.5);
+    assert!(last.eval.avg_power_w > 0.5 && last.eval.avg_power_w < 16.0);
+    assert!(last.eval.ppdw > 0.0);
+}
