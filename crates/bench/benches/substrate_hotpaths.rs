@@ -31,13 +31,14 @@ fn bench_substrates(c: &mut Criterion) {
         b.iter(|| black_box(pipe.tick(0.025, Some(0.02))));
     });
 
+    let platform = mpsoc::Platform::exynos9810();
     let opps = [
         mpsoc::freq::OppTable::exynos9810_big().max(),
         mpsoc::freq::OppTable::exynos9810_little().max(),
         mpsoc::freq::OppTable::exynos9810_gpu().max(),
     ];
     c.bench_function("perf_plan", |b| {
-        b.iter(|| black_box(perf::plan(black_box(&demand), opps)));
+        b.iter(|| black_box(perf::plan(black_box(&demand), &opps, &platform)));
     });
 
     let mut table = QTable::new(9);

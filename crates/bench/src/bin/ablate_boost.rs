@@ -39,7 +39,7 @@ fn run_with_boost(app: &str, threshold: f64) -> simkit::Summary {
             time_s: state.time_s,
             fps: out.fps,
             power_w: out.power_w,
-            temp_big_c: state.temp_big_c,
+            temp_hot_c: state.temp_hot_c,
             temp_device_c: state.temp_device_c,
             freq_khz: state.freq_khz,
         });

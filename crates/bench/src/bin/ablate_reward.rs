@@ -29,7 +29,7 @@ fn run(label: &str, config: NextConfig, table: &mut Table, sched: &simkit::Summa
         format!("{:.2}", next.summary.avg_power_w),
         format!("{:.1}", next.summary.power_saving_vs(sched)),
         format!("{:.1}", next.summary.avg_fps),
-        format!("{:.1}", next.summary.peak_temp_big_c),
+        format!("{:.1}", next.summary.peak_temp_hot_c),
     ]);
 }
 
@@ -46,7 +46,7 @@ fn main() {
         format!("{:.2}", sched.summary.avg_power_w),
         "0.0".to_owned(),
         format!("{:.1}", sched.summary.avg_fps),
-        format!("{:.1}", sched.summary.peak_temp_big_c),
+        format!("{:.1}", sched.summary.peak_temp_hot_c),
     ]);
 
     run("full", NextConfig::paper(), &mut table, &sched.summary);

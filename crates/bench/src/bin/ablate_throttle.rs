@@ -19,7 +19,7 @@ fn constrained_soc() -> Soc {
     let mut cfg = SocConfig::exynos9810_at_ambient(35.0);
     cfg.throttle = ThrottleConfig {
         enabled: true,
-        trip_c: [65.0, 65.0, 61.0],
+        trip_c: vec![65.0, 65.0, 61.0],
         hysteresis_c: 5.0,
     };
     Soc::new(cfg)
@@ -49,7 +49,7 @@ fn run(gov: &mut dyn Governor) -> (simkit::Summary, f64) {
             time_s: state.time_s,
             fps: out.fps,
             power_w: out.power_w,
-            temp_big_c: state.temp_big_c,
+            temp_hot_c: state.temp_hot_c,
             temp_device_c: state.temp_device_c,
             freq_khz: state.freq_khz,
         });
@@ -77,7 +77,7 @@ fn main() {
         "schedutil".into(),
         format!("{:.2}", s.avg_power_w),
         format!("{:.1}", s.avg_fps),
-        format!("{:.1}", s.peak_temp_big_c),
+        format!("{:.1}", s.peak_temp_hot_c),
         format!("{pct:.1}"),
     ]);
 
@@ -86,7 +86,7 @@ fn main() {
         "int-qos-pm".into(),
         format!("{:.2}", s.avg_power_w),
         format!("{:.1}", s.avg_fps),
-        format!("{:.1}", s.peak_temp_big_c),
+        format!("{:.1}", s.peak_temp_hot_c),
         format!("{pct:.1}"),
     ]);
 
@@ -97,7 +97,7 @@ fn main() {
         "next".into(),
         format!("{:.2}", s.avg_power_w),
         format!("{:.1}", s.avg_fps),
-        format!("{:.1}", s.peak_temp_big_c),
+        format!("{:.1}", s.peak_temp_hot_c),
         format!("{pct:.1}"),
     ]);
 

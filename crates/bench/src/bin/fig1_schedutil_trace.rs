@@ -57,7 +57,7 @@ fn main() {
     );
     println!(
         "# avg power {:.2} W, peak big temp {:.1} C",
-        summary.avg_power_w, summary.peak_temp_big_c
+        summary.avg_power_w, summary.peak_temp_hot_c
     );
     println!("# paper shape: FPS spans near-0 to 60 within one session while CPU");
     println!("# frequencies stay high (Spotify playback keeps big cores clocked up).");

@@ -50,11 +50,11 @@ fn main() {
                 ),
                 (
                     "temp_schedutil_c",
-                    s_res.iter().take(n).map(|s| s.temp_big_c).collect()
+                    s_res.iter().take(n).map(|s| s.temp_hot_c).collect()
                 ),
                 (
                     "temp_next_c",
-                    n_res.iter().take(n).map(|s| s.temp_big_c).collect()
+                    n_res.iter().take(n).map(|s| s.temp_hot_c).collect()
                 ),
             ],
         )
@@ -72,11 +72,11 @@ fn main() {
     );
     println!(
         "# avg big temp schedutil: {:.2} C (paper: 52.33 C)",
-        ss.avg_temp_big_c
+        ss.avg_temp_hot_c
     );
     println!(
         "# avg big temp Next:      {:.2} C (paper: 41.33 C)",
-        ns.avg_temp_big_c
+        ns.avg_temp_hot_c
     );
     println!(
         "# power saving: {:.2} %  (paper: 41.88 %)",
@@ -84,7 +84,7 @@ fn main() {
     );
     println!(
         "# peak big-temp reduction (above 21 C ambient): {:.2} %  (paper: 21.02 % avg-temp)",
-        ns.big_temp_reduction_vs(&ss, 21.0)
+        ns.hot_temp_reduction_vs(&ss, 21.0)
     );
     println!(
         "# avg fps schedutil {:.1} / Next {:.1}",

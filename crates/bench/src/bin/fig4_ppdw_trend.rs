@@ -9,7 +9,6 @@
 //! to its maximum frequency while producing almost no frames — maximum
 //! power and peak temperature for the least performance.
 
-use mpsoc::freq::ClusterId;
 use mpsoc::perf::FrameDemand;
 use mpsoc::{Soc, SocConfig};
 use next_core::ppdw::ppdw;
@@ -33,7 +32,7 @@ fn run_point(soc: &mut Soc, demand: &FrameDemand, warm_s: f64, measure_s: f64) -
         let out = soc.tick(tick, demand);
         fps += out.fps;
         pow += out.power_w;
-        peak_t = peak_t.max(soc.state().temp_big_c);
+        peak_t = peak_t.max(soc.state().temp_hot_c);
     }
     (fps / n as f64, pow / n as f64, peak_t)
 }
@@ -77,7 +76,7 @@ fn main() {
     // loading): FPS ≈ {0, 1, 10} at maximum power and temperature.
     for &paced_fps in &[0.0, 1.0, 10.0] {
         let mut soc = Soc::new(SocConfig::exynos9810_at_ambient(AMBIENT_C));
-        for id in ClusterId::ALL {
+        for id in soc.dvfs().ids().collect::<Vec<_>>() {
             let top = soc.dvfs().domain(id).table().max().freq_khz;
             soc.dvfs_mut().pin_freq(id, top).expect("OPP valid");
         }

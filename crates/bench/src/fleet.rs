@@ -1,9 +1,14 @@
-//! Schema-v2 `fleet.json` rendering and schema-aware document parsing.
+//! `fleet.json` rendering and schema-aware document parsing.
 //!
 //! `next-sim fleet` writes one machine-readable document per fleet
-//! simulation. Schema v2 extends the v1 `BENCH.json` family with an
-//! optional top-level `fleet` section; v1 documents (no `fleet`
-//! section) still parse through [`parse_document`], so trajectory
+//! simulation. Schema v2 extended the v1 `BENCH.json` family with an
+//! optional top-level `fleet` section; schema v3 adds platform
+//! information for mixed-platform fleets. A fleet on the historical
+//! homogeneous Exynos 9810 deployment renders the **unchanged v2
+//! document** — byte-identical to pre-platform artifacts — while any
+//! other platform mix renders v3 with `platforms`, per-device
+//! `platform` tags and a per-platform `tables` breakdown. v1/v2
+//! documents still parse through [`parse_document`], so trajectory
 //! snapshots and CI baselines from earlier PRs keep loading.
 //!
 //! Everything rendered here is a pure function of the
@@ -18,16 +23,20 @@ use simkit::fleet::FleetReport;
 use crate::json::Json;
 use crate::perf::SCHEMA_VERSION;
 
-/// Renders a fleet simulation as a schema-v2 document.
+/// Renders a fleet simulation as a schema-v2 (homogeneous Exynos 9810
+/// fleet, historical byte-identical shape) or schema-v3 (any other
+/// platform mix) document.
 #[must_use]
+#[allow(clippy::too_many_lines)]
 pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
     let cfg = &report.config;
+    let default_platform = cfg.is_default_platform();
     let devices = report
         .devices
         .iter()
         .map(|d| {
             let bin = &simkit::fleet::SOC_BINS[d.bin];
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("id".into(), Json::num(d.id as f64)),
                 ("bin".into(), Json::str(bin.name)),
                 ("ambient_c".into(), Json::num(bin.ambient_c)),
@@ -35,7 +44,14 @@ pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
                 // Seeds are full-range u64s; a JSON number (f64) would
                 // round anything above 2^53, so they travel as strings.
                 ("user_seed".into(), Json::str(d.user_seed.to_string())),
-            ])
+            ];
+            if !default_platform {
+                fields.insert(
+                    2,
+                    ("platform".into(), Json::str(&cfg.platforms[d.platform])),
+                );
+            }
+            Json::Obj(fields)
         })
         .collect();
     let rounds = report
@@ -65,7 +81,7 @@ pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
             ])
         })
         .collect();
-    let fleet = Json::Obj(vec![
+    let mut fleet_fields = vec![
         ("app".into(), Json::str(&cfg.app)),
         ("devices".into(), Json::num(cfg.devices as f64)),
         ("rounds".into(), Json::num(cfg.rounds as f64)),
@@ -91,32 +107,59 @@ pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
         ),
         ("device_profiles".into(), Json::Arr(devices)),
         ("rounds_log".into(), Json::Arr(rounds)),
-        (
-            "final".into(),
-            Json::Obj(vec![
-                ("states".into(), Json::num(report.table.len() as f64)),
-                (
-                    "visits".into(),
-                    Json::num(report.table.total_visits() as f64),
-                ),
-            ]),
-        ),
-    ]);
+    ];
+    if !default_platform {
+        fleet_fields.insert(
+            1,
+            (
+                "platforms".into(),
+                Json::Arr(cfg.platforms.iter().map(Json::str).collect()),
+            ),
+        );
+    }
+    let mut final_fields = vec![
+        ("states".into(), Json::num(report.total_states() as f64)),
+        ("visits".into(), Json::num(report.total_visits() as f64)),
+    ];
+    if !default_platform {
+        final_fields.push((
+            "tables".into(),
+            Json::Arr(
+                report
+                    .tables
+                    .iter()
+                    .map(|t| {
+                        Json::Obj(vec![
+                            ("platform".into(), Json::str(&t.platform)),
+                            ("actions".into(), Json::num(t.table.n_actions() as f64)),
+                            ("states".into(), Json::num(t.table.len() as f64)),
+                            ("visits".into(), Json::num(t.table.total_visits() as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    fleet_fields.push(("final".into(), Json::Obj(final_fields)));
+    let fleet = Json::Obj(fleet_fields);
+    // The historical homogeneous-9810 artifact stays schema v2,
+    // byte-identical to pre-platform releases.
+    let schema = if default_platform { 2 } else { SCHEMA_VERSION };
     Json::Obj(vec![
-        ("schema".into(), Json::num(f64::from(SCHEMA_VERSION))),
+        ("schema".into(), Json::num(f64::from(schema))),
         ("harness".into(), Json::str("next-sim fleet")),
         ("mode".into(), Json::str(mode)),
         ("fleet".into(), fleet),
     ])
 }
 
-/// A parsed `BENCH.json`-family document: schema v1 (perf only) or
-/// v2 (perf and/or fleet sections).
+/// A parsed `BENCH.json`-family document: schema v1 (perf only), v2
+/// (perf and/or fleet sections) or v3 (platform-tagged).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
-    /// Declared schema version (1 or 2).
+    /// Declared schema version (1, 2 or 3).
     pub schema: u32,
-    /// The `fleet` section, when present (v2 only).
+    /// The `fleet` section, when present (v2 and v3).
     pub fleet: Option<Json>,
     /// The whole document tree.
     pub doc: Json,
@@ -124,7 +167,7 @@ pub struct BenchDoc {
 
 /// Parses and validates a `BENCH.json` / `fleet.json` document:
 /// accepts schema v1 (which must not carry a `fleet` section) and
-/// schema v2 (which may).
+/// schemas v2/v3 (which may).
 ///
 /// # Errors
 ///
@@ -137,7 +180,7 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
         .get("schema")
         .and_then(Json::as_f64)
         .ok_or("missing numeric 'schema' field")?;
-    if schema.fract() != 0.0 || !(1.0..=2.0).contains(&schema) {
+    if schema.fract() != 0.0 || !(1.0..=3.0).contains(&schema) {
         return Err(format!("unsupported schema version {schema}"));
     }
     let schema = schema as u32;
@@ -241,7 +284,7 @@ mod tests {
             "missing schema"
         );
         assert!(
-            parse_document("{\"schema\":3}").is_err(),
+            parse_document("{\"schema\":4}").is_err(),
             "future schema rejected"
         );
         assert!(

@@ -18,22 +18,26 @@ use governors::{Governor, IntQosPm, Ondemand, Performance, Powersave, Schedutil}
 use next_core::NextConfig;
 use qlearn::{QLearning, QStore, QTable};
 use simkit::sweep::{self, StandardEvaluator, SweepCell};
-use simkit::{Engine, Summary};
+use simkit::{Engine, PlatformPreset, Summary};
 
 use crate::json::Json;
 
 /// Version of the `BENCH.json` schema this harness writes. Bump when a
-/// field changes meaning; additions are backwards-compatible. v2 adds
+/// field changes meaning; additions are backwards-compatible. v2 added
 /// the optional `fleet` section (`next-sim fleet`) and the federated
-/// merge probe; [`crate::fleet::parse_document`] still accepts v1
-/// documents.
-pub const SCHEMA_VERSION: u32 = 2;
+/// merge probe; v3 adds the `platform` field (the preset the grid ran
+/// on) and per-platform fleet sections.
+/// [`crate::fleet::parse_document`] still accepts v1 and v2 documents.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Configuration of one perf-harness run.
 #[derive(Debug, Clone)]
 pub struct PerfConfig {
     /// Label recorded in the artifact (`"quick"` / `"full"` / custom).
     pub mode: String,
+    /// Platform preset the whole grid (and the probes' action count)
+    /// runs on.
+    pub platform: String,
     /// Applications of the grid.
     pub apps: Vec<String>,
     /// Governors of the grid.
@@ -57,6 +61,7 @@ impl PerfConfig {
     pub fn quick() -> Self {
         PerfConfig {
             mode: "quick".to_owned(),
+            platform: "exynos9810".to_owned(),
             apps: vec!["facebook".to_owned(), "spotify".to_owned()],
             governors: vec!["schedutil".to_owned(), "next".to_owned()],
             seeds: vec![1000],
@@ -72,6 +77,7 @@ impl PerfConfig {
     pub fn full() -> Self {
         PerfConfig {
             mode: "full".to_owned(),
+            platform: "exynos9810".to_owned(),
             apps: crate::PAPER_APPS.iter().map(|&a| a.to_owned()).collect(),
             governors: vec![
                 "schedutil".to_owned(),
@@ -192,9 +198,12 @@ pub fn governor_period_s(name: &str) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics on unknown app or governor names in the config.
+/// Panics on unknown app, governor or platform names in the config.
 #[must_use]
 pub fn run(config: &PerfConfig) -> PerfReport {
+    let preset = PlatformPreset::by_name(&config.platform)
+        .unwrap_or_else(|| panic!("unknown platform '{}'", config.platform));
+    let probe_actions = preset.soc.platform.action_count();
     let cells = sweep::grid(
         &config.apps,
         &config.governors,
@@ -203,7 +212,8 @@ pub fn run(config: &PerfConfig) -> PerfReport {
     );
 
     let train_started = Instant::now();
-    let evaluator = StandardEvaluator::prepare(&cells, config.train_budget_s, config.workers);
+    let evaluator =
+        StandardEvaluator::prepare_on(&cells, config.train_budget_s, config.workers, preset);
     let train_wall_s = train_started.elapsed().as_secs_f64();
 
     let grid_started = Instant::now();
@@ -245,8 +255,12 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         })
         .collect();
 
-    let probes = probe_backends(config.probe_states);
-    let merge = probe_merge(config.probe_states.min(MERGE_PROBE_MAX_STATES), 16);
+    let probes = probe_backends(config.probe_states, probe_actions);
+    let merge = probe_merge(
+        config.probe_states.min(MERGE_PROBE_MAX_STATES),
+        16,
+        probe_actions,
+    );
 
     PerfReport {
         config: config.clone(),
@@ -352,21 +366,19 @@ fn probe_backend<S: QStore>(mut table: QTable<S>, states: usize) -> BackendProbe
     }
 }
 
-/// Actions per state in the backend probes (the Next action space).
-const PROBE_ACTIONS: usize = 9;
-
 /// Cap on the merge-probe table size, keeping the probe's transient
 /// memory (a handful of fully-populated tables) in the tens of MB.
 const MERGE_PROBE_MAX_STATES: usize = 50_000;
 
 /// Measures one full federated merge of `tables` fully-populated
-/// `states`-state dense tables, eager vs streaming, in nanoseconds per
-/// pass. Two distinct tables are cycled so every fold sees real data
-/// without holding `tables` copies in memory.
+/// `states`-state dense tables of `actions` actions (the platform's
+/// `3m`), eager vs streaming, in nanoseconds per pass. Two distinct
+/// tables are cycled so every fold sees real data without holding
+/// `tables` copies in memory.
 #[must_use]
-pub fn probe_merge(states: usize, tables: usize) -> MergeProbe {
+pub fn probe_merge(states: usize, tables: usize, actions: usize) -> MergeProbe {
     let build = |salt: u64| {
-        let mut t = qlearn::DenseQTable::dense_for_space(PROBE_ACTIONS, 0.0, states as u64);
+        let mut t = qlearn::DenseQTable::dense_for_space(actions, 0.0, states as u64);
         populate_salted(&mut t, states, salt);
         t
     };
@@ -388,25 +400,23 @@ pub fn probe_merge(states: usize, tables: usize) -> MergeProbe {
     MergeProbe {
         tables,
         states,
-        actions: PROBE_ACTIONS,
+        actions,
         eager_ns,
         streaming_ns,
     }
 }
 
 /// Benchmarks the argmax + update hot loop of both storage backends on
-/// a fully-populated `states`-state table (compact keys, as produced by
-/// the dense `StateSpace` encoding; the dense table declares the space
-/// so it gets its direct slot-table index, exactly as the agent does).
+/// a fully-populated `states`-state table of `actions` actions (compact
+/// keys, as produced by the dense `StateSpace` encoding; the dense
+/// table declares the space so it gets its direct slot-table index,
+/// exactly as the agent does).
 #[must_use]
-pub fn probe_backends(states: usize) -> Vec<BackendProbe> {
+pub fn probe_backends(states: usize, actions: usize) -> Vec<BackendProbe> {
     vec![
+        probe_backend(QTable::<qlearn::HashStore>::empty(actions, 0.0), states),
         probe_backend(
-            QTable::<qlearn::HashStore>::empty(PROBE_ACTIONS, 0.0),
-            states,
-        ),
-        probe_backend(
-            qlearn::DenseQTable::dense_for_space(PROBE_ACTIONS, 0.0, states as u64),
+            qlearn::DenseQTable::dense_for_space(actions, 0.0, states as u64),
             states,
         ),
     ]
@@ -482,6 +492,7 @@ impl PerfReport {
             ("schema".into(), Json::num(f64::from(SCHEMA_VERSION))),
             ("harness".into(), Json::str("next-sim perf")),
             ("mode".into(), Json::str(&cfg.mode)),
+            ("platform".into(), Json::str(&cfg.platform)),
             ("grid".into(), grid),
             (
                 "train".into(),
@@ -564,6 +575,7 @@ mod tests {
     fn tiny_config() -> PerfConfig {
         PerfConfig {
             mode: "test".to_owned(),
+            platform: "exynos9810".to_owned(),
             apps: vec!["facebook".to_owned()],
             governors: vec!["schedutil".to_owned(), "next".to_owned()],
             seeds: vec![1],
@@ -580,8 +592,12 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         let text = report.to_json().render();
         let doc = Json::parse(&text).expect("BENCH.json must be valid JSON");
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(3.0));
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("test"));
+        assert_eq!(
+            doc.get("platform").and_then(Json::as_str),
+            Some("exynos9810")
+        );
         let cells = doc
             .get("cells")
             .and_then(Json::as_array)
@@ -625,10 +641,10 @@ mod tests {
         // Structural checks only — the performance claim itself lives
         // in the `federated_merge` criterion bench and the BENCH.json
         // artifact, where wall-clock noise doesn't fail `cargo test`.
-        let probe = probe_merge(2_000, 8);
+        let probe = probe_merge(2_000, 8, 9);
         assert_eq!(probe.tables, 8);
         assert_eq!(probe.states, 2_000);
-        assert_eq!(probe.actions, PROBE_ACTIONS);
+        assert_eq!(probe.actions, 9);
         assert!(probe.eager_ns > 0.0 && probe.streaming_ns > 0.0);
         assert!(probe.speedup() > 0.0);
     }

@@ -17,6 +17,7 @@
 
 use governors::Governor;
 use mpsoc::dvfs::DvfsController;
+use mpsoc::platform::Platform;
 use mpsoc::soc::SocState;
 use qlearn::policy::EpsilonGreedy;
 use qlearn::qtable::{DenseQTable, StateKey};
@@ -32,6 +33,10 @@ use crate::state::StateEncoder;
 /// Configuration of a [`NextAgent`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct NextConfig {
+    /// The platform the agent controls: its DVFS-domain list sizes the
+    /// action space (`3m`) and the frequency digits of the state
+    /// encoding.
+    pub platform: Platform,
     /// FPS quantisation bins for the state encoding (paper: 30).
     pub fps_bins: usize,
     /// Frame-window capacity in samples (paper: 160 = 4 s of 25 ms).
@@ -116,6 +121,7 @@ impl NextConfig {
     #[must_use]
     pub fn paper() -> Self {
         NextConfig {
+            platform: Platform::exynos9810(),
             fps_bins: 30,
             window_samples: 160,
             sample_period_s: 0.025,
@@ -128,7 +134,7 @@ impl NextConfig {
             epsilon_decay: 0.998,
             epsilon_min: 0.05,
             bounds: PpdwBounds::exynos9810(),
-            ambient_c: 21.0,
+            ambient_c: mpsoc::DEFAULT_AMBIENT_C,
             ppdw_weight: 1.0,
             fps_weight: 2.0,
             headroom_weight: 0.4,
@@ -140,6 +146,17 @@ impl NextConfig {
             convergence_updates: 100,
             min_updates: 400,
             seed: 0x5eed,
+        }
+    }
+
+    /// The paper's hyper-parameters applied to a different platform:
+    /// the action space and state encoding follow the platform's
+    /// DVFS-domain list.
+    #[must_use]
+    pub fn paper_on(platform: Platform) -> Self {
+        NextConfig {
+            platform,
+            ..NextConfig::paper()
         }
     }
 
@@ -196,6 +213,13 @@ pub struct TrainingStats {
 pub struct NextAgent {
     config: NextConfig,
     encoder: StateEncoder,
+    /// Action-space size of the platform (`3m`).
+    n_actions: usize,
+    /// The platform's DVFS-domain count (`m`).
+    n_domains: usize,
+    /// Sum of the platform's top cap levels — normalises the headroom
+    /// shaping term.
+    headroom_norm: f64,
     window: FrameWindow,
     table: DenseQTable,
     /// Second table for double Q-learning (None in single-Q mode).
@@ -227,9 +251,10 @@ impl NextAgent {
         // (coarse FPS bins) use the direct slot-table row index; the
         // paper's 30-bin space exceeds the direct limit and keeps the
         // fast-hashed index automatically.
-        let encoder = StateEncoder::exynos9810(config.fps_bins);
+        let encoder = StateEncoder::for_platform(&config.platform, config.fps_bins)
+            .expect("platform yields a valid state encoding");
         let table = DenseQTable::dense_for_space(
-            Action::COUNT,
+            config.platform.action_count(),
             config.optimistic_q,
             encoder.state_space_size(),
         );
@@ -246,11 +271,12 @@ impl NextAgent {
     ///
     /// # Panics
     ///
-    /// Panics if the table's action count is not [`Action::COUNT`] or
+    /// Panics if the table's action count does not match the platform or
     /// the configuration is invalid.
     #[must_use]
     pub fn with_table(config: NextConfig, table: DenseQTable, training: bool) -> Self {
-        let encoder = StateEncoder::exynos9810(config.fps_bins);
+        let encoder = StateEncoder::for_platform(&config.platform, config.fps_bins)
+            .expect("platform yields a valid state encoding");
         let table = table.resized_for_space(encoder.state_space_size());
         NextAgent::from_parts(config, encoder, table, training)
     }
@@ -273,7 +299,7 @@ impl NextAgent {
     ///
     /// # Panics
     ///
-    /// Panics if the table's action count is not [`Action::COUNT`] or
+    /// Panics if the table's action count does not match the platform or
     /// the configuration is invalid.
     #[must_use]
     pub fn warm_start(config: NextConfig, table: DenseQTable) -> Self {
@@ -295,11 +321,8 @@ impl NextAgent {
         table: DenseQTable,
         training: bool,
     ) -> Self {
-        assert_eq!(
-            table.n_actions(),
-            Action::COUNT,
-            "table action count mismatch"
-        );
+        let n_actions = config.platform.action_count();
+        assert_eq!(table.n_actions(), n_actions, "table action count mismatch");
         assert!(config.fps_bins > 0, "fps_bins must be positive");
         assert!(
             config.control_period_s > 0.0,
@@ -311,14 +334,17 @@ impl NextAgent {
             EpsilonGreedy::greedy()
         };
         let table_b = config.double_q.then(|| {
-            DenseQTable::dense_for_space(
-                Action::COUNT,
-                config.optimistic_q,
-                encoder.state_space_size(),
-            )
+            DenseQTable::dense_for_space(n_actions, config.optimistic_q, encoder.state_space_size())
         });
+        // A platform of single-level ladders has zero steppable cap
+        // range; floor at 1 so the (always-zero) headroom term divides
+        // cleanly instead of poisoning the reward with NaN.
+        let headroom_norm = config.platform.cap_level_sum().max(1) as f64;
         NextAgent {
             encoder,
+            n_actions,
+            n_domains: config.platform.n_domains(),
+            headroom_norm,
             window: FrameWindow::new(config.window_samples),
             table,
             table_b,
@@ -440,7 +466,7 @@ impl NextAgent {
         let raw = ppdw(
             fps_floored,
             state.power_w,
-            state.temp_big_c,
+            state.temp_hot_c,
             self.config.ambient_c,
         );
         let ppdw_term = self.config.bounds.soft_normalize(raw);
@@ -454,9 +480,11 @@ impl NextAgent {
         // fully rewarded for meeting it.
         let demand_scale = (self.target_fps / 60.0).clamp(0.0, 1.0);
         let fps_term = (1.0 - miss.min(1.0)) * demand_scale;
-        // Headroom shaping: unused cap range is latent boost power.
+        // Headroom shaping: unused cap range is latent boost power,
+        // normalised by the platform's summed top cap levels
+        // (17 + 9 + 5 = 31 on the Exynos 9810).
         let cap_sum: usize = state.max_cap_level.iter().sum();
-        let headroom_term = cap_sum as f64 / 31.0; // 17 + 9 + 5 cap levels
+        let headroom_term = cap_sum as f64 / self.headroom_norm;
         self.config.ppdw_weight * ppdw_term + self.config.fps_weight * fps_term
             - self.config.headroom_weight * headroom_term
     }
@@ -491,7 +519,7 @@ impl NextAgent {
     /// within the paper's minutes-long training budget.
     fn prior_bias(action: Action, state: &SocState, target_fps: f64) -> f64 {
         use crate::action::Direction;
-        let i = action.cluster.index();
+        let i = action.domain.index();
         let util = state.util[i];
         let slack = state.max_cap_level[i] as f64 - state.freq_level[i] as f64;
         let undershooting = state.fps < target_fps - 2.0;
@@ -526,7 +554,7 @@ impl NextAgent {
             return false;
         }
         let v_hat = self.value_scale();
-        for action in Action::ALL {
+        for action in Action::all(self.n_domains) {
             let bias = Self::prior_bias(action, state, self.target_fps);
             self.table.set(key, action.index(), v_hat * (1.0 + bias));
             if let Some(b) = &mut self.table_b {
@@ -606,14 +634,13 @@ impl NextAgent {
         } else {
             // State never met during training: fall back to the
             // heuristic base controller (argmax of the priors).
-            Action::ALL
-                .iter()
-                .map(|&a| (a, Self::prior_bias(a, state, self.target_fps)))
+            Action::all(self.n_domains)
+                .map(|a| (a, Self::prior_bias(a, state, self.target_fps)))
                 .max_by(|x, y| x.1.total_cmp(&y.1))
                 .map(|(a, _)| a.index())
                 .expect("action set non-empty")
         };
-        Action::from_index(action_idx).apply(dvfs);
+        Action::from_index(action_idx, self.n_domains).apply(dvfs);
         self.prev = Some((key, action_idx));
         self.stats.sim_time_s += self.config.control_period_s;
     }
@@ -627,11 +654,11 @@ impl NextAgent {
                 if self.policy.epsilon() > 0.0
                     && self.rng.gen_range(0.0..1.0) < self.policy.epsilon()
                 {
-                    return self.rng.gen_range(0..Action::COUNT);
+                    return self.rng.gen_range(0..self.n_actions);
                 }
                 let mut best = 0;
                 let mut best_v = self.table.q(key, 0) + b.q(key, 0);
-                for a in 1..Action::COUNT {
+                for a in 1..self.n_actions {
                     let v = self.table.q(key, a) + b.q(key, a);
                     if v > best_v {
                         best = a;
@@ -696,6 +723,19 @@ impl Governor for NextAgent {
         "next"
     }
 
+    /// The agent's table and encoder are shaped by its configured
+    /// platform; driving a structurally different device would silently
+    /// corrupt the key space, so binding asserts compatibility.
+    fn bind(&mut self, platform: &Platform) {
+        assert_eq!(
+            platform.freq_levels(),
+            self.config.platform.freq_levels(),
+            "NextAgent configured for '{}' cannot drive platform '{}'",
+            self.config.platform.name(),
+            platform.name()
+        );
+    }
+
     fn period_s(&self) -> f64 {
         self.config.control_period_s
     }
@@ -716,8 +756,8 @@ impl Governor for NextAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpsoc::freq::ClusterId;
     use mpsoc::perf::FrameDemand;
+    use mpsoc::platform::PerDomain;
     use mpsoc::soc::{Soc, SocConfig};
 
     fn run_loop(agent: &mut NextAgent, soc: &mut Soc, demand: &FrameDemand, seconds: f64) -> f64 {
@@ -798,17 +838,16 @@ mod tests {
         agent.target_fps = 60.0;
         let mk = |fps: f64, p: f64, t: f64| SocState {
             time_s: 0.0,
-            freq_khz: [0; 3],
-            freq_level: [0; 3],
-            max_cap_level: [0; 3],
+            freq_khz: PerDomain::new(3),
+            freq_level: PerDomain::new(3),
+            max_cap_level: PerDomain::new(3),
             fps,
             power_w: p,
-            temp_big_c: t,
-            temp_little_c: t,
-            temp_gpu_c: t,
+            temp_domain_c: PerDomain::from_fn(3, |_| t),
+            temp_hot_c: t,
             temp_device_c: t - 5.0,
             temp_battery_c: t - 5.0,
-            util: [0.5; 3],
+            util: PerDomain::from_fn(3, |_| 0.5),
         };
         let on_target_cheap = agent.reward(&mk(60.0, 2.0, 35.0));
         let on_target_hot = agent.reward(&mk(60.0, 8.0, 70.0));
@@ -829,17 +868,16 @@ mod tests {
         agent.target_fps = 60.0;
         let mk = |fps: f64| SocState {
             time_s: 0.0,
-            freq_khz: [0; 3],
-            freq_level: [0; 3],
-            max_cap_level: [0; 3],
+            freq_khz: PerDomain::new(3),
+            freq_level: PerDomain::new(3),
+            max_cap_level: PerDomain::new(3),
             fps,
             power_w: 3.0,
-            temp_big_c: 45.0,
-            temp_little_c: 40.0,
-            temp_gpu_c: 42.0,
+            temp_domain_c: PerDomain::from_fn(3, |_| 43.0),
+            temp_hot_c: 45.0,
             temp_device_c: 38.0,
             temp_battery_c: 37.0,
-            util: [0.5; 3],
+            util: PerDomain::from_fn(3, |_| 0.5),
         };
         // With the same power/temperature inputs, reward grows with fps
         // (the PPDW numerator) and ignores the distance to target.
@@ -886,13 +924,15 @@ mod tests {
         let mut agent = NextAgent::new(NextConfig::paper());
         let mut soc = Soc::new(SocConfig::exynos9810());
         run_loop(&mut agent, &mut soc, &ui_demand(), 30.0);
-        let caps: Vec<usize> = ClusterId::ALL
-            .iter()
-            .map(|&c| soc.dvfs().domain(c).max_cap_level())
+        let caps: Vec<usize> = soc
+            .dvfs()
+            .ids()
+            .map(|c| soc.dvfs().domain(c).max_cap_level())
             .collect();
-        let tops: Vec<usize> = ClusterId::ALL
-            .iter()
-            .map(|&c| soc.dvfs().domain(c).table().len() - 1)
+        let tops: Vec<usize> = soc
+            .dvfs()
+            .ids()
+            .map(|c| soc.dvfs().domain(c).table().len() - 1)
             .collect();
         assert_ne!(
             caps, tops,

@@ -49,14 +49,16 @@
 
 pub mod action;
 pub mod agent;
+mod error;
 pub mod frame_window;
 pub mod ppdw;
 pub mod space;
 pub mod state;
 pub mod store;
 
-pub use action::Action;
+pub use action::{Action, Direction};
 pub use agent::{NextAgent, NextConfig, TrainingStats};
+pub use error::CoreError;
 pub use frame_window::FrameWindow;
 pub use ppdw::{ppdw, PpdwBounds};
 pub use space::StateSpace;

@@ -8,10 +8,13 @@
 //! rows, and the whole space has a known size for capacity planning.
 //!
 //! [`StateSpace`] replaces the ad-hoc packing arithmetic that used to
-//! live inside the state encoder: the radices are declared once, and
-//! pack/unpack/size all derive from the same declaration.
+//! live inside the state encoder: the radices are declared once — one
+//! frequency digit per platform DVFS domain plus the quantised signals
+//! — and pack/unpack/size all derive from the same declaration.
 
 use qlearn::qtable::StateKey;
+
+use crate::error::CoreError;
 
 /// Descriptor of a discretised state space: one cardinality (radix) per
 /// observation dimension, most-significant dimension first.
@@ -24,26 +27,38 @@ impl StateSpace {
     /// Creates a descriptor from per-dimension cardinalities
     /// (most-significant first).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dims` is empty, any cardinality is zero, or the total
-    /// size overflows `u64`.
-    #[must_use]
-    pub fn new(dims: &[usize]) -> Self {
-        assert!(!dims.is_empty(), "state space needs at least one dimension");
-        assert!(
-            dims.iter().all(|&d| d > 0),
-            "every dimension needs at least one value"
-        );
+    /// Returns [`CoreError::EmptyStateSpace`] for an empty dimension
+    /// list, [`CoreError::ZeroCardinality`] if any cardinality is zero,
+    /// and [`CoreError::StateSpaceTooLarge`] if the total size
+    /// overflows `u64`.
+    pub fn new(dims: &[usize]) -> Result<Self, CoreError> {
+        if dims.is_empty() {
+            return Err(CoreError::EmptyStateSpace);
+        }
+        if let Some(dim) = dims.iter().position(|&d| d == 0) {
+            return Err(CoreError::ZeroCardinality { dim });
+        }
         let mut size: u64 = 1;
         for &d in dims {
             size = size
                 .checked_mul(d as u64)
-                .expect("state space size must fit in a u64 key");
+                .ok_or(CoreError::StateSpaceTooLarge)?;
         }
-        StateSpace {
+        Ok(StateSpace {
             dims: dims.to_vec(),
-        }
+        })
+    }
+
+    /// Panicking convenience constructor for tests and static presets.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`StateSpace::new`] would return an error.
+    #[must_use]
+    pub fn new_unchecked(dims: &[usize]) -> Self {
+        StateSpace::new(dims).expect("valid state-space dimensions")
     }
 
     /// Number of dimensions.
@@ -127,7 +142,7 @@ mod tests {
 
     #[test]
     fn flat_index_is_mixed_radix_msd_first() {
-        let space = StateSpace::new(&[3, 4, 5]);
+        let space = StateSpace::new_unchecked(&[3, 4, 5]);
         assert_eq!(space.size(), 60);
         assert_eq!(space.flat_index(&[0, 0, 0]), 0);
         assert_eq!(space.flat_index(&[0, 0, 1]), 1);
@@ -138,7 +153,7 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip_covers_the_space() {
-        let space = StateSpace::new(&[2, 3, 2]);
+        let space = StateSpace::new_unchecked(&[2, 3, 2]);
         let mut seen = std::collections::HashSet::new();
         for a in 0..2 {
             for b in 0..3 {
@@ -159,7 +174,7 @@ mod tests {
 
     #[test]
     fn unpack_into_avoids_allocation() {
-        let space = StateSpace::new(&[7, 11]);
+        let space = StateSpace::new_unchecked(&[7, 11]);
         let mut digits = [0usize; 2];
         space.unpack_into(38, &mut digits);
         assert_eq!(space.flat_index(&digits), 38);
@@ -168,24 +183,35 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds radix")]
     fn digit_at_radix_panics() {
-        let _ = StateSpace::new(&[3, 3]).flat_index(&[0, 3]);
+        let _ = StateSpace::new_unchecked(&[3, 3]).flat_index(&[0, 3]);
     }
 
     #[test]
     #[should_panic(expected = "outside the state space")]
     fn unpack_out_of_range_panics() {
-        let _ = StateSpace::new(&[2, 2]).unpack(4);
+        let _ = StateSpace::new_unchecked(&[2, 2]).unpack(4);
     }
 
     #[test]
-    #[should_panic(expected = "at least one value")]
-    fn zero_cardinality_panics() {
-        let _ = StateSpace::new(&[3, 0]);
+    fn zero_cardinality_is_a_typed_error() {
+        assert_eq!(
+            StateSpace::new(&[3, 0]),
+            Err(CoreError::ZeroCardinality { dim: 1 })
+        );
+        assert_eq!(StateSpace::new(&[]), Err(CoreError::EmptyStateSpace));
     }
 
     #[test]
-    #[should_panic(expected = "fit in a u64")]
-    fn overflowing_space_panics() {
-        let _ = StateSpace::new(&[usize::MAX, usize::MAX]);
+    fn overflowing_space_is_a_typed_error() {
+        assert_eq!(
+            StateSpace::new(&[usize::MAX, usize::MAX]),
+            Err(CoreError::StateSpaceTooLarge)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "valid state-space dimensions")]
+    fn unchecked_constructor_panics_on_bad_dims() {
+        let _ = StateSpace::new_unchecked(&[3, 0]);
     }
 }

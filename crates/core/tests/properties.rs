@@ -2,33 +2,33 @@
 
 use proptest::prelude::*;
 
+use mpsoc::platform::PerDomain;
 use mpsoc::soc::SocState;
 use next_core::ppdw::{ppdw, PpdwBounds};
-use next_core::{FrameWindow, StateEncoder};
+use next_core::{Action, FrameWindow, StateEncoder, StateSpace};
 
 fn arb_soc_state() -> impl Strategy<Value = SocState> {
     (
         0.0..80.0f64,   // fps (can exceed 60 transiently)
         0.0..20.0f64,   // power
-        15.0..110.0f64, // temp big
+        15.0..110.0f64, // temp of the hot spot
         15.0..90.0f64,  // temp device
         0usize..18,
         0usize..10,
         0usize..6,
     )
-        .prop_map(|(fps, power, tb, td, lb, ll, lg)| SocState {
+        .prop_map(|(fps, power, th, td, lb, ll, lg)| SocState {
             time_s: 0.0,
-            freq_khz: [0; 3],
-            freq_level: [lb, ll, lg],
-            max_cap_level: [lb, ll, lg],
+            freq_khz: PerDomain::new(3),
+            freq_level: PerDomain::from_slice(&[lb, ll, lg]),
+            max_cap_level: PerDomain::from_slice(&[lb, ll, lg]),
             fps,
             power_w: power,
-            temp_big_c: tb,
-            temp_little_c: tb - 2.0,
-            temp_gpu_c: tb - 1.0,
+            temp_domain_c: PerDomain::from_slice(&[th, th - 2.0, th - 1.0]),
+            temp_hot_c: th,
             temp_device_c: td,
             temp_battery_c: td - 1.0,
-            util: [0.5; 3],
+            util: PerDomain::from_fn(3, |_| 0.5),
         })
 }
 
@@ -114,7 +114,7 @@ proptest! {
         let enc = StateEncoder::exynos9810(30);
         let key = enc.encode(&state, target);
         let dec = enc.decode(key);
-        prop_assert_eq!(dec.freq_level, state.max_cap_level);
+        prop_assert_eq!(&dec.freq_level[..], &state.max_cap_level[..]);
         prop_assert_eq!(dec.fps_bin, enc.fps_quantizer().index(state.fps));
         prop_assert_eq!(dec.target_bin, enc.fps_quantizer().index(target));
         prop_assert!(key < enc.state_space_size());
@@ -132,5 +132,57 @@ proptest! {
         s2.max_cap_level[0] = (s1.max_cap_level[0] + bump) % 18;
         prop_assume!(s2.max_cap_level != s1.max_cap_level);
         prop_assert_ne!(enc.encode(&s1, target), enc.encode(&s2, target));
+    }
+}
+
+// Satellite coverage for the platform-generic shapes: the mixed-radix
+// state space stays bijective and the action indexing stays a
+// round-trip for *any* domain count, not just the paper's `m = 3`.
+proptest! {
+    /// `StateSpace` flat-index encode/decode is a bijection for
+    /// arbitrary domain counts and cardinalities (1..=6 domains).
+    #[test]
+    fn state_space_bijective_for_any_shape(
+        dims in proptest::collection::vec(1usize..7, 1..7),
+        probe in proptest::collection::vec(0u64..1_000_000, 8..9),
+    ) {
+        let space = StateSpace::new(&dims).expect("positive cardinalities");
+        let size = space.size();
+        prop_assert_eq!(size, dims.iter().map(|&d| d as u64).product::<u64>());
+        // Sampled keys decode and re-encode to themselves...
+        for &p in &probe {
+            let key = p % size;
+            let digits = space.unpack(key);
+            for (d, r) in digits.iter().zip(dims.iter()) {
+                prop_assert!(d < r);
+            }
+            prop_assert_eq!(space.flat_index(&digits), key);
+        }
+        // ...and for small spaces, exhaustively, with no collisions.
+        if size <= 4096 {
+            let mut seen = std::collections::HashSet::new();
+            for key in 0..size {
+                prop_assert!(seen.insert(space.flat_index(&space.unpack(key))));
+            }
+            prop_assert_eq!(seen.len() as u64, size);
+        }
+    }
+
+    /// `Action::index` ↔ `Action::all` ordering round-trips for any
+    /// platform size `m`, and the enumeration is exactly the index
+    /// order.
+    #[test]
+    fn action_indexing_roundtrips_for_any_m(m in 1usize..9) {
+        let all: Vec<Action> = Action::all(m).collect();
+        prop_assert_eq!(all.len(), Action::count(m));
+        for (i, a) in all.iter().enumerate() {
+            prop_assert_eq!(a.index(), i);
+            prop_assert_eq!(Action::from_index(i, m), *a);
+            prop_assert!(a.domain.index() < m);
+        }
+        // Every (domain, direction) pair appears exactly once.
+        let distinct: std::collections::HashSet<_> =
+            all.iter().map(|a| (a.domain, a.direction)).collect();
+        prop_assert_eq!(distinct.len(), 3 * m);
     }
 }

@@ -10,10 +10,19 @@
 //! (min = max), so unlike Next the hardware cannot idle below the chosen
 //! point.
 //!
-//! The cost model is an online regression per cluster,
+//! The cost model is an online regression per managed domain,
 //! `busy_hz = bg + c·fps`, separating constant background cycles `bg`
 //! from per-frame cycles `c`; the achievable frame rate at a candidate
 //! frequency `f` is then `(f − bg) / c`.
+//!
+//! The original scheme manages exactly one CPU and one GPU frequency
+//! domain. On an N-domain platform the governor therefore *binds* to
+//! the domain registry ([`Governor::bind`]): the fastest CPU-role
+//! domain becomes the managed CPU, the first GPU-role domain the
+//! managed GPU, and every remaining CPU-role domain is treated as a
+//! helper cluster and held at a fixed mid-ladder frequency floor so the
+//! render pipeline is never starved (on big.LITTLE, the LITTLE cores
+//! carry the frame's helper threads).
 //!
 //! Two limitations the paper calls out are faithfully preserved:
 //!
@@ -23,8 +32,9 @@
 //!    restricts it to Lineage and PubG (§V).
 
 use mpsoc::dvfs::DvfsController;
-use mpsoc::freq::{ClusterId, Opp};
-use mpsoc::power::ClusterPowerModel;
+use mpsoc::freq::{KiloHertz, Opp};
+use mpsoc::platform::{DomainId, DomainRole, Platform};
+use mpsoc::power::DomainPowerModel;
 use mpsoc::soc::SocState;
 
 use crate::Governor;
@@ -44,14 +54,14 @@ const MAX_TARGET_FPS: f64 = 60.0;
 /// Without a floor the self-referential averaged target can spiral down.
 const MIN_TARGET_FPS: f64 = 30.0;
 
-/// Floor applied to the LITTLE cluster while the governor is active, so
-/// the helper cluster never starves the render pipeline (the original
-/// scheme manages a single CPU domain; on big.LITTLE the LITTLE cores
-/// carry the frame's helper threads).
-const LITTLE_FLOOR_KHZ: u32 = 949_000;
+/// Ladder position of the helper-cluster frequency floor, as a fraction
+/// of the ladder length. On the Exynos 9810's 10-level LITTLE ladder
+/// this lands on level 4 = 949 MHz, the floor the original evaluation
+/// used.
+const HELPER_FLOOR_FRACTION: f64 = 0.4;
 
 /// Exponentially-smoothed estimate of the amortised cycles one frame
-/// costs on a cluster (`util · f / fps`).
+/// costs on a domain (`util · f / fps`).
 ///
 /// Background work is amortised into the per-frame cost at the observed
 /// frame rate, which slightly over-provisions at lower targets — the
@@ -85,26 +95,83 @@ impl FrameCost {
     }
 }
 
+/// How the governor maps onto a platform's domain registry.
+#[derive(Debug, Clone, PartialEq)]
+struct Binding {
+    /// Name and ladder shape of the platform the binding was derived
+    /// from — enough to make [`Governor::bind`] idempotent without
+    /// carrying a whole descriptor copy.
+    platform_name: String,
+    freq_levels: Vec<usize>,
+    /// The managed CPU domain (fastest CPU-role domain).
+    cpu: DomainId,
+    /// The managed GPU domain (first GPU-role domain; falls back to the
+    /// managed CPU on GPU-less platforms).
+    gpu: DomainId,
+    /// Remaining CPU-role domains with their frequency floors.
+    helper_floors: Vec<(DomainId, KiloHertz)>,
+    power_cpu: DomainPowerModel,
+    power_gpu: DomainPowerModel,
+}
+
+impl Binding {
+    fn for_platform(platform: &Platform) -> Self {
+        let cpu = platform
+            .ids()
+            .filter(|&id| platform.domain(id).role == DomainRole::Cpu)
+            .max_by_key(|&id| platform.domain(id).table.max().freq_khz)
+            .unwrap_or_else(|| DomainId::new(0));
+        let gpu = platform
+            .ids()
+            .find(|&id| platform.domain(id).role == DomainRole::Gpu)
+            .unwrap_or(cpu);
+        let helper_floors = platform
+            .ids()
+            .filter(|&id| id != cpu && platform.domain(id).role == DomainRole::Cpu)
+            .map(|id| {
+                let table = &platform.domain(id).table;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let level =
+                    ((table.len() as f64 * HELPER_FLOOR_FRACTION) as usize).min(table.len() - 1);
+                (id, table.opp(level).expect("level below len").freq_khz)
+            })
+            .collect();
+        Binding {
+            cpu,
+            gpu,
+            helper_floors,
+            power_cpu: platform.domain(cpu).power,
+            power_gpu: platform.domain(gpu).power,
+            platform_name: platform.name().to_owned(),
+            freq_levels: platform.freq_levels(),
+        }
+    }
+
+    fn matches(&self, platform: &Platform) -> bool {
+        self.platform_name == platform.name() && self.freq_levels == platform.freq_levels()
+    }
+}
+
 /// The Int. QoS PM governor.
 #[derive(Debug, Clone)]
 pub struct IntQosPm {
     window: Vec<f64>,
-    big_cost: FrameCost,
+    cpu_cost: FrameCost,
     gpu_cost: FrameCost,
-    power_big: ClusterPowerModel,
-    power_gpu: ClusterPowerModel,
+    binding: Binding,
 }
 
 impl IntQosPm {
-    /// Creates the governor with the Exynos 9810 power cost model.
+    /// Creates the governor, initially bound to the Exynos 9810
+    /// registry; [`Governor::bind`] re-binds it to whatever platform it
+    /// actually runs on.
     #[must_use]
     pub fn new() -> Self {
         IntQosPm {
             window: Vec::with_capacity(WINDOW_LEN),
-            big_cost: FrameCost::default(),
+            cpu_cost: FrameCost::default(),
             gpu_cost: FrameCost::default(),
-            power_big: ClusterPowerModel::exynos9810_big(),
-            power_gpu: ClusterPowerModel::exynos9810_gpu(),
+            binding: Binding::for_platform(&Platform::exynos9810()),
         }
     }
 
@@ -118,6 +185,7 @@ impl IntQosPm {
         }
     }
 
+    #[allow(clippy::similar_names)]
     fn observe(&mut self, state: &SocState) {
         // Only rendered frames calibrate the cost model: loading
         // screens burn CPU at zero FPS under a different cost relation
@@ -126,28 +194,30 @@ impl IntQosPm {
         if state.fps < 5.0 {
             return;
         }
-        let f_big = f64::from(state.freq_khz[ClusterId::Big.index()]) * 1e3;
-        let f_gpu = f64::from(state.freq_khz[ClusterId::Gpu.index()]) * 1e3;
-        self.big_cost
-            .observe(state.util[ClusterId::Big.index()] * f_big, state.fps);
-        self.gpu_cost
-            .observe(state.util[ClusterId::Gpu.index()] * f_gpu, state.fps);
+        let ci = self.binding.cpu.index();
+        let gi = self.binding.gpu.index();
+        let f_cpu = f64::from(state.freq_khz[ci]) * 1e3;
+        let f_gpu = f64::from(state.freq_khz[gi]) * 1e3;
+        self.cpu_cost.observe(state.util[ci] * f_cpu, state.fps);
+        self.gpu_cost.observe(state.util[gi] * f_gpu, state.fps);
     }
 
     /// Predicted achievable FPS for a candidate frequency pair under the
-    /// amortised cost model `f / c` per cluster.
-    fn predict_fps(&self, big: Opp, gpu: Opp) -> Option<f64> {
-        let c_big = self.big_cost.get()?;
+    /// amortised cost model `f / c` per domain.
+    #[allow(clippy::similar_names)]
+    fn predict_fps(&self, cpu: Opp, gpu: Opp) -> Option<f64> {
+        let c_cpu = self.cpu_cost.get()?;
         let c_gpu = self.gpu_cost.get()?;
-        let by_big = big.freq_hz() / c_big;
+        let by_cpu = cpu.freq_hz() / c_cpu;
         let by_gpu = gpu.freq_hz() / c_gpu;
-        Some(by_big.min(by_gpu).min(MAX_TARGET_FPS))
+        Some(by_cpu.min(by_gpu).min(MAX_TARGET_FPS))
     }
 
     /// Power cost of a candidate pair under the cost model (full
     /// utilisation at a nominal 50 °C die — only the ordering matters).
-    fn cost(&self, big: Opp, gpu: Opp) -> f64 {
-        self.power_big.total_w(big, 1.0, 50.0) + self.power_gpu.total_w(gpu, 1.0, 50.0)
+    fn cost(&self, cpu: Opp, gpu: Opp) -> f64 {
+        self.binding.power_cpu.total_w(cpu, 1.0, 50.0)
+            + self.binding.power_gpu.total_w(gpu, 1.0, 50.0)
     }
 }
 
@@ -167,6 +237,17 @@ impl Governor for IntQosPm {
         0.5
     }
 
+    fn bind(&mut self, platform: &Platform) {
+        if self.binding.matches(platform) {
+            return;
+        }
+        // A different device invalidates the learned cost model.
+        self.binding = Binding::for_platform(platform);
+        self.window.clear();
+        self.cpu_cost.reset();
+        self.gpu_cost.reset();
+    }
+
     fn control(&mut self, state: &SocState, dvfs: &mut DvfsController) {
         if self.window.len() == WINDOW_LEN {
             self.window.remove(0);
@@ -174,45 +255,48 @@ impl Governor for IntQosPm {
         self.window.push(state.fps);
         self.observe(state);
 
-        dvfs.set_min_freq(ClusterId::Little, LITTLE_FLOOR_KHZ)
-            .expect("OPP in LITTLE table");
+        for &(id, floor_khz) in &self.binding.helper_floors {
+            dvfs.set_min_freq(id, floor_khz)
+                .expect("floor OPP in helper table");
+        }
 
         let target = (self.target_fps() * FPS_MARGIN).clamp(MIN_TARGET_FPS, MAX_TARGET_FPS);
 
-        // Exhaustive search over the 18×6 pair space (108 candidates —
-        // cheap) for the minimum-cost pair meeting the target.
-        let big_table = dvfs.domain(ClusterId::Big).table().clone();
-        let gpu_table = dvfs.domain(ClusterId::Gpu).table().clone();
+        // Exhaustive search over the CPU×GPU pair space (108 candidates
+        // on the 9810 — cheap) for the minimum-cost pair meeting the
+        // target.
+        let cpu_table = dvfs.domain(self.binding.cpu).table().clone();
+        let gpu_table = dvfs.domain(self.binding.gpu).table().clone();
         let mut meeting: Option<(f64, Opp, Opp)> = None;
         let mut fps_star: Option<(f64, f64, Opp, Opp)> = None; // (pred, cost, …)
         let mut have_model = true;
-        for &big in big_table.iter() {
+        for &cpu in cpu_table.iter() {
             for &gpu in gpu_table.iter() {
-                let Some(pred) = self.predict_fps(big, gpu) else {
+                let Some(pred) = self.predict_fps(cpu, gpu) else {
                     have_model = false;
                     continue;
                 };
-                let c = self.cost(big, gpu);
+                let c = self.cost(cpu, gpu);
                 if pred >= target && meeting.is_none_or(|(bc, _, _)| c < bc) {
-                    meeting = Some((c, big, gpu));
+                    meeting = Some((c, cpu, gpu));
                 }
                 // Track the cheapest pair within half a frame of the
                 // best achievable rate, for the unreachable-target case.
                 match fps_star {
-                    None => fps_star = Some((pred, c, big, gpu)),
+                    None => fps_star = Some((pred, c, cpu, gpu)),
                     Some((fs, fc, _, _)) => {
                         if pred > fs + 0.5 || (pred >= fs - 0.5 && c < fc) {
-                            fps_star = Some((pred.max(fs), c, big, gpu));
+                            fps_star = Some((pred.max(fs), c, cpu, gpu));
                         }
                     }
                 }
             }
         }
-        let (big, gpu) = if !have_model {
+        let (cpu, gpu) = if !have_model {
             // No model yet (game still loading): run at the top so QoS
             // is never sacrificed — the bootstrap behaviour of the
             // original.
-            (big_table.max(), gpu_table.max())
+            (cpu_table.max(), gpu_table.max())
         } else if let Some((_, b, g)) = meeting {
             (b, g)
         } else if let Some((_, _, b, g)) = fps_star {
@@ -221,17 +305,17 @@ impl Governor for IntQosPm {
             // domain buys nothing).
             (b, g)
         } else {
-            (big_table.max(), gpu_table.max())
+            (cpu_table.max(), gpu_table.max())
         };
-        dvfs.pin_freq(ClusterId::Big, big.freq_khz)
+        dvfs.pin_freq(self.binding.cpu, cpu.freq_khz)
             .expect("OPP from table valid");
-        dvfs.pin_freq(ClusterId::Gpu, gpu.freq_khz)
+        dvfs.pin_freq(self.binding.gpu, gpu.freq_khz)
             .expect("OPP from table valid");
     }
 
     fn reset(&mut self) {
         self.window.clear();
-        self.big_cost.reset();
+        self.cpu_cost.reset();
         self.gpu_cost.reset();
     }
 }
@@ -241,6 +325,13 @@ mod tests {
     use super::*;
     use mpsoc::perf::FrameDemand;
     use mpsoc::soc::{Soc, SocConfig};
+
+    fn big() -> DomainId {
+        DomainId::new(0)
+    }
+    fn gpu() -> DomainId {
+        DomainId::new(2)
+    }
 
     fn drive(gov: &mut IntQosPm, soc: &mut Soc, demand: &FrameDemand, seconds: f64) -> f64 {
         let ticks = (seconds / 0.025) as usize;
@@ -266,8 +357,46 @@ mod tests {
         let mut soc = Soc::new(SocConfig::exynos9810());
         let mut gov = IntQosPm::new();
         gov.control(&soc.state(), soc.dvfs_mut());
-        assert_eq!(soc.dvfs().current_khz(ClusterId::Big), 2_704_000);
-        assert_eq!(soc.dvfs().current_khz(ClusterId::Gpu), 572_000);
+        assert_eq!(soc.dvfs().current_khz(big()), 2_704_000);
+        assert_eq!(soc.dvfs().current_khz(gpu()), 572_000);
+    }
+
+    #[test]
+    fn binding_picks_fastest_cpu_and_floors_helpers() {
+        let b = Binding::for_platform(&Platform::exynos9810());
+        assert_eq!(b.cpu, big());
+        assert_eq!(b.gpu, gpu());
+        assert_eq!(b.helper_floors, vec![(DomainId::new(1), 949_000)]);
+
+        let b = Binding::for_platform(&Platform::exynos9820());
+        assert_eq!(b.cpu.index(), 0, "big M4 cluster is the managed CPU");
+        assert_eq!(b.gpu.index(), 3);
+        assert_eq!(b.helper_floors.len(), 2, "mid and LITTLE are helpers");
+    }
+
+    #[test]
+    fn rebinding_to_another_platform_resets_the_model() {
+        let mut soc = Soc::new(SocConfig::exynos9810());
+        let mut gov = IntQosPm::new();
+        drive(&mut gov, &mut soc, &game_demand(), 20.0);
+        assert!(gov.target_fps() > 0.0);
+        gov.bind(&Platform::exynos9820());
+        assert_eq!(gov.target_fps(), 0.0, "stale model must be dropped");
+        assert!(gov.cpu_cost.get().is_none());
+        // Re-binding to the same platform is a no-op.
+        let before = gov.binding.clone();
+        gov.bind(&Platform::exynos9820());
+        assert_eq!(gov.binding, before);
+    }
+
+    #[test]
+    fn drives_a_four_domain_platform() {
+        let mut soc = Soc::new(SocConfig::exynos9820());
+        let mut gov = IntQosPm::new();
+        gov.bind(soc.platform());
+        let p = drive(&mut gov, &mut soc, &game_demand(), 30.0);
+        assert!(p > 1.0 && p.is_finite());
+        assert!(gov.target_fps() > 25.0, "target fps {}", gov.target_fps());
     }
 
     #[test]
@@ -275,10 +404,10 @@ mod tests {
         let mut soc = Soc::new(SocConfig::exynos9810());
         let mut gov = IntQosPm::new();
         drive(&mut gov, &mut soc, &game_demand(), 60.0);
-        let big = soc.dvfs().current_khz(ClusterId::Big);
+        let big_khz = soc.dvfs().current_khz(big());
         assert!(
-            big < 2_704_000,
-            "should back off from the top once the model converges: {big}"
+            big_khz < 2_704_000,
+            "should back off from the top once the model converges: {big_khz}"
         );
         assert!(gov.target_fps() > 25.0, "target fps {}", gov.target_fps());
     }
@@ -334,7 +463,7 @@ mod tests {
         assert!(gov.target_fps() > 0.0);
         gov.reset();
         assert_eq!(gov.target_fps(), 0.0);
-        assert!(gov.big_cost.get().is_none());
+        assert!(gov.cpu_cost.get().is_none());
     }
 
     #[test]

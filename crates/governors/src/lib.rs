@@ -25,6 +25,7 @@ pub mod schedutil;
 pub mod simple;
 
 use mpsoc::dvfs::DvfsController;
+use mpsoc::platform::Platform;
 use mpsoc::soc::SocState;
 
 pub use intqos::IntQosPm;
@@ -35,6 +36,15 @@ pub use simple::{Ondemand, Performance, Powersave};
 pub trait Governor {
     /// Human-readable governor name (used in reports).
     fn name(&self) -> &str;
+
+    /// Binds the governor to the platform it is about to control — the
+    /// domain registry of the device. The engine calls this before a
+    /// run; governors with per-domain models (Int. QoS PM, Next)
+    /// resolve their domain references here. Idempotent for an
+    /// unchanged platform; the default does nothing.
+    fn bind(&mut self, platform: &Platform) {
+        let _ = platform;
+    }
 
     /// Control period in seconds; the engine invokes
     /// [`Governor::control`] once per period.

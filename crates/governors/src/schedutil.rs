@@ -49,17 +49,22 @@ impl Governor for Schedutil {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpsoc::freq::ClusterId;
     use mpsoc::perf::FrameDemand;
+    use mpsoc::platform::DomainId;
     use mpsoc::soc::{Soc, SocConfig};
+
+    fn big() -> DomainId {
+        DomainId::new(0)
+    }
+    fn gpu() -> DomainId {
+        DomainId::new(2)
+    }
 
     #[test]
     fn opens_caps_and_lets_util_tracking_ramp() {
         let mut soc = Soc::new(SocConfig::exynos9810());
         // Pre-constrain, as if a previous agent left caps behind.
-        soc.dvfs_mut()
-            .set_max_freq(ClusterId::Big, 962_000)
-            .unwrap();
+        soc.dvfs_mut().set_max_freq(big(), 962_000).unwrap();
         let mut gov = Schedutil::new();
         let heavy = FrameDemand::new(25.0e6, 6.0e6, 30.0e6).with_background(0.5e9, 0.2e9, 0.0);
         for _ in 0..200 {
@@ -71,12 +76,12 @@ mod tests {
         // this load is well above the 962 MHz cap the foreign agent
         // left behind — proving the caps were re-opened.
         assert!(
-            soc.dvfs().current_khz(ClusterId::Big) > 962_000,
+            soc.dvfs().current_khz(big()) > 962_000,
             "schedutil should let the big cluster ramp past the stale cap: {} kHz",
-            soc.dvfs().current_khz(ClusterId::Big)
+            soc.dvfs().current_khz(big())
         );
         assert_eq!(
-            soc.dvfs().domain(ClusterId::Big).max_cap().freq_khz,
+            soc.dvfs().domain(big()).max_cap().freq_khz,
             2_704_000,
             "caps must be fully open"
         );
@@ -87,22 +92,14 @@ mod tests {
         let mut soc = Soc::new(SocConfig::exynos9810());
         let mut gov = Schedutil::new();
         gov.control(&soc.state(), soc.dvfs_mut());
-        soc.dvfs_mut()
-            .set_max_freq(ClusterId::Gpu, 299_000)
-            .unwrap();
+        soc.dvfs_mut().set_max_freq(gpu(), 299_000).unwrap();
         // Without reset, the governor leaves foreign caps alone.
         gov.control(&soc.state(), soc.dvfs_mut());
-        assert_eq!(
-            soc.dvfs().domain(ClusterId::Gpu).max_cap().freq_khz,
-            299_000
-        );
+        assert_eq!(soc.dvfs().domain(gpu()).max_cap().freq_khz, 299_000);
         // After reset it re-opens them.
         gov.reset();
         gov.control(&soc.state(), soc.dvfs_mut());
-        assert_eq!(
-            soc.dvfs().domain(ClusterId::Gpu).max_cap().freq_khz,
-            572_000
-        );
+        assert_eq!(soc.dvfs().domain(gpu()).max_cap().freq_khz, 572_000);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! policy.
 
 use mpsoc::dvfs::DvfsController;
-use mpsoc::freq::ClusterId;
+use mpsoc::platform::DomainId;
 use mpsoc::soc::SocState;
 
 use crate::Governor;
@@ -29,7 +29,8 @@ impl Governor for Performance {
     }
 
     fn control(&mut self, _state: &SocState, dvfs: &mut DvfsController) {
-        for id in ClusterId::ALL {
+        for i in 0..dvfs.n_domains() {
+            let id = DomainId::new(i);
             let top = dvfs.domain(id).table().max().freq_khz;
             dvfs.pin_freq(id, top).expect("top OPP always valid");
         }
@@ -54,7 +55,8 @@ impl Governor for Powersave {
     }
 
     fn control(&mut self, _state: &SocState, dvfs: &mut DvfsController) {
-        for id in ClusterId::ALL {
+        for i in 0..dvfs.n_domains() {
+            let id = DomainId::new(i);
             let bottom = dvfs.domain(id).table().min().freq_khz;
             dvfs.pin_freq(id, bottom).expect("bottom OPP always valid");
         }
@@ -89,8 +91,9 @@ impl Governor for Ondemand {
     }
 
     fn control(&mut self, state: &SocState, dvfs: &mut DvfsController) {
-        for id in ClusterId::ALL {
-            let util = state.util[id.index()];
+        for i in 0..dvfs.n_domains() {
+            let id = DomainId::new(i);
+            let util = state.util[i];
             let table = dvfs.domain(id).table().clone();
             if util > self.up_threshold {
                 dvfs.pin_freq(id, table.max().freq_khz)
@@ -114,6 +117,13 @@ mod tests {
     use mpsoc::perf::FrameDemand;
     use mpsoc::soc::{Soc, SocConfig};
 
+    fn big() -> DomainId {
+        DomainId::new(0)
+    }
+    fn gpu() -> DomainId {
+        DomainId::new(2)
+    }
+
     fn run<G: Governor>(gov: &mut G, demand: &FrameDemand, seconds: f64) -> (Soc, f64) {
         let mut soc = Soc::new(SocConfig::exynos9810());
         let mut pow = 0.0;
@@ -133,16 +143,16 @@ mod tests {
     fn performance_pins_top() {
         let demand = FrameDemand::new(5.0e6, 2.0e6, 6.0e6);
         let (soc, _) = run(&mut Performance::new(), &demand, 1.0);
-        assert_eq!(soc.dvfs().current_khz(ClusterId::Big), 2_704_000);
-        assert_eq!(soc.dvfs().current_khz(ClusterId::Gpu), 572_000);
+        assert_eq!(soc.dvfs().current_khz(big()), 2_704_000);
+        assert_eq!(soc.dvfs().current_khz(gpu()), 572_000);
     }
 
     #[test]
     fn powersave_pins_bottom() {
         let demand = FrameDemand::new(25.0e6, 6.0e6, 30.0e6);
         let (soc, _) = run(&mut Powersave::new(), &demand, 1.0);
-        assert_eq!(soc.dvfs().current_khz(ClusterId::Big), 650_000);
-        assert_eq!(soc.dvfs().current_khz(ClusterId::Gpu), 260_000);
+        assert_eq!(soc.dvfs().current_khz(big()), 650_000);
+        assert_eq!(soc.dvfs().current_khz(gpu()), 260_000);
     }
 
     #[test]
@@ -162,12 +172,12 @@ mod tests {
         let heavy = FrameDemand::new(25.0e6, 8.0e6, 30.0e6).with_background(0.8e9, 0.4e9, 0.1e9);
         let (soc, _) = run(&mut gov, &heavy, 5.0);
         assert!(
-            soc.dvfs().current_khz(ClusterId::Big) >= 2_000_000,
+            soc.dvfs().current_khz(big()) >= 2_000_000,
             "ondemand should be near top under load"
         );
         let idle = FrameDemand::default();
         let (soc, _) = run(&mut gov, &idle, 10.0);
-        assert_eq!(soc.dvfs().current_khz(ClusterId::Big), 650_000);
+        assert_eq!(soc.dvfs().current_khz(big()), 650_000);
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Cluster-wise DVFS control.
+//! Domain-wise DVFS control.
 //!
-//! The controller owns one [`FreqDomain`] per cluster and exposes the two
-//! interfaces the paper distinguishes:
+//! The controller owns one [`FreqDomain`] per platform DVFS domain and
+//! exposes the two interfaces the paper distinguishes:
 //!
 //! 1. the *policy caps* (`minfreq`/`maxfreq`) that an application-layer
 //!    agent such as Next writes — the hardware then "is free to operate
@@ -10,7 +10,8 @@
 //!    schedutil policy) that picks the operating point *within* those
 //!    caps each scheduling period.
 
-use crate::freq::{ClusterId, FreqDomain, KiloHertz, Opp, OppTable};
+use crate::freq::{FreqDomain, KiloHertz, Opp, OppTable};
+use crate::platform::{DomainId, PerDomain, Platform, MAX_DOMAINS};
 use crate::Result;
 
 /// Default schedutil-style headroom: the kernel targets
@@ -20,110 +21,115 @@ pub const DEFAULT_UTIL_MARGIN: f64 = 1.25;
 /// Utilisation at which the stock policy boosts straight to the top of
 /// the allowed range. Android's schedutil couples with touch/iowait
 /// boosting and top-app util clamps that slam the frequency to the
-/// policy maximum whenever a cluster stays busy — the "operating
+/// policy maximum whenever a domain stays busy — the "operating
 /// frequency remains relatively very high yet generating less FPS"
 /// behaviour the paper documents in Fig. 1. The default sits below the
 /// `1/margin = 0.8` tracking equilibrium (which ladder quantisation
-/// lands anywhere in ≈[0.73, 0.80]), so any cluster that stays busy is
+/// lands anywhere in ≈[0.73, 0.80]), so any domain that stays busy is
 /// boosted while genuinely light load is left alone.
 pub const DEFAULT_BOOST_THRESHOLD: f64 = 0.72;
 
-/// DVFS state and policy for all three clusters.
+/// DVFS state and policy for every domain of a platform.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DvfsController {
-    domains: [FreqDomain; 3],
+    domains: Vec<FreqDomain>,
     util_margin: f64,
     boost_threshold: f64,
 }
 
 impl DvfsController {
-    /// Creates a controller from the three per-cluster OPP tables.
+    /// Creates a controller from the per-domain OPP tables, in platform
+    /// order.
     ///
     /// # Panics
     ///
-    /// Panics if the tables do not cover exactly the three clusters.
+    /// Panics on an empty table list or more than [`MAX_DOMAINS`]
+    /// tables.
     #[must_use]
-    pub fn new(tables: [OppTable; 3]) -> Self {
-        let mut slots: [Option<FreqDomain>; 3] = [None, None, None];
-        for t in tables {
-            let idx = t.cluster().index();
-            assert!(
-                slots[idx].is_none(),
-                "duplicate OPP table for {}",
-                t.cluster()
-            );
-            slots[idx] = Some(FreqDomain::new(t));
-        }
+    pub fn new(tables: Vec<OppTable>) -> Self {
+        assert!(!tables.is_empty(), "controller needs at least one domain");
+        assert!(
+            tables.len() <= MAX_DOMAINS,
+            "controller supports at most {MAX_DOMAINS} domains"
+        );
         DvfsController {
-            domains: slots.map(|s| s.expect("table for every cluster")),
+            domains: tables.into_iter().map(FreqDomain::new).collect(),
             util_margin: DEFAULT_UTIL_MARGIN,
             boost_threshold: DEFAULT_BOOST_THRESHOLD,
         }
     }
 
+    /// Controller over a platform's declared domain ladders.
+    #[must_use]
+    pub fn for_platform(platform: &Platform) -> Self {
+        DvfsController::new(platform.domains().iter().map(|d| d.table.clone()).collect())
+    }
+
     /// Controller with the Exynos 9810 ladders.
     #[must_use]
     pub fn exynos9810() -> Self {
-        DvfsController::new([
-            OppTable::exynos9810_big(),
-            OppTable::exynos9810_little(),
-            OppTable::exynos9810_gpu(),
-        ])
+        DvfsController::for_platform(&Platform::exynos9810())
     }
 
-    /// The frequency domain of one cluster.
+    /// Number of DVFS domains.
     #[must_use]
-    pub fn domain(&self, id: ClusterId) -> &FreqDomain {
+    pub fn n_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// All domain ids in platform order.
+    pub fn ids(&self) -> impl Iterator<Item = DomainId> + '_ {
+        (0..self.domains.len()).map(DomainId::new)
+    }
+
+    /// The frequency domain of one DVFS domain.
+    #[must_use]
+    pub fn domain(&self, id: DomainId) -> &FreqDomain {
         &self.domains[id.index()]
     }
 
-    /// Mutable access to one cluster's frequency domain.
-    pub fn domain_mut(&mut self, id: ClusterId) -> &mut FreqDomain {
+    /// Mutable access to one DVFS domain.
+    pub fn domain_mut(&mut self, id: DomainId) -> &mut FreqDomain {
         &mut self.domains[id.index()]
     }
 
-    /// Current operating points of all clusters, indexed by
-    /// [`ClusterId::index`].
+    /// Current operating points of all domains, in platform order.
     #[must_use]
-    pub fn current_opps(&self) -> [Opp; 3] {
-        [
-            self.domains[0].current(),
-            self.domains[1].current(),
-            self.domains[2].current(),
-        ]
+    pub fn current_opps(&self) -> PerDomain<Opp> {
+        PerDomain::from_fn(self.domains.len(), |i| self.domains[i].current())
     }
 
-    /// Current frequency of one cluster in kHz.
+    /// Current frequency of one domain in kHz.
     #[must_use]
-    pub fn current_khz(&self, id: ClusterId) -> KiloHertz {
+    pub fn current_khz(&self, id: DomainId) -> KiloHertz {
         self.domain(id).current().freq_khz
     }
 
-    /// Sets the `maxfreq` cap of one cluster (the Next agent's actuator).
+    /// Sets the `maxfreq` cap of one domain (the Next agent's actuator).
     ///
     /// # Errors
     ///
     /// Propagates [`FreqDomain::set_max_freq`] errors.
-    pub fn set_max_freq(&mut self, id: ClusterId, freq_khz: KiloHertz) -> Result<()> {
+    pub fn set_max_freq(&mut self, id: DomainId, freq_khz: KiloHertz) -> Result<()> {
         self.domain_mut(id).set_max_freq(freq_khz)
     }
 
-    /// Sets the `minfreq` cap of one cluster.
+    /// Sets the `minfreq` cap of one domain.
     ///
     /// # Errors
     ///
     /// Propagates [`FreqDomain::set_min_freq`] errors.
-    pub fn set_min_freq(&mut self, id: ClusterId, freq_khz: KiloHertz) -> Result<()> {
+    pub fn set_min_freq(&mut self, id: DomainId, freq_khz: KiloHertz) -> Result<()> {
         self.domain_mut(id).set_min_freq(freq_khz)
     }
 
-    /// Pins a cluster to one exact OPP by collapsing both caps onto it
+    /// Pins a domain to one exact OPP by collapsing both caps onto it
     /// (what a direct-frequency governor such as Int. QoS PM does).
     ///
     /// # Errors
     ///
-    /// Returns an error when `freq_khz` is not an OPP of the cluster.
-    pub fn pin_freq(&mut self, id: ClusterId, freq_khz: KiloHertz) -> Result<()> {
+    /// Returns an error when `freq_khz` is not an OPP of the domain.
+    pub fn pin_freq(&mut self, id: DomainId, freq_khz: KiloHertz) -> Result<()> {
         let dom = self.domain_mut(id);
         // Order min/max updates so no intermediate state is inverted.
         if freq_khz >= dom.min_cap().freq_khz {
@@ -136,7 +142,7 @@ impl DvfsController {
         Ok(())
     }
 
-    /// Restores full frequency ranges on every cluster.
+    /// Restores full frequency ranges on every domain.
     pub fn reset_caps(&mut self) {
         for d in &mut self.domains {
             d.reset_caps();
@@ -170,7 +176,7 @@ impl DvfsController {
     /// Runs one round of utilisation-tracking frequency selection, the
     /// in-kernel policy that operates *within* the caps:
     ///
-    /// * a cluster whose utilisation reaches the boost threshold is
+    /// * a domain whose utilisation reaches the boost threshold is
     ///   slammed to the top of its allowed range (Android touch/iowait
     ///   boosting — the over-provisioning the paper exploits),
     /// * otherwise the target is `margin · util · f_cur`; ramp-up picks
@@ -179,20 +185,20 @@ impl DvfsController {
     ///   frequency after bursts),
     /// * everything is clamped to the policy caps.
     ///
-    /// `utils` is indexed by [`ClusterId::index`] and clamped to
-    /// `[0, 1]`.
-    pub fn select_by_util(&mut self, utils: [f64; 3]) {
-        for id in ClusterId::ALL {
-            let i = id.index();
-            let util = utils[i].clamp(0.0, 1.0);
-            let boost = util >= self.boost_threshold;
-            let dom = &mut self.domains[i];
+    /// `utils` is in platform order and clamped to `[0, 1]`; missing
+    /// entries read 0.
+    pub fn select_by_util(&mut self, utils: &[f64]) {
+        let margin = self.util_margin;
+        let boost_threshold = self.boost_threshold;
+        for (i, dom) in self.domains.iter_mut().enumerate() {
+            let util = utils.get(i).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+            let boost = util >= boost_threshold;
             let cur_level = dom.current_level();
             let level = if boost {
                 dom.table().len() - 1
             } else {
                 let cur_hz = dom.current().freq_hz();
-                let target_hz = self.util_margin * util * cur_hz;
+                let target_hz = margin * util * cur_hz;
                 let want = ceil_level_hz(dom.table(), target_hz);
                 if want < cur_level {
                     cur_level - 1
@@ -218,12 +224,31 @@ fn ceil_level_hz(table: &OppTable, target_hz: f64) -> usize {
 mod tests {
     use super::*;
 
+    fn big() -> DomainId {
+        DomainId::new(0)
+    }
+    fn little() -> DomainId {
+        DomainId::new(1)
+    }
+    fn gpu() -> DomainId {
+        DomainId::new(2)
+    }
+
     #[test]
     fn controller_starts_at_min_levels() {
         let ctl = DvfsController::exynos9810();
-        assert_eq!(ctl.current_khz(ClusterId::Big), 650_000);
-        assert_eq!(ctl.current_khz(ClusterId::Little), 455_000);
-        assert_eq!(ctl.current_khz(ClusterId::Gpu), 260_000);
+        assert_eq!(ctl.n_domains(), 3);
+        assert_eq!(ctl.current_khz(big()), 650_000);
+        assert_eq!(ctl.current_khz(little()), 455_000);
+        assert_eq!(ctl.current_khz(gpu()), 260_000);
+    }
+
+    #[test]
+    fn four_domain_controller_from_platform() {
+        let ctl = DvfsController::for_platform(&Platform::exynos9820());
+        assert_eq!(ctl.n_domains(), 4);
+        assert_eq!(ctl.domain(DomainId::new(1)).name(), "mid");
+        assert_eq!(ctl.current_opps().len(), 4);
     }
 
     #[test]
@@ -232,13 +257,13 @@ mod tests {
         // Saturated big cluster: repeated selection climbs the ladder to
         // the top.
         for _ in 0..40 {
-            ctl.select_by_util([1.0, 0.0, 0.0]);
+            ctl.select_by_util(&[1.0, 0.0, 0.0]);
         }
-        assert_eq!(ctl.current_khz(ClusterId::Big), 2_704_000);
+        assert_eq!(ctl.current_khz(big()), 2_704_000);
         assert_eq!(
-            ctl.current_khz(ClusterId::Little),
+            ctl.current_khz(little()),
             455_000,
-            "idle cluster stays at floor"
+            "idle domain stays at floor"
         );
     }
 
@@ -246,48 +271,48 @@ mod tests {
     fn util_selection_ramps_down_when_idle() {
         let mut ctl = DvfsController::exynos9810();
         for _ in 0..40 {
-            ctl.select_by_util([1.0, 1.0, 1.0]);
+            ctl.select_by_util(&[1.0, 1.0, 1.0]);
         }
         for _ in 0..60 {
-            ctl.select_by_util([0.05, 0.05, 0.05]);
+            ctl.select_by_util(&[0.05, 0.05, 0.05]);
         }
-        assert_eq!(ctl.current_khz(ClusterId::Big), 650_000);
-        assert_eq!(ctl.current_khz(ClusterId::Gpu), 260_000);
+        assert_eq!(ctl.current_khz(big()), 650_000);
+        assert_eq!(ctl.current_khz(gpu()), 260_000);
     }
 
     #[test]
     fn util_selection_respects_max_cap() {
         let mut ctl = DvfsController::exynos9810();
-        ctl.set_max_freq(ClusterId::Big, 1_170_000).unwrap();
+        ctl.set_max_freq(big(), 1_170_000).unwrap();
         for _ in 0..40 {
-            ctl.select_by_util([1.0, 1.0, 1.0]);
+            ctl.select_by_util(&[1.0, 1.0, 1.0]);
         }
-        assert_eq!(ctl.current_khz(ClusterId::Big), 1_170_000);
+        assert_eq!(ctl.current_khz(big()), 1_170_000);
     }
 
     #[test]
     fn util_selection_respects_min_cap() {
         let mut ctl = DvfsController::exynos9810();
-        ctl.set_min_freq(ClusterId::Gpu, 455_000).unwrap();
+        ctl.set_min_freq(gpu(), 455_000).unwrap();
         for _ in 0..40 {
-            ctl.select_by_util([0.0, 0.0, 0.0]);
+            ctl.select_by_util(&[0.0, 0.0, 0.0]);
         }
-        assert_eq!(ctl.current_khz(ClusterId::Gpu), 455_000);
+        assert_eq!(ctl.current_khz(gpu()), 455_000);
     }
 
     #[test]
     fn pin_freq_collapses_caps_in_both_directions() {
         let mut ctl = DvfsController::exynos9810();
-        ctl.pin_freq(ClusterId::Big, 2_314_000).unwrap();
-        assert_eq!(ctl.current_khz(ClusterId::Big), 2_314_000);
+        ctl.pin_freq(big(), 2_314_000).unwrap();
+        assert_eq!(ctl.current_khz(big()), 2_314_000);
         // Pin downwards from a high pin.
-        ctl.pin_freq(ClusterId::Big, 858_000).unwrap();
-        assert_eq!(ctl.current_khz(ClusterId::Big), 858_000);
+        ctl.pin_freq(big(), 858_000).unwrap();
+        assert_eq!(ctl.current_khz(big()), 858_000);
         for _ in 0..10 {
-            ctl.select_by_util([1.0, 1.0, 1.0]);
+            ctl.select_by_util(&[1.0, 1.0, 1.0]);
         }
         assert_eq!(
-            ctl.current_khz(ClusterId::Big),
+            ctl.current_khz(big()),
             858_000,
             "pinned freq immune to util policy"
         );
@@ -296,12 +321,12 @@ mod tests {
     #[test]
     fn reset_caps_unpins() {
         let mut ctl = DvfsController::exynos9810();
-        ctl.pin_freq(ClusterId::Big, 858_000).unwrap();
+        ctl.pin_freq(big(), 858_000).unwrap();
         ctl.reset_caps();
         for _ in 0..40 {
-            ctl.select_by_util([1.0, 0.0, 0.0]);
+            ctl.select_by_util(&[1.0, 0.0, 0.0]);
         }
-        assert_eq!(ctl.current_khz(ClusterId::Big), 2_704_000);
+        assert_eq!(ctl.current_khz(big()), 2_704_000);
     }
 
     #[test]
@@ -309,6 +334,16 @@ mod tests {
         let mut ctl = DvfsController::exynos9810();
         ctl.set_util_margin(0.2);
         assert_eq!(ctl.util_margin(), 1.0);
+    }
+
+    #[test]
+    fn short_util_slice_reads_zero_for_missing_domains() {
+        let mut ctl = DvfsController::exynos9810();
+        for _ in 0..40 {
+            ctl.select_by_util(&[1.0]);
+        }
+        assert_eq!(ctl.current_khz(big()), 2_704_000);
+        assert_eq!(ctl.current_khz(gpu()), 260_000);
     }
 
     #[test]

@@ -1,23 +1,23 @@
 use std::fmt;
 
-use crate::freq::{ClusterId, KiloHertz};
+use crate::freq::KiloHertz;
 
 /// Error type for all fallible operations in the `mpsoc` crate.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Error {
-    /// A frequency that is not an entry of the cluster's OPP table was
+    /// A frequency that is not an entry of the domain's OPP table was
     /// requested.
     UnknownFrequency {
-        /// Cluster the request targeted.
-        cluster: ClusterId,
+        /// Name of the DVFS domain the request targeted.
+        domain: String,
         /// The frequency that was requested, in kHz.
         freq_khz: KiloHertz,
     },
     /// A frequency-level index outside the OPP table was requested.
     LevelOutOfRange {
-        /// Cluster the request targeted.
-        cluster: ClusterId,
+        /// Name of the DVFS domain the request targeted.
+        domain: String,
         /// The requested level index.
         level: usize,
         /// Number of levels in the table.
@@ -26,8 +26,8 @@ pub enum Error {
     /// `minfreq` would exceed `maxfreq` (or vice versa) after the
     /// requested change.
     InvertedFreqRange {
-        /// Cluster the request targeted.
-        cluster: ClusterId,
+        /// Name of the DVFS domain the request targeted.
+        domain: String,
         /// Requested minimum frequency in kHz.
         min_khz: KiloHertz,
         /// Requested maximum frequency in kHz.
@@ -40,30 +40,26 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::UnknownFrequency { cluster, freq_khz } => {
+            Error::UnknownFrequency { domain, freq_khz } => {
                 write!(
                     f,
-                    "frequency {freq_khz} kHz is not an OPP of cluster {cluster}"
+                    "frequency {freq_khz} kHz is not an OPP of domain {domain}"
                 )
             }
-            Error::LevelOutOfRange {
-                cluster,
-                level,
-                len,
-            } => {
+            Error::LevelOutOfRange { domain, level, len } => {
                 write!(
                     f,
-                    "level {level} out of range for cluster {cluster} ({len} levels)"
+                    "level {level} out of range for domain {domain} ({len} levels)"
                 )
             }
             Error::InvertedFreqRange {
-                cluster,
+                domain,
                 min_khz,
                 max_khz,
             } => {
                 write!(
                     f,
-                    "inverted frequency range for cluster {cluster}: min {min_khz} kHz > max {max_khz} kHz"
+                    "inverted frequency range for domain {domain}: min {min_khz} kHz > max {max_khz} kHz"
                 )
             }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -78,9 +74,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_mentions_cluster_and_value() {
+    fn display_mentions_domain_and_value() {
         let err = Error::UnknownFrequency {
-            cluster: ClusterId::Big,
+            domain: "big".to_owned(),
             freq_khz: 123,
         };
         let msg = err.to_string();

@@ -1,60 +1,24 @@
 //! Operating-performance-point (OPP) tables and frequency-domain state.
 //!
-//! The Exynos 9810 exposes cluster-wise DVFS only: one frequency per
-//! cluster, chosen from a fixed ladder. The ladders below are the exact
-//! ones listed in §III-A of the paper:
+//! Each DVFS domain of a platform exposes one frequency ladder. The
+//! Exynos 9810 ladders below are the exact ones listed in §III-A of the
+//! paper:
 //!
 //! * big (Mongoose 3 × 4): 18 levels, 650–2704 MHz,
 //! * LITTLE (Cortex-A55 × 4): 10 levels, 455–1794 MHz,
-//! * GPU (Mali-G72 MP18): 6 levels, 260–572 MHz.
-
-use std::fmt;
+//! * GPU (Mali-G72 MP18): 6 levels, 260–572 MHz;
+//!
+//! the `exynos9820_*` ladders describe the Galaxy-S10-class tri-cluster
+//! preset (see [`crate::platform::Platform::exynos9820`]).
 
 use crate::{Error, Result};
 
 /// Frequency in kilohertz, the unit Linux cpufreq sysfs uses.
 pub type KiloHertz = u32;
 
-/// Identifies one of the three PE clusters of the Exynos 9810.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum ClusterId {
-    /// The 4× Mongoose 3 big CPU cluster.
-    Big,
-    /// The 4× Cortex-A55 LITTLE CPU cluster.
-    Little,
-    /// The Mali-G72 MP18 GPU.
-    Gpu,
-}
-
-impl ClusterId {
-    /// All clusters in a fixed, deterministic order.
-    pub const ALL: [ClusterId; 3] = [ClusterId::Big, ClusterId::Little, ClusterId::Gpu];
-
-    /// Stable index of the cluster within [`ClusterId::ALL`].
-    #[must_use]
-    pub fn index(self) -> usize {
-        match self {
-            ClusterId::Big => 0,
-            ClusterId::Little => 1,
-            ClusterId::Gpu => 2,
-        }
-    }
-}
-
-impl fmt::Display for ClusterId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            ClusterId::Big => "big",
-            ClusterId::Little => "little",
-            ClusterId::Gpu => "gpu",
-        };
-        f.write_str(name)
-    }
-}
-
 /// One operating performance point: a frequency and the supply voltage
 /// the rail needs at that frequency.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Opp {
     /// Clock frequency in kHz.
     pub freq_khz: KiloHertz,
@@ -76,10 +40,11 @@ impl Opp {
     }
 }
 
-/// An ordered table of OPPs for one cluster (ascending by frequency).
+/// An ordered table of OPPs for one DVFS domain (ascending by
+/// frequency), labelled with the domain's name for diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OppTable {
-    cluster: ClusterId,
+    name: String,
     opps: Vec<Opp>,
 }
 
@@ -90,26 +55,29 @@ impl OppTable {
     ///
     /// Returns [`Error::InvalidConfig`] if the table is empty, not
     /// strictly ascending in frequency, or has a non-positive voltage.
-    pub fn new(cluster: ClusterId, opps: Vec<Opp>) -> Result<Self> {
+    pub fn new(name: &str, opps: Vec<Opp>) -> Result<Self> {
         if opps.is_empty() {
             return Err(Error::InvalidConfig(format!(
-                "empty OPP table for cluster {cluster}"
+                "empty OPP table for domain {name}"
             )));
         }
         for pair in opps.windows(2) {
             if pair[1].freq_khz <= pair[0].freq_khz {
                 return Err(Error::InvalidConfig(format!(
-                    "OPP table for {cluster} not strictly ascending at {} kHz",
+                    "OPP table for {name} not strictly ascending at {} kHz",
                     pair[1].freq_khz
                 )));
             }
         }
         if opps.iter().any(|o| o.volt_v <= 0.0) {
             return Err(Error::InvalidConfig(format!(
-                "non-positive voltage in {cluster} table"
+                "non-positive voltage in {name} table"
             )));
         }
-        Ok(OppTable { cluster, opps })
+        Ok(OppTable {
+            name: name.to_owned(),
+            opps,
+        })
     }
 
     /// Synthesises a table from a frequency ladder (in MHz, any order)
@@ -125,18 +93,13 @@ impl OppTable {
     ///
     /// Returns [`Error::InvalidConfig`] on an empty ladder or
     /// non-positive/inverted voltage bounds.
-    pub fn from_mhz_ladder(
-        cluster: ClusterId,
-        mhz: &[u32],
-        v_min: f64,
-        v_max: f64,
-    ) -> Result<Self> {
+    pub fn from_mhz_ladder(name: &str, mhz: &[u32], v_min: f64, v_max: f64) -> Result<Self> {
         if mhz.is_empty() {
-            return Err(Error::InvalidConfig(format!("empty ladder for {cluster}")));
+            return Err(Error::InvalidConfig(format!("empty ladder for {name}")));
         }
         if v_min <= 0.0 || v_max < v_min {
             return Err(Error::InvalidConfig(format!(
-                "invalid voltage bounds [{v_min}, {v_max}] for {cluster}"
+                "invalid voltage bounds [{v_min}, {v_max}] for {name}"
             )));
         }
         let mut sorted: Vec<u32> = mhz.to_vec();
@@ -152,13 +115,13 @@ impl OppTable {
                 Opp::new(m * 1000, v_min + t * (v_max - v_min))
             })
             .collect();
-        OppTable::new(cluster, opps)
+        OppTable::new(name, opps)
     }
 
-    /// The cluster this table belongs to.
+    /// The name of the domain this table belongs to.
     #[must_use]
-    pub fn cluster(&self) -> ClusterId {
-        self.cluster
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Number of frequency levels.
@@ -180,7 +143,7 @@ impl OppTable {
     /// Returns [`Error::LevelOutOfRange`] if `level >= len()`.
     pub fn opp(&self, level: usize) -> Result<Opp> {
         self.opps.get(level).copied().ok_or(Error::LevelOutOfRange {
-            cluster: self.cluster,
+            domain: self.name.clone(),
             level,
             len: self.opps.len(),
         })
@@ -197,7 +160,7 @@ impl OppTable {
             .iter()
             .position(|o| o.freq_khz == freq_khz)
             .ok_or(Error::UnknownFrequency {
-                cluster: self.cluster,
+                domain: self.name.clone(),
                 freq_khz,
             })
     }
@@ -236,27 +199,60 @@ impl OppTable {
             650, 741, 858, 962, 1066, 1170, 1261, 1469, 1586, 1690, 1794, 1924, 2002, 2106, 2314,
             2496, 2652, 2704,
         ];
-        OppTable::from_mhz_ladder(ClusterId::Big, &MHZ, 0.568, 1.092).expect("static ladder valid")
+        OppTable::from_mhz_ladder("big", &MHZ, 0.568, 1.092).expect("static ladder valid")
     }
 
     /// The paper's 10-level LITTLE-cluster (Cortex-A55) ladder.
     #[must_use]
     pub fn exynos9810_little() -> Self {
         const MHZ: [u32; 10] = [455, 598, 715, 832, 949, 1053, 1248, 1456, 1690, 1794];
-        OppTable::from_mhz_ladder(ClusterId::Little, &MHZ, 0.531, 0.988)
-            .expect("static ladder valid")
+        OppTable::from_mhz_ladder("little", &MHZ, 0.531, 0.988).expect("static ladder valid")
     }
 
     /// The paper's 6-level GPU (Mali-G72 MP18) ladder.
     #[must_use]
     pub fn exynos9810_gpu() -> Self {
         const MHZ: [u32; 6] = [260, 299, 338, 455, 546, 572];
-        OppTable::from_mhz_ladder(ClusterId::Gpu, &MHZ, 0.581, 0.862).expect("static ladder valid")
+        OppTable::from_mhz_ladder("gpu", &MHZ, 0.581, 0.862).expect("static ladder valid")
+    }
+
+    /// The 9820-class 16-level big-cluster (2× Exynos M4) ladder.
+    #[must_use]
+    pub fn exynos9820_big() -> Self {
+        const MHZ: [u32; 16] = [
+            520, 650, 754, 858, 962, 1066, 1170, 1352, 1560, 1664, 1820, 1976, 2106, 2314, 2496,
+            2730,
+        ];
+        OppTable::from_mhz_ladder("big", &MHZ, 0.558, 1.100).expect("static ladder valid")
+    }
+
+    /// The 9820-class 12-level middle-cluster (2× Cortex-A75) ladder.
+    #[must_use]
+    pub fn exynos9820_mid() -> Self {
+        const MHZ: [u32; 12] = [
+            520, 650, 754, 858, 1066, 1170, 1352, 1560, 1742, 1950, 2158, 2310,
+        ];
+        OppTable::from_mhz_ladder("mid", &MHZ, 0.540, 1.020).expect("static ladder valid")
+    }
+
+    /// The 9820-class 9-level LITTLE-cluster (4× Cortex-A55) ladder.
+    #[must_use]
+    pub fn exynos9820_little() -> Self {
+        const MHZ: [u32; 9] = [442, 598, 754, 910, 1053, 1248, 1456, 1690, 1950];
+        OppTable::from_mhz_ladder("little", &MHZ, 0.525, 0.975).expect("static ladder valid")
+    }
+
+    /// The 9820-class 9-level GPU (Mali-G76 MP12) ladder.
+    #[must_use]
+    pub fn exynos9820_gpu() -> Self {
+        const MHZ: [u32; 9] = [260, 325, 377, 433, 481, 545, 598, 650, 702];
+        OppTable::from_mhz_ladder("gpu", &MHZ, 0.575, 0.880).expect("static ladder valid")
     }
 }
 
-/// Mutable frequency-domain state of one cluster: its OPP table plus the
-/// governor-visible `minfreq`/`maxfreq` caps and the current level.
+/// Mutable frequency-domain state of one DVFS domain: its OPP table
+/// plus the governor-visible `minfreq`/`maxfreq` caps and the current
+/// level.
 ///
 /// The current level always lies within `[min_level, max_level]`; setting
 /// a tighter cap clamps the current level immediately, mirroring how the
@@ -283,10 +279,10 @@ impl FreqDomain {
         }
     }
 
-    /// The cluster this domain drives.
+    /// The name of the domain this ladder drives.
     #[must_use]
-    pub fn cluster(&self) -> ClusterId {
-        self.table.cluster()
+    pub fn name(&self) -> &str {
+        self.table.name()
     }
 
     /// The underlying OPP table.
@@ -340,7 +336,7 @@ impl FreqDomain {
     pub fn set_level(&mut self, level: usize) -> Result<()> {
         if level >= self.table.len() {
             return Err(Error::LevelOutOfRange {
-                cluster: self.cluster(),
+                domain: self.name().to_owned(),
                 level,
                 len: self.table.len(),
             });
@@ -361,7 +357,7 @@ impl FreqDomain {
     pub fn force_level(&mut self, level: usize) -> Result<()> {
         if level >= self.table.len() {
             return Err(Error::LevelOutOfRange {
-                cluster: self.cluster(),
+                domain: self.name().to_owned(),
                 level,
                 len: self.table.len(),
             });
@@ -381,7 +377,7 @@ impl FreqDomain {
         let level = self.table.level_of(freq_khz)?;
         if level < self.min_level {
             return Err(Error::InvertedFreqRange {
-                cluster: self.cluster(),
+                domain: self.name().to_owned(),
                 min_khz: self.min_cap().freq_khz,
                 max_khz: freq_khz,
             });
@@ -402,7 +398,7 @@ impl FreqDomain {
         let level = self.table.level_of(freq_khz)?;
         if level > self.max_level {
             return Err(Error::InvertedFreqRange {
-                cluster: self.cluster(),
+                domain: self.name().to_owned(),
                 min_khz: freq_khz,
                 max_khz: self.max_cap().freq_khz,
             });
@@ -457,11 +453,31 @@ mod tests {
     }
 
     #[test]
+    fn exynos9820_ladders_have_expected_shapes() {
+        let big = OppTable::exynos9820_big();
+        assert_eq!(big.len(), 16);
+        assert_eq!(big.max().freq_khz, 2_730_000);
+        let mid = OppTable::exynos9820_mid();
+        assert_eq!(mid.len(), 12);
+        assert_eq!(mid.max().freq_khz, 2_310_000);
+        let little = OppTable::exynos9820_little();
+        assert_eq!(little.len(), 9);
+        assert_eq!(little.max().freq_khz, 1_950_000);
+        let gpu = OppTable::exynos9820_gpu();
+        assert_eq!(gpu.len(), 9);
+        assert_eq!(gpu.max().freq_khz, 702_000);
+    }
+
+    #[test]
     fn voltages_rise_with_frequency() {
         for table in [
             OppTable::exynos9810_big(),
             OppTable::exynos9810_little(),
             OppTable::exynos9810_gpu(),
+            OppTable::exynos9820_big(),
+            OppTable::exynos9820_mid(),
+            OppTable::exynos9820_little(),
+            OppTable::exynos9820_gpu(),
         ] {
             let volts: Vec<f64> = table.iter().map(|o| o.volt_v).collect();
             for pair in volts.windows(2) {
@@ -496,11 +512,11 @@ mod tests {
 
     #[test]
     fn empty_and_unsorted_tables_rejected() {
-        assert!(OppTable::new(ClusterId::Big, vec![]).is_err());
+        assert!(OppTable::new("big", vec![]).is_err());
         let unsorted = vec![Opp::new(2_000_000, 1.0), Opp::new(1_000_000, 0.8)];
-        assert!(OppTable::new(ClusterId::Big, unsorted).is_err());
+        assert!(OppTable::new("big", unsorted).is_err());
         let dup = vec![Opp::new(1_000_000, 0.8), Opp::new(1_000_000, 0.9)];
-        assert!(OppTable::new(ClusterId::Big, dup).is_err());
+        assert!(OppTable::new("big", dup).is_err());
     }
 
     #[test]
@@ -579,12 +595,9 @@ mod tests {
     }
 
     #[test]
-    fn cluster_display_and_index() {
-        assert_eq!(ClusterId::Big.to_string(), "big");
-        assert_eq!(ClusterId::Little.to_string(), "little");
-        assert_eq!(ClusterId::Gpu.to_string(), "gpu");
-        for (i, c) in ClusterId::ALL.iter().enumerate() {
-            assert_eq!(c.index(), i);
-        }
+    fn tables_carry_domain_names() {
+        assert_eq!(OppTable::exynos9810_big().name(), "big");
+        assert_eq!(OppTable::exynos9820_mid().name(), "mid");
+        assert_eq!(FreqDomain::new(OppTable::exynos9810_gpu()).name(), "gpu");
     }
 }

@@ -1,23 +1,28 @@
-//! Simulated CPU-GPU mobile MPSoC platform modelled on the Samsung
+//! Simulated CPU-GPU mobile MPSoC platforms, modelled after the Samsung
 //! Exynos 9810 used by the DATE 2020 paper *"User Interaction Aware
 //! Reinforcement Learning for Power and Thermal Efficiency of CPU-GPU
-//! Mobile MPSoCs"* (Dey et al.).
+//! Mobile MPSoCs"* (Dey et al.) — generalised to any number of DVFS
+//! domains through [`platform::Platform`] descriptors.
 //!
 //! The crate provides everything a DVFS governor can observe and actuate
 //! on the real device:
 //!
-//! * [`freq`] — per-cluster operating-performance-point (OPP) tables with
-//!   the paper's exact frequency ladders (18 big, 10 LITTLE, 6 GPU
-//!   levels),
+//! * [`platform`] — the platform descriptor: an ordered registry of
+//!   named DVFS domains (OPP ladder, power model, thermal coupling,
+//!   `cpu`/`gpu` role, workload-channel mapping) plus the two shipped
+//!   presets (Exynos 9810, `m = 3`; Exynos-9820-class, `m = 4`),
+//! * [`freq`] — per-domain operating-performance-point (OPP) tables
+//!   with the paper's exact frequency ladders,
 //! * [`power`] — dynamic `C·V²·f` plus temperature-dependent leakage
 //!   power,
-//! * [`thermal`] — a lumped RC thermal network with big/LITTLE/GPU/board/
-//!   skin nodes and the Note 9's sensor layout (big-cluster sensor plus a
+//! * [`thermal`] — a lumped RC thermal network with per-die, board and
+//!   skin nodes and the phone's sensor layout (hot-spot sensor plus a
 //!   "virtual" whole-device sensor),
-//! * [`perf`] — a cycle-budget frame execution model,
+//! * [`perf`] — a cycle-budget frame execution model over three
+//!   platform-independent workload channels,
 //! * [`vsync`] — 60 Hz VSync with triple buffering and frame-drop
 //!   semantics,
-//! * [`dvfs`] — cluster-wise DVFS control (`minfreq`/`maxfreq` caps, as a
+//! * [`dvfs`] — domain-wise DVFS control (`minfreq`/`maxfreq` caps, as a
 //!   governor in the Android application layer would set them),
 //! * [`soc`] — the assembled system-on-chip with a `tick(dt)` simulation
 //!   step.
@@ -25,15 +30,17 @@
 //! # Example
 //!
 //! ```
-//! use mpsoc::{Soc, SocConfig, ClusterId, perf::FrameDemand};
+//! use mpsoc::{DomainId, Soc, SocConfig, perf::FrameDemand};
 //!
 //! let mut soc = Soc::new(SocConfig::exynos9810());
 //! // Cap the big cluster at 1794 MHz the way the Next agent would.
-//! soc.dvfs_mut().set_max_freq(ClusterId::Big, 1_794_000)?;
+//! let big = soc.platform().domain_named("big").unwrap();
+//! soc.dvfs_mut().set_max_freq(big, 1_794_000)?;
 //! // Run 100 ms of a moderate workload.
 //! let demand = FrameDemand::new(4.0e6, 2.0e6, 8.0e6);
 //! let out = soc.tick(0.1, &demand);
 //! assert!(out.power_w > 0.0);
+//! assert_eq!(big, DomainId::new(0));
 //! # Ok::<(), mpsoc::Error>(())
 //! ```
 
@@ -43,6 +50,7 @@
 pub mod dvfs;
 pub mod freq;
 pub mod perf;
+pub mod platform;
 pub mod power;
 pub mod soc;
 pub mod thermal;
@@ -53,10 +61,11 @@ mod error;
 
 pub use dvfs::DvfsController;
 pub use error::Error;
-pub use freq::{ClusterId, FreqDomain, KiloHertz, Opp, OppTable};
-pub use perf::FrameDemand;
+pub use freq::{FreqDomain, KiloHertz, Opp, OppTable};
+pub use perf::{Channel, FrameDemand};
+pub use platform::{DomainId, DomainRole, DomainSpec, PerDomain, Platform, MAX_DOMAINS};
 pub use soc::{Soc, SocConfig, SocState, TickOutput};
-pub use thermal::{SensorId, ThermalNetwork};
+pub use thermal::{ThermalNetwork, DEFAULT_AMBIENT_C};
 pub use throttle::{ThrottleConfig, Throttler};
 pub use vsync::VsyncPipeline;
 

@@ -1,19 +1,20 @@
 //! Power model: switching (dynamic) power plus temperature-dependent
-//! leakage, per cluster, with a constant platform floor for the rails the
-//! governor cannot influence (display, memory, modem).
+//! leakage, per DVFS domain, with a constant platform floor for the
+//! rails the governor cannot influence (display, memory, modem).
 //!
 //! Dynamic power follows the standard CMOS model `P = C_eff · V² · f ·
-//! u`, where `u ∈ [0, 1]` is the cluster utilisation over the interval.
+//! u`, where `u ∈ [0, 1]` is the domain utilisation over the interval.
 //! Leakage grows linearly with die temperature around the ambient
 //! reference, which captures the positive power-temperature feedback that
 //! makes peak-temperature reduction valuable (§I, §III-B of the paper).
 
-use crate::freq::{ClusterId, Opp};
+use crate::freq::Opp;
+use crate::platform::{DomainId, PerDomain, Platform};
 
-/// Power model parameters for one PE cluster.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ClusterPowerModel {
-    cluster: ClusterId,
+/// Power model parameters for one DVFS domain. The domain's identity is
+/// positional: models live in platform order inside a [`PowerModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainPowerModel {
     /// Effective switched capacitance in farads.
     ceff_f: f64,
     /// Leakage at the reference temperature, per volt (W/V).
@@ -24,29 +25,16 @@ pub struct ClusterPowerModel {
     leak_ref_c: f64,
 }
 
-impl ClusterPowerModel {
+impl DomainPowerModel {
     /// Creates a model from raw coefficients.
     #[must_use]
-    pub fn new(
-        cluster: ClusterId,
-        ceff_f: f64,
-        leak_w_per_v: f64,
-        leak_temp_coeff: f64,
-        leak_ref_c: f64,
-    ) -> Self {
-        ClusterPowerModel {
-            cluster,
+    pub fn new(ceff_f: f64, leak_w_per_v: f64, leak_temp_coeff: f64, leak_ref_c: f64) -> Self {
+        DomainPowerModel {
             ceff_f,
             leak_w_per_v,
             leak_temp_coeff,
             leak_ref_c,
         }
-    }
-
-    /// The cluster this model describes.
-    #[must_use]
-    pub fn cluster(&self) -> ClusterId {
-        self.cluster
     }
 
     /// Switching power at operating point `opp` and utilisation `util`
@@ -65,7 +53,7 @@ impl ClusterPowerModel {
         (self.leak_w_per_v * opp.volt_v * scale).max(0.0)
     }
 
-    /// Total cluster power (dynamic + leakage), in watts.
+    /// Total domain power (dynamic + leakage), in watts.
     #[must_use]
     pub fn total_w(&self, opp: Opp, util: f64, temp_c: f64) -> f64 {
         self.dynamic_w(opp, util) + self.leakage_w(opp, temp_c)
@@ -78,35 +66,62 @@ impl ClusterPowerModel {
     /// 9810 measurements.
     #[must_use]
     pub fn exynos9810_big() -> Self {
-        ClusterPowerModel::new(ClusterId::Big, 2.0e-9, 0.28, 0.012, 25.0)
+        DomainPowerModel::new(2.0e-9, 0.28, 0.012, 25.0)
     }
 
     /// Calibration used for the Exynos 9810 LITTLE cluster (4× A55).
     #[must_use]
     pub fn exynos9810_little() -> Self {
-        ClusterPowerModel::new(ClusterId::Little, 4.6e-10, 0.06, 0.010, 25.0)
+        DomainPowerModel::new(4.6e-10, 0.06, 0.010, 25.0)
     }
 
     /// Calibration used for the Mali-G72 MP18 GPU.
     #[must_use]
     pub fn exynos9810_gpu() -> Self {
-        ClusterPowerModel::new(ClusterId::Gpu, 1.05e-8, 0.20, 0.011, 25.0)
+        DomainPowerModel::new(1.05e-8, 0.20, 0.011, 25.0)
+    }
+
+    /// 9820-class big cluster (2× M4): two wide cores on a newer node —
+    /// lower capacitance than the 9810's four Mongoose cores at a
+    /// similar peak frequency.
+    #[must_use]
+    pub fn exynos9820_big() -> Self {
+        DomainPowerModel::new(1.45e-9, 0.24, 0.012, 25.0)
+    }
+
+    /// 9820-class middle cluster (2× A75).
+    #[must_use]
+    pub fn exynos9820_mid() -> Self {
+        DomainPowerModel::new(7.2e-10, 0.10, 0.011, 25.0)
+    }
+
+    /// 9820-class LITTLE cluster (4× A55).
+    #[must_use]
+    pub fn exynos9820_little() -> Self {
+        DomainPowerModel::new(4.2e-10, 0.055, 0.010, 25.0)
+    }
+
+    /// 9820-class GPU (Mali-G76 MP12).
+    #[must_use]
+    pub fn exynos9820_gpu() -> Self {
+        DomainPowerModel::new(8.6e-9, 0.18, 0.011, 25.0)
     }
 }
 
-/// Whole-platform power model: the three cluster models plus a constant
-/// platform floor (display at fixed brightness, DRAM refresh, rails).
+/// Whole-platform power model: one [`DomainPowerModel`] per DVFS domain
+/// (in platform order) plus a constant platform floor (display at fixed
+/// brightness, DRAM refresh, rails).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
-    clusters: [ClusterPowerModel; 3],
+    domains: Vec<DomainPowerModel>,
     base_w: f64,
 }
 
-/// Per-cluster and total power for one simulation interval.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// Per-domain and total power for one simulation interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerBreakdown {
-    /// Power of each cluster, indexed by [`ClusterId::index`], in watts.
-    pub cluster_w: [f64; 3],
+    /// Power of each domain, in platform order, watts.
+    pub domain_w: PerDomain<f64>,
     /// Constant platform floor, in watts.
     pub base_w: f64,
 }
@@ -115,57 +130,55 @@ impl PowerBreakdown {
     /// Sum of all components, in watts.
     #[must_use]
     pub fn total_w(&self) -> f64 {
-        self.cluster_w.iter().sum::<f64>() + self.base_w
+        self.domain_w.iter().sum::<f64>() + self.base_w
     }
 
-    /// Power of one cluster, in watts.
+    /// Power of one domain, in watts.
     #[must_use]
-    pub fn cluster(&self, id: ClusterId) -> f64 {
-        self.cluster_w[id.index()]
+    pub fn domain(&self, id: DomainId) -> f64 {
+        self.domain_w[id.index()]
     }
 }
 
 impl PowerModel {
-    /// Builds a model from three cluster models (any order) and a
+    /// Builds a model from per-domain models (platform order) and a
     /// platform floor in watts.
     ///
     /// # Panics
     ///
-    /// Panics if the three models do not cover exactly the three
-    /// clusters.
+    /// Panics on an empty model list.
     #[must_use]
-    pub fn new(models: [ClusterPowerModel; 3], base_w: f64) -> Self {
-        let mut slots: [Option<ClusterPowerModel>; 3] = [None, None, None];
-        for m in models {
-            let idx = m.cluster().index();
-            assert!(
-                slots[idx].is_none(),
-                "duplicate model for cluster {}",
-                m.cluster()
-            );
-            slots[idx] = Some(m);
-        }
-        let clusters = slots.map(|s| s.expect("model for every cluster"));
-        PowerModel { clusters, base_w }
+    pub fn new(domains: Vec<DomainPowerModel>, base_w: f64) -> Self {
+        assert!(!domains.is_empty(), "power model needs at least one domain");
+        PowerModel { domains, base_w }
+    }
+
+    /// The power model a platform descriptor declares (per-domain
+    /// models in platform order, platform base power).
+    #[must_use]
+    pub fn for_platform(platform: &Platform) -> Self {
+        PowerModel::new(
+            platform.domains().iter().map(|d| d.power).collect(),
+            platform.base_power_w(),
+        )
     }
 
     /// The calibrated Exynos 9810 model with a 0.9 W platform floor.
     #[must_use]
     pub fn exynos9810() -> Self {
-        PowerModel::new(
-            [
-                ClusterPowerModel::exynos9810_big(),
-                ClusterPowerModel::exynos9810_little(),
-                ClusterPowerModel::exynos9810_gpu(),
-            ],
-            0.9,
-        )
+        PowerModel::for_platform(&Platform::exynos9810())
     }
 
-    /// Model for one cluster.
+    /// Number of domain models.
     #[must_use]
-    pub fn cluster(&self, id: ClusterId) -> &ClusterPowerModel {
-        &self.clusters[id.index()]
+    pub fn n_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Model for one domain.
+    #[must_use]
+    pub fn domain(&self, id: DomainId) -> &DomainPowerModel {
+        &self.domains[id.index()]
     }
 
     /// Platform floor in watts.
@@ -174,18 +187,20 @@ impl PowerModel {
         self.base_w
     }
 
-    /// Evaluates the full breakdown given per-cluster operating points,
-    /// utilisations and die temperatures (indexed by
-    /// [`ClusterId::index`]).
+    /// Evaluates the full breakdown given per-domain operating points,
+    /// utilisations and die temperatures (platform order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are shorter than the domain count.
     #[must_use]
-    pub fn evaluate(&self, opps: [Opp; 3], utils: [f64; 3], temps_c: [f64; 3]) -> PowerBreakdown {
-        let mut cluster_w = [0.0f64; 3];
-        for id in ClusterId::ALL {
-            let i = id.index();
-            cluster_w[i] = self.clusters[i].total_w(opps[i], utils[i], temps_c[i]);
-        }
+    pub fn evaluate(&self, opps: &[Opp], utils: &[f64], temps_c: &[f64]) -> PowerBreakdown {
+        let n = self.domains.len();
+        let domain_w = PerDomain::from_fn(n, |i| {
+            self.domains[i].total_w(opps[i], utils[i], temps_c[i])
+        });
         PowerBreakdown {
-            cluster_w,
+            domain_w,
             base_w: self.base_w,
         }
     }
@@ -202,7 +217,7 @@ mod tests {
 
     #[test]
     fn big_cluster_peak_power_in_plausible_range() {
-        let model = ClusterPowerModel::exynos9810_big();
+        let model = DomainPowerModel::exynos9810_big();
         let opp = max_opp(&OppTable::exynos9810_big());
         let p = model.total_w(opp, 1.0, 45.0);
         assert!((4.0..9.0).contains(&p), "big peak power {p} W implausible");
@@ -210,8 +225,8 @@ mod tests {
 
     #[test]
     fn little_cluster_much_cheaper_than_big() {
-        let big = ClusterPowerModel::exynos9810_big();
-        let little = ClusterPowerModel::exynos9810_little();
+        let big = DomainPowerModel::exynos9810_big();
+        let little = DomainPowerModel::exynos9810_little();
         let pb = big.total_w(max_opp(&OppTable::exynos9810_big()), 1.0, 40.0);
         let pl = little.total_w(max_opp(&OppTable::exynos9810_little()), 1.0, 40.0);
         assert!(
@@ -222,7 +237,7 @@ mod tests {
 
     #[test]
     fn dynamic_power_monotonic_in_frequency() {
-        let model = ClusterPowerModel::exynos9810_big();
+        let model = DomainPowerModel::exynos9810_big();
         let table = OppTable::exynos9810_big();
         let powers: Vec<f64> = table.iter().map(|&o| model.dynamic_w(o, 1.0)).collect();
         for pair in powers.windows(2) {
@@ -233,7 +248,7 @@ mod tests {
     #[test]
     fn dynamic_power_superlinear_in_frequency() {
         // P ∝ V²f with V rising in f ⇒ doubling f more than doubles P.
-        let model = ClusterPowerModel::exynos9810_big();
+        let model = DomainPowerModel::exynos9810_big();
         let table = OppTable::exynos9810_big();
         let lo = table.min();
         let hi = table.max();
@@ -247,7 +262,7 @@ mod tests {
 
     #[test]
     fn util_clamps() {
-        let model = ClusterPowerModel::exynos9810_gpu();
+        let model = DomainPowerModel::exynos9810_gpu();
         let opp = max_opp(&OppTable::exynos9810_gpu());
         assert_eq!(model.dynamic_w(opp, 2.0), model.dynamic_w(opp, 1.0));
         assert_eq!(model.dynamic_w(opp, -1.0), 0.0);
@@ -255,7 +270,7 @@ mod tests {
 
     #[test]
     fn leakage_grows_with_temperature_and_never_negative() {
-        let model = ClusterPowerModel::exynos9810_big();
+        let model = DomainPowerModel::exynos9810_big();
         let opp = max_opp(&OppTable::exynos9810_big());
         let cold = model.leakage_w(opp, 0.0);
         let warm = model.leakage_w(opp, 40.0);
@@ -272,11 +287,12 @@ mod tests {
             OppTable::exynos9810_little().max(),
             OppTable::exynos9810_gpu().max(),
         ];
-        let b = model.evaluate(opps, [1.0, 1.0, 1.0], [50.0, 45.0, 48.0]);
-        let manual: f64 = b.cluster_w.iter().sum::<f64>() + b.base_w;
+        let b = model.evaluate(&opps, &[1.0, 1.0, 1.0], &[50.0, 45.0, 48.0]);
+        let manual: f64 = b.domain_w.iter().sum::<f64>() + b.base_w;
         assert!((b.total_w() - manual).abs() < 1e-12);
         assert!(b.total_w() > model.base_w());
         assert_eq!(b.base_w, 0.9);
+        assert_eq!(b.domain(DomainId::new(0)), b.domain_w[0]);
     }
 
     #[test]
@@ -288,7 +304,7 @@ mod tests {
             OppTable::exynos9810_little().max(),
             OppTable::exynos9810_gpu().max(),
         ];
-        let b = model.evaluate(opps, [1.0, 1.0, 1.0], [70.0, 60.0, 65.0]);
+        let b = model.evaluate(&opps, &[1.0, 1.0, 1.0], &[70.0, 60.0, 65.0]);
         assert!(
             (9.0..18.0).contains(&b.total_w()),
             "platform peak {} W outside the paper's observed scale",
@@ -297,15 +313,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate model")]
-    fn duplicate_cluster_models_panic() {
-        let _ = PowerModel::new(
-            [
-                ClusterPowerModel::exynos9810_big(),
-                ClusterPowerModel::exynos9810_big(),
-                ClusterPowerModel::exynos9810_gpu(),
-            ],
-            0.9,
+    fn exynos9820_peak_power_plausible_for_a_flagship() {
+        let platform = Platform::exynos9820();
+        let model = PowerModel::for_platform(&platform);
+        let opps: Vec<Opp> = platform.domains().iter().map(|d| d.table.max()).collect();
+        let utils = vec![1.0; platform.n_domains()];
+        let temps = vec![65.0; platform.n_domains()];
+        let b = model.evaluate(&opps, &utils, &temps);
+        assert!(
+            (8.0..18.0).contains(&b.total_w()),
+            "9820 peak {} W implausible",
+            b.total_w()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn empty_model_list_panics() {
+        let _ = PowerModel::new(vec![], 0.9);
     }
 }

@@ -8,12 +8,17 @@
 //! resulting utilisation, and the thermal network absorbs the dissipated
 //! heat. The output mirrors exactly what the paper's agent can observe
 //! on the real device: frequencies, FPS, power and sensor temperatures.
+//!
+//! Which — and how many — DVFS domains exist is entirely a property of
+//! the [`Platform`] descriptor in the [`SocConfig`]; nothing in this
+//! module assumes the paper's big/LITTLE/GPU triple.
 
 use crate::dvfs::DvfsController;
-use crate::freq::{ClusterId, KiloHertz, Opp, OppTable};
+use crate::freq::KiloHertz;
 use crate::perf::{self, FrameDemand};
+use crate::platform::{DomainId, PerDomain, Platform};
 use crate::power::{PowerBreakdown, PowerModel};
-use crate::thermal::{SensorId, ThermalConfig, ThermalNetwork};
+use crate::thermal::{NodeId, ThermalConfig, ThermalNetwork, DEFAULT_AMBIENT_C};
 use crate::throttle::{ThrottleConfig, Throttler};
 use crate::vsync::{VsyncOutput, VsyncPipeline};
 use crate::{Error, Result};
@@ -21,10 +26,9 @@ use crate::{Error, Result};
 /// Configuration of a simulated SoC platform.
 #[derive(Debug, Clone)]
 pub struct SocConfig {
-    /// Per-cluster OPP tables.
-    pub tables: [OppTable; 3],
-    /// Power model.
-    pub power: PowerModel,
+    /// The platform descriptor: ordered DVFS domains with their OPP
+    /// ladders, power models and thermal coupling.
+    pub platform: Platform,
     /// Thermal network description.
     pub thermal: ThermalConfig,
     /// Display refresh rate in Hz.
@@ -39,69 +43,102 @@ pub struct SocConfig {
 impl SocConfig {
     /// The Galaxy Note 9 configuration used throughout the paper:
     /// Exynos 9810 ladders, calibrated power/thermal models, 60 Hz
-    /// display, 21 °C ambient, util-tracking enabled.
+    /// display, [`DEFAULT_AMBIENT_C`] ambient, util-tracking enabled.
     #[must_use]
     pub fn exynos9810() -> Self {
         SocConfig {
-            tables: [
-                OppTable::exynos9810_big(),
-                OppTable::exynos9810_little(),
-                OppTable::exynos9810_gpu(),
-            ],
-            power: PowerModel::exynos9810(),
-            thermal: ThermalConfig::exynos9810(21.0),
+            platform: Platform::exynos9810(),
+            thermal: ThermalConfig::exynos9810(DEFAULT_AMBIENT_C),
             refresh_hz: 60.0,
             util_selection: true,
             throttle: ThrottleConfig::exynos9810(),
         }
     }
 
-    /// Same platform at a different ambient temperature.
+    /// The Galaxy-S10-class tri-cluster-CPU + GPU configuration
+    /// (`m = 4`, see [`Platform::exynos9820`]).
+    #[must_use]
+    pub fn exynos9820() -> Self {
+        let platform = Platform::exynos9820();
+        let throttle = ThrottleConfig::for_platform(&platform);
+        SocConfig {
+            platform,
+            thermal: ThermalConfig::exynos9820(DEFAULT_AMBIENT_C),
+            refresh_hz: 60.0,
+            util_selection: true,
+            throttle,
+        }
+    }
+
+    /// Looks a shipped platform preset up by name (see
+    /// [`Platform::preset_names`]).
+    #[must_use]
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "exynos9810" => Some(SocConfig::exynos9810()),
+            "exynos9820" => Some(SocConfig::exynos9820()),
+            _ => None,
+        }
+    }
+
+    /// The same device at a different ambient temperature (the
+    /// thermostat of §V).
+    #[must_use]
+    pub fn with_ambient(mut self, ambient_c: f64) -> Self {
+        self.thermal.ambient_c = ambient_c;
+        self
+    }
+
+    /// The stock Exynos 9810 at a different ambient temperature.
     #[must_use]
     pub fn exynos9810_at_ambient(ambient_c: f64) -> Self {
-        let mut cfg = SocConfig::exynos9810();
-        cfg.thermal.ambient_c = ambient_c;
-        cfg
+        SocConfig::exynos9810().with_ambient(ambient_c)
     }
 }
 
 /// Everything a governor can observe after a tick — the paper's state
-/// vector (§IV-B): per-cluster frequencies, current FPS, power, and the
-/// big-cluster and device temperatures.
+/// vector (§IV-B): per-domain frequencies, current FPS, power, and the
+/// hot-spot and device temperatures.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SocState {
     /// Simulated wall-clock time in seconds.
     pub time_s: f64,
-    /// Current frequency per cluster in kHz, by [`ClusterId::index`].
-    pub freq_khz: [KiloHertz; 3],
-    /// Current OPP level per cluster.
-    pub freq_level: [usize; 3],
-    /// Current `maxfreq` cap level per cluster.
-    pub max_cap_level: [usize; 3],
+    /// Current frequency per domain in kHz, in platform order.
+    pub freq_khz: PerDomain<KiloHertz>,
+    /// Current OPP level per domain.
+    pub freq_level: PerDomain<usize>,
+    /// Current `maxfreq` cap level per domain.
+    pub max_cap_level: PerDomain<usize>,
     /// Presented frames per second over the rolling FPS window
     /// (≈0.5 s) — the rate frame-rate instrumentation reports.
     pub fps: f64,
     /// Total platform power over the last tick, in watts.
     pub power_w: f64,
-    /// Big-cluster sensor temperature, °C.
-    pub temp_big_c: f64,
-    /// LITTLE-cluster sensor temperature, °C.
-    pub temp_little_c: f64,
-    /// GPU sensor temperature, °C.
-    pub temp_gpu_c: f64,
+    /// Die sensor temperature of every domain, °C, in platform order.
+    pub temp_domain_c: PerDomain<f64>,
+    /// Temperature of the platform's designated hot-spot domain, °C —
+    /// the paper's `Temperature_big` observation (the big cluster on
+    /// both shipped presets).
+    pub temp_hot_c: f64,
     /// Virtual device sensor temperature, °C.
     pub temp_device_c: f64,
     /// Battery/board sensor temperature, °C.
     pub temp_battery_c: f64,
-    /// Per-cluster utilisation over the last tick.
-    pub util: [f64; 3],
+    /// Per-domain utilisation over the last tick.
+    pub util: PerDomain<f64>,
 }
 
 impl SocState {
-    /// Frequency of one cluster in kHz.
+    /// Frequency of one domain in kHz.
     #[must_use]
-    pub fn freq_of(&self, id: ClusterId) -> KiloHertz {
+    pub fn freq_of(&self, id: DomainId) -> KiloHertz {
         self.freq_khz[id.index()]
+    }
+
+    /// Number of DVFS domains observed.
+    #[must_use]
+    pub fn n_domains(&self) -> usize {
+        self.freq_khz.len()
     }
 }
 
@@ -118,10 +155,10 @@ pub struct TickOutput {
     pub power: PowerBreakdown,
     /// Total power in watts (convenience for `power.total_w()`).
     pub power_w: f64,
-    /// Per-cluster utilisation.
-    pub util: [f64; 3],
-    /// Operating points used during the interval.
-    pub opps: [Opp; 3],
+    /// Per-domain utilisation.
+    pub util: PerDomain<f64>,
+    /// Operating points used during the interval, in platform order.
+    pub opps: PerDomain<crate::freq::Opp>,
 }
 
 /// Length of the rolling window behind [`SocState::fps`], seconds.
@@ -133,15 +170,20 @@ const FPS_WINDOW_S: f64 = 0.5;
 /// The simulated SoC platform.
 #[derive(Debug, Clone)]
 pub struct Soc {
+    platform: Platform,
     dvfs: DvfsController,
     power: PowerModel,
     thermal: ThermalNetwork,
     vsync: VsyncPipeline,
     util_selection: bool,
     throttler: Throttler,
-    last_utils: [f64; 3],
+    /// Thermal node of every domain, in platform order (cached).
+    die_nodes: PerDomain<NodeId>,
+    last_utils: PerDomain<f64>,
     time_s: f64,
     last_state: SocState,
+    /// Reused per-tick node-power buffer (one slot per thermal node).
+    node_power: Vec<f64>,
     /// Rolling (dt, presented) history for the FPS window.
     fps_history: std::collections::VecDeque<(f64, u32)>,
 }
@@ -151,8 +193,8 @@ impl Soc {
     ///
     /// # Panics
     ///
-    /// Panics if the thermal configuration is invalid (the presets never
-    /// are); use [`Soc::try_new`] to handle that case.
+    /// Panics if the configuration is invalid (the presets never are);
+    /// use [`Soc::try_new`] to handle that case.
     #[must_use]
     pub fn new(config: SocConfig) -> Self {
         Soc::try_new(config).expect("invalid SocConfig")
@@ -163,49 +205,67 @@ impl Soc {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] when the thermal network or
-    /// refresh rate is invalid.
+    /// refresh rate is invalid, or a domain references a thermal node
+    /// outside the network.
     pub fn try_new(config: SocConfig) -> Result<Self> {
         if !(config.refresh_hz > 0.0 && config.refresh_hz.is_finite()) {
             return Err(Error::InvalidConfig(
                 "refresh rate must be positive".to_owned(),
             ));
         }
-        // Size the throttler from each cluster's ladder.
-        let mut sizes = [0usize; 3];
-        for t in &config.tables {
-            sizes[t.cluster().index()] = t.len();
+        let platform = config.platform;
+        for d in platform.domains() {
+            if d.thermal_node >= config.thermal.nodes.len() {
+                return Err(Error::InvalidConfig(format!(
+                    "domain '{}' references thermal node {} outside the network",
+                    d.name, d.thermal_node
+                )));
+            }
         }
-        let throttler = Throttler::new(config.throttle, sizes);
-        let dvfs = DvfsController::new(config.tables);
+        let n = platform.n_domains();
+        let sizes = platform.freq_levels();
+        let throttler = Throttler::new(config.throttle, &sizes);
+        let dvfs = DvfsController::for_platform(&platform);
+        let power = PowerModel::for_platform(&platform);
         let thermal = ThermalNetwork::new(config.thermal)?;
         let vsync = VsyncPipeline::new(config.refresh_hz);
+        let die_nodes = PerDomain::from_fn(n, |i| platform.domains()[i].thermal_node);
+        let node_power = vec![0.0; thermal.n_nodes()];
         let mut soc = Soc {
+            platform,
             dvfs,
-            power: config.power,
+            power,
             thermal,
             vsync,
             util_selection: config.util_selection,
             throttler,
-            last_utils: [0.0; 3],
+            die_nodes,
+            last_utils: PerDomain::new(n),
             time_s: 0.0,
             last_state: SocState {
                 time_s: 0.0,
-                freq_khz: [0; 3],
-                freq_level: [0; 3],
-                max_cap_level: [0; 3],
+                freq_khz: PerDomain::new(n),
+                freq_level: PerDomain::new(n),
+                max_cap_level: PerDomain::new(n),
                 fps: 0.0,
                 power_w: 0.0,
-                temp_big_c: 0.0,
-                temp_little_c: 0.0,
-                temp_gpu_c: 0.0,
+                temp_domain_c: PerDomain::new(n),
+                temp_hot_c: 0.0,
                 temp_device_c: 0.0,
                 temp_battery_c: 0.0,
-                util: [0.0; 3],
+                util: PerDomain::new(n),
             },
+            node_power,
             fps_history: std::collections::VecDeque::new(),
         };
         soc.refresh_state(0.0, 0.0);
         Ok(soc)
+    }
+
+    /// The platform descriptor this device runs.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
     }
 
     /// DVFS controller (read access).
@@ -253,23 +313,28 @@ impl Soc {
         self.util_selection = enabled;
     }
 
+    /// Die sensor temperatures per domain, in platform order.
+    fn die_temps(&self) -> PerDomain<f64> {
+        PerDomain::from_fn(self.die_nodes.len(), |i| {
+            self.thermal.node_temp_c(self.die_nodes[i])
+        })
+    }
+
     /// Advances the platform by `dt_s` seconds of `demand`.
     ///
     /// Steps, in order: kernel frequency selection (if enabled) based on
     /// the previous interval's utilisation, frame execution + VSync,
     /// power integration at the resulting utilisation, thermal update.
     pub fn tick(&mut self, dt_s: f64, demand: &FrameDemand) -> TickOutput {
+        let n = self.platform.n_domains();
         if self.util_selection {
-            self.dvfs.select_by_util(self.last_utils);
+            self.dvfs.select_by_util(&self.last_utils);
         }
         // Hardware thermal throttling overrides every software policy:
-        // clamp the effective level per cluster.
-        let clamps = self.throttler.update([
-            self.thermal.sensor_c(SensorId::BigCluster),
-            self.thermal.sensor_c(SensorId::LittleCluster),
-            self.thermal.sensor_c(SensorId::Gpu),
-        ]);
-        for id in ClusterId::ALL {
+        // clamp the effective level per domain.
+        let die_temps = self.die_temps();
+        let clamps = self.throttler.update(&die_temps);
+        for id in self.platform.ids() {
             let i = id.index();
             let dom = self.dvfs.domain_mut(id);
             if dom.current_level() > clamps[i] {
@@ -279,29 +344,21 @@ impl Soc {
             }
         }
         let opps = self.dvfs.current_opps();
-        let plan = perf::plan(demand, opps);
+        let plan = perf::plan(demand, &opps, &self.platform);
         let vout = self.vsync.tick(dt_s, plan.frame_period_s);
         let fps = vout.fps(dt_s);
         // The renderer runs at its natural rate until the display caps
         // it at the refresh rate; that achieved production rate — not
-        // the presented FPS — is what loads the clusters.
+        // the presented FPS — is what loads the domains.
         let produced_rate = plan.render_rate_hz().min(self.vsync.refresh_hz());
-        let mut utils = [0.0f64; 3];
-        for id in ClusterId::ALL {
-            utils[id.index()] = plan.utilization(id, produced_rate);
+        let utils = PerDomain::from_fn(n, |i| plan.utilization(DomainId::new(i), produced_rate));
+        let breakdown = self.power.evaluate(&opps, &utils, &die_temps);
+        self.node_power.fill(0.0);
+        for i in 0..n {
+            self.node_power[self.die_nodes[i]] += breakdown.domain_w[i];
         }
-        let die_temps = [
-            self.thermal.sensor_c(SensorId::BigCluster),
-            self.thermal.sensor_c(SensorId::LittleCluster),
-            self.thermal.sensor_c(SensorId::Gpu),
-        ];
-        let breakdown = self.power.evaluate(opps, utils, die_temps);
-        let mut node_power = [0.0f64; crate::thermal::node::COUNT];
-        for id in ClusterId::ALL {
-            node_power[ThermalNetwork::cluster_node(id)] = breakdown.cluster(id);
-        }
-        node_power[ThermalNetwork::base_power_node()] += breakdown.base_w;
-        self.thermal.step(&node_power, dt_s);
+        self.node_power[self.thermal.base_power_node()] += breakdown.base_w;
+        self.thermal.step(&self.node_power, dt_s);
 
         self.last_utils = utils;
         self.time_s += dt_s.max(0.0);
@@ -326,7 +383,7 @@ impl Soc {
         self.thermal.reset();
         self.throttler.reset();
         self.vsync = VsyncPipeline::new(self.vsync.refresh_hz());
-        self.last_utils = [0.0; 3];
+        self.last_utils = PerDomain::new(self.platform.n_domains());
         self.time_s = 0.0;
         self.fps_history.clear();
         self.refresh_state(0.0, 0.0);
@@ -358,15 +415,14 @@ impl Soc {
     }
 
     fn refresh_state(&mut self, fps: f64, power_w: f64) {
-        let mut freq_khz = [0u32; 3];
-        let mut freq_level = [0usize; 3];
-        let mut max_cap_level = [0usize; 3];
-        for id in ClusterId::ALL {
-            let d = self.dvfs.domain(id);
-            freq_khz[id.index()] = d.current().freq_khz;
-            freq_level[id.index()] = d.current_level();
-            max_cap_level[id.index()] = d.max_cap_level();
-        }
+        let n = self.platform.n_domains();
+        let freq_khz =
+            PerDomain::from_fn(n, |i| self.dvfs.domain(DomainId::new(i)).current().freq_khz);
+        let freq_level =
+            PerDomain::from_fn(n, |i| self.dvfs.domain(DomainId::new(i)).current_level());
+        let max_cap_level =
+            PerDomain::from_fn(n, |i| self.dvfs.domain(DomainId::new(i)).max_cap_level());
+        let temp_domain_c = self.die_temps();
         self.last_state = SocState {
             time_s: self.time_s,
             freq_khz,
@@ -374,11 +430,10 @@ impl Soc {
             max_cap_level,
             fps,
             power_w,
-            temp_big_c: self.thermal.sensor_c(SensorId::BigCluster),
-            temp_little_c: self.thermal.sensor_c(SensorId::LittleCluster),
-            temp_gpu_c: self.thermal.sensor_c(SensorId::Gpu),
-            temp_device_c: self.thermal.sensor_c(SensorId::Device),
-            temp_battery_c: self.thermal.sensor_c(SensorId::Battery),
+            temp_domain_c,
+            temp_hot_c: temp_domain_c[self.platform.hot_domain().index()],
+            temp_device_c: self.thermal.device_sensor_c(&self.die_nodes),
+            temp_battery_c: self.thermal.board_c(),
             util: self.last_utils,
         };
     }
@@ -387,6 +442,13 @@ impl Soc {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn big() -> DomainId {
+        DomainId::new(0)
+    }
+    fn gpu() -> DomainId {
+        DomainId::new(2)
+    }
 
     fn light_ui() -> FrameDemand {
         FrameDemand::new(3.0e6, 1.5e6, 4.0e6).with_background(0.05e9, 0.05e9, 0.0)
@@ -426,7 +488,7 @@ mod tests {
             p_heavy > p_light * 1.5,
             "heavy {p_heavy} W vs light {p_light} W"
         );
-        assert!(b.state().temp_big_c > a.state().temp_big_c);
+        assert!(b.state().temp_hot_c > a.state().temp_hot_c);
     }
 
     #[test]
@@ -439,7 +501,7 @@ mod tests {
         assert_eq!(fps, 0.0);
         assert!(power > 1.5, "background work must burn power: {power} W");
         assert!(
-            soc.state().freq_of(ClusterId::Big) > 650_000,
+            soc.state().freq_of(big()) > 650_000,
             "util tracking must raise freq"
         );
     }
@@ -448,14 +510,8 @@ mod tests {
     fn maxfreq_cap_reduces_power_on_heavy_load() {
         let mut free = Soc::new(SocConfig::exynos9810());
         let mut capped = Soc::new(SocConfig::exynos9810());
-        capped
-            .dvfs_mut()
-            .set_max_freq(ClusterId::Big, 1_170_000)
-            .unwrap();
-        capped
-            .dvfs_mut()
-            .set_max_freq(ClusterId::Gpu, 338_000)
-            .unwrap();
+        capped.dvfs_mut().set_max_freq(big(), 1_170_000).unwrap();
+        capped.dvfs_mut().set_max_freq(gpu(), 338_000).unwrap();
         let (fps_free, p_free) = run(&mut free, &heavy_game(), 20.0);
         let (fps_capped, p_capped) = run(&mut capped, &heavy_game(), 20.0);
         assert!(
@@ -473,14 +529,15 @@ mod tests {
         let mut soc = Soc::new(SocConfig::exynos9810());
         run(&mut soc, &heavy_game(), 5.0);
         let s = soc.state();
-        assert!(s.temp_big_c > 21.0);
+        assert!(s.temp_hot_c > 21.0);
         assert!(s.temp_device_c > 21.0);
         assert!(
-            s.temp_big_c >= s.temp_device_c,
+            s.temp_hot_c >= s.temp_device_c,
             "hot spot above blended device sensor"
         );
         assert!(s.power_w > 1.0);
-        assert_eq!(s.freq_khz[0], soc.dvfs().current_khz(ClusterId::Big));
+        assert_eq!(s.freq_khz[0], soc.dvfs().current_khz(big()));
+        assert_eq!(s.temp_hot_c, s.temp_domain_c[0]);
         assert!(s.time_s > 4.9);
     }
 
@@ -490,7 +547,7 @@ mod tests {
         run(&mut soc, &heavy_game(), 5.0);
         soc.reset();
         assert_eq!(soc.time_s(), 0.0);
-        assert!((soc.state().temp_big_c - 21.0).abs() < 1e-9);
+        assert!((soc.state().temp_hot_c - 21.0).abs() < 1e-9);
         assert_eq!(soc.state().fps, 0.0);
     }
 
@@ -499,9 +556,9 @@ mod tests {
         let mut cfg = SocConfig::exynos9810();
         cfg.util_selection = false;
         let mut soc = Soc::new(cfg);
-        let before = soc.dvfs().current_khz(ClusterId::Big);
+        let before = soc.dvfs().current_khz(big());
         run(&mut soc, &heavy_game(), 2.0);
-        assert_eq!(soc.dvfs().current_khz(ClusterId::Big), before);
+        assert_eq!(soc.dvfs().current_khz(big()), before);
     }
 
     #[test]
@@ -512,17 +569,71 @@ mod tests {
     }
 
     #[test]
+    fn dangling_thermal_node_rejected() {
+        let mut cfg = SocConfig::exynos9820();
+        // The 9810 thermal network has only 5 nodes; the 9820 platform
+        // maps its GPU to node 3 and board to 4, but its domains expect
+        // nodes the smaller network does provide — so cross the configs
+        // the other way round to produce a dangling reference.
+        cfg.thermal = ThermalConfig {
+            nodes: cfg.thermal.nodes[..3].to_vec(),
+            edges: vec![],
+            ambient_c: 21.0,
+            board_node: 0,
+            skin_node: 1,
+        };
+        cfg.thermal.nodes[0].to_ambient_w_per_k = 0.1;
+        assert!(Soc::try_new(cfg).is_err());
+    }
+
+    #[test]
+    fn exynos9820_runs_end_to_end() {
+        let mut soc = Soc::new(SocConfig::exynos9820());
+        assert_eq!(soc.platform().n_domains(), 4);
+        let (fps, power) = run(&mut soc, &light_ui(), 10.0);
+        assert!(fps > 50.0, "avg fps {fps}");
+        assert!(power > 0.9, "power {power}");
+        let s = soc.state();
+        assert_eq!(s.n_domains(), 4);
+        assert!(s.temp_hot_c > 21.0);
+        assert!(s.temp_device_c > 21.0);
+        assert!(s.temp_domain_c.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn with_ambient_shifts_the_whole_device() {
+        let mut warm = Soc::new(SocConfig::exynos9810().with_ambient(35.0));
+        let mut cool = Soc::new(SocConfig::exynos9810());
+        run(&mut warm, &light_ui(), 5.0);
+        run(&mut cool, &light_ui(), 5.0);
+        assert!(warm.state().temp_hot_c > cool.state().temp_hot_c + 10.0);
+    }
+
+    #[test]
+    fn preset_lookup_matches_constructors() {
+        assert!(SocConfig::preset("exynos9810").is_some());
+        assert_eq!(
+            SocConfig::preset("exynos9820")
+                .unwrap()
+                .platform
+                .n_domains(),
+            4
+        );
+        assert!(SocConfig::preset("tegra").is_none());
+    }
+
+    #[test]
     fn thermal_throttle_caps_sustained_heat() {
         // A low trip point plus a performance-pinned heavy load: the
         // clamp must engage and hold the die near the trip.
         let mut cfg = SocConfig::exynos9810();
         cfg.throttle = crate::throttle::ThrottleConfig {
             enabled: true,
-            trip_c: [40.0, 40.0, 40.0],
+            trip_c: vec![40.0, 40.0, 40.0],
             hysteresis_c: 3.0,
         };
         let mut soc = Soc::new(cfg);
-        for id in ClusterId::ALL {
+        for id in [big(), DomainId::new(1), gpu()] {
             let top = soc.dvfs().domain(id).table().max().freq_khz;
             soc.dvfs_mut().pin_freq(id, top).unwrap();
         }
@@ -532,22 +643,22 @@ mod tests {
         }
         assert!(soc.throttler().is_throttling(), "clamp should be engaged");
         assert!(
-            soc.state().temp_big_c < 48.0,
+            soc.state().temp_hot_c < 48.0,
             "throttle must bound the die temperature: {:.1} C",
-            soc.state().temp_big_c
+            soc.state().temp_hot_c
         );
         // An unthrottled twin runs hotter.
         let mut cfg = SocConfig::exynos9810();
         cfg.throttle = crate::throttle::ThrottleConfig::disabled();
         let mut hot = Soc::new(cfg);
-        for id in ClusterId::ALL {
+        for id in [big(), DomainId::new(1), gpu()] {
             let top = hot.dvfs().domain(id).table().max().freq_khz;
             hot.dvfs_mut().pin_freq(id, top).unwrap();
         }
         for _ in 0..(600.0 / 0.025) as usize {
             hot.tick(0.025, &demand);
         }
-        assert!(hot.state().temp_big_c > soc.state().temp_big_c + 3.0);
+        assert!(hot.state().temp_hot_c > soc.state().temp_hot_c + 3.0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Hardware thermal throttling (the IPA/thermal-governor layer).
 //!
-//! Real Exynos devices clamp cluster frequencies when die sensors cross
+//! Real Exynos devices clamp domain frequencies when die sensors cross
 //! trip points, independently of (and *below*) any software policy. The
-//! throttler steps a per-cluster thermal clamp down one OPP per control
+//! throttler steps a per-domain thermal clamp down one OPP per control
 //! interval while the sensor is above the trip temperature and relaxes
 //! it one OPP per interval once the sensor falls below
 //! `trip − hysteresis`.
@@ -12,28 +12,39 @@
 //! Next) never see or control the clamp — exactly like on the phone,
 //! where the kernel thermal framework overrides userspace.
 
-use crate::freq::ClusterId;
+use crate::platform::{DomainId, PerDomain, Platform};
 
 /// Configuration of the thermal throttler.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThrottleConfig {
     /// Whether throttling is active.
     pub enabled: bool,
-    /// Trip temperature per cluster sensor, °C
-    /// (indexed by [`ClusterId::index`]).
-    pub trip_c: [f64; 3],
+    /// Trip temperature per domain sensor, °C, in platform order.
+    /// Domains beyond the list never trip.
+    pub trip_c: Vec<f64>,
     /// Hysteresis below the trip before the clamp relaxes, °C.
     pub hysteresis_c: f64,
 }
 
 impl ThrottleConfig {
+    /// Trip points declared by a platform descriptor (5 °C hysteresis,
+    /// the Exynos thermal-framework default).
+    #[must_use]
+    pub fn for_platform(platform: &Platform) -> Self {
+        ThrottleConfig {
+            enabled: true,
+            trip_c: platform.domains().iter().map(|d| d.trip_c).collect(),
+            hysteresis_c: 5.0,
+        }
+    }
+
     /// The Exynos 9810 defaults: 75 °C trips on the CPU clusters and
     /// 71 °C on the GPU, 5 °C hysteresis.
     #[must_use]
     pub fn exynos9810() -> Self {
         ThrottleConfig {
             enabled: true,
-            trip_c: [75.0, 75.0, 71.0],
+            trip_c: vec![75.0, 75.0, 71.0],
             hysteresis_c: 5.0,
         }
     }
@@ -43,7 +54,7 @@ impl ThrottleConfig {
     pub fn disabled() -> Self {
         ThrottleConfig {
             enabled: false,
-            trip_c: [f64::INFINITY; 3],
+            trip_c: Vec::new(),
             hysteresis_c: 0.0,
         }
     }
@@ -55,21 +66,22 @@ impl Default for ThrottleConfig {
     }
 }
 
-/// Stateful per-cluster thermal clamp.
+/// Stateful per-domain thermal clamp.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Throttler {
     config: ThrottleConfig,
-    /// Current clamp as a maximum OPP level per cluster.
-    clamp_level: [usize; 3],
-    /// Top level per cluster (unclamped position).
-    top_level: [usize; 3],
+    /// Current clamp as a maximum OPP level per domain.
+    clamp_level: PerDomain<usize>,
+    /// Top level per domain (unclamped position).
+    top_level: PerDomain<usize>,
 }
 
 impl Throttler {
-    /// Creates a throttler for ladders with the given sizes.
+    /// Creates a throttler for ladders with the given sizes (platform
+    /// order).
     #[must_use]
-    pub fn new(config: ThrottleConfig, table_sizes: [usize; 3]) -> Self {
-        let top_level = table_sizes.map(|n| n.saturating_sub(1));
+    pub fn new(config: ThrottleConfig, table_sizes: &[usize]) -> Self {
+        let top_level = PerDomain::from_fn(table_sizes.len(), |i| table_sizes[i].saturating_sub(1));
         Throttler {
             config,
             clamp_level: top_level,
@@ -83,29 +95,30 @@ impl Throttler {
         &self.config
     }
 
-    /// Current clamp level of one cluster (top level = unclamped).
+    /// Current clamp level of one domain (top level = unclamped).
     #[must_use]
-    pub fn clamp_level(&self, id: ClusterId) -> usize {
+    pub fn clamp_level(&self, id: DomainId) -> usize {
         self.clamp_level[id.index()]
     }
 
-    /// Whether any cluster is currently clamped below its top level.
+    /// Whether any domain is currently clamped below its top level.
     #[must_use]
     pub fn is_throttling(&self) -> bool {
         self.config.enabled && self.clamp_level != self.top_level
     }
 
     /// Advances the throttle state one control interval with the
-    /// current die temperatures (°C, by [`ClusterId::index`]) and
-    /// returns the clamp levels.
-    pub fn update(&mut self, die_temps_c: [f64; 3]) -> [usize; 3] {
+    /// current die temperatures (°C, platform order) and returns the
+    /// clamp levels.
+    pub fn update(&mut self, die_temps_c: &[f64]) -> PerDomain<usize> {
         if !self.config.enabled {
             return self.top_level;
         }
-        for (i, &temp) in die_temps_c.iter().enumerate() {
-            if temp > self.config.trip_c[i] {
+        for (i, &temp) in die_temps_c.iter().enumerate().take(self.clamp_level.len()) {
+            let trip = self.config.trip_c.get(i).copied().unwrap_or(f64::INFINITY);
+            if temp > trip {
                 self.clamp_level[i] = self.clamp_level[i].saturating_sub(1);
-            } else if temp < self.config.trip_c[i] - self.config.hysteresis_c {
+            } else if temp < trip - self.config.hysteresis_c {
                 self.clamp_level[i] = (self.clamp_level[i] + 1).min(self.top_level[i]);
             }
         }
@@ -122,80 +135,94 @@ impl Throttler {
 mod tests {
     use super::*;
 
+    fn big() -> DomainId {
+        DomainId::new(0)
+    }
+    fn little() -> DomainId {
+        DomainId::new(1)
+    }
+    fn gpu() -> DomainId {
+        DomainId::new(2)
+    }
+
     fn throttler() -> Throttler {
-        Throttler::new(ThrottleConfig::exynos9810(), [18, 10, 6])
+        Throttler::new(ThrottleConfig::exynos9810(), &[18, 10, 6])
     }
 
     #[test]
     fn starts_unclamped() {
         let t = throttler();
         assert!(!t.is_throttling());
-        assert_eq!(t.clamp_level(ClusterId::Big), 17);
-        assert_eq!(t.clamp_level(ClusterId::Gpu), 5);
+        assert_eq!(t.clamp_level(big()), 17);
+        assert_eq!(t.clamp_level(gpu()), 5);
     }
 
     #[test]
     fn hot_sensor_steps_clamp_down() {
         let mut t = throttler();
-        t.update([80.0, 30.0, 30.0]);
-        assert_eq!(t.clamp_level(ClusterId::Big), 16);
-        assert_eq!(
-            t.clamp_level(ClusterId::Little),
-            9,
-            "cool clusters untouched"
-        );
+        t.update(&[80.0, 30.0, 30.0]);
+        assert_eq!(t.clamp_level(big()), 16);
+        assert_eq!(t.clamp_level(little()), 9, "cool domains untouched");
         assert!(t.is_throttling());
         for _ in 0..40 {
-            t.update([80.0, 30.0, 30.0]);
+            t.update(&[80.0, 30.0, 30.0]);
         }
-        assert_eq!(
-            t.clamp_level(ClusterId::Big),
-            0,
-            "clamp saturates at the floor"
-        );
+        assert_eq!(t.clamp_level(big()), 0, "clamp saturates at the floor");
     }
 
     #[test]
     fn hysteresis_gates_recovery() {
         let mut t = throttler();
         for _ in 0..3 {
-            t.update([80.0, 30.0, 30.0]);
+            t.update(&[80.0, 30.0, 30.0]);
         }
-        assert_eq!(t.clamp_level(ClusterId::Big), 14);
+        assert_eq!(t.clamp_level(big()), 14);
         // Inside the hysteresis band: hold.
-        t.update([72.0, 30.0, 30.0]);
-        assert_eq!(t.clamp_level(ClusterId::Big), 14);
+        t.update(&[72.0, 30.0, 30.0]);
+        assert_eq!(t.clamp_level(big()), 14);
         // Below trip − hysteresis: relax one per interval.
-        t.update([69.0, 30.0, 30.0]);
-        assert_eq!(t.clamp_level(ClusterId::Big), 15);
+        t.update(&[69.0, 30.0, 30.0]);
+        assert_eq!(t.clamp_level(big()), 15);
         for _ in 0..10 {
-            t.update([60.0, 30.0, 30.0]);
+            t.update(&[60.0, 30.0, 30.0]);
         }
         assert!(!t.is_throttling());
     }
 
     #[test]
     fn disabled_config_never_clamps() {
-        let mut t = Throttler::new(ThrottleConfig::disabled(), [18, 10, 6]);
+        let mut t = Throttler::new(ThrottleConfig::disabled(), &[18, 10, 6]);
         for _ in 0..10 {
-            t.update([500.0, 500.0, 500.0]);
+            t.update(&[500.0, 500.0, 500.0]);
         }
         assert!(!t.is_throttling());
-        assert_eq!(t.clamp_level(ClusterId::Big), 17);
+        assert_eq!(t.clamp_level(big()), 17);
     }
 
     #[test]
     fn gpu_trips_earlier_than_cpu() {
         let mut t = throttler();
-        t.update([73.0, 73.0, 73.0]);
-        assert_eq!(t.clamp_level(ClusterId::Big), 17, "73 C below CPU trip");
-        assert_eq!(t.clamp_level(ClusterId::Gpu), 4, "73 C above GPU trip");
+        t.update(&[73.0, 73.0, 73.0]);
+        assert_eq!(t.clamp_level(big()), 17, "73 C below CPU trip");
+        assert_eq!(t.clamp_level(gpu()), 4, "73 C above GPU trip");
+    }
+
+    #[test]
+    fn four_domain_platform_throttles_every_domain() {
+        let platform = Platform::exynos9820();
+        let sizes = platform.freq_levels();
+        let mut t = Throttler::new(ThrottleConfig::for_platform(&platform), &sizes);
+        t.update(&[90.0, 90.0, 90.0, 90.0]);
+        for (i, &len) in sizes.iter().enumerate() {
+            assert_eq!(t.clamp_level(DomainId::new(i)), len - 2, "domain {i}");
+        }
+        assert!(t.is_throttling());
     }
 
     #[test]
     fn reset_unclamps() {
         let mut t = throttler();
-        t.update([90.0, 90.0, 90.0]);
+        t.update(&[90.0, 90.0, 90.0]);
         assert!(t.is_throttling());
         t.reset();
         assert!(!t.is_throttling());

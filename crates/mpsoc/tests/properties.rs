@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 
-use mpsoc::freq::{ClusterId, OppTable};
+use mpsoc::freq::OppTable;
 use mpsoc::perf::{self, FrameDemand};
+use mpsoc::platform::{DomainId, Platform};
 use mpsoc::power::PowerModel;
 use mpsoc::thermal::ThermalNetwork;
 use mpsoc::vsync::VsyncPipeline;
@@ -84,11 +85,12 @@ proptest! {
             OppTable::exynos9810_little().opp(level_little).unwrap(),
             OppTable::exynos9810_gpu().opp(level_gpu).unwrap(),
         ];
-        let plan = perf::plan(&demand, opps);
+        let platform = Platform::exynos9810();
+        let plan = perf::plan(&demand, &opps, &platform);
         if let Some(p) = plan.frame_period_s {
             prop_assert!(p > 0.0 && p.is_finite());
         }
-        for id in ClusterId::ALL {
+        for id in platform.ids() {
             let u = plan.utilization(id, fps);
             prop_assert!((0.0..=1.0).contains(&u), "util out of range: {u}");
         }
@@ -109,8 +111,8 @@ proptest! {
             OppTable::exynos9810_little().opp(level_little).unwrap(),
             OppTable::exynos9810_gpu().opp(level_gpu).unwrap(),
         ];
-        let lo = model.evaluate(opps, [u * 0.5; 3], [t; 3]);
-        let hi = model.evaluate(opps, [u; 3], [t; 3]);
+        let lo = model.evaluate(&opps, &[u * 0.5; 3], &[t; 3]);
+        let hi = model.evaluate(&opps, &[u; 3], &[t; 3]);
         prop_assert!(lo.total_w().is_finite() && lo.total_w() >= 0.0);
         prop_assert!(hi.total_w() >= lo.total_w() - 1e-12);
     }
@@ -121,7 +123,7 @@ proptest! {
     fn dvfs_caps_always_consistent(moves in proptest::collection::vec(0u8..6, 1..200)) {
         let mut soc = Soc::new(SocConfig::exynos9810());
         for m in moves {
-            let id = ClusterId::ALL[(m % 3) as usize];
+            let id = DomainId::new(usize::from(m % 3));
             if m < 3 {
                 soc.dvfs_mut().domain_mut(id).step_max_down();
             } else {
@@ -151,7 +153,7 @@ proptest! {
             prop_assert!(out.fps >= 0.0);
             let s = soc.state();
             prop_assert!(s.fps <= 60.0 + 1e-6, "windowed fps {}", s.fps);
-            prop_assert!(s.temp_big_c >= 21.0 - 1e-9 && s.temp_big_c < 200.0);
+            prop_assert!(s.temp_hot_c >= 21.0 - 1e-9 && s.temp_hot_c < 200.0);
         }
     }
 }

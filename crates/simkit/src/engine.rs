@@ -118,6 +118,10 @@ impl Engine {
         outcome.trace.clear();
         outcome.presented_frames = 0;
         outcome.repeated_vsyncs = 0;
+        // Hand the governor the device's domain registry before the
+        // run: per-domain governors (Int. QoS PM, Next) resolve their
+        // domain references against the platform here.
+        governor.bind(soc.platform());
         // Hoist everything that is loop-invariant out of the 25 ms tick
         // loop: tick count, control cadence, and the trace reservation.
         let ticks = self.ticks_for(duration_s);
@@ -145,7 +149,7 @@ impl Engine {
                 time_s: state.time_s,
                 fps: out.fps,
                 power_w: out.power_w,
-                temp_big_c: state.temp_big_c,
+                temp_hot_c: state.temp_hot_c,
                 temp_device_c: state.temp_device_c,
                 freq_khz: state.freq_khz,
             });

@@ -48,11 +48,24 @@ pub struct EvalResult {
 
 /// Measures `governor` on `plan` with a fresh (cold) device, seeded
 /// deterministically so different governors see identical user
-/// behaviour.
+/// behaviour. Runs on the paper's stock Exynos 9810; use
+/// [`evaluate_governor_on`] for other platforms.
 #[must_use]
 pub fn evaluate_governor(governor: &mut dyn Governor, plan: &SessionPlan, seed: u64) -> EvalResult {
+    evaluate_governor_on(governor, plan, seed, &SocConfig::exynos9810())
+}
+
+/// [`evaluate_governor`] on an explicit device configuration (any
+/// platform preset or custom descriptor).
+#[must_use]
+pub fn evaluate_governor_on(
+    governor: &mut dyn Governor,
+    plan: &SessionPlan,
+    seed: u64,
+    soc_config: &SocConfig,
+) -> EvalResult {
     let engine = Engine::new();
-    let mut soc = Soc::new(SocConfig::exynos9810());
+    let mut soc = Soc::new(soc_config.clone());
     let duration = plan.total_duration_s();
     let mut session = SessionSim::new(plan.clone(), seed);
     governor.reset();

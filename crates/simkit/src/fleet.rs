@@ -19,15 +19,21 @@
 //!            └─────────────────────────────────────────────────┘
 //! ```
 //!
-//! Devices are heterogeneous: each is assigned an [`SocBin`] (ambient
-//! temperature and platform-power variation — the silicon/thermal
-//! lottery of a real fleet) and its own user seed (the user mix).
-//! Local training runs through [`crate::trainer::Trainer`], executed
-//! across devices with the work-stealing
-//! [`crate::sweep::parallel_map`]; the cloud merge streams the device
-//! tables through `qlearn::federated::MergeAccumulator` in device
-//! order. Every quantity in a [`FleetReport`] is a pure function of
-//! the [`FleetConfig`] — identical for any worker count — so the
+//! Devices are heterogeneous on two axes. Every device is assigned an
+//! [`SocBin`] (ambient temperature and platform-power variation — the
+//! silicon/thermal lottery of a real fleet), and fleets may mix
+//! **platforms**: [`FleetConfig::platforms`] assigns each device a
+//! platform preset round-robin, and because Q-tables of different
+//! platforms are not interchangeable (different action counts and
+//! state spaces), the cloud keeps one federated table *per platform* —
+//! devices only ever merge with, and warm-start from, their own
+//! platform group. Local training runs through
+//! [`crate::trainer::Trainer`], executed across devices with the
+//! work-stealing [`crate::sweep::parallel_map`]; the cloud merge
+//! streams each group's tables through
+//! `qlearn::federated::MergeAccumulator` in device order. Every
+//! quantity in a [`FleetReport`] is a pure function of the
+//! [`FleetConfig`] — identical for any worker count — so the
 //! `next-sim fleet` JSON artifact is byte-identical across machines'
 //! parallelism. Round timing is *modeled* (slowest device's simulated
 //! training time plus the configurable up/down-link latencies of the
@@ -40,9 +46,10 @@ use qlearn::federated::MergeAccumulator;
 use qlearn::{DenseQTable, DenseStore};
 use workload::{apps, SessionPlan};
 
-use crate::experiment::evaluate_governor;
+use crate::experiment::evaluate_governor_on;
+use crate::platform::PlatformPreset;
 use crate::sweep::parallel_map;
-use crate::trainer::{TrainSpec, Trainer};
+use crate::trainer::{TrainOutcome, TrainSpec, Trainer};
 
 /// Up-/down-link latency of one federated round — the configurable
 /// generalisation of Fig. 6's measured ≤4 s round-trip overhead.
@@ -114,20 +121,12 @@ pub const SOC_BINS: [SocBin; 4] = [
     },
 ];
 
-/// Builds the simulated device for a hardware bin: the stock Exynos
-/// 9810 at the bin's ambient with its base-power scale applied.
+/// Builds the simulated device for a hardware bin: the given platform's
+/// stock device at the bin's ambient with its base-power scale applied.
 #[must_use]
-pub fn soc_config_for(bin: &SocBin) -> SocConfig {
-    let mut cfg = SocConfig::exynos9810_at_ambient(bin.ambient_c);
-    let power = &cfg.power;
-    cfg.power = mpsoc::power::PowerModel::new(
-        [
-            power.cluster(mpsoc::freq::ClusterId::Big).clone(),
-            power.cluster(mpsoc::freq::ClusterId::Little).clone(),
-            power.cluster(mpsoc::freq::ClusterId::Gpu).clone(),
-        ],
-        power.base_w() * bin.power_scale,
-    );
+pub fn soc_config_for(base: &SocConfig, bin: &SocBin) -> SocConfig {
+    let mut cfg = base.clone().with_ambient(bin.ambient_c);
+    cfg.platform.scale_base_power(bin.power_scale);
     cfg
 }
 
@@ -138,6 +137,9 @@ pub struct DeviceProfile {
     pub id: usize,
     /// Index into [`SOC_BINS`].
     pub bin: usize,
+    /// Index into [`FleetConfig::platforms`] — which platform this
+    /// device is.
+    pub platform: usize,
     /// Base seed of this device's user (per-round seeds derive from
     /// it, so every round sees fresh but reproducible behaviour).
     pub user_seed: u64,
@@ -151,13 +153,17 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Derives the deterministic device roster of a fleet.
+/// Derives the deterministic device roster of a fleet: bins and
+/// platforms assigned round-robin, user seeds split from the master
+/// seed (platform assignment does not perturb the seed stream, so a
+/// single-platform fleet matches the historical roster exactly).
 #[must_use]
-pub fn device_profiles(devices: usize, seed: u64) -> Vec<DeviceProfile> {
+pub fn device_profiles(devices: usize, seed: u64, platforms: usize) -> Vec<DeviceProfile> {
     (0..devices)
         .map(|id| DeviceProfile {
             id,
             bin: id % SOC_BINS.len(),
+            platform: id % platforms.max(1),
             user_seed: splitmix64(seed ^ (id as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
         })
         .collect()
@@ -178,8 +184,13 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Local training budget per device per round, simulated seconds.
     pub round_budget_s: f64,
-    /// Agent configuration shared by the fleet.
+    /// Agent hyper-parameters shared by the fleet (the per-device
+    /// platform comes from [`FleetConfig::platforms`], which overrides
+    /// `next.platform`).
     pub next: NextConfig,
+    /// Platform presets of the fleet's devices, assigned round-robin by
+    /// device id. One entry = a homogeneous fleet.
+    pub platforms: Vec<String>,
     /// Up-/down-link latency model.
     pub link: LinkModel,
     /// Held-out session seeds the merged table is evaluated on after
@@ -191,7 +202,7 @@ pub struct FleetConfig {
 
 impl FleetConfig {
     /// Full-scale defaults: §V training budgets, paper link model, a
-    /// 3-session held-out grid.
+    /// 3-session held-out grid, a homogeneous Exynos 9810 fleet.
     #[must_use]
     pub fn new(app: &str, devices: usize, rounds: usize, seed: u64) -> Self {
         FleetConfig {
@@ -201,6 +212,7 @@ impl FleetConfig {
             seed,
             round_budget_s: 300.0,
             next: NextConfig::paper(),
+            platforms: vec!["exynos9810".to_owned()],
             link: LinkModel::paper(),
             eval_seeds: vec![9_001, 9_002, 9_003],
             eval_duration_s: 120.0,
@@ -217,9 +229,37 @@ impl FleetConfig {
             ..FleetConfig::new(app, devices, rounds, seed)
         }
     }
+
+    /// Sets the fleet's platform mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list or a repeated platform name (groups are
+    /// keyed by list position, so a duplicate would silently split one
+    /// platform's devices into disjoint federated tables).
+    #[must_use]
+    pub fn with_platforms(mut self, platforms: Vec<String>) -> Self {
+        assert!(!platforms.is_empty(), "fleet needs at least one platform");
+        for (i, name) in platforms.iter().enumerate() {
+            assert!(
+                !platforms[..i].contains(name),
+                "platform '{name}' listed twice"
+            );
+        }
+        self.platforms = platforms;
+        self
+    }
+
+    /// Whether the fleet is the historical homogeneous-9810 deployment
+    /// (whose JSON artifact predates the `platform` fields).
+    #[must_use]
+    pub fn is_default_platform(&self) -> bool {
+        self.platforms == ["exynos9810"]
+    }
 }
 
-/// Held-out quality of a merged fleet table (means over the eval grid).
+/// Held-out quality of the fleet's merged tables (means over the eval
+/// grid; for mixed fleets, the unweighted mean over platform groups).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundEval {
     /// Mean presented FPS.
@@ -233,14 +273,15 @@ pub struct RoundEval {
     pub ppdw: f64,
 }
 
-/// Telemetry of one federated round.
+/// Telemetry of one federated round (summed / maxed across the
+/// fleet's platform groups).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetRound {
     /// Round number, 0-based.
     pub round: usize,
-    /// Visited states in the merged table after this round.
+    /// Visited states across the merged tables after this round.
     pub states: usize,
-    /// Total visits in the merged table after this round.
+    /// Total visits across the merged tables after this round.
     pub visits: u64,
     /// Devices whose local training converged this round.
     pub converged_devices: usize,
@@ -252,8 +293,17 @@ pub struct FleetRound {
     /// Modeled wall time of the round: slowest local training plus the
     /// communication round trip.
     pub round_time_s: f64,
-    /// Held-out quality of the merged table.
+    /// Held-out quality of the merged tables.
     pub eval: RoundEval,
+}
+
+/// One platform group's merged fleet table.
+#[derive(Debug, Clone)]
+pub struct PlatformTable {
+    /// Platform preset name.
+    pub platform: String,
+    /// The group's final merged table.
+    pub table: DenseQTable,
 }
 
 /// Result of a fleet simulation.
@@ -265,22 +315,53 @@ pub struct FleetReport {
     pub devices: Vec<DeviceProfile>,
     /// Per-round telemetry, in round order.
     pub rounds: Vec<FleetRound>,
-    /// The final merged fleet table.
-    pub table: DenseQTable,
+    /// The final merged fleet table of every platform group, in
+    /// [`FleetConfig::platforms`] order.
+    pub tables: Vec<PlatformTable>,
 }
 
-/// Evaluates a merged fleet table on the held-out session grid.
-fn evaluate_round(config: &FleetConfig, table: &DenseQTable, workers: usize) -> RoundEval {
+impl FleetReport {
+    /// Total visited states across the platform groups' final tables.
+    #[must_use]
+    pub fn total_states(&self) -> usize {
+        self.tables.iter().map(|t| t.table.len()).sum()
+    }
+
+    /// Total visits across the platform groups' final tables.
+    #[must_use]
+    pub fn total_visits(&self) -> u64 {
+        self.tables.iter().map(|t| t.table.total_visits()).sum()
+    }
+}
+
+/// The agent configuration a platform group's devices train with: the
+/// fleet's shared hyper-parameters on the group's platform.
+fn group_next(config: &FleetConfig, preset: &PlatformPreset) -> NextConfig {
+    NextConfig {
+        platform: preset.next.platform.clone(),
+        ..config.next.clone()
+    }
+}
+
+/// Evaluates one platform group's merged table on the held-out session
+/// grid.
+fn evaluate_group(
+    config: &FleetConfig,
+    preset: &PlatformPreset,
+    table: &DenseQTable,
+    workers: usize,
+) -> RoundEval {
+    let next = group_next(config, preset);
     let summaries = parallel_map(&config.eval_seeds, workers, |&seed| {
-        let mut agent = NextAgent::with_table(config.next.clone(), table.clone(), false);
+        let mut agent = NextAgent::with_table(next.clone(), table.clone(), false);
         let plan = SessionPlan::single(&config.app, config.eval_duration_s);
-        evaluate_governor(&mut agent, &plan, seed).summary
+        evaluate_governor_on(&mut agent, &plan, seed, &preset.soc).summary
     });
     let n = summaries.len() as f64;
     let avg_fps = summaries.iter().map(|s| s.avg_fps).sum::<f64>() / n;
     let fps_std = summaries.iter().map(|s| s.fps_std).sum::<f64>() / n;
     let avg_power_w = summaries.iter().map(|s| s.avg_power_w).sum::<f64>() / n;
-    let avg_temp_big_c = summaries.iter().map(|s| s.avg_temp_big_c).sum::<f64>() / n;
+    let avg_temp_hot_c = summaries.iter().map(|s| s.avg_temp_hot_c).sum::<f64>() / n;
     RoundEval {
         avg_fps,
         fps_std,
@@ -288,7 +369,7 @@ fn evaluate_round(config: &FleetConfig, table: &DenseQTable, workers: usize) -> 
         ppdw: ppdw(
             avg_fps.max(config.next.bounds.fps_least),
             avg_power_w,
-            avg_temp_big_c,
+            avg_temp_hot_c,
             config.next.ambient_c,
         ),
     }
@@ -296,7 +377,8 @@ fn evaluate_round(config: &FleetConfig, table: &DenseQTable, workers: usize) -> 
 
 /// Runs the fleet simulation: R federated rounds over D heterogeneous
 /// devices, local training via the work-stealing parallel runner, one
-/// streaming merge and one held-out evaluation per round.
+/// streaming merge per platform group and one held-out evaluation per
+/// round.
 ///
 /// Deterministic for a fixed config: the report — including every
 /// float — is identical for any `workers` value (the 1-vs-N guarantee
@@ -304,9 +386,10 @@ fn evaluate_round(config: &FleetConfig, table: &DenseQTable, workers: usize) -> 
 ///
 /// # Panics
 ///
-/// Panics if the config names an unknown app, or `devices`, `rounds`,
-/// or the eval grid is empty.
+/// Panics if the config names an unknown app or platform, or
+/// `devices`, `rounds`, or the eval grid is empty.
 #[must_use]
+#[allow(clippy::too_many_lines)]
 pub fn run_fleet(config: &FleetConfig, workers: usize) -> FleetReport {
     assert!(
         apps::by_name(&config.app).is_some(),
@@ -319,67 +402,122 @@ pub fn run_fleet(config: &FleetConfig, workers: usize) -> FleetReport {
         !config.eval_seeds.is_empty(),
         "fleet needs a held-out eval grid"
     );
+    assert!(
+        !config.platforms.is_empty(),
+        "fleet needs at least one platform"
+    );
+    let presets: Vec<PlatformPreset> = config
+        .platforms
+        .iter()
+        .map(|name| {
+            PlatformPreset::by_name(name).unwrap_or_else(|| panic!("unknown platform '{name}'"))
+        })
+        .collect();
 
-    let devices = device_profiles(config.devices, config.seed);
+    let devices = device_profiles(config.devices, config.seed, presets.len());
     let trainer = Trainer::new();
-    let mut fleet_table: Option<DenseQTable> = None;
+    // One federated table per platform group — Q-tables of different
+    // platforms are not interchangeable.
+    let mut fleet_tables: Vec<Option<DenseQTable>> = vec![None; presets.len()];
     let mut rounds = Vec::with_capacity(config.rounds);
 
     for round in 0..config.rounds {
         // Local training on every device, in parallel. Each device's
-        // run is a pure function of (profile, round, fleet table).
-        let outcomes = parallel_map(&devices, workers, |dev| {
+        // run is a pure function of (profile, round, its group table).
+        let outcomes: Vec<TrainOutcome> = parallel_map(&devices, workers, |dev| {
+            let preset = &presets[dev.platform];
             let round_seed =
                 splitmix64(dev.user_seed ^ (round as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
             let mut spec = TrainSpec::new(
                 &config.app,
-                config.next.clone().with_seed(round_seed),
+                group_next(config, preset).with_seed(round_seed),
                 round_seed,
                 config.round_budget_s,
             )
-            .with_soc(soc_config_for(&SOC_BINS[dev.bin]));
-            if let Some(table) = &fleet_table {
+            .with_soc(soc_config_for(&preset.soc, &SOC_BINS[dev.bin]));
+            if let Some(table) = &fleet_tables[dev.platform] {
                 spec = spec.with_warm_start(table.clone());
             }
             trainer.train(spec)
         });
 
-        // Cloud-side streaming merge, in device order: each uploaded
-        // table is folded and released — the accumulator is the only
-        // fleet-sized state.
-        let first = &outcomes[0].agent;
-        let mut acc: MergeAccumulator<DenseStore> =
-            MergeAccumulator::new(first.table().n_actions(), first.table().default_q());
+        // Cloud-side streaming merge, per platform group, in device
+        // order: each uploaded table is folded and released — the
+        // accumulators are the only fleet-sized state.
         let mut converged_devices = 0usize;
         let mut local_train_s = 0.0f64;
-        for outcome in outcomes {
+        for outcome in &outcomes {
             converged_devices += usize::from(outcome.converged);
             local_train_s = local_train_s.max(outcome.training_time_s);
-            acc.fold(outcome.agent.table())
-                .expect("fleet devices share the action space");
         }
-        let merged = acc.finish().expect("at least one device folded");
+        let mut accs: Vec<Option<MergeAccumulator<DenseStore>>> =
+            (0..presets.len()).map(|_| None).collect();
+        for (dev, outcome) in devices.iter().zip(outcomes) {
+            let table = outcome.agent.into_table();
+            let acc = accs[dev.platform]
+                .get_or_insert_with(|| MergeAccumulator::new(table.n_actions(), table.default_q()));
+            acc.fold(&table)
+                .expect("a platform group shares one action space");
+        }
+        let merged: Vec<Option<DenseQTable>> = accs
+            .into_iter()
+            .map(|acc| acc.map(|a| a.finish().expect("non-empty group folded")))
+            .collect();
 
-        let eval = evaluate_round(config, &merged, workers);
+        // Held-out evaluation per populated group; the round's eval is
+        // the unweighted mean over groups.
+        let mut evals: Vec<RoundEval> = Vec::new();
+        let mut states = 0usize;
+        let mut visits = 0u64;
+        for (pi, table) in merged.iter().enumerate() {
+            if let Some(table) = table {
+                states += table.len();
+                visits += table.total_visits();
+                evals.push(evaluate_group(config, &presets[pi], table, workers));
+            }
+        }
+        let n = evals.len() as f64;
+        let eval = RoundEval {
+            avg_fps: evals.iter().map(|e| e.avg_fps).sum::<f64>() / n,
+            fps_std: evals.iter().map(|e| e.fps_std).sum::<f64>() / n,
+            avg_power_w: evals.iter().map(|e| e.avg_power_w).sum::<f64>() / n,
+            ppdw: evals.iter().map(|e| e.ppdw).sum::<f64>() / n,
+        };
+
         let comm_s = config.link.round_trip_s();
         rounds.push(FleetRound {
             round,
-            states: merged.len(),
-            visits: merged.total_visits(),
+            states,
+            visits,
             converged_devices,
             local_train_s,
             comm_s,
             round_time_s: local_train_s + comm_s,
             eval,
         });
-        fleet_table = Some(merged);
+        for (slot, table) in fleet_tables.iter_mut().zip(merged) {
+            if table.is_some() {
+                *slot = table;
+            }
+        }
     }
 
+    let tables = config
+        .platforms
+        .iter()
+        .zip(fleet_tables)
+        .filter_map(|(name, table)| {
+            table.map(|table| PlatformTable {
+                platform: name.clone(),
+                table,
+            })
+        })
+        .collect();
     FleetReport {
         config: config.clone(),
         devices,
         rounds,
-        table: fleet_table.expect("rounds > 0"),
+        tables,
     }
 }
 
@@ -413,7 +551,8 @@ mod tests {
         assert!(r0.eval.ppdw > 0.0);
         assert_eq!(r0.comm_s, LinkModel::paper().round_trip_s());
         assert!(r0.round_time_s > r0.comm_s);
-        assert_eq!(report.table.len(), r1.states);
+        assert_eq!(report.tables.len(), 1);
+        assert_eq!(report.total_states(), r1.states);
     }
 
     #[test]
@@ -423,31 +562,65 @@ mod tests {
         let b = run_fleet(&config, 4);
         assert_eq!(a.rounds, b.rounds, "telemetry must not depend on workers");
         assert_eq!(
-            a.table.encode(),
-            b.table.encode(),
+            a.tables[0].table.encode(),
+            b.tables[0].table.encode(),
             "merged table must be byte-identical across worker counts"
         );
     }
 
     #[test]
+    fn mixed_platform_fleet_keeps_per_platform_tables() {
+        let config = FleetConfig {
+            round_budget_s: 30.0,
+            eval_seeds: vec![9_001],
+            eval_duration_s: 15.0,
+            ..FleetConfig::new("facebook", 4, 1, 11)
+        }
+        .with_platforms(vec!["exynos9810".to_owned(), "exynos9820".to_owned()]);
+        let report = run_fleet(&config, 2);
+        assert_eq!(report.tables.len(), 2);
+        assert_eq!(report.tables[0].platform, "exynos9810");
+        assert_eq!(report.tables[1].platform, "exynos9820");
+        assert_eq!(
+            report.tables[0].table.n_actions(),
+            9,
+            "9810 group keeps the 9-action table"
+        );
+        assert_eq!(
+            report.tables[1].table.n_actions(),
+            12,
+            "9820 group gets the 12-action table"
+        );
+        assert!(report.rounds[0].eval.avg_power_w > 0.5);
+        // Devices alternate platforms round-robin.
+        let plats: Vec<usize> = report.devices.iter().map(|d| d.platform).collect();
+        assert_eq!(plats, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
     fn device_roster_is_deterministic_and_heterogeneous() {
-        let a = device_profiles(8, 42);
-        let b = device_profiles(8, 42);
+        let a = device_profiles(8, 42, 1);
+        let b = device_profiles(8, 42, 1);
         assert_eq!(a, b);
         let bins: std::collections::HashSet<usize> = a.iter().map(|d| d.bin).collect();
         assert_eq!(bins.len(), SOC_BINS.len(), "8 devices cover all 4 bins");
         let seeds: std::collections::HashSet<u64> = a.iter().map(|d| d.user_seed).collect();
         assert_eq!(seeds.len(), 8, "every device gets its own user");
-        assert_ne!(device_profiles(8, 43), a, "master seed matters");
+        assert_ne!(device_profiles(8, 43, 1), a, "master seed matters");
+        // Platform assignment does not perturb user seeds.
+        let mixed = device_profiles(8, 42, 2);
+        for (x, y) in a.iter().zip(&mixed) {
+            assert_eq!(x.user_seed, y.user_seed);
+        }
     }
 
     #[test]
     fn soc_bins_shape_the_device() {
-        let leaky = soc_config_for(&SOC_BINS[2]);
-        let stock = SocConfig::exynos9810();
-        assert!(leaky.power.base_w() > stock.power.base_w());
-        let warm = soc_config_for(&SOC_BINS[1]);
-        assert!(warm.thermal.ambient_c > stock.thermal.ambient_c);
+        let base = SocConfig::exynos9810();
+        let leaky = soc_config_for(&base, &SOC_BINS[2]);
+        assert!(leaky.platform.base_power_w() > base.platform.base_power_w());
+        let warm = soc_config_for(&base, &SOC_BINS[1]);
+        assert!(warm.thermal.ambient_c > base.thermal.ambient_c);
     }
 
     #[test]
@@ -455,6 +628,13 @@ mod tests {
     fn zero_devices_rejected() {
         let mut config = tiny();
         config.devices = 0;
+        let _ = run_fleet(&config, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown platform")]
+    fn unknown_platform_rejected() {
+        let config = tiny().with_platforms(vec!["vaporware9000".to_owned()]);
         let _ = run_fleet(&config, 1);
     }
 }

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod experiment;
 pub mod fleet;
 pub mod metrics;
+pub mod platform;
 pub mod report;
 pub mod sweep;
 pub mod trainer;
@@ -39,5 +40,6 @@ pub use engine::{Engine, RunOutcome};
 pub use experiment::{train_next_for_app, EvalResult};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use metrics::{Battery, Sample, Summary, Trace};
+pub use platform::PlatformPreset;
 pub use sweep::{parallel_map, run_cells, StandardEvaluator, SweepCell, SweepRow};
 pub use trainer::{TrainOutcome, TrainSpec, Trainer};

@@ -1,5 +1,7 @@
 //! Time-series recording and summary statistics.
 
+use mpsoc::platform::PerDomain;
+
 /// One recorded simulation tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
@@ -9,12 +11,13 @@ pub struct Sample {
     pub fps: f64,
     /// Total platform power, watts.
     pub power_w: f64,
-    /// Big-cluster sensor temperature, °C.
-    pub temp_big_c: f64,
+    /// Hot-spot sensor temperature (the big cluster on the shipped
+    /// presets), °C.
+    pub temp_hot_c: f64,
     /// Virtual device sensor temperature, °C.
     pub temp_device_c: f64,
-    /// Per-cluster frequency, kHz, by `ClusterId::index`.
-    pub freq_khz: [u32; 3],
+    /// Per-domain frequency, kHz, in platform order.
+    pub freq_khz: PerDomain<u32>,
 }
 
 /// A recorded run.
@@ -93,33 +96,34 @@ impl Trace {
 
     fn average(bucket: &[&Sample]) -> Sample {
         let n = bucket.len() as f64;
+        let domains = bucket[0].freq_khz.len();
         let mut avg = Sample {
             time_s: 0.0,
             fps: 0.0,
             power_w: 0.0,
-            temp_big_c: 0.0,
+            temp_hot_c: 0.0,
             temp_device_c: 0.0,
-            freq_khz: [0; 3],
+            freq_khz: PerDomain::new(domains),
         };
-        let mut freq_acc = [0.0f64; 3];
+        let mut freq_acc = vec![0.0f64; domains];
         for s in bucket {
             avg.time_s += s.time_s;
             avg.fps += s.fps;
             avg.power_w += s.power_w;
-            avg.temp_big_c += s.temp_big_c;
+            avg.temp_hot_c += s.temp_hot_c;
             avg.temp_device_c += s.temp_device_c;
-            for (acc, &khz) in freq_acc.iter_mut().zip(&s.freq_khz) {
+            for (acc, &khz) in freq_acc.iter_mut().zip(s.freq_khz.iter()) {
                 *acc += f64::from(khz);
             }
         }
         avg.time_s /= n;
         avg.fps /= n;
         avg.power_w /= n;
-        avg.temp_big_c /= n;
+        avg.temp_hot_c /= n;
         avg.temp_device_c /= n;
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         {
-            avg.freq_khz = freq_acc.map(|f| (f / n) as u32);
+            avg.freq_khz = PerDomain::from_fn(domains, |i| (freq_acc[i] / n) as u32);
         }
         avg
     }
@@ -139,19 +143,19 @@ impl Trace {
             ..Summary::default()
         };
         s.peak_power_w = f64::MIN;
-        s.peak_temp_big_c = f64::MIN;
+        s.peak_temp_hot_c = f64::MIN;
         s.peak_temp_device_c = f64::MIN;
         for x in &self.samples {
             s.avg_power_w += x.power_w;
             s.avg_fps += x.fps;
-            s.avg_temp_big_c += x.temp_big_c;
+            s.avg_temp_hot_c += x.temp_hot_c;
             s.peak_power_w = s.peak_power_w.max(x.power_w);
-            s.peak_temp_big_c = s.peak_temp_big_c.max(x.temp_big_c);
+            s.peak_temp_hot_c = s.peak_temp_hot_c.max(x.temp_hot_c);
             s.peak_temp_device_c = s.peak_temp_device_c.max(x.temp_device_c);
         }
         s.avg_power_w /= n;
         s.avg_fps /= n;
-        s.avg_temp_big_c /= n;
+        s.avg_temp_hot_c /= n;
         let mut var = 0.0;
         for x in &self.samples {
             var += (x.fps - s.avg_fps).powi(2);
@@ -227,10 +231,10 @@ pub struct Summary {
     pub avg_fps: f64,
     /// FPS standard deviation (QoS stability).
     pub fps_std: f64,
-    /// Mean big-cluster temperature, °C.
-    pub avg_temp_big_c: f64,
-    /// Peak big-cluster temperature, °C (Figs. 3 and 8).
-    pub peak_temp_big_c: f64,
+    /// Mean hot-spot (big-cluster) temperature, °C.
+    pub avg_temp_hot_c: f64,
+    /// Peak hot-spot temperature, °C (Figs. 3 and 8).
+    pub peak_temp_hot_c: f64,
     /// Peak device temperature, °C (Fig. 8).
     pub peak_temp_device_c: f64,
     /// Total energy over the run, joules.
@@ -248,16 +252,16 @@ impl Summary {
         (1.0 - self.avg_power_w / baseline.avg_power_w) * 100.0
     }
 
-    /// Percentage peak-big-temperature reduction versus a baseline,
-    /// computed on the rise above the given ambient (the physically
-    /// meaningful quantity).
+    /// Percentage peak-hot-spot-temperature reduction versus a
+    /// baseline, computed on the rise above the given ambient (the
+    /// physically meaningful quantity).
     #[must_use]
-    pub fn big_temp_reduction_vs(&self, baseline: &Summary, ambient_c: f64) -> f64 {
-        let base = baseline.peak_temp_big_c - ambient_c;
+    pub fn hot_temp_reduction_vs(&self, baseline: &Summary, ambient_c: f64) -> f64 {
+        let base = baseline.peak_temp_hot_c - ambient_c;
         if base <= 0.0 {
             return 0.0;
         }
-        (1.0 - (self.peak_temp_big_c - ambient_c) / base) * 100.0
+        (1.0 - (self.peak_temp_hot_c - ambient_c) / base) * 100.0
     }
 
     /// Percentage peak-device-temperature reduction versus a baseline.
@@ -275,14 +279,14 @@ impl Summary {
 mod tests {
     use super::*;
 
-    fn sample(t: f64, fps: f64, p: f64, tb: f64) -> Sample {
+    fn sample(t: f64, fps: f64, p: f64, th: f64) -> Sample {
         Sample {
             time_s: t,
             fps,
             power_w: p,
-            temp_big_c: tb,
-            temp_device_c: tb - 10.0,
-            freq_khz: [1_000_000, 500_000, 300_000],
+            temp_hot_c: th,
+            temp_device_c: th - 10.0,
+            freq_khz: PerDomain::from_slice(&[1_000_000, 500_000, 300_000]),
         }
     }
 
@@ -295,7 +299,7 @@ mod tests {
         assert_eq!(s.avg_fps, 45.0);
         assert_eq!(s.avg_power_w, 3.0);
         assert_eq!(s.peak_power_w, 4.0);
-        assert_eq!(s.peak_temp_big_c, 50.0);
+        assert_eq!(s.peak_temp_hot_c, 50.0);
         assert_eq!(s.peak_temp_device_c, 40.0);
         assert_eq!(s.duration_s, 1.0);
         assert!((s.fps_std - 15.0).abs() < 1e-9);
@@ -354,18 +358,18 @@ mod tests {
     fn savings_math() {
         let a = Summary {
             avg_power_w: 2.0,
-            peak_temp_big_c: 41.0,
+            peak_temp_hot_c: 41.0,
             peak_temp_device_c: 31.0,
             ..Summary::default()
         };
         let b = Summary {
             avg_power_w: 4.0,
-            peak_temp_big_c: 61.0,
+            peak_temp_hot_c: 61.0,
             peak_temp_device_c: 41.0,
             ..Summary::default()
         };
         assert!((a.power_saving_vs(&b) - 50.0).abs() < 1e-9);
-        assert!((a.big_temp_reduction_vs(&b, 21.0) - 50.0).abs() < 1e-9);
+        assert!((a.hot_temp_reduction_vs(&b, 21.0) - 50.0).abs() < 1e-9);
         assert!((a.device_temp_reduction_vs(&b, 21.0) - 50.0).abs() < 1e-9);
         assert_eq!(a.power_saving_vs(&Summary::default()), 0.0);
     }

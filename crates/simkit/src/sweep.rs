@@ -30,13 +30,15 @@ use std::sync::Mutex;
 use std::thread;
 
 use governors::{Governor, IntQosPm, Ondemand, Performance, Powersave, Schedutil};
-use next_core::{NextAgent, NextConfig};
+use next_core::NextAgent;
 use qlearn::DenseQTable;
 use workload::{apps, SessionPlan};
 
-use crate::experiment::{evaluate_governor, train_next_for_app};
+use crate::experiment::evaluate_governor_on;
 use crate::metrics::Summary;
+use crate::platform::PlatformPreset;
 use crate::report::Table;
+use crate::trainer::{TrainSpec, Trainer};
 
 /// One point of the sweep grid: a governor measured on an app session.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +223,7 @@ where
 #[derive(Debug)]
 pub struct StandardEvaluator {
     tables: BTreeMap<String, TrainedApp>,
+    preset: PlatformPreset,
 }
 
 /// A per-app trained Next policy plus its training telemetry.
@@ -271,14 +274,27 @@ impl StandardEvaluator {
         }
     }
 
-    /// Prepares an evaluator for `cells`: trains a Next table for every
-    /// distinct app that appears in a `next` cell, running the training
-    /// jobs themselves on `workers` threads.
+    /// Prepares an evaluator for `cells` on the paper's stock Exynos
+    /// 9810 (see [`StandardEvaluator::prepare_on`]).
+    #[must_use]
+    pub fn prepare(cells: &[SweepCell], train_budget_s: f64, workers: usize) -> Self {
+        Self::prepare_on(cells, train_budget_s, workers, PlatformPreset::exynos9810())
+    }
+
+    /// Prepares an evaluator for `cells` on a platform preset: trains a
+    /// Next table for every distinct app that appears in a `next` cell,
+    /// running the training jobs themselves on `workers` threads. Every
+    /// cell — training and measurement — runs on the preset's device.
     ///
     /// `train_budget_s` is the per-app base training budget in
     /// simulated seconds (see [`StandardEvaluator::train_budget_for`]).
     #[must_use]
-    pub fn prepare(cells: &[SweepCell], train_budget_s: f64, workers: usize) -> Self {
+    pub fn prepare_on(
+        cells: &[SweepCell],
+        train_budget_s: f64,
+        workers: usize,
+        preset: PlatformPreset,
+    ) -> Self {
         let mut train_apps: Vec<String> = cells
             .iter()
             .filter(|c| c.governor == "next")
@@ -287,9 +303,12 @@ impl StandardEvaluator {
         train_apps.sort();
         train_apps.dedup();
 
+        let trainer = Trainer::new();
         let tables = parallel_map(&train_apps, workers, |app| {
             let budget = Self::train_budget_for(train_budget_s, app);
-            let out = train_next_for_app(app, NextConfig::paper(), Self::TRAIN_SEED, budget);
+            let spec = TrainSpec::new(app, preset.next.clone(), Self::TRAIN_SEED, budget)
+                .with_soc(preset.soc.clone());
+            let out = trainer.train(spec);
             let table = out.agent.into_table();
             let telemetry = TrainTelemetry {
                 training_time_s: out.training_time_s,
@@ -300,7 +319,14 @@ impl StandardEvaluator {
         });
         StandardEvaluator {
             tables: train_apps.into_iter().zip(tables).collect(),
+            preset,
         }
+    }
+
+    /// The platform preset this evaluator measures on.
+    #[must_use]
+    pub fn preset(&self) -> &PlatformPreset {
+        &self.preset
     }
 
     /// Training telemetry for `app`, if a Next table was trained for it.
@@ -332,11 +358,15 @@ impl StandardEvaluator {
                     .unwrap_or_else(|| panic!("no trained table for app '{}'", cell.app))
                     .table
                     .clone();
-                Box::new(NextAgent::with_table(NextConfig::paper(), table, false))
+                Box::new(NextAgent::with_table(
+                    self.preset.next.clone(),
+                    table,
+                    false,
+                ))
             }
             other => panic!("unknown governor '{other}'"),
         };
-        evaluate_governor(governor.as_mut(), &plan, cell.seed).summary
+        evaluate_governor_on(governor.as_mut(), &plan, cell.seed, &self.preset.soc).summary
     }
 }
 
@@ -384,7 +414,7 @@ pub fn report(rows: &[SweepRow]) -> String {
             format!("{:.3}", s.peak_power_w),
             format!("{:.2}", s.avg_fps),
             format!("{:.2}", s.fps_std),
-            format!("{:.2}", s.peak_temp_big_c),
+            format!("{:.2}", s.peak_temp_hot_c),
             format!("{:.2}", s.peak_temp_device_c),
             format!("{:.1}", s.energy_j),
         ]);

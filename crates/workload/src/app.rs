@@ -239,7 +239,7 @@ fn sample_dwell(rng: &mut StdRng, mean_s: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpsoc::freq::ClusterId;
+    use mpsoc::perf::Channel;
 
     fn two_phase_app() -> AppModel {
         let busy = PhaseModel::new("busy", 2.0, FrameDemand::new(5.0e6, 2.0e6, 8.0e6));
@@ -304,10 +304,10 @@ mod tests {
         let idle = sess.advance(0.025, InteractionIntensity::Idle);
         let intense = sess.advance(0.025, InteractionIntensity::Intense);
         assert!(
-            idle.frame_cycles_of(ClusterId::Big) < 1e-6,
+            idle.frame_cycles_of(Channel::BigCpu) < 1e-6,
             "gain 1 idles demand fully"
         );
-        assert!(intense.frame_cycles_of(ClusterId::Big) > 4.0e6);
+        assert!(intense.frame_cycles_of(Channel::BigCpu) > 4.0e6);
     }
 
     #[test]
@@ -331,7 +331,7 @@ mod tests {
         let mut sess = app.start_session(11);
         for _ in 0..10_000 {
             let d = sess.advance(0.025, InteractionIntensity::Active);
-            let c = d.frame_cycles_of(ClusterId::Big);
+            let c = d.frame_cycles_of(Channel::BigCpu);
             assert!(c >= 0.0 && c < 4.0e6 * 2.2, "jitter out of bounds: {c}");
         }
     }

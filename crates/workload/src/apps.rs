@@ -306,7 +306,9 @@ pub fn is_game(name: &str) -> bool {
 mod tests {
     use super::*;
     use crate::user::InteractionIntensity;
-    use mpsoc::freq::{ClusterId, OppTable};
+    use mpsoc::freq::OppTable;
+    use mpsoc::perf::Channel;
+    use mpsoc::platform::Platform;
 
     #[test]
     fn all_presets_construct_and_lookup() {
@@ -342,7 +344,7 @@ mod tests {
                 if phase.demand.is_frameless() {
                     continue;
                 }
-                let plan = mpsoc::perf::plan(&phase.demand, opps);
+                let plan = mpsoc::perf::plan(&phase.demand, &opps, &Platform::exynos9810());
                 let expect = if phase.demand.pacing_hz > 0.0 {
                     phase.demand.pacing_hz.min(60.0)
                 } else {
@@ -372,7 +374,7 @@ mod tests {
                 .iter()
                 .find(|p| p.name == "gameplay")
                 .expect("games have a gameplay phase");
-            let plan = mpsoc::perf::plan(&gameplay.demand, opps);
+            let plan = mpsoc::perf::plan(&gameplay.demand, &opps, &Platform::exynos9810());
             assert!(
                 plan.render_rate_hz() < 30.0,
                 "{} gameplay too cheap: {:.1} fps at min clocks",
@@ -391,7 +393,7 @@ mod tests {
             .find(|p| p.name == "playback")
             .expect("playback phase");
         assert!(playback.demand.is_frameless());
-        assert!(playback.demand.background_hz_of(ClusterId::Big) > 0.5e9);
+        assert!(playback.demand.background_hz_of(Channel::BigCpu) > 0.5e9);
     }
 
     #[test]
@@ -408,7 +410,7 @@ mod tests {
                 app.name()
             );
             assert!(
-                load.demand.background_hz_of(ClusterId::Big) > 1.0e9,
+                load.demand.background_hz_of(Channel::BigCpu) > 1.0e9,
                 "{} load phase too light",
                 app.name()
             );
@@ -425,7 +427,7 @@ mod tests {
         let mut maxs: f64 = 0.0;
         for _ in 0..2_400 {
             let d = sess.advance(0.025, InteractionIntensity::Active);
-            let c = d.frame_cycles_of(ClusterId::Big);
+            let c = d.frame_cycles_of(Channel::BigCpu);
             mins = mins.min(c);
             maxs = maxs.max(c);
         }

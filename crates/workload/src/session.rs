@@ -192,7 +192,7 @@ impl SessionSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpsoc::freq::ClusterId;
+    use mpsoc::perf::Channel;
 
     #[test]
     fn plan_builder_accumulates() {
@@ -232,7 +232,7 @@ mod tests {
         assert!(sim.is_done());
         let d = sim.advance(0.025);
         assert!(d.is_frameless());
-        assert_eq!(d.background_hz_of(ClusterId::Big), 0.0);
+        assert_eq!(d.background_hz_of(Channel::BigCpu), 0.0);
     }
 
     #[test]

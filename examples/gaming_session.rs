@@ -39,7 +39,7 @@ fn run_with_progress(gov: &mut dyn Governor) -> Summary {
             s.power_w,
             f64::from(s.freq_khz[0]) / 1000.0,
             f64::from(s.freq_khz[2]) / 1000.0,
-            s.temp_big_c
+            s.temp_hot_c
         );
     }
     trace.summary()
@@ -65,7 +65,7 @@ fn main() {
     for (name, s) in [("schedutil", &sched), ("int-qos-pm", &qos), ("next", &next)] {
         println!(
             "  {name:11}: {:.2} W avg | {:.1} fps | peak big {:.1} C | peak device {:.1} C",
-            s.avg_power_w, s.avg_fps, s.peak_temp_big_c, s.peak_temp_device_c
+            s.avg_power_w, s.avg_fps, s.peak_temp_hot_c, s.peak_temp_device_c
         );
     }
     println!(

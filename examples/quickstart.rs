@@ -23,7 +23,7 @@ fn main() {
     let sched = evaluate_governor(&mut Schedutil::new(), &plan, 42);
     println!(
         "schedutil : {:.2} W avg, {:.1} fps avg, peak big-CPU {:.1} C",
-        sched.summary.avg_power_w, sched.summary.avg_fps, sched.summary.peak_temp_big_c
+        sched.summary.avg_power_w, sched.summary.avg_fps, sched.summary.peak_temp_hot_c
     );
 
     // 2. Train Next once on the app (the paper's one-time on-device
@@ -42,7 +42,7 @@ fn main() {
     let next = evaluate_governor(&mut agent, &plan, 42);
     println!(
         "next      : {:.2} W avg, {:.1} fps avg, peak big-CPU {:.1} C",
-        next.summary.avg_power_w, next.summary.avg_fps, next.summary.peak_temp_big_c
+        next.summary.avg_power_w, next.summary.avg_fps, next.summary.peak_temp_hot_c
     );
 
     println!(
@@ -51,6 +51,6 @@ fn main() {
     );
     println!(
         "peak big-CPU temperature reduction: {:.1} % of the rise above ambient",
-        next.summary.big_temp_reduction_vs(&sched.summary, 21.0)
+        next.summary.hot_temp_reduction_vs(&sched.summary, 21.0)
     );
 }

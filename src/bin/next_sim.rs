@@ -23,7 +23,7 @@ use next_mpsoc::next_core::{NextAgent, NextConfig};
 use next_mpsoc::qlearn::DenseQTable;
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
 use next_mpsoc::simkit::fleet::{self, FleetConfig};
-use next_mpsoc::simkit::{sweep, Battery, StandardEvaluator, Summary};
+use next_mpsoc::simkit::{sweep, Battery, PlatformPreset, StandardEvaluator, Summary};
 use next_mpsoc::workload::{apps, SessionPlan};
 
 fn main() -> ExitCode {
@@ -53,6 +53,24 @@ fn main() -> ExitCode {
             }
             Ok(())
         }
+        "platforms" => {
+            for &name in PlatformPreset::names() {
+                let preset = PlatformPreset::by_name(name).expect("shipped preset");
+                let platform = &preset.soc.platform;
+                let domains: Vec<String> = platform
+                    .domains()
+                    .iter()
+                    .map(|d| format!("{}({})", d.name, d.table.len()))
+                    .collect();
+                println!(
+                    "{name}: m={} actions={} domains=[{}]",
+                    platform.n_domains(),
+                    platform.action_count(),
+                    domains.join(", ")
+                );
+            }
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -77,13 +95,17 @@ USAGE:
   next-sim compare --app <name> [--duration <s>] [--seed <n>]
   next-sim sweep   [--apps <a,b,..|all>] [--governors <g,h,..>] [--seeds <n,m,..>]
                    [--duration <s>] [--train-budget <s>] [--workers <n>]
+                   [--platform <name>]
   next-sim perf    [--quick] [--out <BENCH.json>] [--baseline <file>]
-                   [--min-ratio <f>] [--workers <n>]
+                   [--min-ratio <f>] [--workers <n>] [--platform <name>]
   next-sim fleet   [--devices <D>] [--rounds <R>] [--seed <S>] [--app <name>]
                    [--round-budget <s>] [--quick] [--workers <n>] [--out <fleet.json>]
+                   [--platform <name>[,<name>..]]
   next-sim apps
+  next-sim platforms
 
 governors: schedutil | intqos | next | performance | powersave | ondemand
+platforms: exynos9810 (default, m=3, 9 actions) | exynos9820 (m=4, 12 actions)
 
 sweep runs the full governor x app x seed grid in parallel (defaults:
 the six paper apps, schedutil+intqos+next, seed 1000, paper session
@@ -100,10 +122,16 @@ grid.
 fleet simulates federated training (§IV-C at scale): D heterogeneous
 devices (per-device SoC power/thermal bins and users) train the app
 locally for R rounds, the cloud streaming-merges their Q-tables each
-round, and the merged table is scored on a held-out session grid. The
-schema-v2 JSON artifact (--out, default stdout) is byte-identical for
-a fixed --seed across any --workers value. --quick shortens the local
-rounds for CI smoke runs.";
+round, and the merged table is scored on a held-out session grid.
+--platform takes a comma list: devices are assigned platforms
+round-robin and the cloud keeps one federated table per platform. The
+JSON artifact (--out, default stdout) is byte-identical for a fixed
+--seed across any --workers value (schema v2 for the default
+homogeneous exynos9810 fleet, v3 otherwise). --quick shortens the
+local rounds for CI smoke runs.
+
+sweep/perf/fleet accept --platform to run on a different SoC preset;
+run/train/compare always use the paper's exynos9810.";
 
 type Flags = HashMap<String, String>;
 
@@ -148,6 +176,18 @@ fn get_u64(flags: &Flags, name: &str, default: u64) -> Result<u64, String> {
     }
 }
 
+fn require_platform(flags: &Flags) -> Result<PlatformPreset, String> {
+    match flags.get("platform") {
+        None => Ok(PlatformPreset::default()),
+        Some(name) => PlatformPreset::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown platform '{name}' (available: {})",
+                PlatformPreset::names().join(", ")
+            )
+        }),
+    }
+}
+
 fn require_app(flags: &Flags) -> Result<String, String> {
     let app = flags.get("app").ok_or("--app is required")?;
     if apps::by_name(app).is_none() {
@@ -163,7 +203,7 @@ fn print_summary(label: &str, s: &Summary) {
          {:6.0} J ({:.2} % battery)",
         s.avg_power_w,
         s.avg_fps,
-        s.peak_temp_big_c,
+        s.peak_temp_hot_c,
         s.peak_temp_device_c,
         s.energy_j,
         battery.drain_percent(s.energy_j)
@@ -298,16 +338,19 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
         return Err("--workers must be at least 1".to_owned());
     }
 
+    let preset = require_platform(flags)?;
     let cells = sweep::grid(&apps_list, &governors, &seeds, duration);
     eprintln!(
-        "sweeping {} cells ({} apps x {} governors x {} seeds) on {workers} workers ...",
+        "sweeping {} cells ({} apps x {} governors x {} seeds) on {workers} workers, \
+         platform {} ...",
         cells.len(),
         apps_list.len(),
         governors.len(),
-        seeds.len()
+        seeds.len(),
+        preset.name
     );
     let started = std::time::Instant::now();
-    let evaluator = StandardEvaluator::prepare(&cells, train_budget, workers);
+    let evaluator = StandardEvaluator::prepare_on(&cells, train_budget, workers, preset);
     let rows = sweep::run_cells(&cells, workers, |cell| evaluator.eval(cell));
     eprintln!(
         "sweep finished in {:.1} s wall clock",
@@ -323,6 +366,7 @@ fn cmd_perf(flags: &Flags) -> Result<(), String> {
     } else {
         perf::PerfConfig::full()
     };
+    config.platform = require_platform(flags)?.name;
     if flags.contains_key("workers") {
         let workers = usize::try_from(get_u64(flags, "workers", config.workers as u64)?)
             .map_err(|_| "--workers out of range".to_owned())?;
@@ -337,8 +381,9 @@ fn cmd_perf(flags: &Flags) -> Result<(), String> {
     }
 
     eprintln!(
-        "perf: {} grid, {} apps x {} governors x {} seeds, {} workers ...",
+        "perf: {} grid on {}, {} apps x {} governors x {} seeds, {} workers ...",
         config.mode,
+        config.platform,
         config.apps.len(),
         config.governors.len(),
         config.seeds.len(),
@@ -401,6 +446,28 @@ fn cmd_fleet(flags: &Flags) -> Result<(), String> {
     } else {
         FleetConfig::new(&app, devices, rounds, seed)
     };
+    if let Some(list) = flags.get("platform") {
+        let platforms: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if platforms.is_empty() {
+            return Err("--platform needs at least one name".to_owned());
+        }
+        for (i, name) in platforms.iter().enumerate() {
+            if PlatformPreset::by_name(name).is_none() {
+                return Err(format!(
+                    "unknown platform '{name}' (available: {})",
+                    PlatformPreset::names().join(", ")
+                ));
+            }
+            if platforms[..i].contains(name) {
+                return Err(format!("--platform lists '{name}' twice"));
+            }
+        }
+        config = config.with_platforms(platforms);
+    }
     if flags.contains_key("round-budget") {
         let budget = get_f64(flags, "round-budget", config.round_budget_s)?;
         if !(budget > 0.0 && budget.is_finite()) {
@@ -415,17 +482,18 @@ fn cmd_fleet(flags: &Flags) -> Result<(), String> {
     }
 
     eprintln!(
-        "fleet: {devices} devices x {rounds} rounds on {app}, \
+        "fleet: {devices} devices x {rounds} rounds on {app} ({}), \
          {:.0} s local budget per round, {workers} workers ...",
+        config.platforms.join("+"),
         config.round_budget_s
     );
     let started = std::time::Instant::now();
     let report = fleet::run_fleet(&config, workers);
     eprintln!(
-        "fleet: finished in {:.1} s wall clock; final table {} states / {} visits",
+        "fleet: finished in {:.1} s wall clock; final tables {} states / {} visits",
         started.elapsed().as_secs_f64(),
-        report.table.len(),
-        report.table.total_visits()
+        report.total_states(),
+        report.total_visits()
     );
     for round in &report.rounds {
         eprintln!(

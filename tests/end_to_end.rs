@@ -33,10 +33,10 @@ fn trained_next_cools_the_big_cluster_on_spotify() {
     let mut agent = out.agent;
     let next = evaluate_governor(&mut agent, &plan, SEED);
     assert!(
-        next.summary.peak_temp_big_c <= sched.summary.peak_temp_big_c + 0.1,
+        next.summary.peak_temp_hot_c <= sched.summary.peak_temp_hot_c + 0.1,
         "next must not run hotter: {:.1} vs {:.1} C",
-        next.summary.peak_temp_big_c,
-        sched.summary.peak_temp_big_c
+        next.summary.peak_temp_hot_c,
+        sched.summary.peak_temp_hot_c
     );
     assert!(next.summary.avg_power_w < sched.summary.avg_power_w);
 }

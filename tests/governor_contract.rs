@@ -3,7 +3,6 @@
 //! never reads a nonsensical state, no matter which governor drives it.
 
 use next_mpsoc::governors::{Governor, IntQosPm, Ondemand, Performance, Powersave, Schedutil};
-use next_mpsoc::mpsoc::freq::ClusterId;
 use next_mpsoc::mpsoc::{Soc, SocConfig};
 use next_mpsoc::next_core::{NextAgent, NextConfig};
 use next_mpsoc::simkit::Engine;
@@ -39,7 +38,7 @@ fn invariants_hold_under_every_governor() {
             }
 
             // Frequency comes from the table and respects the caps.
-            for id in ClusterId::ALL {
+            for id in soc.dvfs().ids().collect::<Vec<_>>() {
                 let dom = soc.dvfs().domain(id);
                 let cur = dom.current().freq_khz;
                 assert!(
@@ -57,12 +56,12 @@ fn invariants_hold_under_every_governor() {
                 gov.name()
             );
             assert!(
-                state.temp_big_c >= 20.9 && state.temp_big_c < 150.0,
+                state.temp_hot_c >= 20.9 && state.temp_hot_c < 150.0,
                 "{}",
                 gov.name()
             );
             assert!(state.fps >= 0.0 && state.fps <= 61.0, "{}", gov.name());
-            for u in state.util {
+            for &u in state.util.iter() {
                 assert!((0.0..=1.0).contains(&u), "{}", gov.name());
             }
         }

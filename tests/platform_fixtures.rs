@@ -1,0 +1,114 @@
+//! Acceptance tests for the platform-generic DVFS refactor.
+//!
+//! 1. **No behavioural drift on the paper's platform**: the sweep
+//!    report and the fleet JSON artifact produced on
+//!    `--platform exynos9810` must be byte-identical to the fixtures
+//!    captured from the pre-refactor tree
+//!    (`tests/fixtures/sweep_exynos9810.txt`,
+//!    `tests/fixtures/fleet_exynos9810.json`).
+//! 2. **`m` really varies**: the `exynos9820` preset runs end to end
+//!    with `Action::count == 12` and a dense Q-table sized to the
+//!    4-domain state space.
+
+use next_mpsoc::bench::fleet as bench_fleet;
+use next_mpsoc::next_core::{Action, NextAgent, StateEncoder};
+use next_mpsoc::simkit::experiment::evaluate_governor_on;
+use next_mpsoc::simkit::fleet::{run_fleet, FleetConfig};
+use next_mpsoc::simkit::{sweep, PlatformPreset, StandardEvaluator, TrainSpec, Trainer};
+use next_mpsoc::workload::SessionPlan;
+
+/// The exact grid the sweep fixture was captured with:
+/// `next-sim sweep --apps facebook,spotify --governors schedutil,next
+///  --seeds 1000 --duration 30 --train-budget 60`.
+#[test]
+fn sweep_on_exynos9810_is_byte_identical_to_the_seed_fixture() {
+    let fixture = include_str!("fixtures/sweep_exynos9810.txt");
+    let apps = vec!["facebook".to_owned(), "spotify".to_owned()];
+    let governors = vec!["schedutil".to_owned(), "next".to_owned()];
+    let cells = sweep::grid(&apps, &governors, &[1000], Some(30.0));
+    let evaluator = StandardEvaluator::prepare_on(&cells, 60.0, 4, PlatformPreset::exynos9810());
+    let rows = sweep::run_cells(&cells, 4, |cell| evaluator.eval(cell));
+    assert_eq!(
+        sweep::report(&rows),
+        fixture,
+        "exynos9810 sweep output drifted from the pre-refactor fixture"
+    );
+}
+
+/// The exact fleet the JSON fixture was captured with:
+/// `next-sim fleet --devices 3 --rounds 2 --quick --seed 7`.
+#[test]
+fn fleet_on_exynos9810_is_byte_identical_to_the_seed_fixture() {
+    let fixture = include_str!("fixtures/fleet_exynos9810.json");
+    let config = FleetConfig::quick("facebook", 3, 2, 7);
+    assert!(config.is_default_platform());
+    let report = run_fleet(&config, 2);
+    let rendered = format!(
+        "{}\n",
+        bench_fleet::fleet_to_json(&report, "quick").render()
+    );
+    assert_eq!(
+        rendered, fixture,
+        "exynos9810 fleet.json drifted from the pre-refactor fixture"
+    );
+}
+
+#[test]
+fn exynos9820_runs_end_to_end_with_twelve_actions() {
+    let preset = PlatformPreset::by_name("exynos9820").expect("shipped preset");
+    let platform = &preset.soc.platform;
+    assert_eq!(platform.n_domains(), 4);
+    assert_eq!(Action::count(platform.n_domains()), 12);
+    assert_eq!(platform.action_count(), 12);
+
+    // The agent's dense Q-table is shaped by the 4-domain platform:
+    // 12 actions over the 16·12·9·9-level frequency digits times the
+    // quantised signals.
+    let encoder = StateEncoder::for_platform(platform, preset.next.fps_bins).unwrap();
+    let expect_states = 16u64 * 12 * 9 * 9 * 30 * 30 * 4 * 6 * 6;
+    assert_eq!(encoder.state_space_size(), expect_states);
+    let agent = NextAgent::new(preset.next.clone());
+    assert_eq!(agent.table().n_actions(), 12);
+
+    // Train briefly on the 9820 device and evaluate the result — the
+    // full loop (platform → soc → governor → encoder → Q-table) works.
+    let spec =
+        TrainSpec::new("facebook", preset.next.clone(), 5, 60.0).with_soc(preset.soc.clone());
+    let out = Trainer::new().train(spec);
+    assert!(!out.agent.table().is_empty());
+    assert_eq!(out.agent.table().n_actions(), 12);
+
+    let mut agent = out.agent;
+    let plan = SessionPlan::single("facebook", 20.0);
+    let result = evaluate_governor_on(&mut agent, &plan, 9_001, &preset.soc);
+    assert!(result.summary.avg_power_w > 0.5);
+    assert!(result.summary.avg_fps > 0.0);
+    assert!(result.summary.peak_temp_hot_c > 21.0);
+}
+
+#[test]
+fn mixed_platform_fleet_artifact_is_schema_v3_and_parses() {
+    let config = FleetConfig {
+        round_budget_s: 30.0,
+        eval_seeds: vec![9_001],
+        eval_duration_s: 15.0,
+        ..FleetConfig::new("facebook", 2, 1, 3)
+    }
+    .with_platforms(vec!["exynos9810".to_owned(), "exynos9820".to_owned()]);
+    let report = run_fleet(&config, 2);
+    let text = bench_fleet::fleet_to_json(&report, "test").render();
+    let parsed = bench_fleet::parse_document(&text).expect("v3 artifact parses");
+    assert_eq!(parsed.schema, 3);
+    let fleet = parsed.fleet.expect("fleet section");
+    let platforms = fleet
+        .get("platforms")
+        .and_then(next_mpsoc::bench::json::Json::as_array)
+        .expect("platform list present in mixed fleets");
+    assert_eq!(platforms.len(), 2);
+    let tables = fleet
+        .get("final")
+        .and_then(|f| f.get("tables"))
+        .and_then(next_mpsoc::bench::json::Json::as_array)
+        .expect("per-platform table breakdown");
+    assert_eq!(tables.len(), 2);
+}
