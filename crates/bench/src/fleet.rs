@@ -21,7 +21,11 @@
 use simkit::fleet::FleetReport;
 
 use crate::json::Json;
-use crate::perf::SCHEMA_VERSION;
+
+/// Schema version of mixed-platform fleet documents. Pinned: the fleet
+/// artifact gained nothing in later family versions, so its bytes stay
+/// stable while the family moves on (v4 added the `day` documents).
+const FLEET_SCHEMA: u32 = 3;
 
 /// Renders a fleet simulation as a schema-v2 (homogeneous Exynos 9810
 /// fleet, historical byte-identical shape) or schema-v3 (any other
@@ -144,7 +148,7 @@ pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
     let fleet = Json::Obj(fleet_fields);
     // The historical homogeneous-9810 artifact stays schema v2,
     // byte-identical to pre-platform releases.
-    let schema = if default_platform { 2 } else { SCHEMA_VERSION };
+    let schema = if default_platform { 2 } else { FLEET_SCHEMA };
     Json::Obj(vec![
         ("schema".into(), Json::num(f64::from(schema))),
         ("harness".into(), Json::str("next-sim fleet")),
@@ -154,33 +158,37 @@ pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
 }
 
 /// A parsed `BENCH.json`-family document: schema v1 (perf only), v2
-/// (perf and/or fleet sections) or v3 (platform-tagged).
+/// (perf and/or fleet sections), v3 (platform-tagged) or v4 (day
+/// documents).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
-    /// Declared schema version (1, 2 or 3).
+    /// Declared schema version (1 through 4).
     pub schema: u32,
-    /// The `fleet` section, when present (v2 and v3).
+    /// The `fleet` section, when present (v2 and later).
     pub fleet: Option<Json>,
+    /// The `day` section, when present (v4 and later).
+    pub day: Option<Json>,
     /// The whole document tree.
     pub doc: Json,
 }
 
-/// Parses and validates a `BENCH.json` / `fleet.json` document:
-/// accepts schema v1 (which must not carry a `fleet` section) and
-/// schemas v2/v3 (which may).
+/// Parses and validates a `BENCH.json` / `fleet.json` / `day.json`
+/// document: accepts schema v1 (which must not carry a `fleet`
+/// section), v2/v3 (which may), and v4 (which may also carry a `day`
+/// section).
 ///
 /// # Errors
 ///
 /// Returns a human-readable description on malformed JSON, a missing
-/// or unsupported `schema` field, or a v1 document with a `fleet`
-/// section.
+/// or unsupported `schema` field, or a section a document of that
+/// schema version cannot carry.
 pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
     let doc = Json::parse(text).map_err(|e| e.to_string())?;
     let schema = doc
         .get("schema")
         .and_then(Json::as_f64)
         .ok_or("missing numeric 'schema' field")?;
-    if schema.fract() != 0.0 || !(1.0..=3.0).contains(&schema) {
+    if schema.fract() != 0.0 || !(1.0..=4.0).contains(&schema) {
         return Err(format!("unsupported schema version {schema}"));
     }
     let schema = schema as u32;
@@ -188,7 +196,18 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
     if schema < 2 && fleet.is_some() {
         return Err("schema v1 documents cannot carry a 'fleet' section".to_owned());
     }
-    Ok(BenchDoc { schema, fleet, doc })
+    let day = doc.get("day").cloned();
+    if schema < 4 && day.is_some() {
+        return Err(format!(
+            "schema v{schema} documents cannot carry a 'day' section"
+        ));
+    }
+    Ok(BenchDoc {
+        schema,
+        fleet,
+        day,
+        doc,
+    })
 }
 
 #[cfg(test)]
@@ -284,7 +303,7 @@ mod tests {
             "missing schema"
         );
         assert!(
-            parse_document("{\"schema\":4}").is_err(),
+            parse_document("{\"schema\":5}").is_err(),
             "future schema rejected"
         );
         assert!(
@@ -292,5 +311,12 @@ mod tests {
             "v1 cannot carry a fleet section"
         );
         assert!(parse_document("{\"schema\":2,\"fleet\":{}}").is_ok());
+        assert!(
+            parse_document("{\"schema\":3,\"day\":{}}").is_err(),
+            "day sections need schema v4"
+        );
+        let v4 = parse_document("{\"schema\":4,\"day\":{}}").expect("v4 day document");
+        assert_eq!(v4.schema, 4);
+        assert!(v4.day.is_some());
     }
 }

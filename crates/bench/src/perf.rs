@@ -14,7 +14,6 @@
 
 use std::time::Instant;
 
-use governors::{Governor, IntQosPm, Ondemand, Performance, Powersave, Schedutil};
 use next_core::NextConfig;
 use qlearn::{QLearning, QStore, QTable};
 use simkit::sweep::{self, StandardEvaluator, SweepCell};
@@ -22,13 +21,15 @@ use simkit::{Engine, PlatformPreset, Summary};
 
 use crate::json::Json;
 
-/// Version of the `BENCH.json` schema this harness writes. Bump when a
-/// field changes meaning; additions are backwards-compatible. v2 added
-/// the optional `fleet` section (`next-sim fleet`) and the federated
-/// merge probe; v3 adds the `platform` field (the preset the grid ran
-/// on) and per-platform fleet sections.
-/// [`crate::fleet::parse_document`] still accepts v1 and v2 documents.
-pub const SCHEMA_VERSION: u32 = 3;
+/// Version of the `BENCH.json` schema family this harness writes. Bump
+/// when a field changes meaning; additions are backwards-compatible.
+/// v2 added the optional `fleet` section (`next-sim fleet`) and the
+/// federated merge probe; v3 added the `platform` field (the preset
+/// the grid ran on) and per-platform fleet sections; v4 adds the `day`
+/// section (`next-sim day` battery-day documents).
+/// [`crate::fleet::parse_document`] still accepts every earlier
+/// version.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Configuration of one perf-harness run.
 #[derive(Debug, Clone)]
@@ -182,16 +183,12 @@ pub struct PerfReport {
 /// Panics on an unknown governor name.
 #[must_use]
 pub fn governor_period_s(name: &str) -> f64 {
-    let gov: Box<dyn Governor> = match name {
-        "schedutil" => Box::new(Schedutil::new()),
-        "intqos" => Box::new(IntQosPm::new()),
-        "performance" => Box::new(Performance::new()),
-        "powersave" => Box::new(Powersave::new()),
-        "ondemand" => Box::new(Ondemand::new()),
-        "next" => return NextConfig::paper().control_period_s,
-        other => panic!("unknown governor '{other}'"),
-    };
-    gov.period_s()
+    if name == "next" {
+        return NextConfig::paper().control_period_s;
+    }
+    governors::by_name(name)
+        .unwrap_or_else(|| panic!("unknown governor '{name}'"))
+        .period_s()
 }
 
 /// Runs the harness: trains, measures the grid, probes the backends.
@@ -592,7 +589,7 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         let text = report.to_json().render();
         let doc = Json::parse(&text).expect("BENCH.json must be valid JSON");
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(4.0));
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("test"));
         assert_eq!(
             doc.get("platform").and_then(Json::as_str),

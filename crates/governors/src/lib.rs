@@ -32,6 +32,24 @@ pub use intqos::IntQosPm;
 pub use schedutil::Schedutil;
 pub use simple::{Ondemand, Performance, Powersave};
 
+/// Constructs a baseline governor by its report name. Returns `None`
+/// for unknown names — including `"next"`, which is an RL agent in
+/// `next_core` built from a trained Q-table rather than a stateless
+/// baseline. The single factory behind every name→governor dispatch
+/// (sweep evaluator, perf harness, day engine, CLI).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Box<dyn Governor>> {
+    let governor: Box<dyn Governor> = match name {
+        "schedutil" => Box::new(Schedutil::new()),
+        "intqos" => Box::new(IntQosPm::new()),
+        "performance" => Box::new(Performance::new()),
+        "powersave" => Box::new(Powersave::new()),
+        "ondemand" => Box::new(Ondemand::new()),
+        _ => return None,
+    };
+    Some(governor)
+}
+
 /// A DVFS policy invoked periodically with the observable SoC state.
 pub trait Governor {
     /// Human-readable governor name (used in reports).

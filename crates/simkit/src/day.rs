@@ -1,0 +1,541 @@
+//! Day-scale simulation: a whole waking day as one continuous run.
+//!
+//! The paper argues at the *battery-day* horizon — 52 pickups,
+//! Deloitte session lengths, one stored Q-table per app reused across
+//! sessions (§IV-B) — but a per-session comparison cannot see it. This
+//! module executes a [`workload::DayPlan`] end to end on **one
+//! physical device state**:
+//!
+//! ```text
+//!  ┌ gap ┐┌─ session 1 ─┐┌ gap ┐┌─ session 2 ─┐     ┌ tail gap ┐
+//!  │ idle ││ app A, real ││ idle ││ app B, real │ ... │   idle    │
+//!  │ tick ││ Engine run  ││ tick ││ Engine run  │     │   tick    │
+//!  └──────┘└─────────────┘└──────┘└─────────────┘     └───────────┘
+//!     └────────── one Soc: thermal state carries through ──────────┘
+//! ```
+//!
+//! * sessions run through the real [`Engine`] under the chosen
+//!   governor,
+//! * screen-off gaps keep ticking the SoC with idle (zero) demand at a
+//!   coarse tick, so each pickup starts from a physically-warm device
+//!   instead of the cold-boot state a per-session harness fakes,
+//! * for the `next` governor, per-app Q-tables are fetched and stored
+//!   through [`QTableStore`] exactly as §IV-B prescribes: the first
+//!   pickup of an unseen app trains once on a dedicated training
+//!   device (or warm-starts from a pre-seeded fleet table), every
+//!   later pickup reuses the stored table.
+//!
+//! Everything in a [`DayReport`] is a pure function of the
+//! [`DaySpec`] plus the store's initial contents — [`run_days`] fans
+//! plans × governors out on the work-stealing
+//! [`crate::sweep::parallel_map`] and is byte-identical for any worker
+//! count, the same 1-vs-N guarantee the sweep and fleet engines give.
+
+use std::collections::BTreeMap;
+
+use governors::Governor;
+use mpsoc::perf::FrameDemand;
+use mpsoc::soc::Soc;
+use next_core::ppdw::ppdw;
+use next_core::{NextAgent, QTableStore};
+use qlearn::DenseQTable;
+use workload::{DayPlan, SessionPlan, SessionSim};
+
+use crate::engine::{Engine, RunOutcome};
+use crate::metrics::{Battery, Summary, Trace};
+use crate::platform::PlatformPreset;
+use crate::sweep::{parallel_map, StandardEvaluator};
+use crate::trainer::{TrainSpec, Trainer};
+
+/// One fully-specified day simulation.
+#[derive(Debug, Clone)]
+pub struct DaySpec {
+    /// The generated day to execute.
+    pub plan: DayPlan,
+    /// Governor name (see [`StandardEvaluator::GOVERNORS`]).
+    pub governor: String,
+    /// Platform preset the day runs on.
+    pub preset: PlatformPreset,
+    /// Tick length during screen-off gaps, seconds. The thermal network
+    /// sub-steps internally, so a coarse gap tick is stable; 1 s keeps
+    /// a 16 h day cheap while still resolving the cool-down curves.
+    pub gap_tick_s: f64,
+    /// Base training budget for first-use Q-table training, simulated
+    /// seconds (games get twice the base, as in §V).
+    pub train_budget_s: f64,
+    /// Battery pack the drain is reported against.
+    pub battery: Battery,
+}
+
+impl DaySpec {
+    /// A day of `plan` under `governor` on the paper's defaults: stock
+    /// platform preset, 1 s gap ticks, §V training budget, Note 9 pack.
+    #[must_use]
+    pub fn new(plan: DayPlan, governor: &str) -> Self {
+        DaySpec {
+            plan,
+            governor: governor.to_owned(),
+            preset: PlatformPreset::default(),
+            gap_tick_s: 1.0,
+            train_budget_s: StandardEvaluator::BASE_TRAIN_BUDGET_S,
+            battery: Battery::note9(),
+        }
+    }
+
+    /// Runs on a different platform preset.
+    #[must_use]
+    pub fn with_preset(mut self, preset: PlatformPreset) -> Self {
+        self.preset = preset;
+        self
+    }
+
+    /// Overrides the base training budget.
+    #[must_use]
+    pub fn with_train_budget_s(mut self, budget_s: f64) -> Self {
+        self.train_budget_s = budget_s;
+        self
+    }
+}
+
+/// Outcome of one pickup's session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Pickup index within the day (0-based).
+    pub pickup: usize,
+    /// Application of the session.
+    pub app: String,
+    /// Simulated day time the session started, seconds.
+    pub start_s: f64,
+    /// Executed session length, seconds (the plan duration rounded to
+    /// whole engine ticks).
+    pub duration_s: f64,
+    /// Run summary (power/FPS/thermals/energy).
+    pub summary: Summary,
+    /// PPDW (Eq. 1) of the session's mean operating point.
+    pub ppdw: f64,
+    /// Hot-spot temperature when the session began, °C — shows the
+    /// warm-start the preceding gap left behind.
+    pub start_temp_hot_c: f64,
+}
+
+/// Aggregates of one simulated day — the battery-day quantities the
+/// paper's premise is about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayReport {
+    /// The day that ran (plan metadata: persona, seed, schedule).
+    pub plan: DayPlan,
+    /// Governor that ran the day.
+    pub governor: String,
+    /// Platform preset name.
+    pub platform: String,
+    /// Per-pickup session outcomes, in pickup order.
+    pub sessions: Vec<SessionReport>,
+    /// Executed screen-on time, seconds.
+    pub screen_on_s: f64,
+    /// Executed screen-off time, seconds.
+    pub screen_off_s: f64,
+    /// Energy consumed while the screen was on, joules.
+    pub energy_screen_on_j: f64,
+    /// Energy consumed during screen-off gaps, joules.
+    pub energy_gap_j: f64,
+    /// Session-length-weighted mean FPS over the day's screen-on time.
+    pub avg_fps: f64,
+    /// Screen-on mean power, watts.
+    pub avg_power_w: f64,
+    /// Peak hot-spot temperature over the whole day (sessions and
+    /// gaps), °C.
+    pub peak_temp_hot_c: f64,
+    /// One-time Q-table trainings performed during the day (`next`
+    /// only; 0 when every app was already in the store).
+    pub trainings: u32,
+    /// Battery drain over the day, percent of the pack, saturating at
+    /// 100 (see [`Battery::drain_percent`]).
+    pub battery_drain_pct: f64,
+    /// Full charges the day consumed (unclamped; > 1 means the day
+    /// needs a recharge).
+    pub charges_used: f64,
+}
+
+impl DayReport {
+    /// Total energy over the day, joules.
+    #[must_use]
+    pub fn energy_total_j(&self) -> f64 {
+        self.energy_screen_on_j + self.energy_gap_j
+    }
+
+    /// Number of pickups the day executed.
+    #[must_use]
+    pub fn pickup_count(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+/// Builds a baseline governor by name (the `next` agent is constructed
+/// per app from its stored table instead).
+fn baseline_governor(name: &str) -> Box<dyn Governor> {
+    governors::by_name(name).unwrap_or_else(|| panic!("unknown governor '{name}'"))
+}
+
+/// Fetches the app's table from the store, training once on first use
+/// (§IV-B). Returns the table and whether a training actually ran.
+fn fetch_or_train(store: &mut QTableStore, app: &str, spec: &DaySpec) -> (DenseQTable, bool) {
+    if let Some(table) = store.load(app) {
+        return (table, false);
+    }
+    let budget = StandardEvaluator::train_budget_for(spec.train_budget_s, app);
+    let train_spec = TrainSpec::new(
+        app,
+        spec.preset.next.clone(),
+        StandardEvaluator::TRAIN_SEED,
+        budget,
+    )
+    .with_soc(spec.preset.soc.clone());
+    let out = Trainer::new().train(train_spec);
+    let table = out.agent.into_table();
+    store
+        .save(app, &table)
+        .expect("in-memory day store cannot fail");
+    (table, true)
+}
+
+/// Ticks the SoC through a screen-off gap with idle demand and returns
+/// `(energy_j, peak_temp_hot_c, elapsed_s)`. The display is off: no
+/// frames, no governor — the kernel's util tracking drops every domain
+/// to its floor within a few ticks.
+fn run_gap(soc: &mut Soc, gap_s: f64, tick_s: f64) -> (f64, f64, f64) {
+    let mut energy = 0.0f64;
+    let mut peak = f64::MIN;
+    let mut elapsed = 0.0f64;
+    let idle = FrameDemand::default();
+    let mut left = gap_s;
+    while left > 1e-9 {
+        let dt = tick_s.min(left);
+        let out = soc.tick(dt, &idle);
+        energy += out.power_w * dt;
+        peak = peak.max(soc.state().temp_hot_c);
+        elapsed += dt;
+        left -= dt;
+    }
+    (energy, peak, elapsed)
+}
+
+/// Runs one whole day: sessions through the engine, gaps through the
+/// idle ticker, Q-tables through `store` (pre-seed it to model a
+/// device that already has fleet tables; leave it empty for the
+/// train-once-on-first-use story).
+///
+/// Deterministic: the report is a pure function of `(spec, store
+/// contents)`.
+///
+/// # Panics
+///
+/// Panics on an unknown governor, an unknown app in the plan, or a
+/// non-positive gap tick.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_day(spec: &DaySpec, store: &mut QTableStore) -> DayReport {
+    assert!(
+        spec.gap_tick_s > 0.0 && spec.gap_tick_s.is_finite(),
+        "gap tick must be positive"
+    );
+    assert!(
+        StandardEvaluator::GOVERNORS.contains(&spec.governor.as_str()),
+        "unknown governor '{}'",
+        spec.governor
+    );
+    let engine = Engine::new();
+    let mut soc = Soc::new(spec.preset.soc.clone());
+    let is_next = spec.governor == "next";
+    let mut baseline = (!is_next).then(|| baseline_governor(&spec.governor));
+    // One persistent inference agent per app for the whole day (the
+    // §IV-B deployment shape): the table is fetched from the store and
+    // the dense arena allocated once per distinct app, not once per
+    // pickup — a 52-pickup day would otherwise clone tens of MB of
+    // Q-table 52 times.
+    let mut agents: BTreeMap<String, NextAgent> = BTreeMap::new();
+
+    let mut sessions = Vec::with_capacity(spec.plan.pickups.len());
+    let mut outcome = RunOutcome {
+        trace: Trace::new(),
+        presented_frames: 0,
+        repeated_vsyncs: 0,
+    };
+    let mut screen_on_s = 0.0f64;
+    let mut screen_off_s = 0.0f64;
+    let mut energy_screen_on_j = 0.0f64;
+    let mut energy_gap_j = 0.0f64;
+    let mut peak_temp_hot_c = f64::MIN;
+    let mut trainings = 0u32;
+    let mut fps_weighted = 0.0f64;
+
+    for (i, pickup) in spec.plan.pickups.iter().enumerate() {
+        // Screen-off before the pickup: the device keeps cooling (or
+        // holding its warmth) between sessions.
+        let (gap_e, gap_peak, gap_s) = run_gap(&mut soc, pickup.gap_before_s, spec.gap_tick_s);
+        energy_gap_j += gap_e;
+        screen_off_s += gap_s;
+        peak_temp_hot_c = peak_temp_hot_c.max(gap_peak);
+        let start_temp_hot_c = soc.state().temp_hot_c;
+
+        // The pickup: a real engine run on the warm device.
+        let plan = SessionPlan::single(&pickup.app, pickup.duration_s);
+        let mut session = SessionSim::new(plan, pickup.session_seed);
+        let duration_s = engine.ticks_for(pickup.duration_s) as f64 * engine.tick_s();
+        if is_next {
+            if !agents.contains_key(&pickup.app) {
+                let (table, trained) = fetch_or_train(store, &pickup.app, spec);
+                trainings += u32::from(trained);
+                agents.insert(
+                    pickup.app.clone(),
+                    NextAgent::with_table(spec.preset.next.clone(), table, false),
+                );
+            }
+            let agent = agents.get_mut(&pickup.app).expect("inserted above");
+            agent.start_session();
+            engine.run_into(
+                &mut soc,
+                agent,
+                &mut session,
+                pickup.duration_s,
+                &mut outcome,
+            );
+        } else {
+            let governor = baseline.as_mut().expect("baseline governor");
+            governor.reset();
+            engine.run_into(
+                &mut soc,
+                governor.as_mut(),
+                &mut session,
+                pickup.duration_s,
+                &mut outcome,
+            );
+        }
+        let summary = outcome.trace.summary();
+        energy_screen_on_j += summary.energy_j;
+        screen_on_s += duration_s;
+        peak_temp_hot_c = peak_temp_hot_c.max(summary.peak_temp_hot_c);
+        fps_weighted += summary.avg_fps * duration_s;
+        let next = &spec.preset.next;
+        sessions.push(SessionReport {
+            pickup: i,
+            app: pickup.app.clone(),
+            start_s: pickup.start_s,
+            duration_s,
+            ppdw: ppdw(
+                summary.avg_fps.max(next.bounds.fps_least),
+                summary.avg_power_w,
+                summary.avg_temp_hot_c,
+                next.ambient_c,
+            ),
+            start_temp_hot_c,
+            summary,
+        });
+    }
+    // Tail of the day after the last session.
+    let (tail_e, tail_peak, tail_s) = run_gap(&mut soc, spec.plan.tail_gap_s, spec.gap_tick_s);
+    energy_gap_j += tail_e;
+    screen_off_s += tail_s;
+    peak_temp_hot_c = peak_temp_hot_c.max(tail_peak);
+
+    let avg_power_w = if screen_on_s > 0.0 {
+        energy_screen_on_j / screen_on_s
+    } else {
+        0.0
+    };
+    let energy_total = energy_screen_on_j + energy_gap_j;
+    DayReport {
+        plan: spec.plan.clone(),
+        governor: spec.governor.clone(),
+        platform: spec.preset.name.clone(),
+        sessions,
+        screen_on_s,
+        screen_off_s,
+        energy_screen_on_j,
+        energy_gap_j,
+        avg_fps: if screen_on_s > 0.0 {
+            fps_weighted / screen_on_s
+        } else {
+            0.0
+        },
+        avg_power_w,
+        peak_temp_hot_c,
+        trainings,
+        battery_drain_pct: spec.battery.drain_percent(energy_total),
+        charges_used: spec.battery.charges_used(energy_total),
+    }
+}
+
+/// Fans `plans × governors` out on the work-stealing parallel runner:
+/// one day cell per (plan, governor), every cell replaying the
+/// identical plan so governors are compared on the same day.
+///
+/// `next` cells share Q-tables trained **once per distinct app** up
+/// front (themselves in parallel), modelling devices whose store
+/// already holds the per-app tables — so a day's `trainings` count is
+/// 0 here; use [`run_day`] with an empty store for the first-boot
+/// train-on-first-use story.
+///
+/// Deterministic: the returned reports — every float — are identical
+/// for any `workers` value.
+///
+/// # Panics
+///
+/// Panics on unknown governor or app names.
+#[must_use]
+pub fn run_days(
+    plans: &[DayPlan],
+    governors: &[String],
+    preset: &PlatformPreset,
+    gap_tick_s: f64,
+    train_budget_s: f64,
+    workers: usize,
+) -> Vec<DayReport> {
+    // Train each distinct app once, in parallel, through the same
+    // fan-out the sweep's prepare phase uses.
+    let mut train_apps: Vec<String> = Vec::new();
+    if governors.iter().any(|g| g == "next") {
+        for plan in plans {
+            train_apps.extend(plan.distinct_apps());
+        }
+        train_apps.sort();
+        train_apps.dedup();
+    }
+    let outcomes = StandardEvaluator::train_for_apps(&train_apps, train_budget_s, workers, preset);
+    let store_seed: BTreeMap<String, DenseQTable> = train_apps
+        .into_iter()
+        .zip(outcomes.into_iter().map(|out| out.agent.into_table()))
+        .collect();
+
+    let cells: Vec<(usize, String)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| governors.iter().map(move |g| (pi, g.clone())))
+        .collect();
+    parallel_map(&cells, workers, |(pi, governor)| {
+        let spec = DaySpec {
+            plan: plans[*pi].clone(),
+            governor: governor.clone(),
+            preset: preset.clone(),
+            gap_tick_s,
+            train_budget_s,
+            battery: Battery::note9(),
+        };
+        let mut store = QTableStore::in_memory();
+        if governor == "next" {
+            for app in plans[*pi].distinct_apps() {
+                store
+                    .save(&app, &store_seed[&app])
+                    .expect("in-memory save cannot fail");
+            }
+        }
+        run_day(&spec, &mut store)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{DayPlanConfig, Persona};
+
+    fn tiny_plan(seed: u64) -> DayPlan {
+        let cfg = DayPlanConfig {
+            pickups: 4,
+            day_length_s: 400.0,
+            session_scale: 0.1,
+            min_session_s: 15.0,
+        };
+        DayPlan::generate(&Persona::socialite(), &cfg, seed)
+    }
+
+    fn tiny_spec(governor: &str) -> DaySpec {
+        DaySpec::new(tiny_plan(7), governor).with_train_budget_s(30.0)
+    }
+
+    #[test]
+    fn day_accounts_time_and_energy() {
+        let spec = tiny_spec("schedutil");
+        let report = run_day(&spec, &mut QTableStore::in_memory());
+        assert_eq!(report.pickup_count(), 4);
+        // Executed time matches the plan up to the per-session tick
+        // rounding (≤ half a tick per session).
+        let total = report.screen_on_s + report.screen_off_s;
+        assert!(
+            (total - spec.plan.day_length_s).abs() < 4.0 * 0.0125 + 1e-6,
+            "day lost time: {total} vs {}",
+            spec.plan.day_length_s
+        );
+        assert!(report.energy_screen_on_j > 0.0);
+        assert!(report.energy_gap_j > 0.0, "idle gaps still burn power");
+        assert!(report.battery_drain_pct > 0.0);
+        assert!(report.charges_used > 0.0);
+        assert_eq!(report.trainings, 0, "baselines never train");
+        assert!(report.avg_fps > 0.0);
+    }
+
+    #[test]
+    fn next_trains_once_per_app_and_reuses_the_store() {
+        let spec = tiny_spec("next");
+        let mut store = QTableStore::in_memory();
+        let report = run_day(&spec, &mut store);
+        let distinct = spec.plan.distinct_apps().len() as u32;
+        assert_eq!(
+            report.trainings, distinct,
+            "first boot trains each app exactly once"
+        );
+        // A second identical day on the now-populated store trains
+        // nothing and reproduces the day bit for bit.
+        let again = run_day(&spec, &mut store);
+        assert_eq!(again.trainings, 0);
+        assert_eq!(again.sessions, report.sessions);
+    }
+
+    #[test]
+    fn pickups_start_warm_after_busy_gaps() {
+        let report = run_day(&tiny_spec("schedutil"), &mut QTableStore::in_memory());
+        // Every pickup after the first starts above ambient: the gap
+        // cooled the device but never back to cold-boot state.
+        let ambient = mpsoc::DEFAULT_AMBIENT_C;
+        for s in &report.sessions[1..] {
+            assert!(
+                s.start_temp_hot_c > ambient,
+                "pickup {} started cold: {:.2} °C",
+                s.pickup,
+                s.start_temp_hot_c
+            );
+        }
+    }
+
+    #[test]
+    fn run_days_is_worker_count_invariant() {
+        let plans = vec![tiny_plan(7), tiny_plan(8)];
+        let governors = vec!["schedutil".to_owned(), "next".to_owned()];
+        let preset = PlatformPreset::default();
+        let one = run_days(&plans, &governors, &preset, 1.0, 30.0, 1);
+        let many = run_days(&plans, &governors, &preset, 1.0, 30.0, 4);
+        assert_eq!(one, many, "day reports must not depend on parallelism");
+        assert_eq!(one.len(), 4);
+    }
+
+    #[test]
+    fn governors_differ_over_the_same_day() {
+        let plans = vec![tiny_plan(7)];
+        let governors = vec!["next".to_owned(), "schedutil".to_owned()];
+        let reports = run_days(&plans, &governors, &PlatformPreset::default(), 1.0, 30.0, 2);
+        let next = &reports[0];
+        let sched = &reports[1];
+        assert_eq!(next.governor, "next");
+        assert_eq!(sched.governor, "schedutil");
+        assert!(
+            (next.energy_total_j() - sched.energy_total_j()).abs() > 1e-9,
+            "governors must produce a battery-day delta"
+        );
+        // Both replayed the identical plan.
+        assert_eq!(next.plan, sched.plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown governor")]
+    fn unknown_governor_rejected() {
+        let _ = run_day(&tiny_spec("warpdrive"), &mut QTableStore::in_memory());
+    }
+}

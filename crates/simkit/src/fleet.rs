@@ -44,6 +44,7 @@ use next_core::ppdw::ppdw;
 use next_core::{NextAgent, NextConfig};
 use qlearn::federated::MergeAccumulator;
 use qlearn::{DenseQTable, DenseStore};
+use workload::scenario::splitmix64;
 use workload::{apps, SessionPlan};
 
 use crate::experiment::evaluate_governor_on;
@@ -143,14 +144,6 @@ pub struct DeviceProfile {
     /// Base seed of this device's user (per-round seeds derive from
     /// it, so every round sees fresh but reproducible behaviour).
     pub user_seed: u64,
-}
-
-/// SplitMix64 — derives independent per-device / per-round seeds.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 /// Derives the deterministic device roster of a fleet: bins and

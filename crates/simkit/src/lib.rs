@@ -20,6 +20,10 @@
 //! * [`fleet`] — fleet-scale federated training: R rounds over D
 //!   heterogeneous devices with streaming cloud merges and held-out
 //!   evaluation (§IV-C at production scale),
+//! * [`day`] — battery-day simulation: a whole [`workload::DayPlan`]
+//!   of pickups and screen-off gaps executed on one continuous device
+//!   state, with per-app Q-tables fetched/stored through the §IV-B
+//!   store,
 //! * [`report`] — plain-text tables and series for the bench harness,
 //! * [`sweep`] — the work-stealing parallel runner for governor×app×seed
 //!   grids, with deterministic row merging.
@@ -27,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod day;
 pub mod engine;
 pub mod experiment;
 pub mod fleet;
@@ -36,6 +41,7 @@ pub mod report;
 pub mod sweep;
 pub mod trainer;
 
+pub use day::{run_day, run_days, DayReport, DaySpec, SessionReport};
 pub use engine::{Engine, RunOutcome};
 pub use experiment::{train_next_for_app, EvalResult};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};

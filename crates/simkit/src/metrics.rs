@@ -196,10 +196,21 @@ impl Battery {
         self.capacity_mah / 1_000.0 * 3_600.0 * self.nominal_v
     }
 
-    /// Percentage of the pack a session consuming `energy_j` drains.
+    /// Percentage of the pack a run consuming `energy_j` drains,
+    /// saturating at 100 % — a pack cannot drain past empty, and
+    /// day-scale energies can legitimately exceed one charge. Use
+    /// [`Battery::charges_used`] when the overshoot itself matters.
     #[must_use]
     pub fn drain_percent(&self, energy_j: f64) -> f64 {
-        energy_j.max(0.0) / self.capacity_j() * 100.0
+        (energy_j.max(0.0) / self.capacity_j() * 100.0).min(100.0)
+    }
+
+    /// How many full charges `energy_j` consumes (1.0 = exactly one
+    /// pack). Unclamped: the day-scale counterpart of
+    /// [`Battery::drain_percent`].
+    #[must_use]
+    pub fn charges_used(&self, energy_j: f64) -> f64 {
+        energy_j.max(0.0) / self.capacity_j()
     }
 
     /// Screen-on hours the pack sustains at a given average power.
@@ -352,6 +363,20 @@ mod tests {
         assert!((b.hours_at(3.5) - 2.0 * b.hours_at(7.0)).abs() < 1e-9);
         assert_eq!(b.hours_at(0.0), f64::INFINITY);
         assert_eq!(b.drain_percent(-5.0), 0.0);
+    }
+
+    #[test]
+    fn over_capacity_drain_saturates_at_one_pack() {
+        // A day that burns 1.5 packs: the reported drain caps at 100 %
+        // (a battery cannot go past empty) while charges_used keeps the
+        // overshoot.
+        let b = Battery::note9();
+        let energy = b.capacity_j() * 1.5;
+        assert_eq!(b.drain_percent(energy), 100.0);
+        assert!((b.charges_used(energy) - 1.5).abs() < 1e-12);
+        assert_eq!(b.charges_used(-1.0), 0.0);
+        // Sub-capacity energies are unaffected by the clamp.
+        assert!((b.drain_percent(b.capacity_j() / 2.0) - 50.0).abs() < 1e-9);
     }
 
     #[test]

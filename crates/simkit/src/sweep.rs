@@ -29,7 +29,7 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::thread;
 
-use governors::{Governor, IntQosPm, Ondemand, Performance, Powersave, Schedutil};
+use governors::Governor;
 use next_core::NextAgent;
 use qlearn::DenseQTable;
 use workload::{apps, SessionPlan};
@@ -303,12 +303,8 @@ impl StandardEvaluator {
         train_apps.sort();
         train_apps.dedup();
 
-        let trainer = Trainer::new();
-        let tables = parallel_map(&train_apps, workers, |app| {
-            let budget = Self::train_budget_for(train_budget_s, app);
-            let spec = TrainSpec::new(app, preset.next.clone(), Self::TRAIN_SEED, budget)
-                .with_soc(preset.soc.clone());
-            let out = trainer.train(spec);
+        let outcomes = Self::train_for_apps(&train_apps, train_budget_s, workers, &preset);
+        let tables = outcomes.into_iter().map(|out| {
             let table = out.agent.into_table();
             let telemetry = TrainTelemetry {
                 training_time_s: out.training_time_s,
@@ -321,6 +317,26 @@ impl StandardEvaluator {
             tables: train_apps.into_iter().zip(tables).collect(),
             preset,
         }
+    }
+
+    /// Trains one Next policy per app (in order), in parallel, on the
+    /// preset's device with the protocol seed and per-app budget — the
+    /// §V train-once fan-out shared by this evaluator and the day
+    /// engine, so the two layers cannot train differently.
+    #[must_use]
+    pub fn train_for_apps(
+        apps: &[String],
+        base_budget_s: f64,
+        workers: usize,
+        preset: &PlatformPreset,
+    ) -> Vec<crate::trainer::TrainOutcome> {
+        let trainer = Trainer::new();
+        parallel_map(apps, workers, |app| {
+            let budget = Self::train_budget_for(base_budget_s, app);
+            let spec = TrainSpec::new(app, preset.next.clone(), Self::TRAIN_SEED, budget)
+                .with_soc(preset.soc.clone());
+            trainer.train(spec)
+        })
     }
 
     /// The platform preset this evaluator measures on.
@@ -345,26 +361,21 @@ impl StandardEvaluator {
     #[must_use]
     pub fn eval(&self, cell: &SweepCell) -> Summary {
         let plan = SessionPlan::single(&cell.app, cell.duration_s);
-        let mut governor: Box<dyn Governor> = match cell.governor.as_str() {
-            "schedutil" => Box::new(Schedutil::new()),
-            "intqos" => Box::new(IntQosPm::new()),
-            "performance" => Box::new(Performance::new()),
-            "powersave" => Box::new(Powersave::new()),
-            "ondemand" => Box::new(Ondemand::new()),
-            "next" => {
-                let table = self
-                    .tables
-                    .get(&cell.app)
-                    .unwrap_or_else(|| panic!("no trained table for app '{}'", cell.app))
-                    .table
-                    .clone();
-                Box::new(NextAgent::with_table(
-                    self.preset.next.clone(),
-                    table,
-                    false,
-                ))
-            }
-            other => panic!("unknown governor '{other}'"),
+        let mut governor: Box<dyn Governor> = if cell.governor == "next" {
+            let table = self
+                .tables
+                .get(&cell.app)
+                .unwrap_or_else(|| panic!("no trained table for app '{}'", cell.app))
+                .table
+                .clone();
+            Box::new(NextAgent::with_table(
+                self.preset.next.clone(),
+                table,
+                false,
+            ))
+        } else {
+            governors::by_name(&cell.governor)
+                .unwrap_or_else(|| panic!("unknown governor '{}'", cell.governor))
         };
         evaluate_governor_on(governor.as_mut(), &plan, cell.seed, &self.preset.soc).summary
     }

@@ -18,16 +18,21 @@
 //!   Deloitte/RescueTime session statistics the paper cites (52 pickups
 //!   per day; 70 % of sessions < 2 min, 25 % 2–10 min, 5 % > 10 min),
 //! * [`session`] — timeline generation: sequences of app usage the
-//!   simulation engine replays deterministically from a seed.
+//!   simulation engine replays deterministically from a seed,
+//! * [`scenario`] — day-scale schedules: persona app-choice Markov
+//!   chains and seeded [`scenario::DayPlan`]s of pickups and screen-off
+//!   gaps summing exactly to a waking day.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;
 pub mod apps;
+pub mod scenario;
 pub mod session;
 pub mod user;
 
 pub use app::{AppModel, AppSession, PhaseModel};
+pub use scenario::{DayPlan, DayPlanConfig, Persona, PickupPlan};
 pub use session::{SessionEntry, SessionPlan, SessionSim};
 pub use user::{InteractionIntensity, UserModel};

@@ -111,7 +111,9 @@ impl SessionSim {
     ///
     /// # Panics
     ///
-    /// Panics if the plan references an unknown application.
+    /// Panics if the plan references an unknown application or an
+    /// entry has a negative or non-finite duration (a negative entry
+    /// would run the residual-carrying clock backwards).
     #[must_use]
     pub fn new(plan: SessionPlan, seed: u64) -> Self {
         for e in plan.entries() {
@@ -119,6 +121,12 @@ impl SessionSim {
                 apps::by_name(&e.app).is_some(),
                 "unknown app '{}' in plan",
                 e.app
+            );
+            assert!(
+                e.duration_s.is_finite() && e.duration_s >= 0.0,
+                "entry '{}' has invalid duration {}",
+                e.app,
+                e.duration_s
             );
         }
         let mut sim = SessionSim {
@@ -134,21 +142,28 @@ impl SessionSim {
     }
 
     fn load_entry(&mut self, idx: usize) {
-        self.entry_idx = idx;
-        if let Some(entry) = self.plan.entries().get(idx) {
-            self.entry_left_s = entry.duration_s;
-            let model: AppModel = apps::by_name(&entry.app).expect("validated in new");
-            // Derive a per-entry seed so app traces differ between
-            // entries but stay reproducible.
-            let app_seed = self
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(idx as u64);
-            self.current = Some(model.start_session(app_seed));
-        } else {
-            self.current = None;
-            self.entry_left_s = 0.0;
+        let mut idx = idx;
+        // Entries too short to ever receive a segment are skipped
+        // outright, so a zero-duration entry never becomes current.
+        while let Some(entry) = self.plan.entries().get(idx) {
+            self.entry_idx = idx;
+            if entry.duration_s > BOUNDARY_EPS_S {
+                self.entry_left_s = entry.duration_s;
+                let model: AppModel = apps::by_name(&entry.app).expect("validated in new");
+                // Derive a per-entry seed so app traces differ between
+                // entries but stay reproducible.
+                let app_seed = self
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(idx as u64);
+                self.current = Some(model.start_session(app_seed));
+                return;
+            }
+            idx += 1;
         }
+        self.entry_idx = idx;
+        self.current = None;
+        self.entry_left_s = 0.0;
     }
 
     /// Whether the plan has finished.
@@ -174,20 +189,62 @@ impl SessionSim {
 
     /// Advances by `dt_s` and returns the demand for the interval.
     /// After the plan ends, returns an idle (zero) demand.
+    ///
+    /// When the interval crosses an entry boundary the tick is split:
+    /// the pre-boundary fraction advances the old app, the remainder
+    /// advances the next entry (several entries, if they are shorter
+    /// than one tick). No residual time is ever dropped, so a plan of
+    /// total duration `D` finishes after exactly `D` simulated seconds
+    /// instead of rounding every entry up to a whole tick count. The
+    /// returned demand is the one of the app that occupied the largest
+    /// share of the interval (ties favour the earlier entry).
     pub fn advance(&mut self, dt_s: f64) -> FrameDemand {
         let intensity = self.user.advance(dt_s);
-        let Some(app) = self.current.as_mut() else {
+        if self.current.is_none() {
             return FrameDemand::default();
-        };
-        let demand = app.advance(dt_s, intensity);
-        self.entry_left_s -= dt_s;
-        if self.entry_left_s <= 0.0 {
-            let next = self.entry_idx + 1;
-            self.load_entry(next);
         }
-        demand
+        let mut remaining = dt_s;
+        let mut dominant_seg = 0.0f64;
+        let mut dominant = FrameDemand::default();
+        while let Some(app) = self.current.as_mut() {
+            // Entries whose remaining time is within a nanosecond of
+            // the full interval absorb it whole: accumulated float
+            // residue from repeated subtraction must not split a tick
+            // that lands exactly on an entry boundary.
+            // The clamp keeps a (construction-rejected, but cheap to
+            // defend against) non-positive entry from running the
+            // clock backwards.
+            let seg = if self.entry_left_s >= remaining - BOUNDARY_EPS_S {
+                remaining
+            } else {
+                self.entry_left_s.max(0.0)
+            };
+            if seg > 0.0 {
+                let demand = app.advance(seg, intensity);
+                if seg > dominant_seg {
+                    dominant_seg = seg;
+                    dominant = demand;
+                }
+            }
+            self.entry_left_s -= seg;
+            remaining -= seg;
+            if self.entry_left_s <= BOUNDARY_EPS_S {
+                let next = self.entry_idx + 1;
+                self.load_entry(next);
+            }
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        dominant
     }
 }
+
+/// Tolerance for treating an entry boundary as exactly reached, seconds.
+/// Large enough to absorb the float residue of thousands of repeated
+/// tick subtractions (~1e-13), far below any meaningful sub-tick
+/// duration.
+const BOUNDARY_EPS_S: f64 = 1e-9;
 
 #[cfg(test)]
 mod tests {
@@ -268,5 +325,110 @@ mod tests {
     #[should_panic(expected = "unknown app")]
     fn unknown_app_panics() {
         let _ = SessionSim::new(SessionPlan::new().then("nope", 5.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_entry_duration_rejected() {
+        let _ = SessionSim::new(
+            SessionPlan::new().then("home", -1.0).then("spotify", 5.0),
+            1,
+        );
+    }
+
+    #[test]
+    fn zero_duration_entries_are_skipped_cleanly() {
+        let plan = SessionPlan::new()
+            .then("home", 0.0)
+            .then("spotify", 1.0)
+            .then("facebook", 0.0);
+        let mut sim = SessionSim::new(plan, 2);
+        for _ in 0..40 {
+            sim.advance(0.025);
+        }
+        assert!(sim.is_done(), "1.0 s of real entries = 40 ticks");
+    }
+
+    #[test]
+    fn non_tick_multiple_entries_finish_at_the_nominal_tick_count() {
+        // Regression: the old clock dropped the residual interval at
+        // entry boundaries, so each entry rounded up to whole ticks
+        // (1.01 s -> 41 ticks, 0.99 s -> 40 ticks = 81 total) and an
+        // engine run of the nominal 80 ticks truncated the tail of the
+        // last entry.
+        let plan = SessionPlan::new().then("home", 1.01).then("spotify", 0.99);
+        let total = plan.total_duration_s();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let nominal_ticks = (total / 0.025).round() as usize;
+        assert_eq!(nominal_ticks, 80);
+        let mut sim = SessionSim::new(plan, 1);
+        for tick in 0..nominal_ticks - 1 {
+            sim.advance(0.025);
+            assert!(!sim.is_done(), "plan ended early at tick {tick}");
+        }
+        sim.advance(0.025);
+        assert!(sim.is_done(), "plan must finish at the nominal tick count");
+    }
+
+    #[test]
+    fn entries_shorter_than_a_tick_are_not_skipped() {
+        // One tick can cross several boundaries: 1.0 s home, a 0.01 s
+        // notification glance, then 0.99 s spotify — total 2.0 s must
+        // still complete in exactly 80 ticks.
+        let plan = SessionPlan::new()
+            .then("home", 1.0)
+            .then("facebook", 0.01)
+            .then("spotify", 0.99);
+        let mut sim = SessionSim::new(plan, 9);
+        for _ in 0..79 {
+            sim.advance(0.025);
+            assert!(!sim.is_done());
+        }
+        sim.advance(0.025);
+        assert!(sim.is_done());
+    }
+
+    #[test]
+    fn boundary_tick_attributes_the_dominant_segment() {
+        // Entry 1 ends 5 ms into tick 41 (1.005 s); the remaining 20 ms
+        // belong to spotify, so the boundary tick reports spotify's
+        // demand and the current app has moved on.
+        let plan = SessionPlan::new().then("home", 1.005).then("spotify", 1.0);
+        let mut sim = SessionSim::new(plan, 4);
+        for _ in 0..40 {
+            sim.advance(0.025);
+        }
+        assert_eq!(sim.current_app(), Some("home"));
+        sim.advance(0.025);
+        assert_eq!(
+            sim.current_app(),
+            Some("spotify"),
+            "boundary tick must start the next entry"
+        );
+    }
+
+    #[test]
+    fn tick_multiple_plans_keep_whole_tick_boundaries() {
+        // The residual-carrying clock must not perturb plans whose
+        // entries are whole tick multiples: every boundary still lands
+        // exactly on its nominal tick, with the float residue of
+        // repeated subtraction absorbed rather than split into a
+        // spurious sub-nanosecond segment (the byte-identity fixtures
+        // depend on this).
+        let plan = SessionPlan::paper_fig1();
+        let mut sim = SessionSim::new(plan, 77);
+        let mut boundary_ticks = Vec::new();
+        let mut last_app = sim.current_app().map(str::to_owned);
+        for tick in 0..11_300 {
+            sim.advance(0.025);
+            let app = sim.current_app().map(str::to_owned);
+            if app != last_app {
+                boundary_ticks.push(tick);
+                last_app = app;
+            }
+        }
+        // 40 s home = tick 1599->1600, +120 s facebook = 6400, +120 s
+        // spotify ends at 11200.
+        assert_eq!(boundary_ticks, vec![1_599, 6_399, 11_199]);
     }
 }

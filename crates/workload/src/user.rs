@@ -59,6 +59,37 @@ impl SessionLengthStats {
             long: (0.05, 600.0, 1_800.0),
         }
     }
+
+    /// The same stats with every share divided by their sum, so the
+    /// three bucket probabilities are a true distribution. Shares that
+    /// already sum to 1 (within 1e-9) are returned untouched, keeping
+    /// the stock [`SessionLengthStats::deloitte`] numbers bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a share is negative or non-finite, or the shares sum
+    /// to zero — there is no meaningful normalisation for those.
+    #[must_use]
+    pub fn normalized(mut self) -> Self {
+        for (label, share) in [
+            ("short", self.short.0),
+            ("medium", self.medium.0),
+            ("long", self.long.0),
+        ] {
+            assert!(
+                share.is_finite() && share >= 0.0,
+                "{label} session share must be finite and non-negative, got {share}"
+            );
+        }
+        let sum = self.short.0 + self.medium.0 + self.long.0;
+        assert!(sum > 0.0, "session-length shares sum to zero");
+        if (sum - 1.0).abs() > 1e-9 {
+            self.short.0 /= sum;
+            self.medium.0 /= sum;
+            self.long.0 /= sum;
+        }
+        self
+    }
 }
 
 /// A stochastic user: interaction-intensity Markov process plus session
@@ -88,9 +119,20 @@ impl UserModel {
     }
 
     /// Overrides the session-length statistics.
+    ///
+    /// The shares are normalised to sum to 1 (see
+    /// [`SessionLengthStats::normalized`]): the sampler buckets by
+    /// cumulative share, so un-normalised inputs would silently
+    /// mis-bucket — a shortfall used to inflate the long bucket and an
+    /// overflow starved it entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a share is negative or non-finite, or all shares are
+    /// zero.
     #[must_use]
     pub fn with_session_stats(mut self, stats: SessionLengthStats) -> Self {
-        self.stats = stats;
+        self.stats = stats.normalized();
         self
     }
 
@@ -226,5 +268,82 @@ mod tests {
     #[test]
     fn pickups_match_paper() {
         assert_eq!(UserModel::pickups_per_day(), 52);
+    }
+
+    /// Empirical bucket shares over `n` samples.
+    fn measured_shares(stats: SessionLengthStats, n: u32) -> (f64, f64, f64) {
+        let mut user = UserModel::new(4242).with_session_stats(stats);
+        let (mut short, mut medium, mut long) = (0u32, 0u32, 0u32);
+        for _ in 0..n {
+            let len = user.sample_session_length_s();
+            if len < 120.0 {
+                short += 1;
+            } else if len < 600.0 {
+                medium += 1;
+            } else {
+                long += 1;
+            }
+        }
+        (
+            f64::from(short) / f64::from(n),
+            f64::from(medium) / f64::from(n),
+            f64::from(long) / f64::from(n),
+        )
+    }
+
+    #[test]
+    fn under_unit_shares_no_longer_inflate_the_long_bucket() {
+        // Shares summing to 0.5: before normalisation the sampler gave
+        // everything above 0.475 to the long bucket (~52.5 % instead of
+        // the intended 5 %).
+        let stats = SessionLengthStats {
+            short: (0.35, 15.0, 120.0),
+            medium: (0.125, 120.0, 600.0),
+            long: (0.025, 600.0, 1_800.0),
+        };
+        let (fs, fm, fl) = measured_shares(stats, 20_000);
+        assert!((fs - 0.70).abs() < 0.02, "short share {fs}");
+        assert!((fm - 0.25).abs() < 0.02, "medium share {fm}");
+        assert!((fl - 0.05).abs() < 0.01, "long share {fl}");
+    }
+
+    #[test]
+    fn over_unit_shares_no_longer_starve_the_long_bucket() {
+        // Shares summing to 2.0: before normalisation `draw < 1.4` was
+        // always true, so every session was short and long sessions
+        // vanished.
+        let stats = SessionLengthStats {
+            short: (1.40, 15.0, 120.0),
+            medium: (0.50, 120.0, 600.0),
+            long: (0.10, 600.0, 1_800.0),
+        };
+        let (fs, fm, fl) = measured_shares(stats, 20_000);
+        assert!((fs - 0.70).abs() < 0.02, "short share {fs}");
+        assert!((fm - 0.25).abs() < 0.02, "medium share {fm}");
+        assert!((fl - 0.05).abs() < 0.01, "long share {fl}");
+    }
+
+    #[test]
+    fn already_normalised_shares_stay_bit_exact() {
+        let stats = SessionLengthStats::deloitte().normalized();
+        assert_eq!(stats, SessionLengthStats::deloitte());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_share_rejected() {
+        let mut stats = SessionLengthStats::deloitte();
+        stats.medium.0 = -0.25;
+        let _ = UserModel::new(1).with_session_stats(stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn all_zero_shares_rejected() {
+        let mut stats = SessionLengthStats::deloitte();
+        stats.short.0 = 0.0;
+        stats.medium.0 = 0.0;
+        stats.long.0 = 0.0;
+        let _ = stats.normalized();
     }
 }

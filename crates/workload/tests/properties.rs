@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use workload::apps;
 use workload::user::{InteractionIntensity, SessionLengthStats, UserModel};
-use workload::{SessionPlan, SessionSim};
+use workload::{DayPlan, DayPlanConfig, Persona, SessionPlan, SessionSim};
 
 proptest! {
     /// Demands produced by any preset app are always physically valid:
@@ -72,6 +72,72 @@ proptest! {
             prop_assert!(t < dur + 1.0, "session overran: {t} vs {dur}");
         }
         prop_assert!(t >= dur - 0.05, "session ended early: {t} vs {dur}");
+    }
+
+    /// The session clock never drifts, whatever the entry durations:
+    /// a multi-entry plan of total duration D is done after exactly
+    /// ceil(D / dt) ticks — every entry boundary is split, never
+    /// rounded up to a whole tick (the PR-5 clock fix).
+    #[test]
+    fn multi_entry_plans_never_drift(
+        d1 in 0.11..5.0f64,
+        d2 in 0.11..5.0f64,
+        d3 in 0.11..5.0f64,
+        seed in 0u64..100,
+    ) {
+        let plan = SessionPlan::new()
+            .then("home", d1)
+            .then("facebook", d2)
+            .then("spotify", d3);
+        let total = plan.total_duration_s();
+        let mut sim = SessionSim::new(plan, seed);
+        let mut ticks = 0u32;
+        while !sim.is_done() {
+            sim.advance(0.025);
+            ticks += 1;
+            prop_assert!(f64::from(ticks) * 0.025 < total + 0.026, "clock drifted");
+        }
+        let expect = (total / 0.025).ceil();
+        prop_assert!(
+            (f64::from(ticks) - expect).abs() <= 1.0,
+            "finished after {ticks} ticks, expected ~{expect}"
+        );
+    }
+
+    /// A generated day plan is a pure function of (persona, config,
+    /// seed): bit-identical on regeneration, every referenced app
+    /// resolves through the catalog, and gaps + sessions sum exactly
+    /// to the configured day length.
+    #[test]
+    fn day_plans_deterministic_resolvable_and_exhaustive(
+        seed in 0u64..500,
+        persona_idx in 0usize..4,
+        pickups in 1u32..30,
+        day_hours in 0.5..4.0f64,
+    ) {
+        let persona = Persona::by_name(Persona::names()[persona_idx]).expect("shipped");
+        let config = DayPlanConfig {
+            pickups,
+            day_length_s: day_hours * 3_600.0,
+            session_scale: 0.2,
+            min_session_s: 10.0,
+        };
+        let plan = DayPlan::generate(&persona, &config, seed);
+        prop_assert_eq!(&plan, &DayPlan::generate(&persona, &config, seed));
+        prop_assert_eq!(plan.pickups.len(), pickups as usize);
+        for p in &plan.pickups {
+            prop_assert!(
+                apps::by_name(&p.app).is_some(),
+                "plan references unknown app '{}'", p.app
+            );
+            prop_assert!(p.duration_s > 0.0 && p.gap_before_s >= 0.0);
+        }
+        let total = plan.screen_on_s() + plan.screen_off_s();
+        prop_assert!(
+            (total - config.day_length_s).abs() < 1e-6 * config.day_length_s.max(1.0),
+            "gaps + sessions must sum to the day: {} vs {}",
+            total, config.day_length_s
+        );
     }
 }
 

@@ -1,12 +1,14 @@
-//! A synthetic day of phone usage: 52 pickups (the Deloitte statistic
-//! the paper cites) across the six evaluated applications, exercising
-//! the per-application Q-table store — each app is trained **once**, on
-//! first use, and every later session reuses the stored table exactly
-//! as §IV-B describes.
+//! A day in the life, on the real day engine: 52 pickups (the Deloitte
+//! statistic the paper cites) scheduled by a persona's app-choice
+//! Markov chain, executed as **one continuous simulation** — screen-off
+//! gaps keep the thermal model ticking, and each app is trained once on
+//! first use with its Q-table stored and reused exactly as §IV-B
+//! describes.
 //!
-//! Session lengths follow the paper's cited distribution (70 % < 2 min,
-//! 25 % 2–10 min, 5 % > 10 min), compressed 3× so the example finishes
-//! quickly.
+//! This is a thin caller of `workload::scenario` + `simkit::day`; the
+//! same subsystem backs `next-sim day` and its JSON artifact. Sessions
+//! are compressed (the `quick` day config) so the example finishes in
+//! seconds.
 //!
 //! Run with:
 //!
@@ -14,84 +16,59 @@
 //! cargo run --release --example daily_usage
 //! ```
 
-use next_mpsoc::governors::Schedutil;
-use next_mpsoc::next_core::{NextAgent, NextConfig, QTableStore};
-use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
-use next_mpsoc::workload::{SessionPlan, UserModel};
-
-const APPS: [&str; 6] = [
-    "facebook",
-    "spotify",
-    "web-browser",
-    "youtube",
-    "lineage",
-    "pubg",
-];
+use next_mpsoc::next_core::QTableStore;
+use next_mpsoc::simkit::day::{run_day, DaySpec};
+use next_mpsoc::workload::{DayPlan, DayPlanConfig, Persona};
 
 fn main() {
-    println!("== a (compressed) day in the life: 52 pickups ==\n");
-    let mut user = UserModel::new(99);
-    let mut store = QTableStore::in_memory();
-
-    let mut day_energy_next = 0.0f64;
-    let mut day_energy_sched = 0.0f64;
-    let mut seconds_used = 0.0f64;
-    let mut trainings = 0u32;
-
-    for pickup in 0..UserModel::pickups_per_day() {
-        let app = APPS[(pickup as usize) % APPS.len()];
-        let len_s = (user.sample_session_length_s() / 3.0).max(20.0);
-        let plan = SessionPlan::single(app, len_s);
-
-        // First use of an app: one-time training, table stored.
-        if !store.contains(app) {
-            let budget = if app == "lineage" || app == "pubg" {
-                1_200.0
-            } else {
-                600.0
-            };
-            let out = train_next_for_app(app, NextConfig::paper(), 7, budget);
-            store
-                .save(app, out.agent.table())
-                .expect("in-memory save cannot fail");
-            trainings += 1;
-            println!(
-                "[pickup {:2}] trained {app} in {:.0} simulated s ({} states)",
-                pickup + 1,
-                out.training_time_s,
-                out.agent.table().len()
-            );
-        }
-
-        let table = store.load(app).expect("stored above");
-        let mut agent = NextAgent::with_table(NextConfig::paper(), table, false);
-        let next = evaluate_governor(&mut agent, &plan, 5_000 + u64::from(pickup));
-        let sched = evaluate_governor(&mut Schedutil::new(), &plan, 5_000 + u64::from(pickup));
-
-        day_energy_next += next.summary.energy_j;
-        day_energy_sched += sched.summary.energy_j;
-        seconds_used += len_s;
-
-        if pickup < 6 || pickup % 13 == 0 {
-            println!(
-                "[pickup {:2}] {app:<12} {len_s:5.0} s | next {:.2} W vs schedutil {:.2} W",
-                pickup + 1,
-                next.summary.avg_power_w,
-                sched.summary.avg_power_w
-            );
-        }
-    }
-
-    println!("\n== day summary ==");
+    let persona = Persona::socialite();
+    let plan = DayPlan::generate(&persona, &DayPlanConfig::quick(), 99);
     println!(
-        "screen-on time: {:.1} min across 52 pickups",
-        seconds_used / 60.0
+        "== a (compressed) day in the life of a {}: {} pickups over {:.1} h ==\n",
+        persona.name(),
+        plan.pickups.len(),
+        plan.day_length_s / 3_600.0
     );
-    println!("one-time trainings performed: {trainings} (then reused from the store)");
+
+    // First boot: the store is empty, so Next trains each app exactly
+    // once, on its first pickup, then reuses the stored table.
+    let mut store = QTableStore::in_memory();
+    let next = run_day(
+        &DaySpec::new(plan.clone(), "next").with_train_budget_s(120.0),
+        &mut store,
+    );
+    let sched = run_day(&DaySpec::new(plan, "schedutil"), &mut store);
+
+    for s in next.sessions.iter().take(6) {
+        println!(
+            "[pickup {:2}] {:<12} {:5.0} s | starts at {:4.1} C | next {:.2} W, {:4.1} fps",
+            s.pickup + 1,
+            s.app,
+            s.duration_s,
+            s.start_temp_hot_c,
+            s.summary.avg_power_w,
+            s.summary.avg_fps
+        );
+    }
+    println!("...\n== day summary ==");
+    println!(
+        "screen-on time: {:.1} min across {} pickups ({:.1} h screen-off)",
+        next.screen_on_s / 60.0,
+        next.pickup_count(),
+        next.screen_off_s / 3_600.0
+    );
+    println!(
+        "one-time trainings performed: {} (then reused from the store)",
+        next.trainings
+    );
     println!(
         "energy: next {:.0} J vs schedutil {:.0} J -> {:.1} % saved over the day",
-        day_energy_next,
-        day_energy_sched,
-        (1.0 - day_energy_next / day_energy_sched) * 100.0
+        next.energy_total_j(),
+        sched.energy_total_j(),
+        (1.0 - next.energy_total_j() / sched.energy_total_j()) * 100.0
+    );
+    println!(
+        "battery: next {:.1} % vs schedutil {:.1} % of the Note 9 pack",
+        next.battery_drain_pct, sched.battery_drain_pct
     );
 }

@@ -11,20 +11,23 @@
 //!                  [--min-ratio <f>] [--workers <n>]
 //! next-sim fleet   --devices <D> --rounds <R> --seed <S> [--app <name>]
 //!                  [--round-budget <s>] [--quick] [--workers <n>] [--out <fleet.json>]
+//! next-sim day     [--persona <p,q,..>] [--governors <g,h,..>] [--seed <n>|--seeds <n,m,..>]
+//!                  [--pickups <n>] [--day-length <s>] [--train-budget <s>]
+//!                  [--platform <name>] [--quick] [--workers <n>] [--out <day.json>]
 //! next-sim apps
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use next_mpsoc::bench::{fleet as bench_fleet, json::Json, perf};
-use next_mpsoc::governors::{IntQosPm, Ondemand, Performance, Powersave, Schedutil};
+use next_mpsoc::bench::{day as bench_day, fleet as bench_fleet, json::Json, perf};
+use next_mpsoc::governors::{self, IntQosPm, Schedutil};
 use next_mpsoc::next_core::{NextAgent, NextConfig};
 use next_mpsoc::qlearn::DenseQTable;
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
 use next_mpsoc::simkit::fleet::{self, FleetConfig};
-use next_mpsoc::simkit::{sweep, Battery, PlatformPreset, StandardEvaluator, Summary};
-use next_mpsoc::workload::{apps, SessionPlan};
+use next_mpsoc::simkit::{day, sweep, Battery, PlatformPreset, StandardEvaluator, Summary};
+use next_mpsoc::workload::{apps, DayPlan, DayPlanConfig, Persona, SessionPlan};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +49,14 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&flags),
         "perf" => cmd_perf(&flags),
         "fleet" => cmd_fleet(&flags),
+        "day" => cmd_day(&flags),
+        "personas" => {
+            for &name in Persona::names() {
+                let persona = Persona::by_name(name).expect("shipped persona");
+                println!("{name}: apps=[{}]", persona.apps().join(", "));
+            }
+            Ok(())
+        }
         "apps" => {
             println!("home");
             for app in apps::all() {
@@ -101,11 +112,16 @@ USAGE:
   next-sim fleet   [--devices <D>] [--rounds <R>] [--seed <S>] [--app <name>]
                    [--round-budget <s>] [--quick] [--workers <n>] [--out <fleet.json>]
                    [--platform <name>[,<name>..]]
+  next-sim day     [--persona <p,q,..>] [--governors <g,h,..>] [--seed <n>|--seeds <n,m,..>]
+                   [--pickups <n>] [--day-length <s>] [--train-budget <s>]
+                   [--platform <name>] [--quick] [--workers <n>] [--out <day.json>]
   next-sim apps
   next-sim platforms
+  next-sim personas
 
 governors: schedutil | intqos | next | performance | powersave | ondemand
 platforms: exynos9810 (default, m=3, 9 actions) | exynos9820 (m=4, 12 actions)
+personas: gamer | socialite | commuter | reader
 
 sweep runs the full governor x app x seed grid in parallel (defaults:
 the six paper apps, schedutil+intqos+next, seed 1000, paper session
@@ -130,8 +146,18 @@ JSON artifact (--out, default stdout) is byte-identical for a fixed
 homogeneous exynos9810 fleet, v3 otherwise). --quick shortens the
 local rounds for CI smoke runs.
 
-sweep/perf/fleet accept --platform to run on a different SoC preset;
-run/train/compare always use the paper's exynos9810.";
+day simulates a whole waking day (default: 52 pickups, the paper's
+Deloitte statistic) as one continuous device: persona-driven app
+choices, Deloitte session lengths, screen-off gaps that keep the
+thermal model ticking, and per-app Q-tables trained once and reused
+(SS IV-B). Every governor replays the identical day, so the JSON
+artifact's deltas section is a true battery-day comparison (defaults:
+persona gamer, governors next+schedutil, seed 42). Byte-identical
+across --workers values. --quick compresses sessions 6x over a 2 h
+day for CI smoke runs.
+
+sweep/perf/fleet/day accept --platform to run on a different SoC
+preset; run/train/compare always use the paper's exynos9810.";
 
 type Flags = HashMap<String, String>;
 
@@ -236,17 +262,13 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     let plan = SessionPlan::single(&app, duration);
     let gov_name = flags.get("governor").map_or("schedutil", String::as_str);
 
-    let summary = match gov_name {
-        "next" => {
-            let mut agent = make_next_agent(&app, flags)?;
-            evaluate_governor(&mut agent, &plan, seed).summary
-        }
-        "schedutil" => evaluate_governor(&mut Schedutil::new(), &plan, seed).summary,
-        "intqos" => evaluate_governor(&mut IntQosPm::new(), &plan, seed).summary,
-        "performance" => evaluate_governor(&mut Performance::new(), &plan, seed).summary,
-        "powersave" => evaluate_governor(&mut Powersave::new(), &plan, seed).summary,
-        "ondemand" => evaluate_governor(&mut Ondemand::new(), &plan, seed).summary,
-        other => return Err(format!("unknown governor '{other}'")),
+    let summary = if gov_name == "next" {
+        let mut agent = make_next_agent(&app, flags)?;
+        evaluate_governor(&mut agent, &plan, seed).summary
+    } else {
+        let mut governor =
+            governors::by_name(gov_name).ok_or_else(|| format!("unknown governor '{gov_name}'"))?;
+        evaluate_governor(governor.as_mut(), &plan, seed).summary
     };
     println!("app {app}, {duration:.0} s session, seed {seed}");
     print_summary(gov_name, &summary);
@@ -271,6 +293,22 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         println!("table written to {path}");
     }
     Ok(())
+}
+
+/// Parses the comma-separated `--seeds` list, falling back to
+/// `default` when the flag is absent.
+fn parse_seeds(flags: &Flags, default: Vec<u64>) -> Result<Vec<u64>, String> {
+    match flags.get("seeds") {
+        None => Ok(default),
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("--seeds: '{s}' is not an integer"))
+            })
+            .collect(),
+    }
 }
 
 fn parse_list(flags: &Flags, name: &str, default: Vec<String>) -> Vec<String> {
@@ -306,17 +344,7 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
             return Err(format!("unknown governor '{gov}'"));
         }
     }
-    let seeds: Vec<u64> = match flags.get("seeds") {
-        None => vec![1000],
-        Some(v) => v
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse()
-                    .map_err(|_| format!("--seeds: '{s}' is not an integer"))
-            })
-            .collect::<Result<_, _>>()?,
-    };
+    let seeds = parse_seeds(flags, vec![1000])?;
     let mut duration = None;
     if flags.contains_key("duration") {
         let d = get_f64(flags, "duration", 0.0)?;
@@ -520,6 +548,126 @@ fn cmd_fleet(flags: &Flags) -> Result<(), String> {
             std::fs::write(path, format!("{text}\n"))
                 .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("fleet: wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_day(flags: &Flags) -> Result<(), String> {
+    let personas = parse_list(flags, "persona", vec!["gamer".to_owned()]);
+    for persona in &personas {
+        if Persona::by_name(persona).is_none() {
+            return Err(format!(
+                "unknown persona '{persona}' (available: {})",
+                Persona::names().join(", ")
+            ));
+        }
+    }
+    let default_governors = ["next", "schedutil"].map(str::to_owned).to_vec();
+    let governors = parse_list(flags, "governors", default_governors);
+    for gov in &governors {
+        if !StandardEvaluator::GOVERNORS.contains(&gov.as_str()) {
+            return Err(format!("unknown governor '{gov}'"));
+        }
+    }
+    let seeds = parse_seeds(flags, vec![get_u64(flags, "seed", 42)?])?;
+    let quick = flags.contains_key("quick");
+    let mut plan_cfg = if quick {
+        DayPlanConfig::quick()
+    } else {
+        DayPlanConfig::paper()
+    };
+    if flags.contains_key("pickups") {
+        let pickups = get_u64(flags, "pickups", u64::from(plan_cfg.pickups))?;
+        plan_cfg.pickups = u32::try_from(pickups).map_err(|_| "--pickups out of range")?;
+        if plan_cfg.pickups == 0 {
+            return Err("--pickups must be at least 1".to_owned());
+        }
+    }
+    if flags.contains_key("day-length") {
+        let len = get_f64(flags, "day-length", plan_cfg.day_length_s)?;
+        if !(len > 0.0 && len.is_finite()) {
+            return Err(format!("--day-length must be positive, got {len}"));
+        }
+        plan_cfg.day_length_s = len;
+    }
+    // Same feasibility rule DayPlan::generate enforces, surfaced as a
+    // usage error instead of a panic.
+    plan_cfg.validate()?;
+    let train_budget = get_f64(
+        flags,
+        "train-budget",
+        if quick {
+            120.0
+        } else {
+            StandardEvaluator::BASE_TRAIN_BUDGET_S
+        },
+    )?;
+    if !(train_budget > 0.0 && train_budget.is_finite()) {
+        return Err(format!(
+            "--train-budget must be positive, got {train_budget}"
+        ));
+    }
+    let preset = require_platform(flags)?;
+    let workers = usize::try_from(get_u64(flags, "workers", sweep::default_workers() as u64)?)
+        .map_err(|_| "--workers out of range".to_owned())?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+
+    let plans: Vec<DayPlan> = personas
+        .iter()
+        .flat_map(|persona| {
+            let persona = Persona::by_name(persona).expect("validated above");
+            seeds
+                .iter()
+                .map(move |&seed| DayPlan::generate(&persona, &plan_cfg, seed))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    eprintln!(
+        "day: {} plan(s) x {} governor(s) on {}: {} pickups over {:.1} h, {workers} workers ...",
+        plans.len(),
+        governors.len(),
+        preset.name,
+        plan_cfg.pickups,
+        plan_cfg.day_length_s / 3_600.0
+    );
+    let started = std::time::Instant::now();
+    let reports = day::run_days(&plans, &governors, &preset, 1.0, train_budget, workers);
+    eprintln!(
+        "day: finished in {:.1} s wall clock",
+        started.elapsed().as_secs_f64()
+    );
+    for report in &reports {
+        eprintln!(
+            "day: {} seed {} {:<10} | {:5.1} min screen-on over {} pickups | \
+             {:6.0} J ({:5.2} % battery) | {:4.1} fps | peak {:4.1} C",
+            report.plan.persona,
+            report.plan.seed,
+            report.governor,
+            report.screen_on_s / 60.0,
+            report.pickup_count(),
+            report.energy_total_j(),
+            report.battery_drain_pct,
+            report.avg_fps,
+            report.peak_temp_hot_c
+        );
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    let text = bench_day::days_to_json(&reports, mode).render();
+    debug_assert!(
+        bench_fleet::parse_document(&text).is_ok(),
+        "day.json must round-trip its own schema"
+    );
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{text}\n"))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("day: wrote {path}");
         }
         None => println!("{text}"),
     }
