@@ -196,7 +196,7 @@ mod tests {
         let reports = tiny_reports();
         let text = days_to_json(&reports, "test").render();
         let parsed = parse_document(&text).expect("own rendering parses");
-        assert_eq!(parsed.schema, 4);
+        assert_eq!(parsed.schema, crate::perf::SCHEMA_VERSION);
         let day = parsed.day.expect("day section present");
         let runs = day.get("runs").and_then(Json::as_array).expect("runs");
         assert_eq!(runs.len(), 2);

@@ -158,24 +158,26 @@ pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
 }
 
 /// A parsed `BENCH.json`-family document: schema v1 (perf only), v2
-/// (perf and/or fleet sections), v3 (platform-tagged) or v4 (day
-/// documents).
+/// (perf and/or fleet sections), v3 (platform-tagged), v4 (day
+/// documents) or v5 (batched tick-kernel probe).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
-    /// Declared schema version (1 through 4).
+    /// Declared schema version (1 through 5).
     pub schema: u32,
     /// The `fleet` section, when present (v2 and later).
     pub fleet: Option<Json>,
     /// The `day` section, when present (v4 and later).
     pub day: Option<Json>,
+    /// The `batch` section, when present (v5 and later).
+    pub batch: Option<Json>,
     /// The whole document tree.
     pub doc: Json,
 }
 
 /// Parses and validates a `BENCH.json` / `fleet.json` / `day.json`
 /// document: accepts schema v1 (which must not carry a `fleet`
-/// section), v2/v3 (which may), and v4 (which may also carry a `day`
-/// section).
+/// section), v2/v3 (which may), v4 (which may also carry a `day`
+/// section), and v5 (which may also carry the `batch` kernel probe).
 ///
 /// # Errors
 ///
@@ -188,7 +190,7 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
         .get("schema")
         .and_then(Json::as_f64)
         .ok_or("missing numeric 'schema' field")?;
-    if schema.fract() != 0.0 || !(1.0..=4.0).contains(&schema) {
+    if schema.fract() != 0.0 || !(1.0..=5.0).contains(&schema) {
         return Err(format!("unsupported schema version {schema}"));
     }
     let schema = schema as u32;
@@ -202,10 +204,17 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
             "schema v{schema} documents cannot carry a 'day' section"
         ));
     }
+    let batch = doc.get("batch").cloned();
+    if schema < 5 && batch.is_some() {
+        return Err(format!(
+            "schema v{schema} documents cannot carry a 'batch' section"
+        ));
+    }
     Ok(BenchDoc {
         schema,
         fleet,
         day,
+        batch,
         doc,
     })
 }
@@ -303,7 +312,7 @@ mod tests {
             "missing schema"
         );
         assert!(
-            parse_document("{\"schema\":5}").is_err(),
+            parse_document("{\"schema\":6}").is_err(),
             "future schema rejected"
         );
         assert!(
@@ -318,5 +327,12 @@ mod tests {
         let v4 = parse_document("{\"schema\":4,\"day\":{}}").expect("v4 day document");
         assert_eq!(v4.schema, 4);
         assert!(v4.day.is_some());
+        assert!(
+            parse_document("{\"schema\":4,\"batch\":{}}").is_err(),
+            "batch sections need schema v5"
+        );
+        let v5 = parse_document("{\"schema\":5,\"batch\":{}}").expect("v5 batch document");
+        assert_eq!(v5.schema, 5);
+        assert!(v5.batch.is_some());
     }
 }

@@ -14,10 +14,14 @@
 
 use std::time::Instant;
 
+use mpsoc::perf::FrameDemand;
+use mpsoc::soc::Soc;
+use mpsoc::SocBatch;
 use next_core::NextConfig;
 use qlearn::{QLearning, QStore, QTable};
 use simkit::sweep::{self, StandardEvaluator, SweepCell};
 use simkit::{Engine, PlatformPreset, Summary};
+use workload::{SessionPlan, SessionSim};
 
 use crate::json::Json;
 
@@ -25,11 +29,13 @@ use crate::json::Json;
 /// when a field changes meaning; additions are backwards-compatible.
 /// v2 added the optional `fleet` section (`next-sim fleet`) and the
 /// federated merge probe; v3 added the `platform` field (the preset
-/// the grid ran on) and per-platform fleet sections; v4 adds the `day`
-/// section (`next-sim day` battery-day documents).
+/// the grid ran on) and per-platform fleet sections; v4 added the `day`
+/// section (`next-sim day` battery-day documents); v5 adds the `batch`
+/// section — the structure-of-arrays tick-kernel throughput probe and
+/// its `device_days_per_sec` metric.
 /// [`crate::fleet::parse_document`] still accepts every earlier
 /// version.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Configuration of one perf-harness run.
 #[derive(Debug, Clone)]
@@ -53,6 +59,8 @@ pub struct PerfConfig {
     pub workers: usize,
     /// States populated in the Q-table backend microbenchmark.
     pub probe_states: usize,
+    /// Device lanes of the batched tick-kernel probe.
+    pub batch_width: usize,
 }
 
 impl PerfConfig {
@@ -70,6 +78,10 @@ impl PerfConfig {
             train_budget_s: 120.0,
             workers: sweep::default_workers(),
             probe_states: 20_000,
+            // Half a fleet round: comfortably past the width where the
+            // lane-contiguous arrays amortise the shared per-tick
+            // costs, while keeping the probe in the milliseconds.
+            batch_width: 64,
         }
     }
 
@@ -90,6 +102,7 @@ impl PerfConfig {
             train_budget_s: 300.0,
             workers: sweep::default_workers(),
             probe_states: 100_000,
+            batch_width: 64,
         }
     }
 }
@@ -159,6 +172,142 @@ impl MergeProbe {
     }
 }
 
+/// Throughput probe of the structure-of-arrays tick kernel: the same
+/// cohort of devices replaying the same pre-computed frame-demand
+/// traces, once through [`SocBatch::tick`] (all lanes per step) and
+/// once through scalar [`Soc::tick`] one device at a time. Both paths
+/// must land on bit-identical final states — the probe asserts it — so
+/// the wall-clock ratio is a pure kernel-layout measurement.
+#[derive(Debug, Clone)]
+pub struct BatchProbe {
+    /// Device lanes stepped in lockstep.
+    pub width: usize,
+    /// Simulated seconds per device.
+    pub duration_s: f64,
+    /// 25 ms ticks per device.
+    pub ticks: u64,
+    /// Best-of-three wall-clock seconds for the batched kernel.
+    pub batched_wall_s: f64,
+    /// Best-of-three wall-clock seconds stepping devices one at a time.
+    pub sequential_wall_s: f64,
+    /// Simulated device-days per wall-clock second, batched. This is
+    /// the number the CI floor gates on.
+    pub device_days_per_sec: f64,
+    /// Simulated device-days per wall-clock second, one at a time.
+    pub sequential_device_days_per_sec: f64,
+}
+
+impl BatchProbe {
+    /// How much faster the batched kernel stepped the cohort
+    /// (`sequential wall / batched wall`).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.batched_wall_s > 0.0 {
+            self.sequential_wall_s / self.batched_wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Runs the batched-kernel throughput probe: `width` devices running
+/// `apps` round-robin (seeds `1000 + lane`) for `duration_s` simulated
+/// seconds on `preset`'s SoC, with the in-SoC utilization governor as
+/// the only control loop. Demand traces are generated **outside** the
+/// timed region and shared by both paths, so the probe times the
+/// physics kernel, not the workload model.
+///
+/// # Panics
+///
+/// Panics on unknown app names, on a zero `width`, or if the batched
+/// cohort diverges bit-wise from the scalar devices (which would be a
+/// kernel bug, not a measurement artifact).
+#[must_use]
+pub fn probe_batch(
+    width: usize,
+    duration_s: f64,
+    apps: &[String],
+    preset: &PlatformPreset,
+) -> BatchProbe {
+    assert!(width > 0, "batch probe needs at least one lane");
+    let engine = Engine::new();
+    let dt = engine.tick_s();
+    let ticks = engine.ticks_for(duration_s);
+    #[allow(clippy::cast_possible_truncation)]
+    let n_ticks = ticks as usize;
+
+    // Tick-major demand traces: demands[t][lane].
+    let mut demands: Vec<Vec<FrameDemand>> = vec![Vec::with_capacity(width); n_ticks];
+    for lane in 0..width {
+        let app = &apps[lane % apps.len()];
+        let plan = SessionPlan::single(app, duration_s);
+        let mut session = SessionSim::new(plan, 1000 + lane as u64);
+        for row in &mut demands {
+            row.push(session.advance(dt));
+        }
+    }
+
+    // Best-of-N wall clock on both paths: a pass is milliseconds, so
+    // scheduler noise only ever inflates a measurement and the minimum
+    // is the robust estimate of the true cost. The passes alternate
+    // batched/sequential so clock-speed drift across the probe (turbo
+    // decay, thermal throttling of the host) hits both paths alike
+    // instead of biasing their ratio.
+    let passes = 5;
+    let config = &preset.soc;
+    let mut batched_wall_s = f64::INFINITY;
+    let mut sequential_wall_s = f64::INFINITY;
+    let mut batch = SocBatch::replicate(config, width).expect("preset SoC config is valid");
+    let mut socs: Vec<Soc> = Vec::new();
+    for _ in 0..passes {
+        batch = SocBatch::replicate(config, width).expect("preset SoC config is valid");
+        let started = Instant::now();
+        for row in &demands {
+            batch.tick(dt, row);
+        }
+        batched_wall_s = batched_wall_s.min(started.elapsed().as_secs_f64());
+
+        socs = (0..width).map(|_| Soc::new(config.clone())).collect();
+        let started = Instant::now();
+        for (lane, soc) in socs.iter_mut().enumerate() {
+            for row in &demands {
+                soc.tick(dt, &row[lane]);
+            }
+        }
+        sequential_wall_s = sequential_wall_s.min(started.elapsed().as_secs_f64());
+    }
+
+    // The probe doubles as an end-to-end equivalence check on real
+    // workload traces: batching must be unobservable.
+    for (lane, soc) in socs.iter().enumerate() {
+        assert!(
+            batch.state(lane) == soc.state(),
+            "batched lane {lane} diverged from its scalar device"
+        );
+    }
+
+    let device_days = width as f64 * duration_s / SECONDS_PER_DAY;
+    BatchProbe {
+        width,
+        duration_s,
+        ticks,
+        batched_wall_s,
+        sequential_wall_s,
+        device_days_per_sec: if batched_wall_s > 0.0 {
+            device_days / batched_wall_s
+        } else {
+            0.0
+        },
+        sequential_device_days_per_sec: if sequential_wall_s > 0.0 {
+            device_days / sequential_wall_s
+        } else {
+            0.0
+        },
+    }
+}
+
 /// A finished perf run, renderable as `BENCH.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -174,6 +323,8 @@ pub struct PerfReport {
     pub probes: Vec<BackendProbe>,
     /// Federated merge throughput probe (fleet cloud path).
     pub merge: MergeProbe,
+    /// Batched tick-kernel throughput probe (`device_days_per_sec`).
+    pub batch: BatchProbe,
 }
 
 /// Wall-clock period of governor `name`, seconds.
@@ -209,8 +360,12 @@ pub fn run(config: &PerfConfig) -> PerfReport {
     );
 
     let train_started = Instant::now();
-    let evaluator =
-        StandardEvaluator::prepare_on(&cells, config.train_budget_s, config.workers, preset);
+    let evaluator = StandardEvaluator::prepare_on(
+        &cells,
+        config.train_budget_s,
+        config.workers,
+        preset.clone(),
+    );
     let train_wall_s = train_started.elapsed().as_secs_f64();
 
     let grid_started = Instant::now();
@@ -258,6 +413,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         16,
         probe_actions,
     );
+    let batch = probe_batch(config.batch_width, config.duration_s, &config.apps, &preset);
 
     PerfReport {
         config: config.clone(),
@@ -266,6 +422,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         cells,
         probes,
         merge,
+        batch,
     }
 }
 
@@ -422,6 +579,7 @@ pub fn probe_backends(states: usize, actions: usize) -> Vec<BackendProbe> {
 impl PerfReport {
     /// The `BENCH.json` document.
     #[must_use]
+    #[allow(clippy::too_many_lines)]
     pub fn to_json(&self) -> Json {
         let cfg = &self.config;
         let grid = Json::Obj(vec![
@@ -485,6 +643,28 @@ impl PerfReport {
             ("streaming_ns".into(), Json::num(self.merge.streaming_ns)),
             ("speedup".into(), Json::num(self.merge.speedup())),
         ]);
+        let batch = Json::Obj(vec![
+            ("width".into(), Json::num(self.batch.width as f64)),
+            ("duration_s".into(), Json::num(self.batch.duration_s)),
+            ("ticks".into(), Json::num(self.batch.ticks as f64)),
+            (
+                "batched_wall_s".into(),
+                Json::num(self.batch.batched_wall_s),
+            ),
+            (
+                "sequential_wall_s".into(),
+                Json::num(self.batch.sequential_wall_s),
+            ),
+            (
+                "device_days_per_sec".into(),
+                Json::num(self.batch.device_days_per_sec),
+            ),
+            (
+                "sequential_device_days_per_sec".into(),
+                Json::num(self.batch.sequential_device_days_per_sec),
+            ),
+            ("speedup".into(), Json::num(self.batch.speedup())),
+        ]);
         Json::Obj(vec![
             ("schema".into(), Json::num(f64::from(SCHEMA_VERSION))),
             ("harness".into(), Json::str("next-sim perf")),
@@ -511,6 +691,7 @@ impl PerfReport {
             ("qtable".into(), Json::Arr(probes)),
             ("dense_speedup".into(), dense_speedup),
             ("merge".into(), merge),
+            ("batch".into(), batch),
         ])
     }
 
@@ -526,8 +707,133 @@ impl PerfReport {
     }
 }
 
-/// Applies the CI throughput floor: the report's aggregate ticks/sec
-/// must reach `min_ratio` of the baseline's `ticks_per_sec`.
+/// Why the CI performance gate could not pass: every way the gate math
+/// can go wrong is its own variant, so callers (and CI logs) can tell a
+/// broken baseline from a genuine regression. Nothing in the gate
+/// panics or silently coerces to 0 any more.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// The baseline file is not parseable JSON.
+    BaselineUnreadable(String),
+    /// The baseline lacks the named numeric metric.
+    MissingMetric(&'static str),
+    /// The baseline metric is NaN or infinite.
+    NonFiniteMetric {
+        /// The offending baseline field.
+        metric: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// The baseline metric is zero or negative — a floor of nothing.
+    NonPositiveMetric {
+        /// The offending baseline field.
+        metric: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// The report's own measurement is empty or non-finite (e.g. a
+    /// zero-wall-clock grid), so no ratio can be formed.
+    EmptyMeasurement(&'static str),
+    /// The measurement is sound but fell below the floor.
+    FloorViolated {
+        /// The gated metric.
+        metric: &'static str,
+        /// What the report measured.
+        measured: f64,
+        /// The floor it had to reach (`min_ratio` × baseline).
+        floor: f64,
+        /// The configured ratio.
+        min_ratio: f64,
+        /// The baseline value the floor derives from.
+        baseline: f64,
+    },
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::BaselineUnreadable(e) => write!(f, "baseline: {e}"),
+            GateError::MissingMetric(metric) => {
+                write!(f, "baseline: missing numeric '{metric}'")
+            }
+            GateError::NonFiniteMetric { metric, value } => {
+                write!(f, "baseline: '{metric}' must be finite, got {value}")
+            }
+            GateError::NonPositiveMetric { metric, value } => {
+                write!(f, "baseline: '{metric}' must be positive, got {value}")
+            }
+            GateError::EmptyMeasurement(metric) => {
+                write!(
+                    f,
+                    "report measured no usable '{metric}' (empty or zero-wall run)"
+                )
+            }
+            GateError::FloorViolated {
+                metric,
+                measured,
+                floor,
+                min_ratio,
+                baseline,
+            } => write!(
+                f,
+                "{metric} {measured:.0} fell below the floor {floor:.0} \
+                 (= {min_ratio} x baseline {baseline:.0})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// Reads the named numeric metric out of the baseline document,
+/// classifying every failure mode.
+fn baseline_metric(baseline: &Json, metric: &'static str) -> Result<f64, GateError> {
+    let value = baseline
+        .get(metric)
+        .and_then(Json::as_f64)
+        .ok_or(GateError::MissingMetric(metric))?;
+    if !value.is_finite() {
+        return Err(GateError::NonFiniteMetric { metric, value });
+    }
+    if value <= 0.0 {
+        return Err(GateError::NonPositiveMetric { metric, value });
+    }
+    Ok(value)
+}
+
+/// Gates one measured metric against `min_ratio` × its baseline,
+/// returning the human-readable pass line.
+fn gate_metric(
+    metric: &'static str,
+    measured: f64,
+    baseline: f64,
+    min_ratio: f64,
+) -> Result<String, GateError> {
+    if !measured.is_finite() || measured <= 0.0 {
+        return Err(GateError::EmptyMeasurement(metric));
+    }
+    let floor = baseline * min_ratio;
+    if measured < floor {
+        return Err(GateError::FloorViolated {
+            metric,
+            measured,
+            floor,
+            min_ratio,
+            baseline,
+        });
+    }
+    Ok(format!(
+        "{metric} {measured:.0} >= floor {floor:.0} ({:.1}x the gated minimum)",
+        measured / floor
+    ))
+}
+
+/// Applies the CI performance floors: the report's aggregate ticks/sec
+/// must reach `min_ratio` of the baseline's `ticks_per_sec`, and — when
+/// the baseline carries a `device_days_per_sec` entry — the batched
+/// tick-kernel probe must reach `min_ratio` of that too (older
+/// baselines without the field skip the batch gate, keeping the checker
+/// backward-accepting like [`crate::fleet::parse_document`]).
 ///
 /// `baseline_text` is the checked-in baseline JSON (see
 /// `ci/perf-baseline.json`); it needs a top-level numeric
@@ -535,34 +841,35 @@ impl PerfReport {
 ///
 /// # Errors
 ///
-/// Returns a human-readable description when the baseline cannot be
-/// read or the floor is violated.
+/// Returns a typed [`GateError`] — distinguishing an unreadable or
+/// degenerate baseline from a genuine floor violation — which renders
+/// as the human-readable gate message via `Display`.
 pub fn check_floor(
     report: &PerfReport,
     baseline_text: &str,
     min_ratio: f64,
-) -> Result<String, String> {
-    let baseline = Json::parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
-    let base_tps = baseline
-        .get("ticks_per_sec")
-        .and_then(Json::as_f64)
-        .ok_or("baseline: missing numeric 'ticks_per_sec'")?;
-    if base_tps <= 0.0 || base_tps.is_nan() {
-        return Err("baseline: 'ticks_per_sec' must be positive".to_owned());
+) -> Result<String, GateError> {
+    let baseline =
+        Json::parse(baseline_text).map_err(|e| GateError::BaselineUnreadable(e.to_string()))?;
+    let base_tps = baseline_metric(&baseline, "ticks_per_sec")?;
+    let mut verdict = gate_metric(
+        "ticks_per_sec",
+        throughput_ticks_per_sec(report),
+        base_tps,
+        min_ratio,
+    )?;
+    if baseline.get("device_days_per_sec").is_some() {
+        let base_ddps = baseline_metric(&baseline, "device_days_per_sec")?;
+        let line = gate_metric(
+            "device_days_per_sec",
+            report.batch.device_days_per_sec,
+            base_ddps,
+            min_ratio,
+        )?;
+        verdict.push_str("; ");
+        verdict.push_str(&line);
     }
-    let measured = throughput_ticks_per_sec(report);
-    let floor = base_tps * min_ratio;
-    if measured < floor {
-        return Err(format!(
-            "throughput {measured:.0} ticks/s fell below the floor {floor:.0} ticks/s \
-             (= {min_ratio} x baseline {base_tps:.0})",
-        ));
-    }
-    Ok(format!(
-        "throughput {measured:.0} ticks/s >= floor {floor:.0} ticks/s \
-         ({:.1}x the gated minimum)",
-        measured / floor
-    ))
+    Ok(verdict)
 }
 
 #[cfg(test)]
@@ -580,6 +887,7 @@ mod tests {
             train_budget_s: 10.0,
             workers: 2,
             probe_states: 500,
+            batch_width: 4,
         }
     }
 
@@ -589,7 +897,7 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         let text = report.to_json().render();
         let doc = Json::parse(&text).expect("BENCH.json must be valid JSON");
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(5.0));
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("test"));
         assert_eq!(
             doc.get("platform").and_then(Json::as_str),
@@ -631,6 +939,40 @@ mod tests {
         let merge = doc.get("merge").expect("merge probe section");
         assert_eq!(merge.get("tables").and_then(Json::as_f64), Some(16.0));
         assert!(merge.get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        let batch = doc.get("batch").expect("batch probe section");
+        assert_eq!(batch.get("width").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(batch.get("ticks").and_then(Json::as_f64), Some(200.0));
+        assert!(
+            batch
+                .get("device_days_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(
+            batch
+                .get("sequential_device_days_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(batch.get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn batch_probe_measures_and_matches_scalar() {
+        // The probe itself asserts per-lane bit-equality with the
+        // scalar devices, so reaching the return value at all is the
+        // equivalence check; here we verify the accounting.
+        let apps = vec!["facebook".to_owned(), "youtube".to_owned()];
+        let preset = PlatformPreset::by_name("exynos9820").unwrap();
+        let probe = probe_batch(3, 10.0, &apps, &preset);
+        assert_eq!(probe.width, 3);
+        assert_eq!(probe.ticks, 400);
+        assert!(probe.batched_wall_s > 0.0 && probe.sequential_wall_s > 0.0);
+        assert!(probe.device_days_per_sec > 0.0);
+        assert!(probe.sequential_device_days_per_sec > 0.0);
+        assert!(probe.speedup() > 0.0);
     }
 
     #[test]
@@ -666,9 +1008,166 @@ mod tests {
         let generous = format!("{{\"ticks_per_sec\": {}}}", tps / 10.0);
         assert!(check_floor(&report, &generous, 0.5).is_ok());
         let impossible = format!("{{\"ticks_per_sec\": {}}}", tps * 1e6);
-        assert!(check_floor(&report, &impossible, 0.5).is_err());
-        assert!(check_floor(&report, "not json", 0.5).is_err());
-        assert!(check_floor(&report, "{}", 0.5).is_err());
+        assert!(matches!(
+            check_floor(&report, &impossible, 0.5),
+            Err(GateError::FloorViolated {
+                metric: "ticks_per_sec",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn floor_check_gates_device_days_when_baseline_carries_it() {
+        let report = run(&tiny_config());
+        let tps = throughput_ticks_per_sec(&report);
+        let ddps = report.batch.device_days_per_sec;
+        assert!(ddps > 0.0);
+        let both_pass = format!(
+            "{{\"ticks_per_sec\": {}, \"device_days_per_sec\": {}}}",
+            tps / 10.0,
+            ddps / 10.0
+        );
+        let verdict = check_floor(&report, &both_pass, 0.5).expect("both gates pass");
+        assert!(verdict.contains("device_days_per_sec"));
+        let batch_fails = format!(
+            "{{\"ticks_per_sec\": {}, \"device_days_per_sec\": {}}}",
+            tps / 10.0,
+            ddps * 1e6
+        );
+        assert!(matches!(
+            check_floor(&report, &batch_fails, 0.5),
+            Err(GateError::FloorViolated {
+                metric: "device_days_per_sec",
+                ..
+            })
+        ));
+        // Older baselines without the field skip the batch gate.
+        let legacy = format!("{{\"ticks_per_sec\": {}}}", tps / 10.0);
+        let verdict = check_floor(&report, &legacy, 0.5).expect("legacy baseline passes");
+        assert!(!verdict.contains("device_days_per_sec"));
+    }
+
+    #[test]
+    fn gate_error_on_unreadable_baseline() {
+        let report = run(&tiny_config());
+        assert!(matches!(
+            check_floor(&report, "not json", 0.5),
+            Err(GateError::BaselineUnreadable(_))
+        ));
+    }
+
+    #[test]
+    fn gate_error_on_missing_metric() {
+        let report = run(&tiny_config());
+        assert_eq!(
+            check_floor(&report, "{}", 0.5),
+            Err(GateError::MissingMetric("ticks_per_sec"))
+        );
+        // A non-numeric field is "missing" as a metric too.
+        assert_eq!(
+            check_floor(&report, "{\"ticks_per_sec\": \"fast\"}", 0.5),
+            Err(GateError::MissingMetric("ticks_per_sec"))
+        );
+    }
+
+    #[test]
+    fn gate_error_on_non_finite_metric() {
+        // `Json::parse` refuses non-finite literals outright (that
+        // path is `BaselineUnreadable`), so exercise the gate math on
+        // a programmatically-built document.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let baseline = Json::Obj(vec![("ticks_per_sec".into(), Json::Num(bad))]);
+            let err = baseline_metric(&baseline, "ticks_per_sec").unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    GateError::NonFiniteMetric {
+                        metric: "ticks_per_sec",
+                        ..
+                    }
+                ),
+                "baseline {bad} gave {err:?}"
+            );
+        }
+        // Through the text path an overflowing literal is unreadable,
+        // never a silent infinity.
+        let report = run(&tiny_config());
+        let inf = format!("{{\"ticks_per_sec\": 1{}}}", "0".repeat(400));
+        assert!(matches!(
+            check_floor(&report, &inf, 0.5),
+            Err(GateError::BaselineUnreadable(_))
+        ));
+    }
+
+    #[test]
+    fn gate_error_on_non_positive_metric() {
+        let report = run(&tiny_config());
+        for bad in ["0", "-125000"] {
+            let text = format!("{{\"ticks_per_sec\": {bad}}}");
+            assert!(
+                matches!(
+                    check_floor(&report, &text, 0.5),
+                    Err(GateError::NonPositiveMetric {
+                        metric: "ticks_per_sec",
+                        ..
+                    })
+                ),
+                "baseline {bad} must be rejected as non-positive"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_error_on_empty_measurement() {
+        let mut report = run(&tiny_config());
+        // A zero-wall grid used to gate as a silent throughput of 0;
+        // now it is its own typed error.
+        report.grid_wall_s = 0.0;
+        assert_eq!(
+            check_floor(&report, "{\"ticks_per_sec\": 1000}", 0.5),
+            Err(GateError::EmptyMeasurement("ticks_per_sec"))
+        );
+    }
+
+    #[test]
+    fn gate_errors_render_via_display() {
+        let cases: Vec<(GateError, &str)> = vec![
+            (
+                GateError::BaselineUnreadable("bad token".into()),
+                "baseline",
+            ),
+            (GateError::MissingMetric("ticks_per_sec"), "missing"),
+            (
+                GateError::NonFiniteMetric {
+                    metric: "ticks_per_sec",
+                    value: f64::INFINITY,
+                },
+                "finite",
+            ),
+            (
+                GateError::NonPositiveMetric {
+                    metric: "device_days_per_sec",
+                    value: -1.0,
+                },
+                "positive",
+            ),
+            (GateError::EmptyMeasurement("ticks_per_sec"), "no usable"),
+            (
+                GateError::FloorViolated {
+                    metric: "ticks_per_sec",
+                    measured: 10.0,
+                    floor: 100.0,
+                    min_ratio: 0.5,
+                    baseline: 200.0,
+                },
+                "below the floor",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = format!("{err}");
+            assert!(text.contains(needle), "{text:?} lacks {needle:?}");
+        }
     }
 
     #[test]

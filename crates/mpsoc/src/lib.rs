@@ -25,7 +25,10 @@
 //! * [`dvfs`] — domain-wise DVFS control (`minfreq`/`maxfreq` caps, as a
 //!   governor in the Android application layer would set them),
 //! * [`soc`] — the assembled system-on-chip with a `tick(dt)` simulation
-//!   step.
+//!   step,
+//! * [`batch`] — a structure-of-arrays batch of SoCs stepped in
+//!   lockstep through the same physics kernel (bit-identical to the
+//!   scalar path, lane loops vectorizable).
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dvfs;
 pub mod freq;
 pub mod perf;
@@ -59,6 +63,7 @@ pub mod vsync;
 
 mod error;
 
+pub use batch::SocBatch;
 pub use dvfs::DvfsController;
 pub use error::Error;
 pub use freq::{FreqDomain, KiloHertz, Opp, OppTable};

@@ -178,14 +178,30 @@ pub fn plan(demand: &FrameDemand, opps: &[Opp], platform: &Platform) -> Executio
     let mut background_util = PerDomain::new(n);
     let mut frame_util_per_fps = PerDomain::new(n);
     let mut saturated = false;
+    // The serialised per-role stage sums accumulate in the same single
+    // pass (identical values in identical domain order, so the result
+    // is bit-for-bit what a separate summation loop would produce).
+    let mut cpu = 0.0f64;
+    let mut gpu = 0.0f64;
     for (i, spec) in platform.domains().iter().enumerate() {
         let f = opps[i].freq_hz();
         let share = spec.channel_share;
         let bg = (demand.background_hz[spec.channel.index()] * share).max(0.0);
-        background_util[i] = if f > 0.0 { (bg / f).min(1.0) } else { 1.0 };
+        // Zero numerators skip their division: `0.0 / f` is exactly
+        // `+0.0` for every `f > 0`, so the branch is unobservable and
+        // idle channels (most of a typical demand) avoid the divider.
+        background_util[i] = if f > 0.0 {
+            if bg > 0.0 {
+                (bg / f).min(1.0)
+            } else {
+                0.0
+            }
+        } else {
+            1.0
+        };
         let headroom_hz = (f - bg).max(0.0);
         let cycles = (demand.frame_cycles[spec.channel.index()] * share).max(0.0);
-        if f > 0.0 {
+        if f > 0.0 && cycles > 0.0 {
             frame_util_per_fps[i] = cycles / f;
         }
         if cycles > 0.0 {
@@ -195,18 +211,14 @@ pub fn plan(demand: &FrameDemand, opps: &[Opp], platform: &Platform) -> Executio
                 stage_time_s[i] = cycles / headroom_hz;
             }
         }
+        match spec.role {
+            DomainRole::Cpu => cpu += stage_time_s[i],
+            DomainRole::Gpu => gpu += stage_time_s[i],
+        }
     }
     let frame_period_s = if demand.is_frameless() || saturated {
         None
     } else {
-        let mut cpu = 0.0f64;
-        let mut gpu = 0.0f64;
-        for (i, spec) in platform.domains().iter().enumerate() {
-            match spec.role {
-                DomainRole::Cpu => cpu += stage_time_s[i],
-                DomainRole::Gpu => gpu += stage_time_s[i],
-            }
-        }
         let mut period = cpu.max(gpu).max(1e-9);
         if demand.pacing_hz > 0.0 {
             period = period.max(1.0 / demand.pacing_hz);

@@ -13,7 +13,8 @@ use crate::platform::{DomainId, PerDomain, Platform};
 
 /// Power model parameters for one DVFS domain. The domain's identity is
 /// positional: models live in platform order inside a [`PowerModel`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The `Default` model is all-zero (no dynamic or leakage power).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DomainPowerModel {
     /// Effective switched capacitance in farads.
     ceff_f: f64,

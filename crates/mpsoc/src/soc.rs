@@ -165,7 +165,7 @@ pub struct TickOutput {
 /// Instantaneous per-tick rates quantise to multiples of the tick/VSync
 /// ratio (e.g. 40/80 FPS at 25 ms ticks); half a second of history is
 /// what Android's frame-rate instrumentation effectively reports.
-const FPS_WINDOW_S: f64 = 0.5;
+pub(crate) const FPS_WINDOW_S: f64 = 0.5;
 
 /// The simulated SoC platform.
 #[derive(Debug, Clone)]

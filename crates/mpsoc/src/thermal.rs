@@ -235,7 +235,7 @@ impl ThermalConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.nodes.is_empty() {
             return Err(Error::InvalidConfig(
                 "thermal network has no nodes".to_owned(),
@@ -284,6 +284,84 @@ impl ThermalConfig {
     }
 }
 
+/// Largest forward-Euler step that keeps every node of `config` stable,
+/// in seconds. Stability requires `dt < C_i / ΣG_i` for every node; this
+/// returns half of the tightest bound.
+pub(crate) fn max_stable_dt(config: &ThermalConfig) -> f64 {
+    let mut max_stable_dt_s = f64::INFINITY;
+    for (i, n) in config.nodes.iter().enumerate() {
+        let mut g_sum = n.to_ambient_w_per_k;
+        for e in &config.edges {
+            if e.a == i || e.b == i {
+                g_sum += e.conductance_w_per_k;
+            }
+        }
+        if g_sum > 0.0 {
+            max_stable_dt_s = max_stable_dt_s.min(0.5 * n.capacitance_j_per_k / g_sum);
+        }
+    }
+    max_stable_dt_s
+}
+
+/// The width-parameterised forward-Euler kernel: advances `width` lanes
+/// sharing one network *structure* (nodes/edges) by `dt_s` seconds.
+///
+/// `temps_c`, `power_w` and the `flux` scratch are node-major,
+/// lane-contiguous arrays indexed `node * width + lane`; `ambient_c` has
+/// one entry per lane (ambient may differ across lanes — fleet bins).
+/// Power entries beyond the array are treated as zero, matching the
+/// scalar contract.
+///
+/// Every lane performs exactly the floating-point operation sequence of
+/// the width-1 path, in the same order — batching is a pure interleaving
+/// across lanes and is bit-invisible in the results. This is the single
+/// physics implementation behind both [`ThermalNetwork::step`] (width 1)
+/// and [`crate::batch::SocBatch`] (width N).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_lanes(
+    config: &ThermalConfig,
+    max_stable_dt_s: f64,
+    width: usize,
+    temps_c: &mut [f64],
+    power_w: &[f64],
+    ambient_c: &[f64],
+    flux: &mut [f64],
+    dt_s: f64,
+) {
+    if dt_s <= 0.0 {
+        return;
+    }
+    let steps = (dt_s / max_stable_dt_s).ceil().max(1.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let steps_usize = if steps.is_finite() { steps as usize } else { 1 };
+    let h = dt_s / steps;
+    for _ in 0..steps_usize {
+        flux.fill(0.0);
+        for (i, node) in config.nodes.iter().enumerate() {
+            let base = i * width;
+            for (lane, &lane_ambient) in ambient_c.iter().enumerate().take(width) {
+                let f = &mut flux[base + lane];
+                *f += power_w.get(base + lane).copied().unwrap_or(0.0);
+                *f -= node.to_ambient_w_per_k * (temps_c[base + lane] - lane_ambient);
+            }
+        }
+        for e in &config.edges {
+            let (a, b) = (e.a * width, e.b * width);
+            for lane in 0..width {
+                let q = e.conductance_w_per_k * (temps_c[a + lane] - temps_c[b + lane]);
+                flux[a + lane] -= q;
+                flux[b + lane] += q;
+            }
+        }
+        for (i, node) in config.nodes.iter().enumerate() {
+            let base = i * width;
+            for lane in 0..width {
+                temps_c[base + lane] += h * flux[base + lane] / node.capacitance_j_per_k;
+            }
+        }
+    }
+}
+
 /// The integrable thermal network.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThermalNetwork {
@@ -304,20 +382,7 @@ impl ThermalNetwork {
     pub fn new(config: ThermalConfig) -> Result<Self> {
         config.validate()?;
         let temps_c = vec![config.ambient_c; config.nodes.len()];
-        // Stability of forward Euler requires dt < C_i / ΣG_i for every
-        // node; use half of the tightest bound.
-        let mut max_stable_dt_s = f64::INFINITY;
-        for (i, n) in config.nodes.iter().enumerate() {
-            let mut g_sum = n.to_ambient_w_per_k;
-            for e in &config.edges {
-                if e.a == i || e.b == i {
-                    g_sum += e.conductance_w_per_k;
-                }
-            }
-            if g_sum > 0.0 {
-                max_stable_dt_s = max_stable_dt_s.min(0.5 * n.capacitance_j_per_k / g_sum);
-            }
-        }
+        let max_stable_dt_s = max_stable_dt(&config);
         Ok(ThermalNetwork {
             config,
             temps_c,
@@ -368,33 +433,24 @@ impl ThermalNetwork {
     /// injected into node `i`. Powers beyond the node count are ignored;
     /// missing entries are treated as zero.
     ///
-    /// Sub-steps internally, so any `dt_s ≥ 0` is stable.
+    /// Sub-steps internally, so any `dt_s ≥ 0` is stable. This is the
+    /// width-1 view over `step_lanes`, the shared batched kernel.
     pub fn step(&mut self, power_w: &[f64], dt_s: f64) {
         if dt_s <= 0.0 {
             return;
         }
-        let steps = (dt_s / self.max_stable_dt_s).ceil().max(1.0);
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let steps_usize = if steps.is_finite() { steps as usize } else { 1 };
-        let h = dt_s / steps;
-        let n = self.config.nodes.len();
-        let mut flux = vec![0.0f64; n];
-        for _ in 0..steps_usize {
-            flux.fill(0.0);
-            for (i, node) in self.config.nodes.iter().enumerate() {
-                let f = &mut flux[i];
-                *f += power_w.get(i).copied().unwrap_or(0.0);
-                *f -= node.to_ambient_w_per_k * (self.temps_c[i] - self.config.ambient_c);
-            }
-            for e in &self.config.edges {
-                let q = e.conductance_w_per_k * (self.temps_c[e.a] - self.temps_c[e.b]);
-                flux[e.a] -= q;
-                flux[e.b] += q;
-            }
-            for ((t, f), node) in self.temps_c.iter_mut().zip(&flux).zip(&self.config.nodes) {
-                *t += h * f / node.capacitance_j_per_k;
-            }
-        }
+        let mut flux = vec![0.0f64; self.config.nodes.len()];
+        let ambient = [self.config.ambient_c];
+        step_lanes(
+            &self.config,
+            self.max_stable_dt_s,
+            1,
+            &mut self.temps_c,
+            power_w,
+            &ambient,
+            &mut flux,
+            dt_s,
+        );
     }
 
     /// Board/battery sensor reading, °C.

@@ -66,6 +66,28 @@ impl Default for ThrottleConfig {
     }
 }
 
+/// One control-interval clamp transition for a single domain: step down
+/// one OPP above `trip_c`, relax one OPP below `trip_c − hysteresis_c`
+/// (never past `top`), hold inside the hysteresis band.
+///
+/// The single transition rule behind both [`Throttler::update`]
+/// (width 1) and the batched kernel's per-lane throttle loop.
+pub(crate) fn clamp_transition(
+    clamp: usize,
+    top: usize,
+    trip_c: f64,
+    hysteresis_c: f64,
+    temp_c: f64,
+) -> usize {
+    if temp_c > trip_c {
+        clamp.saturating_sub(1)
+    } else if temp_c < trip_c - hysteresis_c {
+        (clamp + 1).min(top)
+    } else {
+        clamp
+    }
+}
+
 /// Stateful per-domain thermal clamp.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Throttler {
@@ -116,11 +138,13 @@ impl Throttler {
         }
         for (i, &temp) in die_temps_c.iter().enumerate().take(self.clamp_level.len()) {
             let trip = self.config.trip_c.get(i).copied().unwrap_or(f64::INFINITY);
-            if temp > trip {
-                self.clamp_level[i] = self.clamp_level[i].saturating_sub(1);
-            } else if temp < trip - self.config.hysteresis_c {
-                self.clamp_level[i] = (self.clamp_level[i] + 1).min(self.top_level[i]);
-            }
+            self.clamp_level[i] = clamp_transition(
+                self.clamp_level[i],
+                self.top_level[i],
+                trip,
+                self.config.hysteresis_c,
+                temp,
+            );
         }
         self.clamp_level
     }

@@ -35,12 +35,13 @@ use std::collections::BTreeMap;
 
 use governors::Governor;
 use mpsoc::perf::FrameDemand;
-use mpsoc::soc::Soc;
+use mpsoc::SocBatch;
 use next_core::ppdw::ppdw;
 use next_core::{NextAgent, QTableStore};
 use qlearn::DenseQTable;
-use workload::{DayPlan, SessionPlan, SessionSim};
+use workload::{idle_demand, DayPlan, SessionPlan, SessionSim};
 
+use crate::batch::BatchLane;
 use crate::engine::{Engine, RunOutcome};
 use crate::metrics::{Battery, Summary, Trace};
 use crate::platform::PlatformPreset;
@@ -198,25 +199,32 @@ fn fetch_or_train(store: &mut QTableStore, app: &str, spec: &DaySpec) -> (DenseQ
     (table, true)
 }
 
-/// Ticks the SoC through a screen-off gap with idle demand and returns
-/// `(energy_j, peak_temp_hot_c, elapsed_s)`. The display is off: no
-/// frames, no governor — the kernel's util tracking drops every domain
-/// to its floor within a few ticks.
-fn run_gap(soc: &mut Soc, gap_s: f64, tick_s: f64) -> (f64, f64, f64) {
-    let mut energy = 0.0f64;
-    let mut peak = f64::MIN;
-    let mut elapsed = 0.0f64;
-    let idle = FrameDemand::default();
+/// Ticks every lane of the batch through a screen-off gap with idle
+/// demand, writing `(energy_j, peak_temp_hot_c, elapsed_s)` into
+/// `acc[lane]`. The display is off: no frames, no governor — the
+/// kernel's util tracking drops every domain to its floor within a few
+/// ticks.
+fn run_gap_lanes(
+    batch: &mut SocBatch,
+    gap_s: f64,
+    tick_s: f64,
+    idle: &[FrameDemand],
+    acc: &mut [(f64, f64, f64)],
+) {
+    for a in acc.iter_mut() {
+        *a = (0.0, f64::MIN, 0.0);
+    }
     let mut left = gap_s;
     while left > 1e-9 {
         let dt = tick_s.min(left);
-        let out = soc.tick(dt, &idle);
-        energy += out.power_w * dt;
-        peak = peak.max(soc.state().temp_hot_c);
-        elapsed += dt;
+        batch.tick(dt, idle);
+        for (l, a) in acc.iter_mut().enumerate() {
+            a.0 += batch.tick_output(l).power_w * dt;
+            a.1 = a.1.max(batch.state(l).temp_hot_c);
+            a.2 += dt;
+        }
         left -= dt;
     }
-    (energy, peak, elapsed)
 }
 
 /// Runs one whole day: sessions through the engine, gaps through the
@@ -232,137 +240,218 @@ fn run_gap(soc: &mut Soc, gap_s: f64, tick_s: f64) -> (f64, f64, f64) {
 /// Panics on an unknown governor, an unknown app in the plan, or a
 /// non-positive gap tick.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_day(spec: &DaySpec, store: &mut QTableStore) -> DayReport {
+    run_day_lanes(std::slice::from_ref(spec), &mut [store])
+        .pop()
+        .expect("one lane, one report")
+}
+
+/// Runs one day for several governors **in lockstep on the batched
+/// kernel**: every lane replays the identical plan (same pickups, same
+/// session seeds) on its own device column, so governors are compared
+/// on the same day at a fraction of the lane-sequential cost. Lane `l`
+/// uses `specs[l].governor` and `stores[l]`.
+///
+/// Per lane, results are bit-identical to [`run_day`] — batching is
+/// unobservable in the reports.
+///
+/// # Panics
+///
+/// Panics on an unknown governor, an unknown app, a non-positive gap
+/// tick, mismatched `specs`/`stores` lengths, or specs that do not
+/// share the same plan, preset, gap tick, training budget, and battery.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_day_lanes(specs: &[DaySpec], stores: &mut [&mut QTableStore]) -> Vec<DayReport> {
+    assert!(!specs.is_empty(), "day batch needs at least one lane");
+    assert_eq!(specs.len(), stores.len(), "one store per lane");
+    let first = &specs[0];
     assert!(
-        spec.gap_tick_s > 0.0 && spec.gap_tick_s.is_finite(),
+        first.gap_tick_s > 0.0 && first.gap_tick_s.is_finite(),
         "gap tick must be positive"
     );
-    assert!(
-        StandardEvaluator::GOVERNORS.contains(&spec.governor.as_str()),
-        "unknown governor '{}'",
-        spec.governor
-    );
+    for spec in specs {
+        assert!(
+            StandardEvaluator::GOVERNORS.contains(&spec.governor.as_str()),
+            "unknown governor '{}'",
+            spec.governor
+        );
+        assert!(
+            spec.plan == first.plan
+                && spec.preset.name == first.preset.name
+                && spec.gap_tick_s == first.gap_tick_s
+                && spec.train_budget_s == first.train_budget_s
+                && spec.battery == first.battery,
+            "day lanes must share the plan and device; only the governor may differ"
+        );
+    }
+    let n = specs.len();
     let engine = Engine::new();
-    let mut soc = Soc::new(spec.preset.soc.clone());
-    let is_next = spec.governor == "next";
-    let mut baseline = (!is_next).then(|| baseline_governor(&spec.governor));
-    // One persistent inference agent per app for the whole day (the
-    // §IV-B deployment shape): the table is fetched from the store and
-    // the dense arena allocated once per distinct app, not once per
+    let mut batch = SocBatch::replicate(&first.preset.soc, n).expect("preset SoC config is valid");
+    let is_next: Vec<bool> = specs.iter().map(|s| s.governor == "next").collect();
+    let mut baselines: Vec<Option<Box<dyn Governor>>> = specs
+        .iter()
+        .zip(&is_next)
+        .map(|(s, &nx)| (!nx).then(|| baseline_governor(&s.governor)))
+        .collect();
+    // One persistent inference agent per app per lane for the whole day
+    // (the §IV-B deployment shape): the table is fetched from the store
+    // and the dense arena allocated once per distinct app, not once per
     // pickup — a 52-pickup day would otherwise clone tens of MB of
     // Q-table 52 times.
-    let mut agents: BTreeMap<String, NextAgent> = BTreeMap::new();
+    let mut agents: Vec<BTreeMap<String, NextAgent>> = (0..n).map(|_| BTreeMap::new()).collect();
 
-    let mut sessions = Vec::with_capacity(spec.plan.pickups.len());
-    let mut outcome = RunOutcome {
-        trace: Trace::new(),
-        presented_frames: 0,
-        repeated_vsyncs: 0,
-    };
-    let mut screen_on_s = 0.0f64;
-    let mut screen_off_s = 0.0f64;
-    let mut energy_screen_on_j = 0.0f64;
-    let mut energy_gap_j = 0.0f64;
-    let mut peak_temp_hot_c = f64::MIN;
-    let mut trainings = 0u32;
-    let mut fps_weighted = 0.0f64;
+    let mut session_reports: Vec<Vec<SessionReport>> = (0..n)
+        .map(|_| Vec::with_capacity(first.plan.pickups.len()))
+        .collect();
+    let mut outcomes: Vec<RunOutcome> = (0..n)
+        .map(|_| RunOutcome {
+            trace: Trace::new(),
+            presented_frames: 0,
+            repeated_vsyncs: 0,
+        })
+        .collect();
+    let mut screen_on_s = vec![0.0f64; n];
+    let mut screen_off_s = vec![0.0f64; n];
+    let mut energy_screen_on_j = vec![0.0f64; n];
+    let mut energy_gap_j = vec![0.0f64; n];
+    let mut peak_temp_hot_c = vec![f64::MIN; n];
+    let mut trainings = vec![0u32; n];
+    let mut fps_weighted = vec![0.0f64; n];
+    let idle = vec![idle_demand(); n];
+    let mut gap_acc = vec![(0.0f64, 0.0f64, 0.0f64); n];
 
-    for (i, pickup) in spec.plan.pickups.iter().enumerate() {
+    for (i, pickup) in first.plan.pickups.iter().enumerate() {
         // Screen-off before the pickup: the device keeps cooling (or
         // holding its warmth) between sessions.
-        let (gap_e, gap_peak, gap_s) = run_gap(&mut soc, pickup.gap_before_s, spec.gap_tick_s);
-        energy_gap_j += gap_e;
-        screen_off_s += gap_s;
-        peak_temp_hot_c = peak_temp_hot_c.max(gap_peak);
-        let start_temp_hot_c = soc.state().temp_hot_c;
+        run_gap_lanes(
+            &mut batch,
+            pickup.gap_before_s,
+            first.gap_tick_s,
+            &idle,
+            &mut gap_acc,
+        );
+        let mut start_temp_hot_c = vec![0.0f64; n];
+        for l in 0..n {
+            energy_gap_j[l] += gap_acc[l].0;
+            screen_off_s[l] += gap_acc[l].2;
+            peak_temp_hot_c[l] = peak_temp_hot_c[l].max(gap_acc[l].1);
+            start_temp_hot_c[l] = batch.state(l).temp_hot_c;
+        }
 
-        // The pickup: a real engine run on the warm device.
-        let plan = SessionPlan::single(&pickup.app, pickup.duration_s);
-        let mut session = SessionSim::new(plan, pickup.session_seed);
-        let duration_s = engine.ticks_for(pickup.duration_s) as f64 * engine.tick_s();
-        if is_next {
-            if !agents.contains_key(&pickup.app) {
-                let (table, trained) = fetch_or_train(store, &pickup.app, spec);
-                trainings += u32::from(trained);
-                agents.insert(
+        // Make sure every `next` lane has the app's inference agent
+        // (training once through its own store on first use).
+        for (l, spec) in specs.iter().enumerate() {
+            if is_next[l] && !agents[l].contains_key(&pickup.app) {
+                let (table, trained) = fetch_or_train(stores[l], &pickup.app, spec);
+                trainings[l] += u32::from(trained);
+                agents[l].insert(
                     pickup.app.clone(),
                     NextAgent::with_table(spec.preset.next.clone(), table, false),
                 );
             }
-            let agent = agents.get_mut(&pickup.app).expect("inserted above");
-            agent.start_session();
-            engine.run_into(
-                &mut soc,
-                agent,
-                &mut session,
-                pickup.duration_s,
-                &mut outcome,
-            );
-        } else {
-            let governor = baseline.as_mut().expect("baseline governor");
-            governor.reset();
-            engine.run_into(
-                &mut soc,
-                governor.as_mut(),
-                &mut session,
-                pickup.duration_s,
-                &mut outcome,
-            );
         }
-        let summary = outcome.trace.summary();
-        energy_screen_on_j += summary.energy_j;
-        screen_on_s += duration_s;
-        peak_temp_hot_c = peak_temp_hot_c.max(summary.peak_temp_hot_c);
-        fps_weighted += summary.avg_fps * duration_s;
-        let next = &spec.preset.next;
-        sessions.push(SessionReport {
-            pickup: i,
-            app: pickup.app.clone(),
-            start_s: pickup.start_s,
-            duration_s,
-            ppdw: ppdw(
-                summary.avg_fps.max(next.bounds.fps_least),
-                summary.avg_power_w,
-                summary.avg_temp_hot_c,
-                next.ambient_c,
-            ),
-            start_temp_hot_c,
-            summary,
-        });
+
+        // The pickup: a real lockstep engine run on the warm devices —
+        // every lane replays the identical session seed.
+        let duration_s = engine.ticks_for(pickup.duration_s) as f64 * engine.tick_s();
+        let mut sessions: Vec<SessionSim> = (0..n)
+            .map(|_| {
+                SessionSim::new(
+                    SessionPlan::single(&pickup.app, pickup.duration_s),
+                    pickup.session_seed,
+                )
+            })
+            .collect();
+        let mut lanes: Vec<BatchLane<'_>> = Vec::with_capacity(n);
+        for (((baseline, agent_map), session), &nx) in baselines
+            .iter_mut()
+            .zip(agents.iter_mut())
+            .zip(sessions.iter_mut())
+            .zip(&is_next)
+        {
+            let governor: &mut dyn Governor = if nx {
+                let agent = agent_map.get_mut(&pickup.app).expect("agent ensured above");
+                agent.start_session();
+                agent
+            } else {
+                let governor = baseline.as_mut().expect("baseline governor");
+                governor.reset();
+                governor.as_mut()
+            };
+            lanes.push(BatchLane { governor, session });
+        }
+        engine.run_lanes_into(&mut batch, &mut lanes, pickup.duration_s, &mut outcomes);
+
+        for (l, spec) in specs.iter().enumerate() {
+            let summary = outcomes[l].trace.summary();
+            energy_screen_on_j[l] += summary.energy_j;
+            screen_on_s[l] += duration_s;
+            peak_temp_hot_c[l] = peak_temp_hot_c[l].max(summary.peak_temp_hot_c);
+            fps_weighted[l] += summary.avg_fps * duration_s;
+            let next = &spec.preset.next;
+            session_reports[l].push(SessionReport {
+                pickup: i,
+                app: pickup.app.clone(),
+                start_s: pickup.start_s,
+                duration_s,
+                ppdw: ppdw(
+                    summary.avg_fps.max(next.bounds.fps_least),
+                    summary.avg_power_w,
+                    summary.avg_temp_hot_c,
+                    next.ambient_c,
+                ),
+                start_temp_hot_c: start_temp_hot_c[l],
+                summary,
+            });
+        }
     }
     // Tail of the day after the last session.
-    let (tail_e, tail_peak, tail_s) = run_gap(&mut soc, spec.plan.tail_gap_s, spec.gap_tick_s);
-    energy_gap_j += tail_e;
-    screen_off_s += tail_s;
-    peak_temp_hot_c = peak_temp_hot_c.max(tail_peak);
-
-    let avg_power_w = if screen_on_s > 0.0 {
-        energy_screen_on_j / screen_on_s
-    } else {
-        0.0
-    };
-    let energy_total = energy_screen_on_j + energy_gap_j;
-    DayReport {
-        plan: spec.plan.clone(),
-        governor: spec.governor.clone(),
-        platform: spec.preset.name.clone(),
-        sessions,
-        screen_on_s,
-        screen_off_s,
-        energy_screen_on_j,
-        energy_gap_j,
-        avg_fps: if screen_on_s > 0.0 {
-            fps_weighted / screen_on_s
-        } else {
-            0.0
-        },
-        avg_power_w,
-        peak_temp_hot_c,
-        trainings,
-        battery_drain_pct: spec.battery.drain_percent(energy_total),
-        charges_used: spec.battery.charges_used(energy_total),
+    run_gap_lanes(
+        &mut batch,
+        first.plan.tail_gap_s,
+        first.gap_tick_s,
+        &idle,
+        &mut gap_acc,
+    );
+    for l in 0..n {
+        energy_gap_j[l] += gap_acc[l].0;
+        screen_off_s[l] += gap_acc[l].2;
+        peak_temp_hot_c[l] = peak_temp_hot_c[l].max(gap_acc[l].1);
     }
+
+    specs
+        .iter()
+        .enumerate()
+        .map(|(l, spec)| {
+            let avg_power_w = if screen_on_s[l] > 0.0 {
+                energy_screen_on_j[l] / screen_on_s[l]
+            } else {
+                0.0
+            };
+            let energy_total = energy_screen_on_j[l] + energy_gap_j[l];
+            DayReport {
+                plan: spec.plan.clone(),
+                governor: spec.governor.clone(),
+                platform: spec.preset.name.clone(),
+                sessions: std::mem::take(&mut session_reports[l]),
+                screen_on_s: screen_on_s[l],
+                screen_off_s: screen_off_s[l],
+                energy_screen_on_j: energy_screen_on_j[l],
+                energy_gap_j: energy_gap_j[l],
+                avg_fps: if screen_on_s[l] > 0.0 {
+                    fps_weighted[l] / screen_on_s[l]
+                } else {
+                    0.0
+                },
+                avg_power_w,
+                peak_temp_hot_c: peak_temp_hot_c[l],
+                trainings: trainings[l],
+                battery_drain_pct: spec.battery.drain_percent(energy_total),
+                charges_used: spec.battery.charges_used(energy_total),
+            }
+        })
+        .collect()
 }
 
 /// Fans `plans × governors` out on the work-stealing parallel runner:
@@ -406,30 +495,39 @@ pub fn run_days(
         .zip(outcomes.into_iter().map(|out| out.agent.into_table()))
         .collect();
 
-    let cells: Vec<(usize, String)> = plans
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, _)| governors.iter().map(move |g| (pi, g.clone())))
-        .collect();
-    parallel_map(&cells, workers, |(pi, governor)| {
-        let spec = DaySpec {
-            plan: plans[*pi].clone(),
-            governor: governor.clone(),
-            preset: preset.clone(),
-            gap_tick_s,
-            train_budget_s,
-            battery: Battery::note9(),
-        };
-        let mut store = QTableStore::in_memory();
-        if governor == "next" {
-            for app in plans[*pi].distinct_apps() {
+    // One batched cell per plan: all governors ride the same
+    // [`SocBatch`] in lockstep, one lane each.
+    let cells: Vec<usize> = (0..plans.len()).collect();
+    let per_plan = parallel_map(&cells, workers, |&pi| {
+        let specs: Vec<DaySpec> = governors
+            .iter()
+            .map(|governor| DaySpec {
+                plan: plans[pi].clone(),
+                governor: governor.clone(),
+                preset: preset.clone(),
+                gap_tick_s,
+                train_budget_s,
+                battery: Battery::note9(),
+            })
+            .collect();
+        let mut lane_stores: Vec<QTableStore> = governors
+            .iter()
+            .map(|governor| {
+                let mut store = QTableStore::in_memory();
+                if governor == "next" {
+                    for app in plans[pi].distinct_apps() {
+                        store
+                            .save(&app, &store_seed[&app])
+                            .expect("in-memory save cannot fail");
+                    }
+                }
                 store
-                    .save(&app, &store_seed[&app])
-                    .expect("in-memory save cannot fail");
-            }
-        }
-        run_day(&spec, &mut store)
-    })
+            })
+            .collect();
+        let mut store_refs: Vec<&mut QTableStore> = lane_stores.iter_mut().collect();
+        run_day_lanes(&specs, &mut store_refs)
+    });
+    per_plan.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

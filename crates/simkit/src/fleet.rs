@@ -415,24 +415,49 @@ pub fn run_fleet(config: &FleetConfig, workers: usize) -> FleetReport {
     let mut rounds = Vec::with_capacity(config.rounds);
 
     for round in 0..config.rounds {
-        // Local training on every device, in parallel. Each device's
-        // run is a pure function of (profile, round, its group table).
-        let outcomes: Vec<TrainOutcome> = parallel_map(&devices, workers, |dev| {
-            let preset = &presets[dev.platform];
-            let round_seed =
-                splitmix64(dev.user_seed ^ (round as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
-            let mut spec = TrainSpec::new(
-                &config.app,
-                group_next(config, preset).with_seed(round_seed),
-                round_seed,
-                config.round_budget_s,
-            )
-            .with_soc(soc_config_for(&preset.soc, &SOC_BINS[dev.bin]));
-            if let Some(table) = &fleet_tables[dev.platform] {
-                spec = spec.with_warm_start(table.clone());
-            }
-            trainer.train(spec)
+        // Local training on every device. Each device's run is a pure
+        // function of (profile, round, its group table); devices of one
+        // platform group train in lockstep through the batched
+        // structure-of-arrays kernel (bit-identical to one-at-a-time
+        // runs), and groups fan out on the parallel runner.
+        let specs: Vec<TrainSpec> = devices
+            .iter()
+            .map(|dev| {
+                let preset = &presets[dev.platform];
+                let round_seed =
+                    splitmix64(dev.user_seed ^ (round as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
+                let mut spec = TrainSpec::new(
+                    &config.app,
+                    group_next(config, preset).with_seed(round_seed),
+                    round_seed,
+                    config.round_budget_s,
+                )
+                .with_soc(soc_config_for(&preset.soc, &SOC_BINS[dev.bin]));
+                if let Some(table) = &fleet_tables[dev.platform] {
+                    spec = spec.with_warm_start(table.clone());
+                }
+                spec
+            })
+            .collect();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); presets.len()];
+        for (i, dev) in devices.iter().enumerate() {
+            groups[dev.platform].push(i);
+        }
+        let group_outcomes: Vec<Vec<TrainOutcome>> = parallel_map(&groups, workers, |idxs| {
+            trainer.train_batch(idxs.iter().map(|&i| specs[i].clone()).collect())
         });
+        // Scatter the group results back into device order (the merge
+        // below folds uploads in device order).
+        let mut slots: Vec<Option<TrainOutcome>> = (0..devices.len()).map(|_| None).collect();
+        for (idxs, outs) in groups.iter().zip(group_outcomes) {
+            for (&i, out) in idxs.iter().zip(outs) {
+                slots[i] = Some(out);
+            }
+        }
+        let outcomes: Vec<TrainOutcome> = slots
+            .into_iter()
+            .map(|s| s.expect("every device trained"))
+            .collect();
 
         // Cloud-side streaming merge, per platform group, in device
         // order: each uploaded table is folded and released — the

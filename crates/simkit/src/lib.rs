@@ -9,6 +9,8 @@
 //! periods.
 //!
 //! * [`engine`] — the simulation loop,
+//! * [`batch`] — the lockstep multi-device entry point over
+//!   [`mpsoc::SocBatch`] (bit-identical to lane-sequential runs),
 //! * [`metrics`] — time-series recording and summaries (average power,
 //!   peak temperatures, FPS statistics — the quantities of Figs. 3, 7
 //!   and 8),
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod day;
 pub mod engine;
 pub mod experiment;
@@ -41,7 +44,8 @@ pub mod report;
 pub mod sweep;
 pub mod trainer;
 
-pub use day::{run_day, run_days, DayReport, DaySpec, SessionReport};
+pub use batch::BatchLane;
+pub use day::{run_day, run_day_lanes, run_days, DayReport, DaySpec, SessionReport};
 pub use engine::{Engine, RunOutcome};
 pub use experiment::{train_next_for_app, EvalResult};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};

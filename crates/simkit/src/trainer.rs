@@ -12,10 +12,12 @@
 //! and trains on per-device SoC bins.
 
 use mpsoc::soc::{Soc, SocConfig};
+use mpsoc::SocBatch;
 use next_core::{NextAgent, NextConfig};
 use qlearn::DenseQTable;
 use workload::{SessionPlan, SessionSim};
 
+use crate::batch::BatchLane;
 use crate::engine::{Engine, RunOutcome};
 
 /// Result of one training run.
@@ -170,6 +172,138 @@ impl Trainer {
             converged,
         }
     }
+
+    /// Runs many training jobs in lockstep through the batched
+    /// structure-of-arrays kernel, one device lane per spec.
+    ///
+    /// Outcomes are **bit-identical** to calling [`Trainer::train`] on
+    /// each spec: lanes share the episode chunk sequence (the specs'
+    /// budgets and episode lengths must match for lockstep), each lane
+    /// keeps its own agent, session seed, and SoC bin, and a lane drops
+    /// out of the batch at the episode boundary where its scalar run
+    /// would have stopped (convergence). Specs that genuinely diverge —
+    /// different budgets or episode chunking, or structurally
+    /// incompatible SoC bins — fall back to lane-sequential scalar
+    /// training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec references an unknown application.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn train_batch(&self, specs: Vec<TrainSpec>) -> Vec<TrainOutcome> {
+        if specs.len() < 2 {
+            return specs.into_iter().map(|s| self.train(s)).collect();
+        }
+        let lockstep = specs
+            .iter()
+            .all(|s| s.budget_s == specs[0].budget_s && s.episode_s == specs[0].episode_s);
+        let soc_configs: Vec<SocConfig> = specs.iter().map(|s| s.soc.clone()).collect();
+        let batch = if lockstep {
+            SocBatch::try_from_configs(&soc_configs).ok()
+        } else {
+            None
+        };
+        let Some(mut batch) = batch else {
+            // Genuinely divergent plans: lane-sequential fallback.
+            return specs.into_iter().map(|s| self.train(s)).collect();
+        };
+
+        let budget_s = specs[0].budget_s;
+        let episode_s = specs[0].episode_s;
+        let width = specs.len();
+        let mut agents: Vec<NextAgent> = specs
+            .iter()
+            .map(|s| match &s.warm_start {
+                Some(table) => NextAgent::warm_start(s.config.clone(), table.clone()),
+                None => NextAgent::new(s.config.clone()),
+            })
+            .collect();
+        // Lane → original spec index (sorted ascending): the batch
+        // compacts as lanes converge and drop out.
+        let mut lane_spec: Vec<usize> = (0..width).collect();
+        // Training reuses run outcomes purely as trace buffers, exactly
+        // like the scalar loop — nothing reads them afterwards.
+        let mut episode_buf: Vec<RunOutcome> = (0..width)
+            .map(|_| RunOutcome {
+                trace: crate::metrics::Trace::new(),
+                presented_frames: 0,
+                repeated_vsyncs: 0,
+            })
+            .collect();
+        let mut spent_at_stop = vec![budget_s; width];
+        let mut spent = 0.0;
+        let mut episode = 0u64;
+        while spent < budget_s && !lane_spec.is_empty() {
+            // The scalar loop checks convergence before every episode:
+            // converged lanes leave the batch at exactly that boundary.
+            let keep: Vec<bool> = lane_spec
+                .iter()
+                .map(|&si| !agents[si].is_converged())
+                .collect();
+            if keep.iter().any(|&k| !k) {
+                for (slot, &k) in keep.iter().enumerate() {
+                    if !k {
+                        spent_at_stop[lane_spec[slot]] = spent;
+                    }
+                }
+                batch.retain_lanes(&keep);
+                let mut it = keep.iter();
+                lane_spec.retain(|_| *it.next().expect("flag per lane"));
+                if lane_spec.is_empty() {
+                    break;
+                }
+            }
+            let chunk = episode_s.min(budget_s - spent);
+            let mut sessions: Vec<SessionSim> = lane_spec
+                .iter()
+                .map(|&si| {
+                    SessionSim::new(
+                        SessionPlan::single(&specs[si].app, chunk),
+                        specs[si].session_seed.wrapping_add(episode),
+                    )
+                })
+                .collect();
+            let mut lanes: Vec<BatchLane<'_>> = agents
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| lane_spec.binary_search(i).is_ok())
+                .map(|(_, a)| a)
+                .zip(sessions.iter_mut())
+                .map(|(agent, session)| {
+                    agent.start_session();
+                    BatchLane {
+                        governor: agent,
+                        session,
+                    }
+                })
+                .collect();
+            let n_live = lanes.len();
+            self.engine
+                .run_lanes_into(&mut batch, &mut lanes, chunk, &mut episode_buf[..n_live]);
+            spent += chunk;
+            episode += 1;
+        }
+        // Lanes that ran out the budget stopped at the accumulated
+        // `spent` (the same float the scalar loop ends with).
+        for &si in &lane_spec {
+            spent_at_stop[si] = spent;
+        }
+        agents
+            .into_iter()
+            .zip(spent_at_stop)
+            .map(|(mut agent, lane_spent)| {
+                let converged = agent.is_converged();
+                let training_time_s = agent.stats().converged_at_s.unwrap_or(lane_spent);
+                agent.set_training(false);
+                TrainOutcome {
+                    agent,
+                    training_time_s,
+                    converged,
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +371,47 @@ mod tests {
     #[should_panic(expected = "episode length must be positive")]
     fn zero_episode_rejected() {
         let _ = TrainSpec::new("home", NextConfig::paper(), 1, 10.0).with_episode_s(0.0);
+    }
+
+    #[test]
+    fn train_batch_is_bit_identical_to_sequential_training() {
+        // Heterogeneous lanes: different apps, seeds, and SoC bins
+        // (fleet shape) under one shared budget.
+        let specs = vec![
+            TrainSpec::new("facebook", NextConfig::paper(), 3, 90.0),
+            TrainSpec::new("spotify", NextConfig::paper().with_seed(17), 5, 90.0),
+            TrainSpec::new("facebook", NextConfig::paper(), 9, 90.0)
+                .with_soc(SocConfig::exynos9810_at_ambient(27.0)),
+        ];
+        let trainer = Trainer::new();
+        let sequential: Vec<TrainOutcome> =
+            specs.iter().cloned().map(|s| trainer.train(s)).collect();
+        let batched = trainer.train_batch(specs);
+        assert_eq!(batched.len(), sequential.len());
+        for (l, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                b.agent.table().encode(),
+                s.agent.table().encode(),
+                "lane {l} learned a different table"
+            );
+            assert_eq!(b.training_time_s, s.training_time_s, "lane {l}");
+            assert_eq!(b.converged, s.converged, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn train_batch_divergent_budgets_fall_back_and_still_match() {
+        let specs = vec![
+            TrainSpec::new("home", NextConfig::paper(), 2, 50.0),
+            TrainSpec::new("home", NextConfig::paper(), 4, 30.0),
+        ];
+        let trainer = Trainer::new();
+        let sequential: Vec<TrainOutcome> =
+            specs.iter().cloned().map(|s| trainer.train(s)).collect();
+        let batched = trainer.train_batch(specs);
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.agent.table().encode(), s.agent.table().encode());
+            assert_eq!(b.training_time_s, s.training_time_s);
+        }
     }
 }

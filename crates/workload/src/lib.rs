@@ -34,5 +34,5 @@ pub mod user;
 
 pub use app::{AppModel, AppSession, PhaseModel};
 pub use scenario::{DayPlan, DayPlanConfig, Persona, PickupPlan};
-pub use session::{SessionEntry, SessionPlan, SessionSim};
+pub use session::{idle_demand, SessionEntry, SessionPlan, SessionSim};
 pub use user::{InteractionIntensity, UserModel};

@@ -13,6 +13,17 @@ use crate::app::{AppModel, AppSession};
 use crate::apps;
 use crate::user::UserModel;
 
+/// The idle / screen-off frame demand: no frames, no background work.
+///
+/// The single constructor behind every "display is off / nothing to
+/// render" tick — session plans that have ended, screen-off gaps in a
+/// day simulation, and engine warm-up all share it, so "idle" means one
+/// thing across the workspace.
+#[must_use]
+pub fn idle_demand() -> FrameDemand {
+    FrameDemand::default()
+}
+
 /// One entry of a session plan: an application used for a duration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionEntry {
@@ -201,11 +212,11 @@ impl SessionSim {
     pub fn advance(&mut self, dt_s: f64) -> FrameDemand {
         let intensity = self.user.advance(dt_s);
         if self.current.is_none() {
-            return FrameDemand::default();
+            return idle_demand();
         }
         let mut remaining = dt_s;
         let mut dominant_seg = 0.0f64;
-        let mut dominant = FrameDemand::default();
+        let mut dominant = idle_demand();
         while let Some(app) = self.current.as_mut() {
             // Entries whose remaining time is within a nanosecond of
             // the full interval absorb it whole: accumulated float

@@ -49,9 +49,10 @@ fn day_json_is_byte_identical_across_worker_counts() {
     .render();
     assert_eq!(one, many, "day.json must not depend on parallelism");
 
-    // And it is a valid schema-v4 document with the promised sections.
+    // And it is a valid current-schema document with the promised
+    // sections.
     let doc = parse_document(&one).expect("day.json parses");
-    assert_eq!(doc.schema, 4);
+    assert_eq!(doc.schema, next_mpsoc::bench::perf::SCHEMA_VERSION);
     let day = doc.day.expect("day section");
     let runs = day.get("runs").and_then(Json::as_array).expect("runs");
     assert_eq!(runs.len(), 4, "2 plans x 2 governors");
