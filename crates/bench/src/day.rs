@@ -243,6 +243,12 @@ mod tests {
         let plan = DayPlan {
             persona: "gamer".to_owned(),
             seed: 1,
+            config: DayPlanConfig {
+                pickups: 1,
+                day_length_s: 57_600.0,
+                session_scale: 1.0,
+                min_session_s: 10.0,
+            },
             day_length_s: 57_600.0,
             pickups: Vec::new(),
             tail_gap_s: 57_600.0,

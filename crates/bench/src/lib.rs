@@ -13,6 +13,7 @@ pub mod day;
 pub mod fleet;
 pub mod json;
 pub mod perf;
+pub mod report;
 
 use next_core::{NextAgent, NextConfig};
 use simkit::experiment::{train_next_for_app, TrainOutcome};

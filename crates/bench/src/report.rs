@@ -1,0 +1,561 @@
+//! Self-contained single-file HTML day viewer.
+//!
+//! [`day_html`] renders recorded battery-day cells — `(DayReport,
+//! TickTrace)` pairs from [`simkit::run_days_traced`] — as one HTML
+//! document with **no external assets**: styles, the (tiny) script and
+//! every chart are inline, the charts are plain SVG, and nothing reads
+//! the clock, so the same cells always render byte-identical HTML. The
+//! CLI writes it via `next-sim day --report day.html` and CI uploads it
+//! as an artifact.
+//!
+//! Per cell the viewer shows:
+//!
+//! * the session/gap **timeline** (one rect per pickup, colored by app),
+//! * the **thermal trace** (device, battery and per-domain die
+//!   temperatures over the day, downsampled to a bounded point count),
+//! * per-session **PPDW bars** (Eq. 1 of the paper),
+//! * the governor's **action heatmap** (time × action index), rendered
+//!   only for governors that expose decisions (the `next` agent).
+//!
+//! Machine-readable section markers (`<!-- section:timeline -->`,
+//! `:thermal`, `:ppdw`, `:actions`) bracket each chart so smoke tests
+//! can assert presence without parsing HTML.
+//!
+//! # Example
+//!
+//! ```
+//! use bench::report::day_html;
+//! use next_core::QTableStore;
+//! use simkit::day::{run_day_traced, DaySpec};
+//! use workload::{DayPlan, DayPlanConfig, Persona};
+//!
+//! let cfg = DayPlanConfig {
+//!     pickups: 1,
+//!     day_length_s: 120.0,
+//!     session_scale: 0.1,
+//!     min_session_s: 10.0,
+//! };
+//! let plan = DayPlan::generate(&Persona::socialite(), &cfg, 7);
+//! let spec = DaySpec::new(plan, "schedutil");
+//! let cell = run_day_traced(&spec, &mut QTableStore::in_memory());
+//! let html = day_html(std::slice::from_ref(&cell));
+//! assert!(html.starts_with("<!DOCTYPE html>"));
+//! assert!(html.contains("<!-- section:timeline -->"));
+//! assert!(html.contains("<!-- section:thermal -->"));
+//! ```
+
+use std::fmt::Write as _;
+
+use simkit::day::DayReport;
+use simkit::trace::TickTrace;
+use simkit::PlatformPreset;
+
+/// Maximum points per rendered polyline; a full 16 h day (~2.4 M
+/// ticks) is strided down to this budget so the file stays small.
+const MAX_POINTS: usize = 1200;
+
+/// Time buckets along the action heatmap's x axis.
+const HEAT_BUCKETS: usize = 72;
+
+/// Chart canvas width in CSS pixels.
+const W: f64 = 900.0;
+
+/// Line-chart color palette (domains, then device/battery reuse).
+const PALETTE: [&str; 8] = [
+    "#4363d8", "#e6194b", "#3cb44b", "#f58231", "#911eb4", "#0aa6a6", "#f032e6", "#808000",
+];
+
+/// Escapes text for HTML/SVG bodies and attribute values.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float with `digits` decimals (charts never need more).
+fn fx(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Deterministic app → palette color (stable across cells so the same
+/// app gets the same color in every timeline).
+fn app_color(app: &str) -> &'static str {
+    let mut h: u64 = 1_469_598_103;
+    for b in app.bytes() {
+        h = h.wrapping_mul(31).wrapping_add(u64::from(b));
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    PALETTE[(h % PALETTE.len() as u64) as usize]
+}
+
+/// Stride that keeps at most [`MAX_POINTS`] of `len` samples.
+fn stride_for(len: usize) -> usize {
+    len.div_ceil(MAX_POINTS).max(1)
+}
+
+/// An SVG polyline for `(x, y)` points already in pixel space.
+fn polyline(points: &[(f64, f64)], color: &str) -> String {
+    let mut pts = String::with_capacity(points.len() * 12);
+    for (x, y) in points {
+        let _ = write!(pts, "{},{} ", fx(*x, 1), fx(*y, 1));
+    }
+    format!(
+        "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.2\" points=\"{}\"/>\n",
+        pts.trim_end()
+    )
+}
+
+/// The session/gap timeline band for one cell.
+fn timeline_svg(report: &DayReport) -> String {
+    let day_s = report.plan.day_length_s.max(1e-9);
+    let h = 64.0;
+    let band_y = 18.0;
+    let band_h = 28.0;
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {h}\" width=\"{W}\" height=\"{h}\" role=\"img\">\n\
+         <rect x=\"0\" y=\"{band_y}\" width=\"{W}\" height=\"{band_h}\" fill=\"#eceff4\"/>\n"
+    );
+    for (s, p) in report.sessions.iter().zip(&report.plan.pickups) {
+        let x = s.start_s / day_s * W;
+        let w = (p.duration_s / day_s * W).max(1.0);
+        let color = app_color(&s.app);
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{}\" y=\"{band_y}\" width=\"{}\" height=\"{band_h}\" fill=\"{color}\">\
+             <title>#{} {} @ {} s for {} s</title></rect>",
+            fx(x, 2),
+            fx(w, 2),
+            s.pickup,
+            esc(&s.app),
+            fx(s.start_s, 0),
+            fx(p.duration_s, 0),
+        );
+    }
+    // Hour ticks along the bottom edge.
+    let hours = (day_s / 3600.0).ceil();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    for hr in 0..=(hours as u64) {
+        #[allow(clippy::cast_precision_loss)]
+        let x = (hr as f64) * 3600.0 / day_s * W;
+        if x > W {
+            break;
+        }
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{x}\" y1=\"{}\" x2=\"{x}\" y2=\"{}\" stroke=\"#999\"/>\
+             <text x=\"{x}\" y=\"{}\" font-size=\"9\" fill=\"#555\">{hr}h</text>",
+            band_y + band_h,
+            band_y + band_h + 5.0,
+            band_y + band_h + 15.0,
+            x = fx(x, 1),
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// The thermal line chart: device, battery and per-domain temperatures.
+fn thermal_svg(trace: &TickTrace, domain_names: &[String]) -> String {
+    let records = &trace.records;
+    if records.is_empty() {
+        return "<p class=\"empty\">no ticks recorded</p>\n".to_owned();
+    }
+    let h = 220.0;
+    let pad = 28.0;
+    let day_s = records.last().map_or(1.0, |r| r.time_s).max(1e-9);
+    let m = usize::from(trace.meta.n_domains);
+    // Series: device, battery, then one per domain.
+    let mut names: Vec<String> = vec!["device".to_owned(), "battery".to_owned()];
+    for d in 0..m {
+        names.push(
+            domain_names
+                .get(d)
+                .cloned()
+                .unwrap_or_else(|| format!("domain{d}")),
+        );
+    }
+    let value = |ri: usize, si: usize| -> f64 {
+        let r = &records[ri];
+        f64::from(match si {
+            0 => r.temp_device_c,
+            1 => r.temp_battery_c,
+            _ => r.temp_domain_c.get(si - 2).copied().unwrap_or(0.0),
+        })
+    };
+    let stride = stride_for(records.len());
+    let mut lo = f64::MAX;
+    let mut hi = f64::MIN;
+    for ri in (0..records.len()).step_by(stride) {
+        for si in 0..names.len() {
+            let v = value(ri, si);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let span = (hi - lo).max(0.5);
+    let x_of = |t: f64| t / day_s * (W - 2.0 * pad) + pad;
+    let y_of = |v: f64| h - pad - (v - lo) / span * (h - 2.0 * pad);
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {h}\" width=\"{W}\" height=\"{h}\" role=\"img\">\n\
+         <rect x=\"{pad}\" y=\"{pad}\" width=\"{}\" height=\"{}\" fill=\"#fafbfc\" stroke=\"#ddd\"/>\n",
+        W - 2.0 * pad,
+        h - 2.0 * pad,
+    );
+    let _ = writeln!(
+        svg,
+        "<text x=\"4\" y=\"{}\" font-size=\"9\" fill=\"#555\">{} °C</text>\
+         <text x=\"4\" y=\"{}\" font-size=\"9\" fill=\"#555\">{} °C</text>",
+        fx(y_of(hi), 1),
+        fx(hi, 1),
+        fx(y_of(lo), 1),
+        fx(lo, 1),
+    );
+    for (si, name) in names.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let points: Vec<(f64, f64)> = (0..records.len())
+            .step_by(stride)
+            .map(|ri| (x_of(records[ri].time_s), y_of(value(ri, si))))
+            .collect();
+        svg.push_str(&polyline(&points, color));
+        // Legend swatch + label, laid out left to right.
+        #[allow(clippy::cast_precision_loss)]
+        let lx = pad + (si as f64) * 110.0;
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{}\" y=\"4\" width=\"10\" height=\"10\" fill=\"{color}\"/>\
+             <text x=\"{}\" y=\"13\" font-size=\"10\" fill=\"#333\">{}</text>",
+            fx(lx, 1),
+            fx(lx + 13.0, 1),
+            esc(name),
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Per-session PPDW bar chart.
+fn ppdw_svg(report: &DayReport) -> String {
+    if report.sessions.is_empty() {
+        return "<p class=\"empty\">no sessions</p>\n".to_owned();
+    }
+    let h = 160.0;
+    let pad = 24.0;
+    let max = report
+        .sessions
+        .iter()
+        .map(|s| s.ppdw)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let n = report.sessions.len() as f64;
+    let slot = (W - 2.0 * pad) / n;
+    let bar_w = (slot * 0.8).min(40.0);
+    let mut svg =
+        format!("<svg viewBox=\"0 0 {W} {h}\" width=\"{W}\" height=\"{h}\" role=\"img\">\n");
+    for (i, s) in report.sessions.iter().enumerate() {
+        #[allow(clippy::cast_precision_loss)]
+        let x = pad + (i as f64) * slot + (slot - bar_w) / 2.0;
+        let bar_h = s.ppdw / max * (h - 2.0 * pad);
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\">\
+             <title>#{} {}: PPDW {}</title></rect>",
+            fx(x, 1),
+            fx(h - pad - bar_h, 1),
+            fx(bar_w, 1),
+            fx(bar_h.max(0.5), 1),
+            app_color(&s.app),
+            s.pickup,
+            esc(&s.app),
+            fx(s.ppdw, 3),
+        );
+    }
+    let _ = writeln!(
+        svg,
+        "<text x=\"4\" y=\"{}\" font-size=\"9\" fill=\"#555\">max {}</text>",
+        pad + 4.0,
+        fx(max, 3),
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Action heatmap (time bucket × action index) for governors that
+/// expose decisions; `None` when the trace recorded no actions.
+fn actions_svg(trace: &TickTrace, action_count: usize) -> Option<String> {
+    let records = &trace.records;
+    let day_s = records.last().map_or(0.0, |r| r.time_s).max(1e-9);
+    let rows = records
+        .iter()
+        .filter_map(|r| r.action)
+        .map(|a| usize::from(a) + 1)
+        .max()?
+        .max(action_count);
+    let mut counts = vec![0u32; rows * HEAT_BUCKETS];
+    for r in records {
+        if let Some(a) = r.action {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let b = ((r.time_s / day_s * HEAT_BUCKETS as f64) as usize).min(HEAT_BUCKETS - 1);
+            counts[usize::from(a) * HEAT_BUCKETS + b] += 1;
+        }
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let cell_h = 14.0;
+    let pad = 24.0;
+    #[allow(clippy::cast_precision_loss)]
+    let h = pad + rows as f64 * cell_h + 8.0;
+    #[allow(clippy::cast_precision_loss)]
+    let cell_w = (W - 2.0 * pad) / HEAT_BUCKETS as f64;
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {h}\" width=\"{W}\" height=\"{}\" role=\"img\">\n",
+        fx(h, 0)
+    );
+    for a in 0..rows {
+        #[allow(clippy::cast_precision_loss)]
+        let y = pad + a as f64 * cell_h;
+        let _ = writeln!(
+            svg,
+            "<text x=\"2\" y=\"{}\" font-size=\"9\" fill=\"#555\">a{a}</text>",
+            fx(y + cell_h - 4.0, 1),
+        );
+        for b in 0..HEAT_BUCKETS {
+            let c = counts[a * HEAT_BUCKETS + b];
+            if c == 0 {
+                continue;
+            }
+            let opacity = f64::from(c) / f64::from(peak);
+            #[allow(clippy::cast_precision_loss)]
+            let x = pad + b as f64 * cell_w;
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#4363d8\" \
+                 fill-opacity=\"{}\"><title>action {a}, bucket {b}: {c}</title></rect>",
+                fx(x, 1),
+                fx(y, 1),
+                fx(cell_w - 0.5, 2),
+                fx(cell_h - 1.0, 1),
+                fx(opacity.max(0.08), 3),
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    Some(svg)
+}
+
+/// Key figures table for one cell.
+fn kpi_table(report: &DayReport) -> String {
+    format!(
+        "<table class=\"kpi\"><tr>\
+         <td>screen-on</td><td>{} s</td>\
+         <td>energy</td><td>{} J</td>\
+         <td>avg FPS</td><td>{}</td>\
+         <td>avg power</td><td>{} W</td>\
+         <td>peak hot-spot</td><td>{} °C</td>\
+         <td>drain</td><td>{} %</td>\
+         <td>trainings</td><td>{}</td>\
+         </tr></table>\n",
+        fx(report.screen_on_s, 0),
+        fx(report.energy_total_j(), 0),
+        fx(report.avg_fps, 2),
+        fx(report.avg_power_w, 3),
+        fx(report.peak_temp_hot_c, 2),
+        fx(report.battery_drain_pct, 2),
+        report.trainings,
+    )
+}
+
+/// Renders recorded day cells as one self-contained HTML document.
+///
+/// Deterministic: the output is a pure function of `cells` (no clock,
+/// no randomness), so regenerating the report from a replayed trace
+/// yields the identical file.
+#[must_use]
+pub fn day_html(cells: &[(DayReport, TickTrace)]) -> String {
+    let mut body = String::new();
+    for (ci, (report, trace)) in cells.iter().enumerate() {
+        // Domain names / action count from the preset when the platform
+        // is known; generic fallbacks keep foreign traces renderable.
+        let preset = PlatformPreset::by_name(&report.platform);
+        let domain_names: Vec<String> = preset.as_ref().map_or_else(Vec::new, |p| {
+            p.soc
+                .platform
+                .domains()
+                .iter()
+                .map(|d| d.name.clone())
+                .collect()
+        });
+        let action_count = preset.as_ref().map_or(0, |p| p.soc.platform.action_count());
+        let _ = write!(
+            body,
+            "<section class=\"cell\" id=\"cell{ci}\">\n\
+             <h2>{} day · seed {} · <b>{}</b> on {}</h2>\n",
+            esc(&report.plan.persona),
+            report.plan.seed,
+            esc(&report.governor),
+            esc(&report.platform),
+        );
+        body.push_str(&kpi_table(report));
+        body.push_str("<!-- section:timeline -->\n<h3>Session / gap timeline</h3>\n");
+        body.push_str(&timeline_svg(report));
+        body.push_str("<!-- section:thermal -->\n<h3>Thermal trace</h3>\n");
+        body.push_str(&thermal_svg(trace, &domain_names));
+        body.push_str("<!-- section:ppdw -->\n<h3>Per-session PPDW</h3>\n");
+        body.push_str(&ppdw_svg(report));
+        body.push_str("<!-- section:actions -->\n<h3>Action heatmap</h3>\n");
+        match actions_svg(trace, action_count) {
+            Some(svg) => body.push_str(&svg),
+            None => {
+                body.push_str("<p class=\"empty\">no recorded decisions (baseline governor)</p>\n");
+            }
+        }
+        body.push_str("</section>\n");
+    }
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>next-sim day report</title>\n\
+         <style>\n\
+         body{{font:14px/1.45 system-ui,sans-serif;margin:24px;color:#222;max-width:960px}}\n\
+         h2{{border-bottom:1px solid #ddd;padding-bottom:4px}}\n\
+         .kpi td{{padding:2px 8px 2px 0;color:#444}}\n\
+         .kpi td:nth-child(odd){{color:#888;font-size:12px;text-transform:uppercase}}\n\
+         .empty{{color:#888;font-style:italic}}\n\
+         section.cell{{margin-bottom:40px}}\n\
+         </style>\n</head>\n<body>\n\
+         <h1>next-sim battery-day report</h1>\n\
+         <p>{} recorded cell(s). Hover chart elements for exact values.</p>\n\
+         {body}\
+         <script>\n\
+         // Clicking a section heading collapses its chart (pure DOM, no
+         // external code; the report stays fully static without it).\n\
+         for (const h of document.querySelectorAll('h3')) {{\n\
+           h.style.cursor = 'pointer';\n\
+           h.addEventListener('click', () => {{\n\
+             const el = h.nextElementSibling;\n\
+             if (el) el.style.display = el.style.display === 'none' ? '' : 'none';\n\
+           }});\n\
+         }}\n\
+         </script>\n</body>\n</html>\n",
+        cells.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::trace::{SegmentKind, TickRecord, TickTrace, TraceMeta};
+
+    /// A tiny synthetic cell (no simulation) for rendering tests.
+    fn synthetic_cell() -> (DayReport, TickTrace) {
+        use workload::{DayPlan, DayPlanConfig, Persona};
+        let cfg = DayPlanConfig {
+            pickups: 2,
+            day_length_s: 600.0,
+            session_scale: 0.1,
+            min_session_s: 15.0,
+        };
+        let plan = DayPlan::generate(&Persona::socialite(), &cfg, 7);
+        let meta = TraceMeta {
+            platform: "exynos9810".to_owned(),
+            persona: plan.persona.clone(),
+            seed: plan.seed,
+            plan: plan.config,
+            ..TraceMeta::example()
+        };
+        let mut records = Vec::new();
+        for i in 0..200u16 {
+            let mut r = TickRecord::idle(f64::from(i) * 3.0, SegmentKind::Gap, 0, 3);
+            r.temp_device_c = 25.0 + f32::from(i % 50) * 0.1;
+            if i % 4 == 0 {
+                r.action = Some(i % 9);
+            }
+            records.push(r);
+        }
+        let sessions: Vec<simkit::SessionReport> = plan
+            .pickups
+            .iter()
+            .enumerate()
+            .map(|(i, p)| simkit::SessionReport {
+                pickup: i,
+                app: p.app.clone(),
+                start_s: p.start_s,
+                duration_s: p.duration_s,
+                summary: simkit::Summary::default(),
+                ppdw: 1.0 + i as f64,
+                start_temp_hot_c: 30.0,
+            })
+            .collect();
+        let report = DayReport {
+            governor: "next".to_owned(),
+            platform: "exynos9810".to_owned(),
+            sessions,
+            screen_on_s: 60.0,
+            screen_off_s: 540.0,
+            energy_screen_on_j: 120.0,
+            energy_gap_j: 60.0,
+            avg_fps: 52.0,
+            avg_power_w: 2.0,
+            peak_temp_hot_c: 41.0,
+            trainings: 1,
+            battery_drain_pct: 0.3,
+            charges_used: 0.003,
+            plan,
+        };
+        (report, TickTrace { meta, records })
+    }
+
+    #[test]
+    fn report_is_self_contained_and_marked() {
+        let cell = synthetic_cell();
+        let html = day_html(std::slice::from_ref(&cell));
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        for marker in [
+            "<!-- section:timeline -->",
+            "<!-- section:thermal -->",
+            "<!-- section:ppdw -->",
+            "<!-- section:actions -->",
+        ] {
+            assert!(html.contains(marker), "missing {marker}");
+        }
+        // No external assets of any kind.
+        for needle in ["http://", "https://", "<link", "src="] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+        assert!(html.contains("<polyline"), "thermal chart missing");
+        assert!(html.contains("fill-opacity"), "action heatmap missing");
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let cell = synthetic_cell();
+        let a = day_html(std::slice::from_ref(&cell));
+        let b = day_html(std::slice::from_ref(&cell));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baseline_without_decisions_says_so() {
+        let (report, mut trace) = synthetic_cell();
+        for r in &mut trace.records {
+            r.action = None;
+        }
+        let html = day_html(&[(report, trace)]);
+        assert!(html.contains("no recorded decisions"));
+    }
+
+    #[test]
+    fn escapes_html_in_names() {
+        let (mut report, trace) = synthetic_cell();
+        report.governor = "<script>alert(1)</script>".to_owned();
+        let html = day_html(&[(report, trace)]);
+        assert!(!html.contains("<script>alert"));
+        assert!(html.contains("&lt;script&gt;"));
+    }
+}

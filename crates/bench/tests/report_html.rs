@@ -1,0 +1,85 @@
+//! Smoke tests for the single-file HTML day viewer.
+//!
+//! The report is rendered from a real (tiny) recorded day and checked
+//! for the contract CI relies on: well-formed skeleton, all four
+//! section markers per cell, strictly no external assets, balanced
+//! `<svg>`/`<section>` tags, and determinism.
+
+use bench::report::day_html;
+use next_core::QTableStore;
+use simkit::day::{run_day_traced, DaySpec};
+use simkit::trace::TickTrace;
+use simkit::DayReport;
+use workload::{DayPlan, DayPlanConfig, Persona};
+
+fn recorded_cell(governor: &str) -> (DayReport, TickTrace) {
+    let cfg = DayPlanConfig {
+        pickups: 2,
+        day_length_s: 240.0,
+        session_scale: 0.1,
+        min_session_s: 15.0,
+    };
+    let plan = DayPlan::generate(&Persona::socialite(), &cfg, 7);
+    let spec = DaySpec::new(plan, governor).with_train_budget_s(30.0);
+    run_day_traced(&spec, &mut QTableStore::in_memory())
+}
+
+fn count(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+#[test]
+fn report_skeleton_is_well_formed() {
+    let cells = vec![recorded_cell("schedutil"), recorded_cell("next")];
+    let html = day_html(&cells);
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.trim_end().ends_with("</html>"));
+    assert_eq!(count(&html, "<html"), count(&html, "</html>"));
+    assert_eq!(count(&html, "<body"), count(&html, "</body>"));
+    assert_eq!(
+        count(&html, "<svg"),
+        count(&html, "</svg>"),
+        "unbalanced svg"
+    );
+    assert_eq!(
+        count(&html, "<section"),
+        count(&html, "</section>"),
+        "unbalanced section"
+    );
+}
+
+#[test]
+fn every_cell_carries_all_section_markers() {
+    let cells = vec![recorded_cell("schedutil"), recorded_cell("next")];
+    let html = day_html(&cells);
+    for marker in [
+        "<!-- section:timeline -->",
+        "<!-- section:thermal -->",
+        "<!-- section:ppdw -->",
+        "<!-- section:actions -->",
+    ] {
+        assert_eq!(count(&html, marker), cells.len(), "marker {marker}");
+    }
+    // The learning governor draws a heatmap; the baseline states the
+    // absence instead of rendering an empty chart.
+    assert!(html.contains("fill-opacity"), "next action heatmap missing");
+    assert!(
+        html.contains("no recorded decisions"),
+        "baseline note missing"
+    );
+}
+
+#[test]
+fn report_is_fully_self_contained() {
+    let cells = vec![recorded_cell("schedutil")];
+    let html = day_html(&cells);
+    for needle in ["http://", "https://", "<link", "src=", "@import", "url("] {
+        assert!(!html.contains(needle), "external reference: {needle}");
+    }
+}
+
+#[test]
+fn report_is_deterministic_across_renders() {
+    let cells = vec![recorded_cell("schedutil")];
+    assert_eq!(day_html(&cells), day_html(&cells));
+}

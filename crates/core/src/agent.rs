@@ -15,7 +15,7 @@
 //! ([`NextAgent::set_training`]) and persists the table
 //! ([`crate::store::QTableStore`]).
 
-use governors::Governor;
+use governors::{ControlDecision, Governor};
 use mpsoc::dvfs::DvfsController;
 use mpsoc::platform::Platform;
 use mpsoc::soc::SocState;
@@ -239,6 +239,9 @@ pub struct NextAgent {
     guard_steps: u32,
     /// Running mean reward, used to scale prior initialisation.
     reward_ema: f64,
+    /// Action/reward of the most recent control step, exposed to the
+    /// trace recorder (None after a QoS-guard pop or session start).
+    last_decision: Option<ControlDecision>,
     stats: TrainingStats,
 }
 
@@ -359,6 +362,7 @@ impl NextAgent {
             explore_ema: 1.0,
             guard_steps: 0,
             reward_ema: 2.0,
+            last_decision: None,
             stats: TrainingStats::default(),
             config,
         }
@@ -440,6 +444,7 @@ impl NextAgent {
     pub fn start_session(&mut self) {
         self.window.clear();
         self.prev = None;
+        self.last_decision = None;
         self.target_fps = 0.0;
         self.since_target_refresh_s = f64::INFINITY;
     }
@@ -597,6 +602,7 @@ impl NextAgent {
             // previous action with its outcome, and skip this period's
             // action (the observed state no longer matches the caps).
             self.prev = None;
+            self.last_decision = None;
             self.stats.sim_time_s += self.config.control_period_s;
             return;
         }
@@ -642,6 +648,13 @@ impl NextAgent {
         };
         Action::from_index(action_idx, self.n_domains).apply(dvfs);
         self.prev = Some((key, action_idx));
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.last_decision = Some(ControlDecision {
+                action: action_idx as u16,
+                reward,
+            });
+        }
         self.stats.sim_time_s += self.config.control_period_s;
     }
 
@@ -750,6 +763,10 @@ impl Governor for NextAgent {
 
     fn reset(&mut self) {
         self.start_session();
+    }
+
+    fn last_decision(&self) -> Option<ControlDecision> {
+        self.last_decision
     }
 }
 

@@ -50,6 +50,19 @@ pub fn by_name(name: &str) -> Option<Box<dyn Governor>> {
     Some(governor)
 }
 
+/// One control-period decision a learning governor took: the index of
+/// the action it applied and the scalar reward it computed for the
+/// step. Baselines that select frequencies without an explicit
+/// action/reward structure never produce one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlDecision {
+    /// Index into the platform's action space (`3m` actions; see the
+    /// Next agent's `Action::from_index`).
+    pub action: u16,
+    /// Reward computed for the step.
+    pub reward: f64,
+}
+
 /// A DVFS policy invoked periodically with the observable SoC state.
 pub trait Governor {
     /// Human-readable governor name (used in reports).
@@ -83,6 +96,15 @@ pub trait Governor {
 
     /// Clears internal state (e.g. between sessions).
     fn reset(&mut self) {}
+
+    /// The decision taken by the most recent [`Governor::control`]
+    /// invocation, when the governor exposes one. The trace recorder
+    /// reads this right after `control` to attribute an action/reward
+    /// to the tick; the default (and every baseline) returns `None`,
+    /// which records as "no explicit action".
+    fn last_decision(&self) -> Option<ControlDecision> {
+        None
+    }
 }
 
 #[cfg(test)]

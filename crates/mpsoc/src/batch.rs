@@ -39,6 +39,28 @@
 //! Lanes may differ in ambient temperature and platform base power (the
 //! fleet's device bins); everything structural must match across lanes
 //! or [`SocBatch::try_from_configs`] rejects the cohort.
+//!
+//! # Example
+//!
+//! Two idle devices tick in lockstep and match a scalar [`crate::Soc`]
+//! bit for bit:
+//!
+//! ```
+//! use mpsoc::perf::FrameDemand;
+//! use mpsoc::soc::{Soc, SocConfig};
+//! use mpsoc::SocBatch;
+//!
+//! let config = SocConfig::exynos9810();
+//! let mut batch = SocBatch::replicate(&config, 2).unwrap();
+//! let mut scalar = Soc::new(config);
+//! let idle = FrameDemand::default();
+//! for _ in 0..40 {
+//!     batch.tick(0.025, &[idle, idle]);
+//!     scalar.tick(0.025, &idle);
+//! }
+//! assert_eq!(batch.state(0), batch.state(1), "identical lanes stay identical");
+//! assert_eq!(batch.state(0), scalar.state(), "batching is unobservable");
+//! ```
 
 use std::collections::VecDeque;
 

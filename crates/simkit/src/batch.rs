@@ -15,6 +15,38 @@
 //! their fan-outs and fall back to lane-sequential scalar runs only
 //! where lanes genuinely diverge (different budgets or episode
 //! chunking).
+//!
+//! # Example
+//!
+//! Two governors race the same 5-second Facebook session on one
+//! two-lane batch:
+//!
+//! ```
+//! use governors::by_name;
+//! use mpsoc::soc::SocConfig;
+//! use mpsoc::SocBatch;
+//! use simkit::{BatchLane, Engine, RunOutcome, Trace};
+//! use workload::{SessionPlan, SessionSim};
+//!
+//! let engine = Engine::new();
+//! let mut batch = SocBatch::replicate(&SocConfig::exynos9810(), 2).unwrap();
+//! let mut governors = vec![by_name("schedutil").unwrap(), by_name("powersave").unwrap()];
+//! let mut sessions: Vec<SessionSim> = (0..2)
+//!     .map(|_| SessionSim::new(SessionPlan::single("facebook", 5.0), 42))
+//!     .collect();
+//! let mut lanes: Vec<BatchLane<'_>> = governors
+//!     .iter_mut()
+//!     .zip(sessions.iter_mut())
+//!     .map(|(g, s)| BatchLane { governor: g.as_mut(), session: s })
+//!     .collect();
+//! let mut outcomes = vec![
+//!     RunOutcome { trace: Trace::new(), presented_frames: 0, repeated_vsyncs: 0 };
+//!     2
+//! ];
+//! engine.run_lanes_into(&mut batch, &mut lanes, 5.0, &mut outcomes);
+//! let (sched, save) = (outcomes[0].trace.summary(), outcomes[1].trace.summary());
+//! assert!(save.avg_power_w <= sched.avg_power_w, "powersave cannot burn more");
+//! ```
 
 use governors::Governor;
 use mpsoc::perf::FrameDemand;
@@ -23,6 +55,7 @@ use workload::SessionSim;
 
 use crate::engine::{Engine, RunOutcome};
 use crate::metrics::Sample;
+use crate::trace::{NullSink, TickView, TraceSink};
 
 /// One device lane of a batched run: its governor and its session.
 pub struct BatchLane<'a> {
@@ -58,8 +91,31 @@ impl Engine {
         duration_s: f64,
         outcomes: &mut [RunOutcome],
     ) {
+        // `NullSink` is a ZST, so this Vec never allocates and the
+        // traced loop monomorphises back to the untraced one.
+        let mut sinks = vec![NullSink; lanes.len()];
+        self.run_lanes_traced(batch, lanes, duration_s, outcomes, &mut sinks);
+    }
+
+    /// Like [`Engine::run_lanes_into`], with one [`TraceSink`] per lane
+    /// observing that lane's ticks (the per-device counterpart of
+    /// [`Engine::run_into_traced`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes`, `outcomes` and `sinks` all match the
+    /// batch width.
+    pub fn run_lanes_traced<S: TraceSink>(
+        &self,
+        batch: &mut SocBatch,
+        lanes: &mut [BatchLane<'_>],
+        duration_s: f64,
+        outcomes: &mut [RunOutcome],
+        sinks: &mut [S],
+    ) {
         assert_eq!(lanes.len(), batch.width(), "one lane per batch column");
         assert_eq!(outcomes.len(), lanes.len(), "one outcome per lane");
+        assert_eq!(sinks.len(), lanes.len(), "one sink per lane");
         let ticks = self.ticks_for(duration_s);
         let dt = self.tick_s();
         let mut control_every = Vec::with_capacity(lanes.len());
@@ -87,9 +143,22 @@ impl Engine {
                 let state = batch.state(l);
                 lane.governor.observe(&state);
                 until_control[l] -= 1;
+                let mut controlled = false;
                 if until_control[l] == 0 {
                     lane.governor.control(&state, batch.dvfs_mut(l));
                     until_control[l] = control_every[l];
+                    controlled = true;
+                }
+                if sinks[l].enabled() {
+                    sinks[l].record(&TickView {
+                        state: &state,
+                        dt_s: dt,
+                        decision: if controlled {
+                            lane.governor.last_decision()
+                        } else {
+                            None
+                        },
+                    });
                 }
                 outcome.trace.push(Sample {
                     time_s: state.time_s,

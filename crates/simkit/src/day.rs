@@ -39,13 +39,16 @@ use mpsoc::SocBatch;
 use next_core::ppdw::ppdw;
 use next_core::{NextAgent, QTableStore};
 use qlearn::DenseQTable;
-use workload::{idle_demand, DayPlan, SessionPlan, SessionSim};
+use workload::{idle_demand, DayPlan, Persona, SessionPlan, SessionSim};
 
 use crate::batch::BatchLane;
 use crate::engine::{Engine, RunOutcome};
 use crate::metrics::{Battery, Summary, Trace};
 use crate::platform::PlatformPreset;
 use crate::sweep::{parallel_map, StandardEvaluator};
+use crate::trace::{
+    NullSink, SegmentKind, TickTrace, TickView, TraceMeta, TraceRecorder, TraceSink,
+};
 use crate::trainer::{TrainSpec, Trainer};
 
 /// One fully-specified day simulation.
@@ -95,6 +98,27 @@ impl DaySpec {
     pub fn with_train_budget_s(mut self, budget_s: f64) -> Self {
         self.train_budget_s = budget_s;
         self
+    }
+
+    /// The trace metadata describing this day — the regeneration
+    /// recipe [`replay_day`] consumes. Everything in it pins the run:
+    /// the plan is regenerated from `(persona, config, seed)` and the
+    /// store contents from `(governor, train_budget_s, preset)`.
+    #[must_use]
+    pub fn trace_meta(&self) -> TraceMeta {
+        #[allow(clippy::cast_possible_truncation)]
+        TraceMeta {
+            platform: self.preset.name.clone(),
+            governor: self.governor.clone(),
+            persona: self.plan.persona.clone(),
+            seed: self.plan.seed,
+            plan: self.plan.config,
+            gap_tick_s: self.gap_tick_s,
+            train_budget_s: self.train_budget_s,
+            battery: self.battery,
+            tick_s: Engine::new().tick_s(),
+            n_domains: self.preset.soc.platform.n_domains() as u8,
+        }
     }
 }
 
@@ -204,12 +228,13 @@ fn fetch_or_train(store: &mut QTableStore, app: &str, spec: &DaySpec) -> (DenseQ
 /// `acc[lane]`. The display is off: no frames, no governor — the
 /// kernel's util tracking drops every domain to its floor within a few
 /// ticks.
-fn run_gap_lanes(
+fn run_gap_lanes<S: TraceSink>(
     batch: &mut SocBatch,
     gap_s: f64,
     tick_s: f64,
     idle: &[FrameDemand],
     acc: &mut [(f64, f64, f64)],
+    sinks: &mut [S],
 ) {
     for a in acc.iter_mut() {
         *a = (0.0, f64::MIN, 0.0);
@@ -219,9 +244,17 @@ fn run_gap_lanes(
         let dt = tick_s.min(left);
         batch.tick(dt, idle);
         for (l, a) in acc.iter_mut().enumerate() {
+            let state = batch.state(l);
             a.0 += batch.tick_output(l).power_w * dt;
-            a.1 = a.1.max(batch.state(l).temp_hot_c);
+            a.1 = a.1.max(state.temp_hot_c);
             a.2 += dt;
+            if sinks[l].enabled() {
+                sinks[l].record(&TickView {
+                    state: &state,
+                    dt_s: dt,
+                    decision: None,
+                });
+            }
         }
         left -= dt;
     }
@@ -246,6 +279,19 @@ pub fn run_day(spec: &DaySpec, store: &mut QTableStore) -> DayReport {
         .expect("one lane, one report")
 }
 
+/// [`run_day`] with per-tick trace recording: returns the report plus
+/// the finished [`TickTrace`] (metadata from [`DaySpec::trace_meta`],
+/// one record per engine/gap tick).
+#[must_use]
+pub fn run_day_traced(spec: &DaySpec, store: &mut QTableStore) -> (DayReport, TickTrace) {
+    let mut sinks = vec![TraceRecorder::new(spec.trace_meta())];
+    let report = run_day_lanes_traced(std::slice::from_ref(spec), &mut [store], &mut sinks)
+        .pop()
+        .expect("one lane, one report");
+    let trace = sinks.pop().expect("one lane, one sink").finish();
+    (report, trace)
+}
+
 /// Runs one day for several governors **in lockstep on the batched
 /// kernel**: every lane replays the identical plan (same pickups, same
 /// session seeds) on its own device column, so governors are compared
@@ -261,10 +307,31 @@ pub fn run_day(spec: &DaySpec, store: &mut QTableStore) -> DayReport {
 /// tick, mismatched `specs`/`stores` lengths, or specs that do not
 /// share the same plan, preset, gap tick, training budget, and battery.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_day_lanes(specs: &[DaySpec], stores: &mut [&mut QTableStore]) -> Vec<DayReport> {
+    let mut sinks = vec![NullSink; specs.len()];
+    run_day_lanes_traced(specs, stores, &mut sinks)
+}
+
+/// [`run_day_lanes`] with one [`TraceSink`] per lane observing every
+/// tick of that lane's day (gap ticks included, with no decision).
+/// Segment boundaries are announced through
+/// [`TraceSink::begin_segment`]: the gap before pickup `i` and the
+/// session of pickup `i` both carry index `i`; the tail gap carries the
+/// pickup count.
+///
+/// # Panics
+///
+/// As [`run_day_lanes`], plus mismatched `sinks` length.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_day_lanes_traced<S: TraceSink>(
+    specs: &[DaySpec],
+    stores: &mut [&mut QTableStore],
+    sinks: &mut [S],
+) -> Vec<DayReport> {
     assert!(!specs.is_empty(), "day batch needs at least one lane");
     assert_eq!(specs.len(), stores.len(), "one store per lane");
+    assert_eq!(specs.len(), sinks.len(), "one sink per lane");
     let first = &specs[0];
     assert!(
         first.gap_tick_s > 0.0 && first.gap_tick_s.is_finite(),
@@ -324,12 +391,16 @@ pub fn run_day_lanes(specs: &[DaySpec], stores: &mut [&mut QTableStore]) -> Vec<
     for (i, pickup) in first.plan.pickups.iter().enumerate() {
         // Screen-off before the pickup: the device keeps cooling (or
         // holding its warmth) between sessions.
+        for sink in sinks.iter_mut() {
+            sink.begin_segment(SegmentKind::Gap, i);
+        }
         run_gap_lanes(
             &mut batch,
             pickup.gap_before_s,
             first.gap_tick_s,
             &idle,
             &mut gap_acc,
+            sinks,
         );
         let mut start_temp_hot_c = vec![0.0f64; n];
         for l in 0..n {
@@ -381,7 +452,16 @@ pub fn run_day_lanes(specs: &[DaySpec], stores: &mut [&mut QTableStore]) -> Vec<
             };
             lanes.push(BatchLane { governor, session });
         }
-        engine.run_lanes_into(&mut batch, &mut lanes, pickup.duration_s, &mut outcomes);
+        for sink in sinks.iter_mut() {
+            sink.begin_segment(SegmentKind::Session, i);
+        }
+        engine.run_lanes_traced(
+            &mut batch,
+            &mut lanes,
+            pickup.duration_s,
+            &mut outcomes,
+            sinks,
+        );
 
         for (l, spec) in specs.iter().enumerate() {
             let summary = outcomes[l].trace.summary();
@@ -407,12 +487,16 @@ pub fn run_day_lanes(specs: &[DaySpec], stores: &mut [&mut QTableStore]) -> Vec<
         }
     }
     // Tail of the day after the last session.
+    for sink in sinks.iter_mut() {
+        sink.begin_segment(SegmentKind::Gap, first.plan.pickups.len());
+    }
     run_gap_lanes(
         &mut batch,
         first.plan.tail_gap_s,
         first.gap_tick_s,
         &idle,
         &mut gap_acc,
+        sinks,
     );
     for l in 0..n {
         energy_gap_j[l] += gap_acc[l].0;
@@ -479,8 +563,77 @@ pub fn run_days(
     train_budget_s: f64,
     workers: usize,
 ) -> Vec<DayReport> {
-    // Train each distinct app once, in parallel, through the same
-    // fan-out the sweep's prepare phase uses.
+    let store_seed = seeded_tables(plans, governors, preset, train_budget_s, workers);
+    // One batched cell per plan: all governors ride the same
+    // [`SocBatch`] in lockstep, one lane each.
+    let cells: Vec<usize> = (0..plans.len()).collect();
+    let per_plan = parallel_map(&cells, workers, |&pi| {
+        let (specs, mut lane_stores) = cell_setup(
+            &plans[pi],
+            governors,
+            preset,
+            gap_tick_s,
+            train_budget_s,
+            &store_seed,
+        );
+        let mut store_refs: Vec<&mut QTableStore> = lane_stores.iter_mut().collect();
+        run_day_lanes(&specs, &mut store_refs)
+    });
+    per_plan.into_iter().flatten().collect()
+}
+
+/// [`run_days`] with per-cell trace recording: every `(plan, governor)`
+/// cell returns its report paired with the lane's [`TickTrace`].
+/// Recorders live inside the parallel cells, so the traces — like the
+/// reports — are byte-identical for any `workers` value.
+///
+/// # Panics
+///
+/// Panics on unknown governor or app names.
+#[must_use]
+pub fn run_days_traced(
+    plans: &[DayPlan],
+    governors: &[String],
+    preset: &PlatformPreset,
+    gap_tick_s: f64,
+    train_budget_s: f64,
+    workers: usize,
+) -> Vec<(DayReport, TickTrace)> {
+    let store_seed = seeded_tables(plans, governors, preset, train_budget_s, workers);
+    let cells: Vec<usize> = (0..plans.len()).collect();
+    let per_plan = parallel_map(&cells, workers, |&pi| {
+        let (specs, mut lane_stores) = cell_setup(
+            &plans[pi],
+            governors,
+            preset,
+            gap_tick_s,
+            train_budget_s,
+            &store_seed,
+        );
+        let mut store_refs: Vec<&mut QTableStore> = lane_stores.iter_mut().collect();
+        let mut sinks: Vec<TraceRecorder> = specs
+            .iter()
+            .map(|spec| TraceRecorder::new(spec.trace_meta()))
+            .collect();
+        let reports = run_day_lanes_traced(&specs, &mut store_refs, &mut sinks);
+        reports
+            .into_iter()
+            .zip(sinks.into_iter().map(TraceRecorder::finish))
+            .collect::<Vec<_>>()
+    });
+    per_plan.into_iter().flatten().collect()
+}
+
+/// Trains each distinct app of `plans` once (in parallel) when the
+/// grid includes the `next` governor — the store-seeding phase shared
+/// by [`run_days`], [`run_days_traced`] and [`replay_day`].
+fn seeded_tables(
+    plans: &[DayPlan],
+    governors: &[String],
+    preset: &PlatformPreset,
+    train_budget_s: f64,
+    workers: usize,
+) -> BTreeMap<String, DenseQTable> {
     let mut train_apps: Vec<String> = Vec::new();
     if governors.iter().any(|g| g == "next") {
         for plan in plans {
@@ -490,44 +643,109 @@ pub fn run_days(
         train_apps.dedup();
     }
     let outcomes = StandardEvaluator::train_for_apps(&train_apps, train_budget_s, workers, preset);
-    let store_seed: BTreeMap<String, DenseQTable> = train_apps
+    train_apps
         .into_iter()
         .zip(outcomes.into_iter().map(|out| out.agent.into_table()))
-        .collect();
+        .collect()
+}
 
-    // One batched cell per plan: all governors ride the same
-    // [`SocBatch`] in lockstep, one lane each.
-    let cells: Vec<usize> = (0..plans.len()).collect();
-    let per_plan = parallel_map(&cells, workers, |&pi| {
-        let specs: Vec<DaySpec> = governors
-            .iter()
-            .map(|governor| DaySpec {
-                plan: plans[pi].clone(),
-                governor: governor.clone(),
-                preset: preset.clone(),
-                gap_tick_s,
-                train_budget_s,
-                battery: Battery::note9(),
-            })
-            .collect();
-        let mut lane_stores: Vec<QTableStore> = governors
-            .iter()
-            .map(|governor| {
-                let mut store = QTableStore::in_memory();
-                if governor == "next" {
-                    for app in plans[pi].distinct_apps() {
-                        store
-                            .save(&app, &store_seed[&app])
-                            .expect("in-memory save cannot fail");
-                    }
+/// Builds one plan-cell's per-governor specs and pre-seeded stores.
+fn cell_setup(
+    plan: &DayPlan,
+    governors: &[String],
+    preset: &PlatformPreset,
+    gap_tick_s: f64,
+    train_budget_s: f64,
+    store_seed: &BTreeMap<String, DenseQTable>,
+) -> (Vec<DaySpec>, Vec<QTableStore>) {
+    let specs: Vec<DaySpec> = governors
+        .iter()
+        .map(|governor| DaySpec {
+            plan: plan.clone(),
+            governor: governor.clone(),
+            preset: preset.clone(),
+            gap_tick_s,
+            train_budget_s,
+            battery: Battery::note9(),
+        })
+        .collect();
+    let lane_stores: Vec<QTableStore> = governors
+        .iter()
+        .map(|governor| {
+            let mut store = QTableStore::in_memory();
+            if governor == "next" {
+                for app in plan.distinct_apps() {
+                    store
+                        .save(&app, &store_seed[&app])
+                        .expect("in-memory save cannot fail");
                 }
-                store
-            })
-            .collect();
-        let mut store_refs: Vec<&mut QTableStore> = lane_stores.iter_mut().collect();
-        run_day_lanes(&specs, &mut store_refs)
-    });
-    per_plan.into_iter().flatten().collect()
+            }
+            store
+        })
+        .collect();
+    (specs, lane_stores)
+}
+
+/// Re-executes a recorded day from its [`TraceMeta`] alone and returns
+/// the regenerated report and trace. Because every stage is
+/// deterministic — plan generation from `(persona, config, seed)`,
+/// Q-table training from `(governor, budget, preset)`, and the tick
+/// loop itself — the regenerated trace is byte-identical to the
+/// original recording; `next-sim replay` asserts exactly that.
+///
+/// # Errors
+///
+/// Returns a message for unknown platform/persona/governor names, an
+/// infeasible plan configuration, a foreign engine tick, or a domain
+/// count that does not match the named platform.
+pub fn replay_day(meta: &TraceMeta, workers: usize) -> Result<(DayReport, TickTrace), String> {
+    let preset = PlatformPreset::by_name(&meta.platform)
+        .ok_or_else(|| format!("unknown platform '{}'", meta.platform))?;
+    let persona = Persona::by_name(&meta.persona)
+        .ok_or_else(|| format!("unknown persona '{}'", meta.persona))?;
+    if !StandardEvaluator::GOVERNORS.contains(&meta.governor.as_str()) {
+        return Err(format!("unknown governor '{}'", meta.governor));
+    }
+    if meta.tick_s != Engine::new().tick_s() {
+        return Err(format!(
+            "trace was recorded at a {} s base tick; this engine runs {} s",
+            meta.tick_s,
+            Engine::new().tick_s()
+        ));
+    }
+    if usize::from(meta.n_domains) != preset.soc.platform.n_domains() {
+        return Err(format!(
+            "trace records {} domains but platform '{}' has {}",
+            meta.n_domains,
+            meta.platform,
+            preset.soc.platform.n_domains()
+        ));
+    }
+    if !(meta.gap_tick_s > 0.0 && meta.gap_tick_s.is_finite()) {
+        return Err(format!("invalid gap tick {}", meta.gap_tick_s));
+    }
+    meta.plan.validate()?;
+    let plan = DayPlan::generate(&persona, &meta.plan, meta.seed);
+    let governors = vec![meta.governor.clone()];
+    let store_seed = seeded_tables(
+        std::slice::from_ref(&plan),
+        &governors,
+        &preset,
+        meta.train_budget_s,
+        workers,
+    );
+    let (mut specs, mut stores) = cell_setup(
+        &plan,
+        &governors,
+        &preset,
+        meta.gap_tick_s,
+        meta.train_budget_s,
+        &store_seed,
+    );
+    let mut spec = specs.pop().expect("one governor, one spec");
+    spec.battery = meta.battery;
+    let mut store = stores.pop().expect("one governor, one store");
+    Ok(run_day_traced(&spec, &mut store))
 }
 
 #[cfg(test)]

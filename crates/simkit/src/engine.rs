@@ -15,6 +15,7 @@ use mpsoc::soc::Soc;
 use workload::SessionSim;
 
 use crate::metrics::{Sample, Trace};
+use crate::trace::{NullSink, TickView, TraceSink};
 
 /// The simulation engine (base tick configuration).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +116,22 @@ impl Engine {
         duration_s: f64,
         outcome: &mut RunOutcome,
     ) {
+        self.run_into_traced(soc, governor, session, duration_s, outcome, &mut NullSink);
+    }
+
+    /// Like [`Engine::run_into`], with a [`TraceSink`] observing every
+    /// tick. The sink is generic, so with the zero-sized [`NullSink`]
+    /// (which is what `run_into` passes) the recording branches fold
+    /// away and the tick loop is exactly the untraced one.
+    pub fn run_into_traced<S: TraceSink>(
+        &self,
+        soc: &mut Soc,
+        governor: &mut dyn Governor,
+        session: &mut SessionSim,
+        duration_s: f64,
+        outcome: &mut RunOutcome,
+        sink: &mut S,
+    ) {
         outcome.trace.clear();
         outcome.presented_frames = 0;
         outcome.repeated_vsyncs = 0;
@@ -141,9 +158,22 @@ impl Engine {
             let state = soc.state();
             governor.observe(&state);
             until_control -= 1;
+            let mut controlled = false;
             if until_control == 0 {
                 governor.control(&state, soc.dvfs_mut());
                 until_control = control_every;
+                controlled = true;
+            }
+            if sink.enabled() {
+                sink.record(&TickView {
+                    state: &state,
+                    dt_s: dt,
+                    decision: if controlled {
+                        governor.last_decision()
+                    } else {
+                        None
+                    },
+                });
             }
             outcome.trace.push(Sample {
                 time_s: state.time_s,

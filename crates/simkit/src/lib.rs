@@ -28,7 +28,10 @@
 //!   store,
 //! * [`report`] — plain-text tables and series for the bench harness,
 //! * [`sweep`] — the work-stealing parallel runner for governor×app×seed
-//!   grids, with deterministic row merging.
+//!   grids, with deterministic row merging,
+//! * [`trace`] — the compact per-tick binary trace format plus the
+//!   zero-cost [`trace::TraceSink`] hook, the recorder behind
+//!   `next-sim replay`/`bisect`, and the field-level trace differ.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,14 +45,22 @@ pub mod metrics;
 pub mod platform;
 pub mod report;
 pub mod sweep;
+pub mod trace;
 pub mod trainer;
 
 pub use batch::BatchLane;
-pub use day::{run_day, run_day_lanes, run_days, DayReport, DaySpec, SessionReport};
+pub use day::{
+    replay_day, run_day, run_day_lanes, run_day_lanes_traced, run_day_traced, run_days,
+    run_days_traced, DayReport, DaySpec, SessionReport,
+};
 pub use engine::{Engine, RunOutcome};
 pub use experiment::{train_next_for_app, EvalResult};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use metrics::{Battery, Sample, Summary, Trace};
 pub use platform::PlatformPreset;
 pub use sweep::{parallel_map, run_cells, StandardEvaluator, SweepCell, SweepRow};
+pub use trace::{
+    bisect, BisectReport, NullSink, SegmentKind, TickRecord, TickTrace, TraceError, TraceMeta,
+    TraceRecorder, TraceSink,
+};
 pub use trainer::{TrainOutcome, TrainSpec, Trainer};

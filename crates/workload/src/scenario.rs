@@ -344,6 +344,10 @@ pub struct DayPlan {
     pub persona: String,
     /// Master seed of the generation.
     pub seed: u64,
+    /// The configuration the plan was generated from — carried along so
+    /// a plan can be regenerated bit-for-bit from `(persona, config,
+    /// seed)` alone (the record/replay contract).
+    pub config: DayPlanConfig,
     /// Waking-day length, seconds.
     pub day_length_s: f64,
     /// The pickups, in time order.
@@ -474,6 +478,7 @@ impl DayPlan {
         DayPlan {
             persona: persona.name().to_owned(),
             seed,
+            config: *config,
             day_length_s: config.day_length_s,
             pickups,
             tail_gap_s: gaps[config.pickups as usize],

@@ -14,18 +14,22 @@
 //! next-sim day     [--persona <p,q,..>] [--governors <g,h,..>] [--seed <n>|--seeds <n,m,..>]
 //!                  [--pickups <n>] [--day-length <s>] [--train-budget <s>]
 //!                  [--platform <name>] [--quick] [--workers <n>] [--out <day.json>]
+//!                  [--trace <day.trace>] [--report <day.html>]
+//! next-sim replay  --trace <day.trace> [--workers <n>]
+//! next-sim bisect  --a <one.trace> --b <other.trace>
 //! next-sim apps
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use next_mpsoc::bench::{day as bench_day, fleet as bench_fleet, json::Json, perf};
+use next_mpsoc::bench::{day as bench_day, fleet as bench_fleet, json::Json, perf, report};
 use next_mpsoc::governors::{self, IntQosPm, Schedutil};
 use next_mpsoc::next_core::{NextAgent, NextConfig};
 use next_mpsoc::qlearn::DenseQTable;
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
 use next_mpsoc::simkit::fleet::{self, FleetConfig};
+use next_mpsoc::simkit::trace::{bisect, TickTrace};
 use next_mpsoc::simkit::{day, sweep, Battery, PlatformPreset, StandardEvaluator, Summary};
 use next_mpsoc::workload::{apps, DayPlan, DayPlanConfig, Persona, SessionPlan};
 
@@ -50,6 +54,8 @@ fn main() -> ExitCode {
         "perf" => cmd_perf(&flags),
         "fleet" => cmd_fleet(&flags),
         "day" => cmd_day(&flags),
+        "replay" => cmd_replay(&flags),
+        "bisect" => cmd_bisect(&flags),
         "personas" => {
             for &name in Persona::names() {
                 let persona = Persona::by_name(name).expect("shipped persona");
@@ -115,6 +121,9 @@ USAGE:
   next-sim day     [--persona <p,q,..>] [--governors <g,h,..>] [--seed <n>|--seeds <n,m,..>]
                    [--pickups <n>] [--day-length <s>] [--train-budget <s>]
                    [--platform <name>] [--quick] [--workers <n>] [--out <day.json>]
+                   [--trace <day.trace>] [--report <day.html>]
+  next-sim replay  --trace <day.trace> [--workers <n>]
+  next-sim bisect  --a <one.trace> --b <other.trace>
   next-sim apps
   next-sim platforms
   next-sim personas
@@ -155,6 +164,16 @@ artifact's deltas section is a true battery-day comparison (defaults:
 persona gamer, governors next+schedutil, seed 42). Byte-identical
 across --workers values. --quick compresses sessions 6x over a 2 h
 day for CI smoke runs.
+
+day can also record per-tick traces: --trace writes the first
+(plan, governor) cell's binary trace (docs/TRACE_FORMAT.md) and
+--report renders every cell into one self-contained HTML viewer
+(timeline, thermal traces, per-session PPDW, action heatmap).
+
+replay re-executes a recorded day from the trace's metadata alone and
+exits non-zero unless the regenerated trace is byte-identical to the
+file — the repository's determinism gate. bisect compares two traces
+and reports the first divergent tick with a field-level diff.
 
 sweep/perf/fleet/day accept --platform to run on a different SoC
 preset; run/train/compare always use the paper's exynos9810.";
@@ -636,11 +655,45 @@ fn cmd_day(flags: &Flags) -> Result<(), String> {
         plan_cfg.day_length_s / 3_600.0
     );
     let started = std::time::Instant::now();
-    let reports = day::run_days(&plans, &governors, &preset, 1.0, train_budget, workers);
+    // Tracing is opt-in: without --trace/--report the untraced path
+    // runs and the recording hook compiles down to nothing.
+    let tracing = flags.contains_key("trace") || flags.contains_key("report");
+    let (reports, traces) = if tracing {
+        let cells = day::run_days_traced(&plans, &governors, &preset, 1.0, train_budget, workers);
+        let (reports, traces): (Vec<_>, Vec<_>) = cells.into_iter().unzip();
+        (reports, Some(traces))
+    } else {
+        let reports = day::run_days(&plans, &governors, &preset, 1.0, train_budget, workers);
+        (reports, None)
+    };
     eprintln!(
         "day: finished in {:.1} s wall clock",
         started.elapsed().as_secs_f64()
     );
+    if let Some(traces) = &traces {
+        if let Some(path) = flags.get("trace") {
+            // One file, one scenario: the first (plan, governor) cell.
+            let trace = traces.first().expect("at least one cell");
+            std::fs::write(path, trace.encode()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "day: wrote {path} ({} ticks, cell {} seed {} under {})",
+                trace.records.len(),
+                trace.meta.persona,
+                trace.meta.seed,
+                trace.meta.governor
+            );
+        }
+        if let Some(path) = flags.get("report") {
+            let cells: Vec<(day::DayReport, TickTrace)> = reports
+                .iter()
+                .cloned()
+                .zip(traces.iter().cloned())
+                .collect();
+            let html = report::day_html(&cells);
+            std::fs::write(path, html).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("day: wrote {path} ({} cells)", cells.len());
+        }
+    }
     for report in &reports {
         eprintln!(
             "day: {} seed {} {:<10} | {:5.1} min screen-on over {} pickups | \
@@ -672,6 +725,63 @@ fn cmd_day(flags: &Flags) -> Result<(), String> {
         None => println!("{text}"),
     }
     Ok(())
+}
+
+/// Reads and decodes a binary trace file.
+fn read_trace(path: &str) -> Result<(Vec<u8>, TickTrace), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let trace = TickTrace::decode(&bytes).map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok((bytes, trace))
+}
+
+fn cmd_replay(flags: &Flags) -> Result<(), String> {
+    let path = flags.get("trace").ok_or("--trace is required")?;
+    let (bytes, recorded) = read_trace(path)?;
+    let workers = usize::try_from(get_u64(flags, "workers", sweep::default_workers() as u64)?)
+        .map_err(|_| "--workers out of range".to_owned())?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+    eprintln!(
+        "replay: {} ticks — {} day, seed {}, {} on {} ...",
+        recorded.records.len(),
+        recorded.meta.persona,
+        recorded.meta.seed,
+        recorded.meta.governor,
+        recorded.meta.platform
+    );
+    let started = std::time::Instant::now();
+    let (_report, replayed) = day::replay_day(&recorded.meta, workers)?;
+    eprintln!(
+        "replay: re-executed in {:.1} s wall clock",
+        started.elapsed().as_secs_f64()
+    );
+    let replayed_bytes = replayed.encode();
+    if replayed_bytes == bytes {
+        println!(
+            "replay: OK — {} ticks byte-identical to {path}",
+            replayed.records.len()
+        );
+        return Ok(());
+    }
+    // Show where it went wrong before failing.
+    let report = bisect(&recorded, &replayed);
+    eprintln!("{}", report.render());
+    Err(format!("replay diverged from {path}"))
+}
+
+fn cmd_bisect(flags: &Flags) -> Result<(), String> {
+    let path_a = flags.get("a").ok_or("--a is required")?;
+    let path_b = flags.get("b").ok_or("--b is required")?;
+    let (_, trace_a) = read_trace(path_a)?;
+    let (_, trace_b) = read_trace(path_b)?;
+    let report = bisect(&trace_a, &trace_b);
+    println!("{}", report.render());
+    if report.is_identical() {
+        Ok(())
+    } else {
+        Err(format!("{path_a} and {path_b} diverge"))
+    }
 }
 
 fn cmd_compare(flags: &Flags) -> Result<(), String> {
