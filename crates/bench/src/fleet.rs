@@ -159,10 +159,11 @@ pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
 
 /// A parsed `BENCH.json`-family document: schema v1 (perf only), v2
 /// (perf and/or fleet sections), v3 (platform-tagged), v4 (day
-/// documents) or v5 (batched tick-kernel probe).
+/// documents), v5 (batched tick-kernel probe) or v6 (campaign
+/// documents).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
-    /// Declared schema version (1 through 5).
+    /// Declared schema version (1 through 6).
     pub schema: u32,
     /// The `fleet` section, when present (v2 and later).
     pub fleet: Option<Json>,
@@ -170,14 +171,17 @@ pub struct BenchDoc {
     pub day: Option<Json>,
     /// The `batch` section, when present (v5 and later).
     pub batch: Option<Json>,
+    /// The `campaign` section, when present (v6 and later).
+    pub campaign: Option<Json>,
     /// The whole document tree.
     pub doc: Json,
 }
 
-/// Parses and validates a `BENCH.json` / `fleet.json` / `day.json`
-/// document: accepts schema v1 (which must not carry a `fleet`
-/// section), v2/v3 (which may), v4 (which may also carry a `day`
-/// section), and v5 (which may also carry the `batch` kernel probe).
+/// Parses and validates a `BENCH.json` / `fleet.json` / `day.json` /
+/// `campaign.json` document: accepts schema v1 (which must not carry a
+/// `fleet` section), v2/v3 (which may), v4 (which may also carry a
+/// `day` section), v5 (which may also carry the `batch` kernel probe),
+/// and v6 (which may also carry a `campaign` section).
 ///
 /// # Errors
 ///
@@ -190,7 +194,7 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
         .get("schema")
         .and_then(Json::as_f64)
         .ok_or("missing numeric 'schema' field")?;
-    if schema.fract() != 0.0 || !(1.0..=5.0).contains(&schema) {
+    if schema.fract() != 0.0 || !(1.0..=6.0).contains(&schema) {
         return Err(format!("unsupported schema version {schema}"));
     }
     let schema = schema as u32;
@@ -210,11 +214,18 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
             "schema v{schema} documents cannot carry a 'batch' section"
         ));
     }
+    let campaign = doc.get("campaign").cloned();
+    if schema < 6 && campaign.is_some() {
+        return Err(format!(
+            "schema v{schema} documents cannot carry a 'campaign' section"
+        ));
+    }
     Ok(BenchDoc {
         schema,
         fleet,
         day,
         batch,
+        campaign,
         doc,
     })
 }
@@ -312,7 +323,7 @@ mod tests {
             "missing schema"
         );
         assert!(
-            parse_document("{\"schema\":6}").is_err(),
+            parse_document("{\"schema\":7}").is_err(),
             "future schema rejected"
         );
         assert!(
@@ -334,5 +345,12 @@ mod tests {
         let v5 = parse_document("{\"schema\":5,\"batch\":{}}").expect("v5 batch document");
         assert_eq!(v5.schema, 5);
         assert!(v5.batch.is_some());
+        assert!(
+            parse_document("{\"schema\":5,\"campaign\":{}}").is_err(),
+            "campaign sections need schema v6"
+        );
+        let v6 = parse_document("{\"schema\":6,\"campaign\":{}}").expect("v6 campaign document");
+        assert_eq!(v6.schema, 6);
+        assert!(v6.campaign.is_some());
     }
 }

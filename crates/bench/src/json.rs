@@ -21,6 +21,13 @@ pub enum Json {
     Bool(bool),
     /// A finite number (JSON has no NaN/infinity).
     Num(f64),
+    /// An unsigned integer that is *not* exactly representable as an
+    /// `f64` (above 2^53 and off the even grid). Kept as a separate
+    /// variant so device/state totals at 10⁶-campaign scale round-trip
+    /// exactly instead of being rounded at an `as f64` cast. Construct
+    /// via [`Json::num_u64`], which picks `Num` whenever the value is
+    /// exactly representable — so existing artifacts never change.
+    Int(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -64,6 +71,30 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// Convenience constructor: an unsigned integer count.
+    ///
+    /// Values that survive an `f64` round-trip exactly become
+    /// [`Json::Num`] (identical bytes to every pre-existing artifact);
+    /// only values that `f64` would round — above 2^53 and between the
+    /// representable even multiples — get the lossless [`Json::Int`]
+    /// variant.
+    #[must_use]
+    pub fn num_u64(v: u64) -> Json {
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        {
+            let f = v as f64;
+            // `u64::MAX as f64` rounds up to 2^64; the float→int cast
+            // back would *saturate* to u64::MAX and fake a match, so
+            // values that round to 2^64 are excluded before the cast.
+            if f < u64::MAX as f64 && f as u64 == v {
+                Json::Num(f)
+            } else {
+                Json::Int(v)
+            }
+        }
+    }
+
     /// Member of an object by key (first match).
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&Json> {
@@ -73,11 +104,33 @@ impl Json {
         }
     }
 
-    /// The value as a finite number, if it is one.
+    /// The value as a finite number, if it is one. [`Json::Int`]
+    /// values above 2^53 are rounded to the nearest `f64`; use
+    /// [`Json::as_u64`] when exactness matters.
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer, if it is one: either an
+    /// [`Json::Int`], or a [`Json::Num`] holding a non-negative value
+    /// with no fractional part.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_precision_loss)]
+        match self {
+            Json::Int(v) => Some(*v),
+            // `u64::MAX as f64` rounds up to 2^64, which does not fit;
+            // the strict `<` keeps the cast in range.
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < u64::MAX as f64 => {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }
@@ -121,6 +174,9 @@ impl Json {
                 } else {
                     let _ = write!(out, "{n}");
                 }
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
             }
             Json::Str(s) => render_string(s, out),
             Json::Arr(items) => {
@@ -236,12 +292,26 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
+    let mut pure_digits = *pos < bytes.len() && bytes[start] != b'-';
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
     {
+        if !bytes[*pos].is_ascii_digit() {
+            pure_digits = false;
+        }
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ascii");
+    // An unsigned integer literal that f64 would round keeps its exact
+    // value via the Int variant (mirrors Json::num_u64, so
+    // render∘parse stays a fixpoint). Everything else — fractions,
+    // exponents, negatives, and integers f64 represents exactly —
+    // parses as before.
+    if pure_digits {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::num_u64(v));
+        }
+    }
     let n: f64 = text.parse().map_err(|_| err(start, "bad number"))?;
     if !n.is_finite() {
         return Err(err(start, "non-finite number"));
@@ -404,6 +474,37 @@ mod tests {
         assert_eq!(Json::num(1200.0).render(), "1200");
         assert_eq!(Json::num(0.5).render(), "0.5");
         assert_eq!(Json::num(-7.0).render(), "-7");
+    }
+
+    #[test]
+    fn large_integer_counts_roundtrip_exactly() {
+        // 2^53 is the last contiguous f64 integer; 2^53 + 1 is the
+        // first count an `as f64` cast silently rounds. Campaign
+        // totals (visits across 10⁶ device-days) live beyond it.
+        const EXACT: u64 = 1 << 53;
+        for v in [EXACT + 1, EXACT + 123_457, u64::MAX - 1, u64::MAX] {
+            let json = Json::num_u64(v);
+            assert_eq!(json, Json::Int(v), "{v} is not f64-exact");
+            let text = json.render();
+            assert_eq!(text, v.to_string(), "raw digits, no rounding");
+            let back = Json::parse(&text).expect("own rendering parses");
+            assert_eq!(back.as_u64(), Some(v), "{v} must survive the trip");
+            assert_eq!(back.render(), text, "fixpoint at {v}");
+        }
+        // Exactly representable values keep the historical Num form —
+        // byte-for-byte identical artifacts.
+        for v in [0u64, 1, 1_000_000, EXACT, EXACT + 2] {
+            #[allow(clippy::cast_precision_loss)]
+            let expected = Json::Num(v as f64);
+            assert_eq!(Json::num_u64(v), expected);
+            assert_eq!(Json::num_u64(v).as_u64(), Some(v));
+        }
+        // Parser side: a literal beyond 2^53 comes back exact too.
+        let doc = Json::parse("{\"total_visits\":9007199254740993}").unwrap();
+        assert_eq!(
+            doc.get("total_visits").and_then(Json::as_u64),
+            Some(9_007_199_254_740_993)
+        );
     }
 
     #[test]

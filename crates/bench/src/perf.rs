@@ -30,12 +30,14 @@ use crate::json::Json;
 /// v2 added the optional `fleet` section (`next-sim fleet`) and the
 /// federated merge probe; v3 added the `platform` field (the preset
 /// the grid ran on) and per-platform fleet sections; v4 added the `day`
-/// section (`next-sim day` battery-day documents); v5 adds the `batch`
+/// section (`next-sim day` battery-day documents); v5 added the `batch`
 /// section — the structure-of-arrays tick-kernel throughput probe and
-/// its `device_days_per_sec` metric.
+/// its `device_days_per_sec` metric; v6 adds the `campaign` section
+/// (`next-sim campaign` documents) and the end-to-end campaign probe
+/// with its `devices_per_sec` metric.
 /// [`crate::fleet::parse_document`] still accepts every earlier
 /// version.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Configuration of one perf-harness run.
 #[derive(Debug, Clone)]
@@ -61,6 +63,10 @@ pub struct PerfConfig {
     pub probe_states: usize,
     /// Device lanes of the batched tick-kernel probe.
     pub batch_width: usize,
+    /// Devices of the end-to-end campaign probe (quick-plan days).
+    pub campaign_devices: usize,
+    /// Rounds of the end-to-end campaign probe.
+    pub campaign_rounds: usize,
 }
 
 impl PerfConfig {
@@ -82,6 +88,10 @@ impl PerfConfig {
             // lane-contiguous arrays amortise the shared per-tick
             // costs, while keeping the probe in the milliseconds.
             batch_width: 64,
+            // Two shards' worth of quick days: big enough that the
+            // per-round fixed costs (warm seed, merges) amortise.
+            campaign_devices: 12,
+            campaign_rounds: 2,
         }
     }
 
@@ -103,6 +113,8 @@ impl PerfConfig {
             workers: sweep::default_workers(),
             probe_states: 100_000,
             batch_width: 64,
+            campaign_devices: 24,
+            campaign_rounds: 2,
         }
     }
 }
@@ -207,6 +219,59 @@ impl BatchProbe {
         } else {
             0.0
         }
+    }
+}
+
+/// Throughput probe of the end-to-end campaign runner: a small
+/// quick-plan campaign (whole online-learning days, delta encoding,
+/// normalized merges — every layer `next-sim campaign` exercises) run
+/// once, wall-clocked. `devices_per_sec` counts simulated device-days
+/// per wall-clock second — the campaign-scale sizing number the CI
+/// floor gates on.
+#[derive(Debug, Clone)]
+pub struct CampaignProbe {
+    /// Devices simulated.
+    pub devices: usize,
+    /// Federated rounds (days per device).
+    pub rounds: usize,
+    /// Wall-clock seconds for the whole campaign (including its
+    /// warm-seed training).
+    pub wall_s: f64,
+    /// Simulated device-days per wall-clock second.
+    pub devices_per_sec: f64,
+    /// Total uplink payload the probe campaign produced, bytes
+    /// (deterministic — a sanity anchor for the artifact).
+    pub uplink_bytes: u64,
+}
+
+/// Runs the campaign throughput probe on quick-plan days.
+///
+/// # Panics
+///
+/// Panics if the derived campaign config is invalid (zero devices or
+/// rounds) or `platform` names an unknown preset.
+#[must_use]
+pub fn probe_campaign(
+    devices: usize,
+    rounds: usize,
+    workers: usize,
+    platform: &str,
+) -> CampaignProbe {
+    let config = simkit::CampaignConfig::quick(devices, rounds, 4242).with_platforms(&[platform]);
+    let started = Instant::now();
+    let report = simkit::run_campaign(&config, workers);
+    let wall_s = started.elapsed().as_secs_f64();
+    let device_days = (devices * rounds) as f64;
+    CampaignProbe {
+        devices,
+        rounds,
+        wall_s,
+        devices_per_sec: if wall_s > 0.0 {
+            device_days / wall_s
+        } else {
+            0.0
+        },
+        uplink_bytes: report.total_uplink_bytes(),
     }
 }
 
@@ -325,6 +390,8 @@ pub struct PerfReport {
     pub merge: MergeProbe,
     /// Batched tick-kernel throughput probe (`device_days_per_sec`).
     pub batch: BatchProbe,
+    /// End-to-end campaign throughput probe (`devices_per_sec`).
+    pub campaign: CampaignProbe,
 }
 
 /// Wall-clock period of governor `name`, seconds.
@@ -414,6 +481,12 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         probe_actions,
     );
     let batch = probe_batch(config.batch_width, config.duration_s, &config.apps, &preset);
+    let campaign = probe_campaign(
+        config.campaign_devices,
+        config.campaign_rounds,
+        config.workers,
+        &config.platform,
+    );
 
     PerfReport {
         config: config.clone(),
@@ -423,6 +496,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         probes,
         merge,
         batch,
+        campaign,
     }
 }
 
@@ -665,6 +739,19 @@ impl PerfReport {
             ),
             ("speedup".into(), Json::num(self.batch.speedup())),
         ]);
+        let campaign = Json::Obj(vec![
+            ("devices".into(), Json::num(self.campaign.devices as f64)),
+            ("rounds".into(), Json::num(self.campaign.rounds as f64)),
+            ("wall_s".into(), Json::num(self.campaign.wall_s)),
+            (
+                "devices_per_sec".into(),
+                Json::num(self.campaign.devices_per_sec),
+            ),
+            (
+                "uplink_bytes".into(),
+                Json::num_u64(self.campaign.uplink_bytes),
+            ),
+        ]);
         Json::Obj(vec![
             ("schema".into(), Json::num(f64::from(SCHEMA_VERSION))),
             ("harness".into(), Json::str("next-sim perf")),
@@ -692,6 +779,7 @@ impl PerfReport {
             ("dense_speedup".into(), dense_speedup),
             ("merge".into(), merge),
             ("batch".into(), batch),
+            ("campaign".into(), campaign),
         ])
     }
 
@@ -830,10 +918,11 @@ fn gate_metric(
 
 /// Applies the CI performance floors: the report's aggregate ticks/sec
 /// must reach `min_ratio` of the baseline's `ticks_per_sec`, and — when
-/// the baseline carries a `device_days_per_sec` entry — the batched
-/// tick-kernel probe must reach `min_ratio` of that too (older
-/// baselines without the field skip the batch gate, keeping the checker
-/// backward-accepting like [`crate::fleet::parse_document`]).
+/// the baseline carries a `device_days_per_sec` or `devices_per_sec`
+/// entry — the batched tick-kernel probe and the end-to-end campaign
+/// probe must reach `min_ratio` of those too (older baselines without
+/// the fields skip those gates, keeping the checker backward-accepting
+/// like [`crate::fleet::parse_document`]).
 ///
 /// `baseline_text` is the checked-in baseline JSON (see
 /// `ci/perf-baseline.json`); it needs a top-level numeric
@@ -869,6 +958,17 @@ pub fn check_floor(
         verdict.push_str("; ");
         verdict.push_str(&line);
     }
+    if baseline.get("devices_per_sec").is_some() {
+        let base_campaign = baseline_metric(&baseline, "devices_per_sec")?;
+        let line = gate_metric(
+            "devices_per_sec",
+            report.campaign.devices_per_sec,
+            base_campaign,
+            min_ratio,
+        )?;
+        verdict.push_str("; ");
+        verdict.push_str(&line);
+    }
     Ok(verdict)
 }
 
@@ -888,6 +988,8 @@ mod tests {
             workers: 2,
             probe_states: 500,
             batch_width: 4,
+            campaign_devices: 2,
+            campaign_rounds: 1,
         }
     }
 
@@ -897,7 +999,7 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         let text = report.to_json().render();
         let doc = Json::parse(&text).expect("BENCH.json must be valid JSON");
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(6.0));
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("test"));
         assert_eq!(
             doc.get("platform").and_then(Json::as_str),
@@ -957,6 +1059,17 @@ mod tests {
                 > 0.0
         );
         assert!(batch.get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        let campaign = doc.get("campaign").expect("campaign probe section");
+        assert_eq!(campaign.get("devices").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(campaign.get("rounds").and_then(Json::as_f64), Some(1.0));
+        assert!(
+            campaign
+                .get("devices_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(campaign.get("uplink_bytes").and_then(Json::as_u64).unwrap() > 0);
     }
 
     #[test]
@@ -1046,6 +1159,36 @@ mod tests {
         let legacy = format!("{{\"ticks_per_sec\": {}}}", tps / 10.0);
         let verdict = check_floor(&report, &legacy, 0.5).expect("legacy baseline passes");
         assert!(!verdict.contains("device_days_per_sec"));
+    }
+
+    #[test]
+    fn floor_check_gates_campaign_throughput_when_baseline_carries_it() {
+        let report = run(&tiny_config());
+        let tps = throughput_ticks_per_sec(&report);
+        let dps = report.campaign.devices_per_sec;
+        assert!(dps > 0.0);
+        let both_pass = format!(
+            "{{\"ticks_per_sec\": {}, \"devices_per_sec\": {}}}",
+            tps / 10.0,
+            dps / 10.0
+        );
+        let verdict = check_floor(&report, &both_pass, 0.5).expect("both gates pass");
+        assert!(verdict.contains("devices_per_sec"));
+        let campaign_fails = format!(
+            "{{\"ticks_per_sec\": {}, \"devices_per_sec\": {}}}",
+            tps / 10.0,
+            dps * 1e6
+        );
+        assert!(matches!(
+            check_floor(&report, &campaign_fails, 0.5),
+            Err(GateError::FloorViolated {
+                metric: "devices_per_sec",
+                ..
+            })
+        ));
+        let legacy = format!("{{\"ticks_per_sec\": {}}}", tps / 10.0);
+        let verdict = check_floor(&report, &legacy, 0.5).expect("legacy baseline passes");
+        assert!(!verdict.contains("devices_per_sec"));
     }
 
     #[test]

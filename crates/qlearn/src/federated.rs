@@ -158,6 +158,43 @@ impl<S: QStore> MergeAccumulator<S> {
         });
         Ok(QTable::from_store(default_q, self.store))
     }
+
+    /// Like [`finish`](MergeAccumulator::finish), but divides the
+    /// summed visit counts by the number of folded tables (rounding
+    /// down, floored at 1 for visited pairs) so visit magnitudes stay
+    /// *stationary* across repeated merge generations.
+    ///
+    /// [`finish`](MergeAccumulator::finish) sums visits — correct for a
+    /// one-shot fleet merge, but a campaign folds every device's table
+    /// into the global table **every round**, and each device's table
+    /// starts from the previous merged table: summed counts would grow
+    /// by roughly a factor of the device count per round and overflow
+    /// `u64` within a handful of rounds at 10⁶ devices. Normalising by
+    /// the fold count keeps the merged count an *average* per device
+    /// (the value average is unchanged — it is weighted by the raw
+    /// sums either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::NoTables`] when nothing was folded.
+    pub fn finish_normalized(mut self) -> Result<QTable<S>, MergeError> {
+        if self.folded == 0 {
+            return Err(MergeError::NoTables);
+        }
+        let default_q = self.default_q;
+        let folded = self.folded as u64;
+        self.store.for_each_row_mut(&mut |_, values, visits| {
+            for (v, n) in values.iter_mut().zip(visits.iter_mut()) {
+                if *n > 0 {
+                    *v /= *n as f64;
+                    *n = (*n / folded).max(1);
+                } else {
+                    *v = default_q;
+                }
+            }
+        });
+        Ok(QTable::from_store(default_q, self.store))
+    }
 }
 
 /// Merges device Q-tables into a fleet table by visit-weighted
@@ -380,6 +417,39 @@ mod tests {
         assert_eq!(acc.n_folded(), 1, "failed fold must not count");
         let merged = acc.finish().expect("one table folded");
         assert_eq!(merged.q(1, 0), 1.0);
+    }
+
+    #[test]
+    fn normalized_finish_keeps_values_and_averages_visits() {
+        let a = table_with(0, 0, 1.0, 6);
+        let b = table_with(0, 0, 4.0, 2);
+        let summed = {
+            let mut acc: MergeAccumulator = MergeAccumulator::new(3, 0.0);
+            acc.fold(&a).unwrap();
+            acc.fold(&b).unwrap();
+            acc.finish().unwrap()
+        };
+        let normalized = {
+            let mut acc: MergeAccumulator = MergeAccumulator::new(3, 0.0);
+            acc.fold(&a).unwrap();
+            acc.fold(&b).unwrap();
+            acc.finish_normalized().unwrap()
+        };
+        // Values are bit-identical; only the visit magnitude changes.
+        assert_eq!(normalized.q(0, 0).to_bits(), summed.q(0, 0).to_bits());
+        assert_eq!(summed.visits(0, 0), 8);
+        assert_eq!(normalized.visits(0, 0), 4, "8 visits over 2 tables");
+        // A pair visited fewer times than the fold count floors at 1
+        // rather than vanishing back to "unvisited".
+        let c = table_with(5, 1, 2.0, 1);
+        let d = table_with(9, 2, 3.0, 1);
+        let mut acc: MergeAccumulator = MergeAccumulator::new(3, 0.0);
+        acc.fold(&c).unwrap();
+        acc.fold(&d).unwrap();
+        let out = acc.finish_normalized().unwrap();
+        assert_eq!(out.visits(5, 1), 1);
+        assert_eq!(out.visits(9, 2), 1);
+        assert_eq!(out.q(5, 1), 2.0);
     }
 
     #[test]

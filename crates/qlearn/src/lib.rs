@@ -23,12 +23,15 @@
 //!   whose bin count the paper sweeps in Fig. 6 (30 bins works best),
 //! * [`federated`] — streaming visit-weighted federated averaging of
 //!   device tables ([`MergeAccumulator`]: bounded memory, dense arena
-//!   fast path) plus the cloud-training time model of §IV-C.
+//!   fast path) plus the cloud-training time model of §IV-C,
+//! * [`codec`] — the compact `NXQT` binary table/delta codec used by
+//!   campaign checkpoints and the delta-bytes uplink cost model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod codec;
 pub mod discretize;
 pub mod double_q;
 pub mod federated;
@@ -37,6 +40,7 @@ pub mod policy;
 pub mod qtable;
 
 pub use backend::{DenseStore, HashStore, QStore};
+pub use codec::{apply_delta, decode_table, delta_between, encode_table, CodecError};
 pub use discretize::Quantizer;
 pub use double_q::DoubleQ;
 pub use federated::{CloudModel, MergeAccumulator, MergeError};

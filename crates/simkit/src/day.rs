@@ -69,6 +69,14 @@ pub struct DaySpec {
     pub train_budget_s: f64,
     /// Battery pack the drain is reported against.
     pub battery: Battery,
+    /// When true, `next` lanes **keep learning during the day**: agents
+    /// are warm-started from the stored table (§IV-C device-side hook,
+    /// scaled exploration) and the updated per-app tables are written
+    /// back to the lane's store when the day ends. When false (the
+    /// default, and the behaviour of every pre-campaign artifact) the
+    /// day runs greedy inference and never mutates the store beyond
+    /// first-use training.
+    pub train_online: bool,
 }
 
 impl DaySpec {
@@ -83,6 +91,7 @@ impl DaySpec {
             gap_tick_s: 1.0,
             train_budget_s: StandardEvaluator::BASE_TRAIN_BUDGET_S,
             battery: Battery::note9(),
+            train_online: false,
         }
     }
 
@@ -100,12 +109,33 @@ impl DaySpec {
         self
     }
 
+    /// Enables online learning during the day (see
+    /// [`DaySpec::train_online`]) — the campaign runner's federated
+    /// local-round mode.
+    #[must_use]
+    pub fn with_train_online(mut self, train_online: bool) -> Self {
+        self.train_online = train_online;
+        self
+    }
+
     /// The trace metadata describing this day — the regeneration
     /// recipe [`replay_day`] consumes. Everything in it pins the run:
     /// the plan is regenerated from `(persona, config, seed)` and the
     /// store contents from `(governor, train_budget_s, preset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an online-training day: the trace header does not
+    /// carry `train_online`, so such a day could not be replayed from
+    /// its metadata (campaign rounds are reproduced from the campaign
+    /// checkpoint recipe instead).
     #[must_use]
     pub fn trace_meta(&self) -> TraceMeta {
+        assert!(
+            !self.train_online,
+            "online-training days are not traceable: the trace header \
+             cannot express train_online"
+        );
         #[allow(clippy::cast_possible_truncation)]
         TraceMeta {
             platform: self.preset.name.clone(),
@@ -348,7 +378,8 @@ pub fn run_day_lanes_traced<S: TraceSink>(
                 && spec.preset.name == first.preset.name
                 && spec.gap_tick_s == first.gap_tick_s
                 && spec.train_budget_s == first.train_budget_s
-                && spec.battery == first.battery,
+                && spec.battery == first.battery
+                && spec.train_online == first.train_online,
             "day lanes must share the plan and device; only the governor may differ"
         );
     }
@@ -416,10 +447,15 @@ pub fn run_day_lanes_traced<S: TraceSink>(
             if is_next[l] && !agents[l].contains_key(&pickup.app) {
                 let (table, trained) = fetch_or_train(stores[l], &pickup.app, spec);
                 trainings[l] += u32::from(trained);
-                agents[l].insert(
-                    pickup.app.clone(),
-                    NextAgent::with_table(spec.preset.next.clone(), table, false),
-                );
+                let agent = if spec.train_online {
+                    // Federated local round: keep learning from the
+                    // stored (fleet-merged) table with the §IV-C
+                    // warm-start exploration scale.
+                    NextAgent::warm_start(spec.preset.next.clone(), table)
+                } else {
+                    NextAgent::with_table(spec.preset.next.clone(), table, false)
+                };
+                agents[l].insert(pickup.app.clone(), agent);
             }
         }
 
@@ -502,6 +538,19 @@ pub fn run_day_lanes_traced<S: TraceSink>(
         energy_gap_j[l] += gap_acc[l].0;
         screen_off_s[l] += gap_acc[l].2;
         peak_temp_hot_c[l] = peak_temp_hot_c[l].max(gap_acc[l].1);
+    }
+
+    // Online-training lanes persist what the day taught: the updated
+    // per-app tables go back into the lane's store (BTreeMap order, so
+    // the store contents are deterministic).
+    for (l, spec) in specs.iter().enumerate() {
+        if spec.train_online {
+            for (app, agent) in std::mem::take(&mut agents[l]) {
+                stores[l]
+                    .save(&app, &agent.into_table())
+                    .expect("in-memory day store cannot fail");
+            }
+        }
     }
 
     specs
@@ -667,6 +716,7 @@ fn cell_setup(
             gap_tick_s,
             train_budget_s,
             battery: Battery::note9(),
+            train_online: false,
         })
         .collect();
     let lane_stores: Vec<QTableStore> = governors
@@ -803,6 +853,58 @@ mod tests {
         let again = run_day(&spec, &mut store);
         assert_eq!(again.trainings, 0);
         assert_eq!(again.sessions, report.sessions);
+    }
+
+    #[test]
+    fn train_online_updates_the_store_deterministically() {
+        let base_spec = tiny_spec("next");
+        let mut seed_store = QTableStore::in_memory();
+        // Populate the store once (train-on-first-use), then snapshot.
+        let _ = run_day(&base_spec, &mut seed_store);
+        let apps = base_spec.plan.distinct_apps();
+        let before: Vec<String> = apps
+            .iter()
+            .map(|a| seed_store.load(a).expect("seeded").encode())
+            .collect();
+
+        // An inference day leaves the store untouched.
+        let mut store = clone_store(&mut seed_store, &apps);
+        let inference = run_day(&base_spec, &mut store);
+        for (a, b) in apps.iter().zip(&before) {
+            assert_eq!(&store.load(a).expect("kept").encode(), b);
+        }
+
+        // An online-training day writes updated tables back…
+        let online_spec = base_spec.clone().with_train_online(true);
+        let mut store1 = clone_store(&mut seed_store, &apps);
+        let online = run_day(&online_spec, &mut store1);
+        let changed = apps
+            .iter()
+            .zip(&before)
+            .any(|(a, b)| &store1.load(a).expect("kept").encode() != b);
+        assert!(changed, "online day must update at least one table");
+        assert_eq!(online.trainings, 0, "warm start is not a training");
+        assert_eq!(online.pickup_count(), inference.pickup_count());
+
+        // …and is itself deterministic: same spec + store, same bytes.
+        let mut store2 = clone_store(&mut seed_store, &apps);
+        let online2 = run_day(&online_spec, &mut store2);
+        assert_eq!(online2.sessions, online.sessions);
+        for a in &apps {
+            assert_eq!(
+                store1.load(a).expect("kept").encode(),
+                store2.load(a).expect("kept").encode()
+            );
+        }
+    }
+
+    fn clone_store(from: &mut QTableStore, apps: &[String]) -> QTableStore {
+        let mut out = QTableStore::in_memory();
+        for a in apps {
+            out.save(a, &from.load(a).expect("app seeded"))
+                .expect("in-memory save");
+        }
+        out
     }
 
     #[test]

@@ -73,9 +73,49 @@ impl LinkModel {
     }
 
     /// Total per-round communication overhead, seconds.
+    ///
+    /// This is the **legacy fixed-cost model** (payload size ignored):
+    /// `simkit::fleet` keeps using it so the byte-frozen schema-v2/v3
+    /// `fleet.json` fixtures stay identical. The campaign runner
+    /// computes communication time from the *actual encoded delta
+    /// bytes* instead — see [`LinkModel::round_trip_bytes_s`].
     #[must_use]
     pub fn round_trip_s(&self) -> f64 {
         self.uplink_s + self.downlink_s
+    }
+
+    /// Modeled device uplink throughput, bytes per second (~8 Mbit/s,
+    /// a conservative mobile uplink).
+    pub const UPLINK_BYTES_PER_S: f64 = 1_000_000.0;
+
+    /// Modeled device downlink throughput, bytes per second
+    /// (~32 Mbit/s; downlinks are typically several times faster).
+    pub const DOWNLINK_BYTES_PER_S: f64 = 4_000_000.0;
+
+    /// Time to upload a payload of `bytes`: the fixed uplink latency
+    /// plus the transfer at [`LinkModel::UPLINK_BYTES_PER_S`].
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn uplink_time_s(&self, bytes: u64) -> f64 {
+        self.uplink_s + bytes as f64 / Self::UPLINK_BYTES_PER_S
+    }
+
+    /// Time to download a payload of `bytes`: the fixed downlink
+    /// latency plus the transfer at [`LinkModel::DOWNLINK_BYTES_PER_S`].
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn downlink_time_s(&self, bytes: u64) -> f64 {
+        self.downlink_s + bytes as f64 / Self::DOWNLINK_BYTES_PER_S
+    }
+
+    /// Per-round communication time for actual payloads: uploading
+    /// `uplink_bytes` (the device's encoded Q-table delta) and
+    /// downloading `downlink_bytes` (the merged table pushed back).
+    /// Degenerates to [`LinkModel::round_trip_s`] at zero bytes, so the
+    /// fixed model is exactly the empty-payload case.
+    #[must_use]
+    pub fn round_trip_bytes_s(&self, uplink_bytes: u64, downlink_bytes: u64) -> f64 {
+        self.uplink_time_s(uplink_bytes) + self.downlink_time_s(downlink_bytes)
     }
 }
 
@@ -630,6 +670,22 @@ mod tests {
         for (x, y) in a.iter().zip(&mixed) {
             assert_eq!(x.user_seed, y.user_seed);
         }
+    }
+
+    #[test]
+    fn link_bytes_model_extends_the_fixed_constant() {
+        let link = LinkModel::paper();
+        // Zero payload degenerates to the legacy fixed round trip, the
+        // fallback the fleet schema keeps.
+        assert_eq!(link.round_trip_bytes_s(0, 0), link.round_trip_s());
+        // Payload time adds on top, asymmetrically per direction.
+        let t = link.round_trip_bytes_s(1_000_000, 4_000_000);
+        assert!((t - (link.round_trip_s() + 2.0)).abs() < 1e-12, "got {t}");
+        assert!(link.uplink_time_s(500_000) > link.uplink_s);
+        assert!(
+            link.uplink_time_s(1_000_000) > link.downlink_time_s(1_000_000),
+            "uplink is the slow direction"
+        );
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   of pickups and screen-off gaps executed on one continuous device
 //!   state, with per-app Q-tables fetched/stored through the §IV-B
 //!   store,
+//! * [`campaign`] — the sharded, checkpointed million-device campaign
+//!   runner: federated rounds of whole battery-days from seeded
+//!   cohorts, binary Q-table deltas pricing the uplink, and an
+//!   atomically-written `NXCP` checkpoint that resumes byte-identically,
 //! * [`report`] — plain-text tables and series for the bench harness,
 //! * [`sweep`] — the work-stealing parallel runner for governor×app×seed
 //!   grids, with deterministic row merging,
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod campaign;
 pub mod day;
 pub mod engine;
 pub mod experiment;
@@ -49,6 +54,10 @@ pub mod trace;
 pub mod trainer;
 
 pub use batch::BatchLane;
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignConfig, CampaignOptions, CampaignOutcome,
+    CampaignReport, CampaignRound, CohortSummary, MetricSummary, TableArtifact,
+};
 pub use day::{
     replay_day, run_day, run_day_lanes, run_day_lanes_traced, run_day_traced, run_days,
     run_days_traced, DayReport, DaySpec, SessionReport,

@@ -217,6 +217,18 @@ impl Persona {
         &["gamer", "socialite", "commuter", "reader"]
     }
 
+    /// Draws a shipped persona deterministically from a seed — the
+    /// cohort assignment used at campaign scale, where each device's
+    /// persona is a pure function of its user seed. Uniform over
+    /// [`Persona::names`] via one [`splitmix64`] mix.
+    #[must_use]
+    pub fn sample(seed: u64) -> Self {
+        let names = Persona::names();
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = (splitmix64(seed) % names.len() as u64) as usize;
+        Persona::by_name(names[idx]).expect("shipped persona name resolves")
+    }
+
     /// Samples the day's app sequence: `pickups` apps starting from the
     /// persona's first app, walking the transition matrix.
     fn sample_apps(&self, pickups: u32, rng: &mut StdRng) -> Vec<String> {
@@ -519,6 +531,28 @@ mod tests {
             assert!(!p.apps().is_empty());
         }
         assert!(Persona::by_name("astronaut").is_none());
+    }
+
+    #[test]
+    fn persona_sampling_is_deterministic_and_covers_all() {
+        assert_eq!(Persona::sample(7).name(), Persona::sample(7).name());
+        let mut seen: Vec<&str> = (0..64u64)
+            .map(|s| {
+                let p = Persona::sample(s);
+                Persona::names()
+                    .iter()
+                    .find(|&&n| n == p.name())
+                    .expect("sampled persona is a shipped one")
+            })
+            .copied()
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            Persona::names().len(),
+            "64 seeds should hit every persona"
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!                  [--min-ratio <f>] [--workers <n>]
 //! next-sim fleet   --devices <D> --rounds <R> --seed <S> [--app <name>]
 //!                  [--round-budget <s>] [--quick] [--workers <n>] [--out <fleet.json>]
+//! next-sim campaign --devices <D> --rounds <R> --seed <S> [--checkpoint <dir> [--resume]]
+//!                  [--stop-after <n>] [--shard-size <n>] [--platform <name>[,<name>..]]
+//!                  [--quick] [--workers <n>] [--out <campaign.json>]
 //! next-sim day     [--persona <p,q,..>] [--governors <g,h,..>] [--seed <n>|--seeds <n,m,..>]
 //!                  [--pickups <n>] [--day-length <s>] [--train-budget <s>]
 //!                  [--platform <name>] [--quick] [--workers <n>] [--out <day.json>]
@@ -21,12 +24,18 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use next_mpsoc::bench::{day as bench_day, fleet as bench_fleet, json::Json, perf, report};
+use next_mpsoc::bench::{
+    campaign as bench_campaign, day as bench_day, fleet as bench_fleet, json::Json, perf, report,
+};
 use next_mpsoc::governors::{self, IntQosPm, Schedutil};
 use next_mpsoc::next_core::{NextAgent, NextConfig};
 use next_mpsoc::qlearn::DenseQTable;
+use next_mpsoc::simkit::campaign::{
+    run_campaign_with, CampaignConfig, CampaignOptions, CampaignOutcome,
+};
 use next_mpsoc::simkit::experiment::{evaluate_governor, train_next_for_app};
 use next_mpsoc::simkit::fleet::{self, FleetConfig};
 use next_mpsoc::simkit::trace::{bisect, TickTrace};
@@ -53,6 +62,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&flags),
         "perf" => cmd_perf(&flags),
         "fleet" => cmd_fleet(&flags),
+        "campaign" => cmd_campaign(&flags),
         "day" => cmd_day(&flags),
         "replay" => cmd_replay(&flags),
         "bisect" => cmd_bisect(&flags),
@@ -118,6 +128,10 @@ USAGE:
   next-sim fleet   [--devices <D>] [--rounds <R>] [--seed <S>] [--app <name>]
                    [--round-budget <s>] [--quick] [--workers <n>] [--out <fleet.json>]
                    [--platform <name>[,<name>..]]
+  next-sim campaign [--devices <D>] [--rounds <R>] [--seed <S>]
+                   [--checkpoint <dir> [--resume]] [--stop-after <n>]
+                   [--shard-size <n>] [--platform <name>[,<name>..]]
+                   [--quick] [--workers <n>] [--out <campaign.json>]
   next-sim day     [--persona <p,q,..>] [--governors <g,h,..>] [--seed <n>|--seeds <n,m,..>]
                    [--pickups <n>] [--day-length <s>] [--train-budget <s>]
                    [--platform <name>] [--quick] [--workers <n>] [--out <day.json>]
@@ -155,6 +169,20 @@ JSON artifact (--out, default stdout) is byte-identical for a fixed
 homogeneous exynos9810 fleet, v3 otherwise). --quick shortens the
 local rounds for CI smoke runs.
 
+campaign scales the federated loop to whole days: every round each
+device lives its persona's full day (pickups, session plans,
+screen-off cooling) on its own SoC bin while training online, uploads
+its binary Q-table delta (the NXQT codec — uplink cost is the actual
+encoded bytes), and the cloud merges per (platform, app). Devices run
+in shards so memory stays bounded at any fleet size. With --checkpoint
+a versioned NXCP checkpoint is written after every round; --resume
+continues a killed campaign from it, and the final campaign.json
+(schema v6: rounds ledger, persona x platform x thermal-bin cohort
+quantiles, merged-table artifacts) is byte-identical to an
+uninterrupted run for any --workers value. --stop-after N exits
+gracefully at a round boundary (the kill half of kill-and-resume);
+--quick shrinks days for CI smoke runs. See docs/CAMPAIGN.md.
+
 day simulates a whole waking day (default: 52 pickups, the paper's
 Deloitte statistic) as one continuous device: persona-driven app
 choices, Deloitte session lengths, screen-off gaps that keep the
@@ -175,14 +203,14 @@ exits non-zero unless the regenerated trace is byte-identical to the
 file — the repository's determinism gate. bisect compares two traces
 and reports the first divergent tick with a field-level diff.
 
-sweep/perf/fleet/day accept --platform to run on a different SoC
-preset; run/train/compare always use the paper's exynos9810.";
+sweep/perf/fleet/campaign/day accept --platform to run on a different
+SoC preset; run/train/compare always use the paper's exynos9810.";
 
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value; every other flag still requires one, so a
 /// forgotten value stays a hard usage error.
-const BOOLEAN_FLAGS: [&str; 1] = ["quick"];
+const BOOLEAN_FLAGS: [&str; 2] = ["quick", "resume"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags::new();
@@ -567,6 +595,138 @@ fn cmd_fleet(flags: &Flags) -> Result<(), String> {
             std::fs::write(path, format!("{text}\n"))
                 .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("fleet: wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_campaign(flags: &Flags) -> Result<(), String> {
+    let devices = usize::try_from(get_u64(flags, "devices", 64)?)
+        .map_err(|_| "--devices out of range".to_owned())?;
+    let rounds = usize::try_from(get_u64(flags, "rounds", 2)?)
+        .map_err(|_| "--rounds out of range".to_owned())?;
+    if devices == 0 || rounds == 0 {
+        return Err("--devices and --rounds must be at least 1".to_owned());
+    }
+    let seed = get_u64(flags, "seed", 42)?;
+    let quick = flags.contains_key("quick");
+    let mut config = if quick {
+        CampaignConfig::quick(devices, rounds, seed)
+    } else {
+        CampaignConfig::new(devices, rounds, seed)
+    };
+    if let Some(list) = flags.get("platform") {
+        let platforms: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if platforms.is_empty() {
+            return Err("--platform needs at least one name".to_owned());
+        }
+        for (i, name) in platforms.iter().enumerate() {
+            if PlatformPreset::by_name(name).is_none() {
+                return Err(format!(
+                    "unknown platform '{name}' (available: {})",
+                    PlatformPreset::names().join(", ")
+                ));
+            }
+            if platforms[..i].contains(name) {
+                return Err(format!("--platform lists '{name}' twice"));
+            }
+        }
+        let refs: Vec<&str> = platforms.iter().map(String::as_str).collect();
+        config = config.with_platforms(&refs);
+    }
+    if flags.contains_key("shard-size") {
+        let shard = usize::try_from(get_u64(flags, "shard-size", config.shard_size as u64)?)
+            .map_err(|_| "--shard-size out of range".to_owned())?;
+        if shard == 0 {
+            return Err("--shard-size must be at least 1".to_owned());
+        }
+        config.shard_size = shard;
+    }
+    let workers = usize::try_from(get_u64(flags, "workers", sweep::default_workers() as u64)?)
+        .map_err(|_| "--workers out of range".to_owned())?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+    let options = CampaignOptions {
+        checkpoint_dir: flags.get("checkpoint").map(PathBuf::from),
+        resume: flags.contains_key("resume"),
+        stop_after: if flags.contains_key("stop-after") {
+            let n = usize::try_from(get_u64(flags, "stop-after", 0)?)
+                .map_err(|_| "--stop-after out of range".to_owned())?;
+            if n == 0 {
+                return Err("--stop-after must be at least 1".to_owned());
+            }
+            Some(n)
+        } else {
+            None
+        },
+    };
+    if options.resume && options.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint <dir>".to_owned());
+    }
+    if options.stop_after.is_some() && options.checkpoint_dir.is_none() {
+        return Err(
+            "--stop-after needs --checkpoint <dir> (there is nothing to resume from \
+                    otherwise)"
+                .to_owned(),
+        );
+    }
+
+    eprintln!(
+        "campaign: {devices} devices x {rounds} rounds on {} ({} cohorts, shard {}), \
+         {workers} workers{} ...",
+        config.platforms.join("+"),
+        config.cohort_count(),
+        config.shard_size,
+        if options.resume { ", resuming" } else { "" }
+    );
+    let started = std::time::Instant::now();
+    let report = match run_campaign_with(&config, workers, &options)? {
+        CampaignOutcome::Paused { rounds_done } => {
+            eprintln!(
+                "campaign: paused after {rounds_done}/{rounds} round(s), checkpoint on disk; \
+                 rerun with --resume to continue"
+            );
+            return Ok(());
+        }
+        CampaignOutcome::Complete(report) => report,
+    };
+    eprintln!(
+        "campaign: finished in {:.1} s wall clock; {} device-days, {} merged tables",
+        started.elapsed().as_secs_f64(),
+        report.device_days(),
+        report.tables.len()
+    );
+    for round in &report.rounds {
+        eprintln!(
+            "campaign: round {}: {} states / {} visits merged, {} B up / {} B down \
+             ({:.1} s comm)",
+            round.round,
+            round.states,
+            round.visits,
+            round.uplink_bytes,
+            round.downlink_bytes,
+            round.comm_s
+        );
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    let text = bench_campaign::campaign_to_json(&report, mode).render();
+    debug_assert!(
+        bench_fleet::parse_document(&text).is_ok(),
+        "campaign.json must round-trip its own schema"
+    );
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, format!("{text}\n"))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("campaign: wrote {path}");
         }
         None => println!("{text}"),
     }
