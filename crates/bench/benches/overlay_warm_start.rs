@@ -1,0 +1,58 @@
+//! **Copy-on-write overlay warm start** — what it costs a device to
+//! warm-start a day's Q-table from the round's merged global, across
+//! three strategies and three base widths:
+//!
+//! * `fresh` — build an empty table (no warm start at all, the cold
+//!   lower bound),
+//! * `dense_clone` — deep-copy the base, the pre-overlay campaign
+//!   scheme: O(states),
+//! * `overlay` — an `Arc` clone plus an empty touched-row map: O(1),
+//!   independent of how many rows the fleet has learned.
+//!
+//! The widths bracket the campaign's reality: a quick-plan day's table
+//! (hundreds of rows), a trained app table (tens of thousands), and a
+//! paper-space-scale table. The overlay bar must stay flat across all
+//! three while `dense_clone` grows linearly — that gap is the tentpole
+//! claim of the overlay backend, and `next-sim perf` tracks the same
+//! numbers as `warm_start_ns` / `dense_clone_ns`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use qlearn::{DenseQTable, QTable};
+
+/// Base-table widths: quick-day scale, trained-app scale, paper scale.
+const WIDTHS: [u64; 3] = [512, 32_768, 262_144];
+
+fn trained_base(states: u64) -> Arc<DenseQTable> {
+    let mut base = DenseQTable::dense_for_space(9, 25.0, states);
+    for s in 0..states {
+        for a in 0..9 {
+            let v = ((s + a as u64 * 7) % 13) as f64 - 6.0;
+            base.set(s, a, v);
+        }
+    }
+    Arc::new(base)
+}
+
+fn bench_overlay_warm_start(crit: &mut Criterion) {
+    for states in WIDTHS {
+        let base = trained_base(states);
+
+        crit.bench_function(&format!("warm_start_fresh_{states}"), |bencher| {
+            bencher.iter(|| black_box(DenseQTable::dense_for_space(9, 25.0, black_box(states))));
+        });
+
+        crit.bench_function(&format!("warm_start_dense_clone_{states}"), |bencher| {
+            bencher.iter(|| black_box((*base).clone()));
+        });
+
+        crit.bench_function(&format!("warm_start_overlay_{states}"), |bencher| {
+            bencher.iter(|| black_box(QTable::overlay(Arc::clone(&base))));
+        });
+    }
+}
+
+criterion_group!(benches, bench_overlay_warm_start);
+criterion_main!(benches);

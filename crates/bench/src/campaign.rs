@@ -2,8 +2,11 @@
 //! `next-sim campaign` — plus the JSON interchange encoding of a
 //! Q-table the binary codec's size claim is measured against.
 //!
-//! Schema v6 of the `BENCH.json` family (see
-//! [`crate::fleet::parse_document`], which accepts it). Everything
+//! Schema v7 of the `BENCH.json` family (see
+//! [`crate::fleet::parse_document`], which accepts it alongside every
+//! earlier version — v7 adds the per-round `table_bytes` working-set
+//! ledger to `rounds_log`, a pure addition, so v6 documents parse
+//! unchanged). Everything
 //! rendered here is a pure function of the [`CampaignReport`] — no
 //! wall clock — so a campaign document is **byte-identical** for a
 //! fixed config across worker counts, machines, and kill/resume
@@ -41,7 +44,7 @@ fn cohort_json(cohort: &CohortSummary) -> Json {
     ])
 }
 
-/// Renders a finished campaign as a schema-v6 document.
+/// Renders a finished campaign as a schema-v7 document.
 #[must_use]
 pub fn campaign_to_json(report: &CampaignReport, mode: &str) -> Json {
     let cfg = &report.config;
@@ -93,6 +96,11 @@ pub fn campaign_to_json(report: &CampaignReport, mode: &str) -> Json {
                 ("comm_s".into(), Json::num(r.comm_s)),
                 ("states".into(), Json::num_u64(r.states)),
                 ("visits".into(), Json::num_u64(r.visits)),
+                ("table_bytes".into(), Json::num_u64(r.table_bytes)),
+                (
+                    "dense_clone_bytes".into(),
+                    Json::num_u64(r.dense_clone_bytes),
+                ),
             ])
         })
         .collect();
@@ -179,12 +187,12 @@ mod tests {
     }
 
     #[test]
-    fn v6_campaign_document_is_a_render_parse_fixpoint() {
+    fn campaign_document_is_a_render_parse_fixpoint() {
         let report = tiny_report();
         let doc = campaign_to_json(&report, "test");
         let text = doc.render();
         let parsed = parse_document(&text).expect("own rendering parses");
-        assert_eq!(parsed.schema, 6);
+        assert_eq!(parsed.schema, 7);
         let campaign = parsed.campaign.expect("campaign section present");
         assert_eq!(
             parsed.doc.render(),
@@ -206,6 +214,15 @@ mod tests {
         for round in rounds {
             assert!(round.get("uplink_bytes").and_then(Json::as_u64).unwrap() > 0);
             assert!(round.get("comm_s").and_then(Json::as_f64).unwrap() > 0.0);
+            let table_bytes = round.get("table_bytes").and_then(Json::as_u64).unwrap();
+            let dense = round
+                .get("dense_clone_bytes")
+                .and_then(Json::as_u64)
+                .unwrap();
+            assert!(
+                0 < table_bytes && table_bytes < dense,
+                "overlay working set ({table_bytes} B) must undercut dense clones ({dense} B)"
+            );
         }
         // Cohort counts add up to device-days.
         let cohorts = campaign
@@ -243,6 +260,28 @@ mod tests {
         for t in tables {
             assert!(t.get("bytes").and_then(Json::as_u64).unwrap() > 0);
         }
+    }
+
+    #[test]
+    fn pinned_v6_documents_still_parse() {
+        // A frozen pre-overlay rounds_log record (no `table_bytes`):
+        // v6 documents in the trajectory must keep parsing unchanged.
+        let v6 = "{\"schema\":6,\"harness\":\"next-sim campaign\",\"campaign\":{\
+                  \"rounds_log\":[{\"round\":0,\"uplink_bytes\":123,\"comm_s\":0.5}]}}";
+        let parsed = parse_document(v6).expect("pinned v6 document parses");
+        assert_eq!(parsed.schema, 6);
+        let rounds = parsed
+            .campaign
+            .expect("campaign section")
+            .get("rounds_log")
+            .and_then(Json::as_array)
+            .expect("rounds_log")
+            .to_vec();
+        assert_eq!(
+            rounds[0].get("uplink_bytes").and_then(Json::as_u64),
+            Some(123)
+        );
+        assert!(rounds[0].get("table_bytes").is_none());
     }
 
     /// Builds a populated paper-space-sized table with full-mantissa

@@ -163,7 +163,7 @@ pub fn fleet_to_json(report: &FleetReport, mode: &str) -> Json {
 /// documents).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
-    /// Declared schema version (1 through 6).
+    /// Declared schema version (1 through 7).
     pub schema: u32,
     /// The `fleet` section, when present (v2 and later).
     pub fleet: Option<Json>,
@@ -181,7 +181,9 @@ pub struct BenchDoc {
 /// `campaign.json` document: accepts schema v1 (which must not carry a
 /// `fleet` section), v2/v3 (which may), v4 (which may also carry a
 /// `day` section), v5 (which may also carry the `batch` kernel probe),
-/// and v6 (which may also carry a `campaign` section).
+/// v6 (which may also carry a `campaign` section), and v7 (which adds
+/// the overlay probe and per-round `table_bytes` — pure additions, so
+/// v6 documents parse unchanged).
 ///
 /// # Errors
 ///
@@ -194,7 +196,7 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
         .get("schema")
         .and_then(Json::as_f64)
         .ok_or("missing numeric 'schema' field")?;
-    if schema.fract() != 0.0 || !(1.0..=6.0).contains(&schema) {
+    if schema.fract() != 0.0 || !(1.0..=7.0).contains(&schema) {
         return Err(format!("unsupported schema version {schema}"));
     }
     let schema = schema as u32;
@@ -323,9 +325,11 @@ mod tests {
             "missing schema"
         );
         assert!(
-            parse_document("{\"schema\":7}").is_err(),
+            parse_document("{\"schema\":8}").is_err(),
             "future schema rejected"
         );
+        let v7 = parse_document("{\"schema\":7,\"campaign\":{}}").expect("v7 document");
+        assert_eq!(v7.schema, 7);
         assert!(
             parse_document("{\"schema\":1,\"fleet\":{}}").is_err(),
             "v1 cannot carry a fleet section"

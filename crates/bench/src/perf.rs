@@ -34,10 +34,15 @@ use crate::json::Json;
 /// section — the structure-of-arrays tick-kernel throughput probe and
 /// its `device_days_per_sec` metric; v6 adds the `campaign` section
 /// (`next-sim campaign` documents) and the end-to-end campaign probe
-/// with its `devices_per_sec` metric.
+/// with its `devices_per_sec` metric; v7 splits the campaign probe's
+/// warm-seed training out of its round wall-clock (so
+/// `devices_per_sec` measures steady-state rounds only), adds
+/// per-round `table_bytes` to campaign documents, and adds the
+/// `overlay` section — copy-on-write warm-start and delta-extraction
+/// latencies (`warm_start_ns`, `delta_extract_ns`).
 /// [`crate::fleet::parse_document`] still accepts every earlier
 /// version.
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Configuration of one perf-harness run.
 #[derive(Debug, Clone)]
@@ -88,10 +93,13 @@ impl PerfConfig {
             // lane-contiguous arrays amortise the shared per-tick
             // costs, while keeping the probe in the milliseconds.
             batch_width: 64,
-            // Two shards' worth of quick days: big enough that the
-            // per-round fixed costs (warm seed, merges) amortise.
-            campaign_devices: 12,
-            campaign_rounds: 2,
+            // Big enough that the per-round fixed costs (warm seed,
+            // merges) amortise AND the overlay memory claim is
+            // visible: by round three the trained bases dwarf the
+            // touched sets, so `table_bytes_reduction` crosses 10x.
+            // Still well under a second of wall clock.
+            campaign_devices: 48,
+            campaign_rounds: 3,
         }
     }
 
@@ -113,8 +121,8 @@ impl PerfConfig {
             workers: sweep::default_workers(),
             probe_states: 100_000,
             batch_width: 64,
-            campaign_devices: 24,
-            campaign_rounds: 2,
+            campaign_devices: 64,
+            campaign_rounds: 3,
         }
     }
 }
@@ -223,25 +231,48 @@ impl BatchProbe {
 }
 
 /// Throughput probe of the end-to-end campaign runner: a small
-/// quick-plan campaign (whole online-learning days, delta encoding,
-/// normalized merges — every layer `next-sim campaign` exercises) run
-/// once, wall-clocked. `devices_per_sec` counts simulated device-days
-/// per wall-clock second — the campaign-scale sizing number the CI
-/// floor gates on.
+/// quick-plan campaign (whole online-learning days, overlay warm
+/// starts, delta encoding, normalized merges — every layer `next-sim
+/// campaign` exercises) run once, wall-clocked. The warm-seed training
+/// is timed separately from round execution, so `devices_per_sec`
+/// counts simulated device-days per **steady-state round** wall-clock
+/// second — the campaign-scale sizing number the CI floor gates on.
 #[derive(Debug, Clone)]
 pub struct CampaignProbe {
     /// Devices simulated.
     pub devices: usize,
     /// Federated rounds (days per device).
     pub rounds: usize,
-    /// Wall-clock seconds for the whole campaign (including its
-    /// warm-seed training).
+    /// Wall-clock seconds for the whole campaign (seed + rounds).
     pub wall_s: f64,
-    /// Simulated device-days per wall-clock second.
+    /// Wall-clock seconds of the one-off warm-seed training.
+    pub seed_wall_s: f64,
+    /// Wall-clock seconds of round execution only.
+    pub round_wall_s: f64,
+    /// Simulated device-days per round-execution wall-clock second.
     pub devices_per_sec: f64,
     /// Total uplink payload the probe campaign produced, bytes
     /// (deterministic — a sanity anchor for the artifact).
     pub uplink_bytes: u64,
+    /// Peak per-round resident table bytes (merged globals + every
+    /// device's copy-on-write overlay) over the campaign.
+    pub peak_table_bytes: u64,
+    /// Peak per-round resident bytes the pre-overlay scheme would have
+    /// needed (a full dense clone per device-day per app).
+    pub dense_clone_bytes: u64,
+}
+
+impl CampaignProbe {
+    /// Memory win of the overlay scheme: dense-clone resident bytes
+    /// over actual resident bytes at the per-round peak.
+    #[must_use]
+    pub fn table_bytes_reduction(&self) -> f64 {
+        if self.peak_table_bytes > 0 {
+            self.dense_clone_bytes as f64 / self.peak_table_bytes as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Runs the campaign throughput probe on quick-plan days.
@@ -259,19 +290,142 @@ pub fn probe_campaign(
 ) -> CampaignProbe {
     let config = simkit::CampaignConfig::quick(devices, rounds, 4242).with_platforms(&[platform]);
     let started = Instant::now();
-    let report = simkit::run_campaign(&config, workers);
-    let wall_s = started.elapsed().as_secs_f64();
+    let seed = simkit::warm_seed(&config, workers).expect("probe campaign config is valid");
+    let seed_wall_s = started.elapsed().as_secs_f64();
+    let round_started = Instant::now();
+    let report = simkit::run_campaign_from_seed(&config, seed, workers);
+    let round_wall_s = round_started.elapsed().as_secs_f64();
     let device_days = (devices * rounds) as f64;
     CampaignProbe {
         devices,
         rounds,
-        wall_s,
-        devices_per_sec: if wall_s > 0.0 {
-            device_days / wall_s
+        wall_s: seed_wall_s + round_wall_s,
+        seed_wall_s,
+        round_wall_s,
+        devices_per_sec: if round_wall_s > 0.0 {
+            device_days / round_wall_s
         } else {
             0.0
         },
         uplink_bytes: report.total_uplink_bytes(),
+        peak_table_bytes: report
+            .rounds
+            .iter()
+            .map(|r| r.table_bytes)
+            .max()
+            .unwrap_or(0),
+        dense_clone_bytes: report
+            .rounds
+            .iter()
+            .map(|r| r.dense_clone_bytes)
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+/// Microbenchmark of the copy-on-write overlay hot paths against their
+/// dense equivalents on a fully-populated base table: warm start (an
+/// `Arc` clone vs a full dense clone) and delta extraction after a
+/// day's worth of row touches (encode the overlay vs a full-space
+/// diff). `warm_start_ns` and `delta_extract_ns` are the numbers the
+/// CI ceiling gates on.
+#[derive(Debug, Clone)]
+pub struct OverlayProbe {
+    /// States populated in the base table.
+    pub states: usize,
+    /// Actions per state.
+    pub actions: usize,
+    /// Rows touched before delta extraction.
+    pub touched: usize,
+    /// Mean nanoseconds to warm-start an overlay view of the base.
+    pub warm_start_ns: f64,
+    /// Mean nanoseconds to warm-start by dense-cloning the base.
+    pub dense_clone_ns: f64,
+    /// Mean nanoseconds to extract the uplink delta off the overlay.
+    pub delta_extract_ns: f64,
+    /// Mean nanoseconds for the equivalent full-space dense diff.
+    pub dense_delta_ns: f64,
+}
+
+impl OverlayProbe {
+    /// How much faster the overlay warm start ran than a dense clone.
+    #[must_use]
+    pub fn warm_start_speedup(&self) -> f64 {
+        if self.warm_start_ns > 0.0 {
+            self.dense_clone_ns / self.warm_start_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// How much faster overlay delta extraction ran than the
+    /// full-space diff.
+    #[must_use]
+    pub fn delta_speedup(&self) -> f64 {
+        if self.delta_extract_ns > 0.0 {
+            self.dense_delta_ns / self.delta_extract_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times a closure until ≥ 3 passes and ≥ 20 ms have accumulated,
+/// returning mean nanoseconds per pass.
+fn time_pass_ns<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let started = Instant::now();
+    let mut passes = 0u32;
+    while passes < 3 || started.elapsed().as_secs_f64() < 0.02 {
+        f();
+        passes += 1;
+    }
+    started.elapsed().as_secs_f64() * 1e9 / f64::from(passes)
+}
+
+/// Runs the overlay hot-path probe on a fully-populated
+/// `states`-state, `actions`-action dense base.
+#[must_use]
+pub fn probe_overlay(states: usize, actions: usize) -> OverlayProbe {
+    use std::sync::Arc;
+
+    let mut base = qlearn::DenseQTable::dense_for_space(actions, 0.0, states as u64);
+    populate(&mut base, states);
+    let base = Arc::new(base);
+
+    let warm_start_ns = time_pass_ns(|| {
+        std::hint::black_box(QTable::overlay(Arc::clone(&base)));
+    });
+    let dense_clone_ns = time_pass_ns(|| {
+        std::hint::black_box((*base).clone());
+    });
+
+    // A day touches a small fraction of the space; 1% (≥ 16 rows)
+    // mirrors the campaign's observed touch rate.
+    let touched = (states / 100).max(16).min(states);
+    let keys = probe_sequence(states);
+    let mut overlay = QTable::overlay(Arc::clone(&base));
+    let mut dense = (*base).clone();
+    for &k in &keys[..touched] {
+        overlay.set(k, 0, 1.25);
+        dense.set(k, 0, 1.25);
+    }
+
+    let delta_extract_ns = time_pass_ns(|| {
+        std::hint::black_box(overlay.delta_bytes());
+    });
+    let dense_delta_ns = time_pass_ns(|| {
+        std::hint::black_box(qlearn::delta_between(&*base, &dense).expect("same space and rows"));
+    });
+
+    OverlayProbe {
+        states,
+        actions,
+        touched,
+        warm_start_ns,
+        dense_clone_ns,
+        delta_extract_ns,
+        dense_delta_ns,
     }
 }
 
@@ -392,6 +546,9 @@ pub struct PerfReport {
     pub batch: BatchProbe,
     /// End-to-end campaign throughput probe (`devices_per_sec`).
     pub campaign: CampaignProbe,
+    /// Copy-on-write overlay hot-path probe (`warm_start_ns`,
+    /// `delta_extract_ns`).
+    pub overlay: OverlayProbe,
 }
 
 /// Wall-clock period of governor `name`, seconds.
@@ -487,6 +644,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         config.workers,
         &config.platform,
     );
+    let overlay = probe_overlay(config.probe_states, probe_actions);
 
     PerfReport {
         config: config.clone(),
@@ -497,6 +655,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         merge,
         batch,
         campaign,
+        overlay,
     }
 }
 
@@ -743,6 +902,8 @@ impl PerfReport {
             ("devices".into(), Json::num(self.campaign.devices as f64)),
             ("rounds".into(), Json::num(self.campaign.rounds as f64)),
             ("wall_s".into(), Json::num(self.campaign.wall_s)),
+            ("seed_wall_s".into(), Json::num(self.campaign.seed_wall_s)),
+            ("round_wall_s".into(), Json::num(self.campaign.round_wall_s)),
             (
                 "devices_per_sec".into(),
                 Json::num(self.campaign.devices_per_sec),
@@ -750,6 +911,47 @@ impl PerfReport {
             (
                 "uplink_bytes".into(),
                 Json::num_u64(self.campaign.uplink_bytes),
+            ),
+            (
+                "peak_table_bytes".into(),
+                Json::num_u64(self.campaign.peak_table_bytes),
+            ),
+            (
+                "dense_clone_bytes".into(),
+                Json::num_u64(self.campaign.dense_clone_bytes),
+            ),
+            (
+                "table_bytes_reduction".into(),
+                Json::num(self.campaign.table_bytes_reduction()),
+            ),
+        ]);
+        let overlay = Json::Obj(vec![
+            ("states".into(), Json::num(self.overlay.states as f64)),
+            ("actions".into(), Json::num(self.overlay.actions as f64)),
+            ("touched".into(), Json::num(self.overlay.touched as f64)),
+            (
+                "warm_start_ns".into(),
+                Json::num(self.overlay.warm_start_ns),
+            ),
+            (
+                "dense_clone_ns".into(),
+                Json::num(self.overlay.dense_clone_ns),
+            ),
+            (
+                "warm_start_speedup".into(),
+                Json::num(self.overlay.warm_start_speedup()),
+            ),
+            (
+                "delta_extract_ns".into(),
+                Json::num(self.overlay.delta_extract_ns),
+            ),
+            (
+                "dense_delta_ns".into(),
+                Json::num(self.overlay.dense_delta_ns),
+            ),
+            (
+                "delta_speedup".into(),
+                Json::num(self.overlay.delta_speedup()),
             ),
         ]);
         Json::Obj(vec![
@@ -780,6 +982,7 @@ impl PerfReport {
             ("merge".into(), merge),
             ("batch".into(), batch),
             ("campaign".into(), campaign),
+            ("overlay".into(), overlay),
         ])
     }
 
@@ -835,6 +1038,20 @@ pub enum GateError {
         /// The baseline value the floor derives from.
         baseline: f64,
     },
+    /// A latency measurement rose above its ceiling (latency metrics
+    /// gate downward: smaller is better).
+    CeilingViolated {
+        /// The gated metric.
+        metric: &'static str,
+        /// What the report measured.
+        measured: f64,
+        /// The ceiling it had to stay under (baseline / `min_ratio`).
+        ceiling: f64,
+        /// The configured ratio.
+        min_ratio: f64,
+        /// The baseline value the ceiling derives from.
+        baseline: f64,
+    },
 }
 
 impl std::fmt::Display for GateError {
@@ -866,6 +1083,17 @@ impl std::fmt::Display for GateError {
                 f,
                 "{metric} {measured:.0} fell below the floor {floor:.0} \
                  (= {min_ratio} x baseline {baseline:.0})"
+            ),
+            GateError::CeilingViolated {
+                metric,
+                measured,
+                ceiling,
+                min_ratio,
+                baseline,
+            } => write!(
+                f,
+                "{metric} {measured:.0} rose above the ceiling {ceiling:.0} \
+                 (= baseline {baseline:.0} / {min_ratio})"
             ),
         }
     }
@@ -916,13 +1144,45 @@ fn gate_metric(
     ))
 }
 
+/// Gates one measured latency against its ceiling, baseline /
+/// `min_ratio` — the downward mirror of [`gate_metric`], with the same
+/// slack factor: at `min_ratio` 0.5 a latency may double before the
+/// gate trips.
+fn gate_ceiling(
+    metric: &'static str,
+    measured: f64,
+    baseline: f64,
+    min_ratio: f64,
+) -> Result<String, GateError> {
+    if !measured.is_finite() || measured <= 0.0 {
+        return Err(GateError::EmptyMeasurement(metric));
+    }
+    let ceiling = baseline / min_ratio;
+    if measured > ceiling {
+        return Err(GateError::CeilingViolated {
+            metric,
+            measured,
+            ceiling,
+            min_ratio,
+            baseline,
+        });
+    }
+    Ok(format!(
+        "{metric} {measured:.0} <= ceiling {ceiling:.0} ({:.1}x headroom)",
+        ceiling / measured
+    ))
+}
+
 /// Applies the CI performance floors: the report's aggregate ticks/sec
 /// must reach `min_ratio` of the baseline's `ticks_per_sec`, and — when
 /// the baseline carries a `device_days_per_sec` or `devices_per_sec`
 /// entry — the batched tick-kernel probe and the end-to-end campaign
-/// probe must reach `min_ratio` of those too (older baselines without
-/// the fields skip those gates, keeping the checker backward-accepting
-/// like [`crate::fleet::parse_document`]).
+/// probe must reach `min_ratio` of those too. Baselines carrying
+/// `warm_start_ns` / `delta_extract_ns` additionally gate the overlay
+/// probe's latencies as **ceilings** (baseline / `min_ratio` — smaller
+/// is better). Older baselines without any of these fields skip the
+/// corresponding gates, keeping the checker backward-accepting like
+/// [`crate::fleet::parse_document`].
 ///
 /// `baseline_text` is the checked-in baseline JSON (see
 /// `ci/perf-baseline.json`); it needs a top-level numeric
@@ -969,6 +1229,28 @@ pub fn check_floor(
         verdict.push_str("; ");
         verdict.push_str(&line);
     }
+    if baseline.get("warm_start_ns").is_some() {
+        let base_warm = baseline_metric(&baseline, "warm_start_ns")?;
+        let line = gate_ceiling(
+            "warm_start_ns",
+            report.overlay.warm_start_ns,
+            base_warm,
+            min_ratio,
+        )?;
+        verdict.push_str("; ");
+        verdict.push_str(&line);
+    }
+    if baseline.get("delta_extract_ns").is_some() {
+        let base_delta = baseline_metric(&baseline, "delta_extract_ns")?;
+        let line = gate_ceiling(
+            "delta_extract_ns",
+            report.overlay.delta_extract_ns,
+            base_delta,
+            min_ratio,
+        )?;
+        verdict.push_str("; ");
+        verdict.push_str(&line);
+    }
     Ok(verdict)
 }
 
@@ -994,12 +1276,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::too_many_lines)]
     fn report_renders_valid_json_with_expected_fields() {
         let report = run(&tiny_config());
         assert_eq!(report.cells.len(), 2);
         let text = report.to_json().render();
         let doc = Json::parse(&text).expect("BENCH.json must be valid JSON");
-        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(doc.get("schema").and_then(Json::as_f64), Some(7.0));
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("test"));
         assert_eq!(
             doc.get("platform").and_then(Json::as_str),
@@ -1070,6 +1353,53 @@ mod tests {
                 > 0.0
         );
         assert!(campaign.get("uplink_bytes").and_then(Json::as_u64).unwrap() > 0);
+        assert!(campaign.get("seed_wall_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(campaign.get("round_wall_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(
+            campaign
+                .get("peak_table_bytes")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert!(
+            campaign
+                .get("table_bytes_reduction")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 1.0,
+            "overlays must beat dense clones even at test scale"
+        );
+        let overlay = doc.get("overlay").expect("overlay probe section");
+        assert!(overlay.get("warm_start_ns").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(
+            overlay
+                .get("delta_extract_ns")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(
+            overlay
+                .get("warm_start_speedup")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 1.0,
+            "an Arc clone must beat a dense copy"
+        );
+    }
+
+    #[test]
+    fn overlay_probe_measures_both_hot_paths() {
+        let probe = probe_overlay(2_000, 9);
+        assert_eq!(probe.states, 2_000);
+        assert_eq!(probe.actions, 9);
+        assert!(probe.touched >= 16 && probe.touched <= 2_000);
+        assert!(probe.warm_start_ns > 0.0 && probe.dense_clone_ns > 0.0);
+        assert!(probe.delta_extract_ns > 0.0 && probe.dense_delta_ns > 0.0);
+        // The structural claim, not a tight wall-clock one: sharing a
+        // base is faster than copying 2 000 rows.
+        assert!(probe.warm_start_speedup() > 1.0);
     }
 
     #[test]
@@ -1192,6 +1522,41 @@ mod tests {
     }
 
     #[test]
+    fn floor_check_gates_overlay_latency_ceilings_when_baseline_carries_them() {
+        let report = run(&tiny_config());
+        let tps = throughput_ticks_per_sec(&report);
+        let warm = report.overlay.warm_start_ns;
+        let delta = report.overlay.delta_extract_ns;
+        assert!(warm > 0.0 && delta > 0.0);
+        let both_pass = format!(
+            "{{\"ticks_per_sec\": {}, \"warm_start_ns\": {}, \"delta_extract_ns\": {}}}",
+            tps / 10.0,
+            warm * 10.0,
+            delta * 10.0
+        );
+        let verdict = check_floor(&report, &both_pass, 0.5).expect("ceilings pass");
+        assert!(verdict.contains("warm_start_ns"));
+        assert!(verdict.contains("delta_extract_ns"));
+        // A latency regression trips the ceiling.
+        let warm_fails = format!(
+            "{{\"ticks_per_sec\": {}, \"warm_start_ns\": {}}}",
+            tps / 10.0,
+            warm / 1e6
+        );
+        assert!(matches!(
+            check_floor(&report, &warm_fails, 0.5),
+            Err(GateError::CeilingViolated {
+                metric: "warm_start_ns",
+                ..
+            })
+        ));
+        // Legacy baselines without the latency fields skip the gates.
+        let legacy = format!("{{\"ticks_per_sec\": {}}}", tps / 10.0);
+        let verdict = check_floor(&report, &legacy, 0.5).expect("legacy baseline passes");
+        assert!(!verdict.contains("warm_start_ns"));
+    }
+
+    #[test]
     fn gate_error_on_unreadable_baseline() {
         let report = run(&tiny_config());
         assert!(matches!(
@@ -1305,6 +1670,16 @@ mod tests {
                     baseline: 200.0,
                 },
                 "below the floor",
+            ),
+            (
+                GateError::CeilingViolated {
+                    metric: "warm_start_ns",
+                    measured: 500.0,
+                    ceiling: 100.0,
+                    min_ratio: 0.5,
+                    baseline: 50.0,
+                },
+                "above the ceiling",
             ),
         ];
         for (err, needle) in cases {

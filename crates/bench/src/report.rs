@@ -37,7 +37,8 @@
 //! };
 //! let plan = DayPlan::generate(&Persona::socialite(), &cfg, 7);
 //! let spec = DaySpec::new(plan, "schedutil");
-//! let cell = run_day_traced(&spec, &mut QTableStore::in_memory());
+//! let mut store: QTableStore = QTableStore::in_memory();
+//! let cell = run_day_traced(&spec, &mut store);
 //! let html = day_html(std::slice::from_ref(&cell));
 //! assert!(html.starts_with("<!DOCTYPE html>"));
 //! assert!(html.contains("<!-- section:timeline -->"));

@@ -21,7 +21,8 @@ fn recorded_cell(governor: &str) -> (DayReport, TickTrace) {
     };
     let plan = DayPlan::generate(&Persona::socialite(), &cfg, 7);
     let spec = DaySpec::new(plan, governor).with_train_budget_s(30.0);
-    run_day_traced(&spec, &mut QTableStore::in_memory())
+    let mut store: QTableStore = QTableStore::in_memory();
+    run_day_traced(&spec, &mut store)
 }
 
 fn count(haystack: &str, needle: &str) -> usize {

@@ -19,8 +19,9 @@ use governors::{ControlDecision, Governor};
 use mpsoc::dvfs::DvfsController;
 use mpsoc::platform::Platform;
 use mpsoc::soc::SocState;
+use qlearn::backend::{DenseStore, QStore};
 use qlearn::policy::EpsilonGreedy;
-use qlearn::qtable::{DenseQTable, StateKey};
+use qlearn::qtable::{DenseQTable, QTable, StateKey};
 use qlearn::QLearning;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -206,11 +207,14 @@ pub struct TrainingStats {
 
 /// The Next agent.
 ///
-/// The Q-tables run on the dense-indexed backend: the control loop's
-/// argmax and update touch one contiguous row per invocation instead of
-/// probing a hash map once per action.
+/// The Q-tables are generic over the [`QStore`] backend. The default is
+/// the dense-indexed arena: the control loop's argmax and update touch
+/// one contiguous row per invocation instead of probing a hash map once
+/// per action. The campaign runner instead drives agents over
+/// [`qlearn::OverlayStore`] tables so a warm start shares the round's
+/// merged global by `Arc` instead of cloning it.
 #[derive(Debug, Clone)]
-pub struct NextAgent {
+pub struct NextAgent<S: QStore = DenseStore> {
     config: NextConfig,
     encoder: StateEncoder,
     /// Action-space size of the platform (`3m`).
@@ -221,9 +225,9 @@ pub struct NextAgent {
     /// shaping term.
     headroom_norm: f64,
     window: FrameWindow,
-    table: DenseQTable,
+    table: QTable<S>,
     /// Second table for double Q-learning (None in single-Q mode).
-    table_b: Option<DenseQTable>,
+    table_b: Option<QTable<S>>,
     learner: QLearning,
     policy: EpsilonGreedy,
     rng: StdRng,
@@ -247,7 +251,7 @@ pub struct NextAgent {
 
 impl NextAgent {
     /// Creates an untrained agent (training mode on, empty table with
-    /// optimistic initialisation).
+    /// optimistic initialisation) on the default dense backend.
     #[must_use]
     pub fn new(config: NextConfig) -> Self {
         // Declaring the encoder's state-space size lets small spaces
@@ -263,7 +267,9 @@ impl NextAgent {
         );
         NextAgent::from_parts(config, encoder, table, true)
     }
+}
 
+impl<S: QStore> NextAgent<S> {
     /// Creates an agent from a previously-trained table. `training`
     /// selects between continued learning and greedy inference.
     ///
@@ -277,7 +283,7 @@ impl NextAgent {
     /// Panics if the table's action count does not match the platform or
     /// the configuration is invalid.
     #[must_use]
-    pub fn with_table(config: NextConfig, table: DenseQTable, training: bool) -> Self {
+    pub fn with_table(config: NextConfig, table: QTable<S>, training: bool) -> Self {
         let encoder = StateEncoder::for_platform(&config.platform, config.fps_bins)
             .expect("platform yields a valid state encoding");
         let table = table.resized_for_space(encoder.state_space_size());
@@ -305,7 +311,7 @@ impl NextAgent {
     /// Panics if the table's action count does not match the platform or
     /// the configuration is invalid.
     #[must_use]
-    pub fn warm_start(config: NextConfig, table: DenseQTable) -> Self {
+    pub fn warm_start(config: NextConfig, table: QTable<S>) -> Self {
         let eps = (config.epsilon0 * Self::WARM_START_EPSILON_SCALE).max(config.epsilon_min);
         let mut agent = NextAgent::with_table(config, table, true);
         agent.policy.reset_epsilon(eps);
@@ -321,7 +327,7 @@ impl NextAgent {
     fn from_parts(
         config: NextConfig,
         encoder: StateEncoder,
-        table: DenseQTable,
+        table: QTable<S>,
         training: bool,
     ) -> Self {
         let n_actions = config.platform.action_count();
@@ -337,7 +343,7 @@ impl NextAgent {
             EpsilonGreedy::greedy()
         };
         let table_b = config.double_q.then(|| {
-            DenseQTable::dense_for_space(n_actions, config.optimistic_q, encoder.state_space_size())
+            QTable::empty_for_space(n_actions, config.optimistic_q, encoder.state_space_size())
         });
         // A platform of single-level ladders has zero steppable cap
         // range; floor at 1 so the (always-zero) headroom term divides
@@ -419,7 +425,7 @@ impl NextAgent {
     /// Read access to the learned Q-table (persist via
     /// [`crate::store::QTableStore`]).
     #[must_use]
-    pub fn table(&self) -> &DenseQTable {
+    pub fn table(&self) -> &QTable<S> {
         &self.table
     }
 
@@ -427,7 +433,7 @@ impl NextAgent {
     /// mode the two tables are merged (visit-weighted average), which
     /// preserves the greedy ordering of the combined estimate.
     #[must_use]
-    pub fn into_table(self) -> DenseQTable {
+    pub fn into_table(self) -> QTable<S> {
         match self.table_b {
             None => self.table,
             Some(b) => qlearn::federated::merge(&[&self.table, &b]),
@@ -697,7 +703,7 @@ impl NextAgent {
         let b = self.table_b.as_mut().expect("double-Q mode");
         let gamma = self.learner.gamma();
         let coin = self.rng.gen_range(0.0..1.0) < 0.5;
-        let (primary, other): (&mut DenseQTable, &DenseQTable) = if coin {
+        let (primary, other): (&mut QTable<S>, &QTable<S>) = if coin {
             (&mut self.table, b)
         } else {
             (b, &self.table)
@@ -731,7 +737,7 @@ impl NextAgent {
     }
 }
 
-impl Governor for NextAgent {
+impl<S: QStore> Governor for NextAgent<S> {
     fn name(&self) -> &str {
         "next"
     }

@@ -12,16 +12,32 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use qlearn::qtable::DenseQTable;
+use qlearn::backend::{DenseStore, QStore};
+use qlearn::qtable::QTable;
 
 /// In-memory, optionally disk-backed store of per-app Q-tables.
-#[derive(Debug, Default)]
-pub struct QTableStore {
+///
+/// Generic over the table's [`QStore`] backend (default: dense). The
+/// campaign runner instantiates it over [`qlearn::OverlayStore`] so a
+/// device day's tables are copy-on-write views of the round's shared
+/// global instead of full clones.
+#[derive(Debug)]
+pub struct QTableStore<S: QStore = DenseStore> {
     dir: Option<PathBuf>,
-    cache: HashMap<String, DenseQTable>,
+    cache: HashMap<String, QTable<S>>,
 }
 
-impl QTableStore {
+// Manual impl: deriving would demand `S: Default` for no reason.
+impl<S: QStore> Default for QTableStore<S> {
+    fn default() -> Self {
+        QTableStore {
+            dir: None,
+            cache: HashMap::new(),
+        }
+    }
+}
+
+impl<S: QStore> QTableStore<S> {
     /// A purely in-memory store (tables vanish with the process).
     #[must_use]
     pub fn in_memory() -> Self {
@@ -56,15 +72,25 @@ impl QTableStore {
     /// Disk corruption is reported as `None` (the paper's agent would
     /// simply retrain).
     #[must_use]
-    pub fn load(&mut self, app: &str) -> Option<DenseQTable> {
+    pub fn load(&mut self, app: &str) -> Option<QTable<S>> {
         if let Some(t) = self.cache.get(app) {
             return Some(t.clone());
         }
         let dir = self.dir.as_ref()?;
         let text = fs::read_to_string(dir.join(Self::file_name(app))).ok()?;
-        let table = DenseQTable::decode(&text).ok()?;
+        let table = QTable::<S>::decode(&text).ok()?;
         self.cache.insert(app.to_owned(), table.clone());
         Some(table)
+    }
+
+    /// Removes and returns the cached table for `app` **without
+    /// cloning** — the zero-copy exit for tables the caller owns from
+    /// here on (a device day's overlays on their way to delta
+    /// extraction). Purely a cache operation: any on-disk copy is left
+    /// in place.
+    #[must_use]
+    pub fn take(&mut self, app: &str) -> Option<QTable<S>> {
+        self.cache.remove(app)
     }
 
     /// Saves the table for `app` (cache + disk when configured).
@@ -72,7 +98,7 @@ impl QTableStore {
     /// # Errors
     ///
     /// Returns any I/O error from writing the file.
-    pub fn save(&mut self, app: &str, table: &DenseQTable) -> io::Result<()> {
+    pub fn save(&mut self, app: &str, table: &QTable<S>) -> io::Result<()> {
         self.cache.insert(app.to_owned(), table.clone());
         if let Some(dir) = &self.dir {
             fs::write(dir.join(Self::file_name(app)), table.encode())?;
@@ -125,6 +151,7 @@ impl QTableStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qlearn::DenseQTable;
 
     fn sample_table() -> DenseQTable {
         let mut t = DenseQTable::dense(9);
@@ -168,7 +195,7 @@ mod tests {
     #[test]
     fn corrupt_file_loads_as_none() {
         let dir = temp_dir("corrupt");
-        let mut store = QTableStore::at_dir(&dir).unwrap();
+        let mut store: QTableStore = QTableStore::at_dir(&dir).unwrap();
         fs::write(dir.join("bad.qtable"), "this is not a table").unwrap();
         assert!(store.load("bad").is_none());
         fs::remove_dir_all(&dir).unwrap();
@@ -190,9 +217,32 @@ mod tests {
     #[test]
     fn file_names_are_sanitised() {
         assert_eq!(
-            QTableStore::file_name("web/browser v2!"),
+            QTableStore::<DenseStore>::file_name("web/browser v2!"),
             "web_browser_v2_.qtable"
         );
-        assert_eq!(QTableStore::file_name("pubg"), "pubg.qtable");
+        assert_eq!(QTableStore::<DenseStore>::file_name("pubg"), "pubg.qtable");
+    }
+
+    #[test]
+    fn take_moves_the_cached_table_out() {
+        let mut store = QTableStore::in_memory();
+        store.save("pubg", &sample_table()).unwrap();
+        assert_eq!(store.take("pubg"), Some(sample_table()));
+        assert!(!store.contains("pubg"), "taken tables leave the cache");
+        assert!(store.take("pubg").is_none());
+    }
+
+    #[test]
+    fn overlay_backed_store_roundtrips() {
+        use qlearn::OverlayStore;
+        use std::sync::Arc;
+        let base = Arc::new(sample_table());
+        let mut store: QTableStore<OverlayStore> = QTableStore::in_memory();
+        let mut t = QTable::overlay(Arc::clone(&base));
+        t.set(1, 2, -4.0);
+        store.save("pubg", &t).unwrap();
+        let back = store.take("pubg").expect("cached");
+        assert_eq!(back.q(1, 2), -4.0);
+        assert_eq!(back.q(99, 0), base.q(99, 0), "base reads through");
     }
 }

@@ -151,6 +151,36 @@ pub trait QStore: fmt::Debug + Clone + PartialEq {
             }
         });
     }
+
+    /// Creates an empty store laid out for a **bounded** key space of
+    /// `n_states` states. Backends with a space-aware index (the dense
+    /// slot table) override this; the default ignores the hint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_actions` is zero.
+    #[must_use]
+    fn with_space(n_actions: usize, _n_states: u64) -> Self {
+        Self::with_actions(n_actions)
+    }
+
+    /// Whether every key of a space of `n_states` states can be stored
+    /// without re-indexing. Always true unless the backend declared a
+    /// smaller bounded space (the dense direct slot table).
+    fn covers_space(&self, _n_states: u64) -> bool {
+        true
+    }
+
+    /// Resident heap bytes attributable to **this** store's rows — the
+    /// campaign memory-accounting number. Computed from row counts
+    /// only (never from container capacities), so it is deterministic
+    /// across allocators, platforms, and insertion histories. Shared
+    /// storage (an overlay's `Arc` base) is excluded by the backend
+    /// that shares it.
+    fn resident_bytes(&self) -> usize {
+        // Per touched row: one f64 + one u64 per action, plus the key.
+        self.len() * (self.n_actions() * 16 + 8)
+    }
 }
 
 /// Callback receiving mutable `(state, values, visits)` for one row.
@@ -482,6 +512,24 @@ impl QStore for DenseStore {
         for (&k, (values, visits)) in self.keys.iter().zip(rows) {
             f(k, values, visits);
         }
+    }
+
+    fn with_space(n_actions: usize, n_states: u64) -> Self {
+        DenseStore::with_space(n_actions, n_states)
+    }
+
+    fn covers_space(&self, n_states: u64) -> bool {
+        DenseStore::covers_space(self, n_states)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let index = match &self.index {
+            // Direct slot tables are sized by the declared space.
+            RowIndex::Direct(slots) => slots.len() * 4,
+            // Hashed index: count entries, not capacity (determinism).
+            RowIndex::Map(_) => self.keys.len() * 12,
+        };
+        self.values.len() * 8 + self.visits.len() * 8 + self.keys.len() * 8 + index
     }
 
     /// Dense fast path: when the two arenas share the exact row layout

@@ -58,7 +58,7 @@ pub const MAGIC: [u8; 4] = *b"NXQT";
 pub const VERSION: u16 = 1;
 
 const KIND_FULL: u8 = 1;
-const KIND_DELTA: u8 = 2;
+pub(crate) const KIND_DELTA: u8 = 2;
 
 /// Error returned by the binary codec entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,7 +144,7 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let group = (v & 0x7f) as u8;
         v >>= 7;
@@ -225,7 +225,7 @@ struct Row {
     visits: Vec<u64>,
 }
 
-fn encode_header(out: &mut Vec<u8>, kind: u8, n_actions: usize, default_q: f64) {
+pub(crate) fn encode_header(out: &mut Vec<u8>, kind: u8, n_actions: usize, default_q: f64) {
     out.extend_from_slice(&MAGIC);
     put_u16(out, VERSION);
     out.push(kind);
@@ -236,7 +236,7 @@ fn encode_header(out: &mut Vec<u8>, kind: u8, n_actions: usize, default_q: f64) 
     put_f64(out, default_q);
 }
 
-fn encode_row(
+pub(crate) fn encode_row(
     out: &mut Vec<u8>,
     prev: Option<StateKey>,
     state: StateKey,
@@ -365,7 +365,7 @@ pub fn decode_table<S: QStore>(bytes: &[u8]) -> Result<QTable<S>, CodecError> {
     Ok(table)
 }
 
-fn row_differs(base: Option<(&[f64], &[u64])>, values: &[f64], visits: &[u64]) -> bool {
+pub(crate) fn row_differs(base: Option<(&[f64], &[u64])>, values: &[f64], visits: &[u64]) -> bool {
     match base {
         None => true,
         Some((bv, bn)) => {

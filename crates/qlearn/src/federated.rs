@@ -26,10 +26,13 @@
 //! sorting, no key decoding, no per-key hashing. Heterogeneous
 //! encoders keep working through the open-ended hash backend.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use crate::backend::QStore;
-use crate::qtable::QTable;
+use crate::backend::{DenseStore, KeyHashBuilder, QStore, StateKey};
+use crate::overlay::OverlayStore;
+use crate::qtable::{DenseQTable, QTable};
 
 /// Error returned by the fallible merge entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +46,15 @@ pub enum MergeError {
         /// Action count of the offending table.
         got: usize,
     },
+    /// An overlay fold saw a table whose shared base is a different
+    /// `Arc` than the first overlay's — the closed-form base
+    /// reconstruction only holds when every device reads the same base.
+    BaseMismatch,
+    /// [`MergeAccumulator::fold`] and
+    /// [`MergeAccumulator::fold_overlay`] were mixed in one
+    /// accumulator; the base correction cannot tell the two
+    /// populations apart.
+    MixedFold,
 }
 
 impl fmt::Display for MergeError {
@@ -53,6 +65,12 @@ impl fmt::Display for MergeError {
                 f,
                 "all tables must share the action space: expected {expected} actions, got {got}"
             ),
+            MergeError::BaseMismatch => {
+                write!(f, "overlay folds must share a single Arc base table")
+            }
+            MergeError::MixedFold => {
+                write!(f, "cannot mix overlay folds and plain folds in one merge")
+            }
         }
     }
 }
@@ -91,6 +109,18 @@ pub struct MergeAccumulator<S: QStore = crate::backend::HashStore> {
     store: S,
     default_q: f64,
     folded: usize,
+    overlay: Option<OverlayFold>,
+}
+
+/// Book-keeping for the overlay fast path: the shared base every
+/// folded overlay reads through to, and how many folded devices
+/// touched (shadowed) each base row. Untouched base rows contribute
+/// `base_row × (folded − touched)` in closed form at finish time
+/// instead of being re-folded per device.
+#[derive(Debug, Clone)]
+struct OverlayFold {
+    base: Arc<DenseQTable>,
+    touched: HashMap<StateKey, u64, KeyHashBuilder>,
 }
 
 impl<S: QStore> MergeAccumulator<S> {
@@ -107,6 +137,7 @@ impl<S: QStore> MergeAccumulator<S> {
             store: S::with_actions(n_actions),
             default_q,
             folded: 0,
+            overlay: None,
         }
     }
 
@@ -121,9 +152,13 @@ impl<S: QStore> MergeAccumulator<S> {
     /// # Errors
     ///
     /// Returns [`MergeError::ActionMismatch`] when the table's action
-    /// count differs from the accumulator's; the accumulator is left
-    /// untouched in that case.
+    /// count differs from the accumulator's, or
+    /// [`MergeError::MixedFold`] after an overlay fold; the
+    /// accumulator is left untouched in either case.
     pub fn fold(&mut self, table: &QTable<S>) -> Result<(), MergeError> {
+        if self.overlay.is_some() {
+            return Err(MergeError::MixedFold);
+        }
         if table.n_actions() != self.store.n_actions() {
             return Err(MergeError::ActionMismatch {
                 expected: self.store.n_actions(),
@@ -133,6 +168,29 @@ impl<S: QStore> MergeAccumulator<S> {
         self.store.fold_weighted(table.store());
         self.folded += 1;
         Ok(())
+    }
+
+    /// Folds the closed-form contribution of untouched base rows —
+    /// every folded device whose overlay did not shadow a base row
+    /// contributed that row verbatim, so `folded − touched` copies are
+    /// added in one pass over the base instead of once per device.
+    /// Rows are materialised unconditionally so the merged table's row
+    /// set stays the union of the inputs' rows, exactly like the
+    /// per-device fold.
+    fn apply_overlay_corrections(&mut self) {
+        let Some(fold) = self.overlay.take() else {
+            return;
+        };
+        let folded = self.folded as u64;
+        let store = &mut self.store;
+        fold.base.store().for_each_row(&mut |k, bv, bn| {
+            let untouched = folded - fold.touched.get(&k).copied().unwrap_or(0);
+            let (v, n) = store.row_mut(k, 0.0);
+            for a in 0..bv.len() {
+                v[a] += untouched as f64 * (bv[a] * bn[a] as f64);
+                n[a] += untouched * bn[a];
+            }
+        });
     }
 
     /// Normalises the accumulated sums into the merged fleet table:
@@ -146,6 +204,7 @@ impl<S: QStore> MergeAccumulator<S> {
         if self.folded == 0 {
             return Err(MergeError::NoTables);
         }
+        self.apply_overlay_corrections();
         let default_q = self.default_q;
         self.store.for_each_row_mut(&mut |_, values, visits| {
             for (v, &n) in values.iter_mut().zip(visits.iter()) {
@@ -181,6 +240,7 @@ impl<S: QStore> MergeAccumulator<S> {
         if self.folded == 0 {
             return Err(MergeError::NoTables);
         }
+        self.apply_overlay_corrections();
         let default_q = self.default_q;
         let folded = self.folded as u64;
         self.store.for_each_row_mut(&mut |_, values, visits| {
@@ -194,6 +254,63 @@ impl<S: QStore> MergeAccumulator<S> {
             }
         });
         Ok(QTable::from_store(default_q, self.store))
+    }
+}
+
+impl MergeAccumulator<DenseStore> {
+    /// Folds one device **overlay** in O(rows the device touched).
+    ///
+    /// Every overlay of the round shares the merged global as its
+    /// `Arc` base, so a device's table is `base` with a handful of
+    /// shadowed rows. Only those shadowed rows are folded here; the
+    /// untouched remainder — identical across all devices — is added
+    /// in closed form (`base_row × untouched_device_count`) when the
+    /// accumulator finishes. The merged *result* is the same
+    /// visit-weighted average [`MergeAccumulator::fold`] produces over
+    /// materialised copies (per-row addition order differs, so the
+    /// last floating-point bits may too), at a per-device cost
+    /// proportional to one day's working set instead of the full
+    /// state space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::ActionMismatch`] on a differing action
+    /// count, [`MergeError::BaseMismatch`] when `table` does not share
+    /// the first overlay's `Arc` base, and [`MergeError::MixedFold`]
+    /// after a plain [`MergeAccumulator::fold`]; the accumulator is
+    /// left untouched in every error case.
+    pub fn fold_overlay(&mut self, table: &QTable<OverlayStore>) -> Result<(), MergeError> {
+        if table.n_actions() != self.store.n_actions() {
+            return Err(MergeError::ActionMismatch {
+                expected: self.store.n_actions(),
+                got: table.n_actions(),
+            });
+        }
+        if let Some(fold) = &self.overlay {
+            if !Arc::ptr_eq(&fold.base, table.base()) {
+                return Err(MergeError::BaseMismatch);
+            }
+        } else {
+            if self.folded > 0 {
+                return Err(MergeError::MixedFold);
+            }
+            self.overlay = Some(OverlayFold {
+                base: Arc::clone(table.base()),
+                touched: HashMap::default(),
+            });
+        }
+        let fold = self.overlay.as_mut().expect("overlay fold ensured above");
+        let store = &mut self.store;
+        table.store().for_each_touched(&mut |k, values, visits| {
+            let (v, n) = store.row_mut(k, 0.0);
+            for a in 0..values.len() {
+                v[a] += values[a] * visits[a] as f64;
+                n[a] += visits[a];
+            }
+            *fold.touched.entry(k).or_insert(0) += 1;
+        });
+        self.folded += 1;
+        Ok(())
     }
 }
 
@@ -543,6 +660,118 @@ mod tests {
         assert_eq!(merged.default_q(), 7.5);
         assert_eq!(merged.q(3, 1), 7.5, "unvisited sibling reads default");
         assert_eq!(merged.q(3, 0), 1.0);
+    }
+
+    fn shared_base() -> Arc<DenseQTable> {
+        // Dyadic values keep every product/sum exactly representable,
+        // so the overlay fast path and the materialised-copy fold are
+        // comparable bit for bit despite their differing addition
+        // order.
+        let mut t = DenseQTable::dense_for_space(3, 0.25, 32);
+        for s in 0..32u64 {
+            for a in 0..3 {
+                for _ in 0..=(s as usize % 3) {
+                    t.set(s, a, s as f64 * 0.5 - a as f64 * 0.25);
+                }
+            }
+        }
+        Arc::new(t)
+    }
+
+    fn device_overlays(base: &Arc<DenseQTable>) -> Vec<QTable<OverlayStore>> {
+        (0..4u64)
+            .map(|d| {
+                let mut t = QTable::overlay(Arc::clone(base));
+                // Shadow a couple of base rows and add one novel row;
+                // devices overlap on row 5.
+                t.set(5, (d % 3) as usize, d as f64 * 0.5 - 1.0);
+                t.set(10 + d, 1, 2.0 - d as f64 * 0.25);
+                t.set(100 + d, 2, 0.75); // beyond the base's 32-state space
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overlay_fold_matches_dense_fold_on_materialised_copies() {
+        let base = shared_base();
+        let overlays = device_overlays(&base);
+
+        let mut fast: MergeAccumulator<DenseStore> = MergeAccumulator::new(3, base.default_q());
+        for t in &overlays {
+            fast.fold_overlay(t).expect("shared-base overlay folds");
+        }
+        assert_eq!(fast.n_folded(), overlays.len());
+
+        let mut reference: MergeAccumulator<DenseStore> =
+            MergeAccumulator::new(3, base.default_q());
+        for t in &overlays {
+            reference.fold(&t.to_backend::<DenseStore>()).expect("fold");
+        }
+
+        let fast_n = fast.clone().finish_normalized().expect("tables folded");
+        let ref_n = reference
+            .clone()
+            .finish_normalized()
+            .expect("tables folded");
+        assert_eq!(fast_n.encode(), ref_n.encode(), "normalized merge bits");
+
+        let fast_t = fast.finish().expect("tables folded");
+        let ref_t = reference.finish().expect("tables folded");
+        assert_eq!(fast_t.encode(), ref_t.encode(), "summed merge bits");
+        // The merged row set is the union: all base rows plus novels.
+        assert_eq!(fast_t.len(), base.len() + 4);
+    }
+
+    #[test]
+    fn overlay_fold_of_untouched_devices_reproduces_the_base() {
+        let base = shared_base();
+        let mut acc: MergeAccumulator<DenseStore> = MergeAccumulator::new(3, base.default_q());
+        for _ in 0..3 {
+            acc.fold_overlay(&QTable::overlay(Arc::clone(&base)))
+                .expect("empty overlay folds");
+        }
+        let merged = acc.finish_normalized().expect("tables folded");
+        // Averaging N identical copies is the identity on values, and
+        // normalisation brings the visit magnitudes back to one copy.
+        assert_eq!(merged.encode(), base.encode());
+    }
+
+    #[test]
+    fn overlay_fold_rejects_foreign_bases_and_mixing() {
+        let base = shared_base();
+        let other = shared_base(); // equal contents, different Arc
+        let mut acc: MergeAccumulator<DenseStore> = MergeAccumulator::new(3, base.default_q());
+        acc.fold_overlay(&QTable::overlay(Arc::clone(&base)))
+            .expect("first fold");
+        assert_eq!(
+            acc.fold_overlay(&QTable::overlay(other)),
+            Err(MergeError::BaseMismatch)
+        );
+        assert_eq!(
+            acc.fold(&DenseQTable::dense(3)),
+            Err(MergeError::MixedFold),
+            "plain fold after overlay fold"
+        );
+        assert_eq!(acc.n_folded(), 1, "failed folds must not count");
+        assert!(acc.finish().is_ok());
+
+        let mut plain: MergeAccumulator<DenseStore> = MergeAccumulator::new(3, 0.0);
+        plain.fold(&DenseQTable::dense(3)).expect("plain fold");
+        assert_eq!(
+            plain.fold_overlay(&QTable::overlay(base)),
+            Err(MergeError::MixedFold),
+            "overlay fold after plain fold"
+        );
+        let wrong_width = QTable::overlay(Arc::new(DenseQTable::dense(2)));
+        let mut acc2: MergeAccumulator<DenseStore> = MergeAccumulator::new(3, 0.0);
+        assert_eq!(
+            acc2.fold_overlay(&wrong_width),
+            Err(MergeError::ActionMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
     }
 
     #[test]

@@ -13,10 +13,14 @@
 //! * [`qtable`] — the Q-table with visit counting and a self-contained
 //!   text codec for on-device persistence (the paper stores
 //!   per-application tables and reloads them on later runs),
-//! * [`backend`] — the [`QStore`] storage abstraction with two
-//!   backends: the hash map for open-ended key spaces, and the
+//! * [`backend`] — the [`QStore`] storage abstraction with three
+//!   backends: the hash map for open-ended key spaces, the
 //!   dense-indexed arena ([`DenseQTable`]) whose contiguous rows make
-//!   the per-control-period argmax+update loop cache-friendly,
+//!   the per-control-period argmax+update loop cache-friendly, and
+//!   the copy-on-write [`overlay`] over an `Arc`-shared base,
+//! * [`overlay`] — [`OverlayStore`], the campaign's per-device
+//!   backend: O(1) warm start from a shared merged global, O(touched)
+//!   resident memory and delta extraction,
 //! * [`policy`] — ε-greedy action selection with decay schedules,
 //! * [`learner`] — the Q-learning update rule,
 //! * [`discretize`] — uniform quantisers, including the FPS quantiser
@@ -36,6 +40,7 @@ pub mod discretize;
 pub mod double_q;
 pub mod federated;
 pub mod learner;
+pub mod overlay;
 pub mod policy;
 pub mod qtable;
 
@@ -45,5 +50,6 @@ pub use discretize::Quantizer;
 pub use double_q::DoubleQ;
 pub use federated::{CloudModel, MergeAccumulator, MergeError};
 pub use learner::QLearning;
+pub use overlay::OverlayStore;
 pub use policy::EpsilonGreedy;
 pub use qtable::{DecodeQTableError, DenseQTable, QTable, StateKey};

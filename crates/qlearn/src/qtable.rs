@@ -136,27 +136,6 @@ impl QTable<DenseStore> {
             store: DenseStore::with_space(n_actions, n_states),
         }
     }
-
-    /// Returns a table guaranteed to accept every key of a space of
-    /// `n_states` states: `self` unchanged when its index already
-    /// covers the space (hashed indexes always do), otherwise the rows
-    /// re-homed into a store sized for the space. Use when warm-starting
-    /// from a table whose declared space may have been smaller (e.g. a
-    /// table trained at coarser FPS bins).
-    #[must_use]
-    pub fn resized_for_space(self, n_states: u64) -> Self {
-        if self.store.covers_space(n_states) {
-            return self;
-        }
-        let mut out = QTable::dense_for_space(self.n_actions(), self.default_q, n_states);
-        let default_q = self.default_q;
-        self.store.for_each_row(&mut |state, values, visits| {
-            let (v, n) = out.store.row_mut(state, default_q);
-            v.copy_from_slice(values);
-            n.copy_from_slice(visits);
-        });
-        out
-    }
 }
 
 impl<S: QStore> QTable<S> {
@@ -174,6 +153,55 @@ impl<S: QStore> QTable<S> {
         }
     }
 
+    /// Creates an empty table laid out for a **bounded** key space of
+    /// `n_states` states (every key must stay below `n_states`, as a
+    /// `StateSpace` encoding guarantees). Space-aware backends use the
+    /// hint — the dense backend gets its direct slot-table index — and
+    /// the others ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_actions` is zero or `default_q` is not finite.
+    #[must_use]
+    pub fn empty_for_space(n_actions: usize, default_q: f64, n_states: u64) -> Self {
+        assert!(default_q.is_finite(), "default q must be finite");
+        QTable {
+            default_q,
+            store: S::with_space(n_actions, n_states),
+        }
+    }
+
+    /// Returns a table guaranteed to accept every key of a space of
+    /// `n_states` states: `self` unchanged when its index already
+    /// covers the space (hashed indexes always do), otherwise the rows
+    /// re-homed into a store sized for the space. Use when warm-starting
+    /// from a table whose declared space may have been smaller (e.g. a
+    /// table trained at coarser FPS bins).
+    #[must_use]
+    pub fn resized_for_space(self, n_states: u64) -> Self {
+        if self.store.covers_space(n_states) {
+            return self;
+        }
+        let mut out: QTable<S> =
+            QTable::empty_for_space(self.n_actions(), self.default_q, n_states);
+        let default_q = self.default_q;
+        self.store.for_each_row(&mut |state, values, visits| {
+            let (v, n) = out.store.row_mut(state, default_q);
+            v.copy_from_slice(values);
+            n.copy_from_slice(visits);
+        });
+        out
+    }
+
+    /// Resident heap bytes attributable to this table's own rows (see
+    /// [`QStore::resident_bytes`]): deterministic, capacity-blind, and
+    /// excluding any storage the backend shares (an overlay's `Arc`
+    /// base is counted once by whoever owns the base, not per clone).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes()
+    }
+
     /// Number of actions per state.
     #[must_use]
     pub fn n_actions(&self) -> usize {
@@ -186,7 +214,8 @@ impl<S: QStore> QTable<S> {
         self.default_q
     }
 
-    /// The storage backend's name (`"hash"` or `"dense"`).
+    /// The storage backend's name (`"hash"`, `"dense"` or
+    /// `"overlay"`).
     #[must_use]
     pub fn backend_name(&self) -> &'static str {
         S::backend_name()

@@ -1,11 +1,13 @@
-//! Property tests: the hash and dense Q-table backends are
-//! observationally identical under arbitrary update sequences, and the
-//! text codec round-trips across backends.
+//! Property tests: the hash, dense, and copy-on-write overlay Q-table
+//! backends are observationally identical under arbitrary update
+//! sequences, and the text codec round-trips across backends.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use qlearn::qtable::{DenseQTable, QTable};
-use qlearn::{DenseStore, HashStore, QLearning};
+use qlearn::{apply_delta, delta_between, DenseStore, HashStore, QLearning};
 
 /// An arbitrary update sequence over a 9-action table: `(state, action,
 /// value)` triples, with states drawn from a smallish range so
@@ -103,6 +105,81 @@ proptest! {
             prop_assert_eq!(qh, qd, "update diverged at ({}, {})", s, a);
         }
         prop_assert_eq!(hash.encode(), dense.encode());
+    }
+
+    /// An overlay over an **empty** base is just a sparse table: it
+    /// must match the hash backend bit for bit after any update
+    /// sequence.
+    #[test]
+    fn overlay_over_empty_base_matches_hash(
+        updates in arb_updates(),
+        default_q in -10.0..10.0f64,
+    ) {
+        let (hash, _) = build_pair(default_q, &updates);
+        let base = Arc::new(DenseQTable::dense_with_default_q(9, default_q));
+        let mut overlay = QTable::overlay(base);
+        for &(s, a, v) in &updates {
+            overlay.set(s, a, v);
+        }
+        prop_assert_eq!(overlay.len(), hash.len());
+        prop_assert_eq!(overlay.encode(), hash.encode());
+    }
+
+    /// An overlay over a **trained** base is observationally identical
+    /// to a dense clone of that base driven through the same update
+    /// sequence — reads fall through to base rows, writes shadow them.
+    #[test]
+    fn overlay_over_trained_base_matches_dense(
+        seed_updates in arb_updates(),
+        updates in arb_updates(),
+        default_q in -10.0..10.0f64,
+        probe_state in 0u64..500,
+    ) {
+        let mut base = DenseQTable::dense_with_default_q(9, default_q);
+        for &(s, a, v) in &seed_updates {
+            base.set(s, a, v);
+        }
+        let mut dense = base.clone();
+        let base = Arc::new(base);
+        let mut overlay = QTable::overlay(Arc::clone(&base));
+        for &(s, a, v) in &updates {
+            overlay.set(s, a, v);
+            dense.set(s, a, v);
+        }
+        prop_assert_eq!(overlay.len(), dense.len());
+        prop_assert_eq!(overlay.total_visits(), dense.total_visits());
+        prop_assert_eq!(overlay.state_keys(), dense.state_keys());
+        prop_assert_eq!(overlay.contains(probe_state), dense.contains(probe_state));
+        prop_assert_eq!(overlay.values(probe_state), dense.values(probe_state));
+        prop_assert_eq!(overlay.best_action(probe_state), dense.best_action(probe_state));
+        prop_assert_eq!(overlay.encode(), dense.encode());
+        prop_assert_eq!(&overlay.to_backend::<DenseStore>(), &dense);
+    }
+
+    /// The overlay's O(touched) delta is byte-identical to the
+    /// full-space `delta_between` diff, and applying it to the base
+    /// reconstructs the trained table exactly.
+    #[test]
+    fn overlay_delta_matches_full_space_diff(
+        seed_updates in arb_updates(),
+        updates in arb_updates(),
+        default_q in -10.0..10.0f64,
+    ) {
+        let mut base = DenseQTable::dense_with_default_q(9, default_q);
+        for &(s, a, v) in &seed_updates {
+            base.set(s, a, v);
+        }
+        let mut dense = base.clone();
+        let base = Arc::new(base);
+        let mut overlay = QTable::overlay(Arc::clone(&base));
+        for &(s, a, v) in &updates {
+            overlay.set(s, a, v);
+            dense.set(s, a, v);
+        }
+        let reference = delta_between(&*base, &dense).expect("trained table keeps base rows");
+        prop_assert_eq!(overlay.delta_bytes(), reference.clone());
+        let rebuilt = apply_delta(&*base, &overlay.into_delta()).expect("own delta applies");
+        prop_assert_eq!(rebuilt.encode(), dense.encode());
     }
 
     /// The direct slot-table index (bounded key space) behaves exactly

@@ -21,6 +21,17 @@
 //!         └──────────── checkpoint (NXCP) ▶ next round ────────┘
 //! ```
 //!
+//! **Memory.** Devices never clone the merged tables. Each round's
+//! merged per-platform tables live behind `Arc`s, and every device day
+//! runs on [`qlearn::OverlayStore`] views of them: warm start is an
+//! `Arc` clone (O(1)), the day's resident footprint is the rows it
+//! actually touched, and the uplink delta is read straight off the
+//! overlay ([`QTable::delta_bytes`]) instead of a full-space diff. The
+//! cloud folds only touched rows per device and applies a closed-form
+//! correction for the untouched remainder
+//! ([`MergeAccumulator::fold_overlay`]), so round cost scales with
+//! what the fleet learned, not with the state space.
+//!
 //! **Cohorts.** Devices are drawn from seeded cohorts — persona ×
 //! platform × hardware bin ([`SOC_BINS`]) — and the campaign keeps
 //! streaming per-cohort statistics (count, min/max/mean and a 64-bin
@@ -43,9 +54,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use next_core::QTableStore;
-use qlearn::{decode_table, delta_between, encode_table, DenseQTable, DenseStore};
+use qlearn::{decode_table, encode_table, DenseQTable, DenseStore, OverlayStore};
 use qlearn::{MergeAccumulator, QTable};
 use workload::scenario::{splitmix64, DayPlanConfig};
 use workload::{DayPlan, Persona};
@@ -83,7 +95,9 @@ pub const HIST_BINS: usize = 64;
 pub const CHECKPOINT_FILE: &str = "campaign.nxcp";
 
 const CKPT_MAGIC: [u8; 4] = *b"NXCP";
-const CKPT_VERSION: u16 = 1;
+/// Version history: 1 = PR 8 layout; 2 = adds per-round `table_bytes`
+/// to the ledger records (overlay working-set accounting).
+const CKPT_VERSION: u16 = 2;
 
 /// Configuration of a campaign — the complete regeneration recipe.
 /// Every quantity in a [`CampaignReport`] is a pure function of this
@@ -321,6 +335,17 @@ pub struct CampaignRound {
     /// Total visit count across the merged per-platform tables after
     /// this round (normalized merge: per-cell mean over contributors).
     pub visits: u64,
+    /// Resident table bytes of the round: the merged per-platform
+    /// tables after the fold plus every device's end-of-day overlay
+    /// footprint ([`QTable::resident_bytes`]). This is the campaign's
+    /// working-set proxy — with copy-on-write overlays it scales with
+    /// rows *touched*, not devices × state space.
+    pub table_bytes: u64,
+    /// What the same round would have held resident under the
+    /// pre-overlay scheme: a full dense clone of each merged table per
+    /// device-day that warm-started from it. The ratio against
+    /// [`CampaignRound::table_bytes`] is the overlay's memory win.
+    pub dense_clone_bytes: u64,
 }
 
 /// Summary quantiles of one metric of one cohort.
@@ -446,8 +471,9 @@ pub enum CampaignOutcome {
 struct CampaignState {
     rounds: Vec<CampaignRound>,
     cohorts: Vec<CohortAcc>,
-    /// Merged table per (platform index, app).
-    globals: BTreeMap<(usize, String), DenseQTable>,
+    /// Merged table per (platform index, app), shared with every
+    /// in-flight device day as the immutable overlay base.
+    globals: BTreeMap<(usize, String), Arc<DenseQTable>>,
 }
 
 /// What one device brings back from one simulated day.
@@ -456,8 +482,15 @@ struct DeviceDay {
     cohort: usize,
     metrics: [f64; METRIC_COUNT],
     uplink_bytes: u64,
-    /// Locally-trained tables, one per app the day touched.
-    tables: Vec<(String, DenseQTable)>,
+    /// End-of-day resident footprint of the device's overlays, bytes
+    /// (touched rows only — the shared base is not counted).
+    table_bytes: u64,
+    /// Bytes a dense warm start would have cloned for this day (the
+    /// full base table per app).
+    dense_clone_bytes: u64,
+    /// Copy-on-write views of the round's merged tables, one per app
+    /// the day touched, carrying exactly the rows the day wrote.
+    tables: Vec<(String, QTable<OverlayStore>)>,
 }
 
 /// Union of every shipped persona's app list, sorted — the app set the
@@ -481,26 +514,28 @@ fn seed_tables(
     config: &CampaignConfig,
     presets: &[PlatformPreset],
     workers: usize,
-) -> BTreeMap<(usize, String), DenseQTable> {
+) -> BTreeMap<(usize, String), Arc<DenseQTable>> {
     let apps = persona_app_union();
     let mut globals = BTreeMap::new();
     for (p, preset) in presets.iter().enumerate() {
         let outs = StandardEvaluator::train_for_apps(&apps, config.train_budget_s, workers, preset);
         for (app, out) in apps.iter().zip(outs) {
-            globals.insert((p, app.clone()), out.agent.into_table());
+            globals.insert((p, app.clone()), Arc::new(out.agent.into_table()));
         }
     }
     globals
 }
 
 /// Simulates one device's day of `round`: regenerate the plan from the
-/// device's per-round seed, pre-seed the store with the platform's
-/// merged tables, run the day with online learning, and return the
-/// trained tables plus the encoded-delta uplink cost.
+/// device's per-round seed, pre-seed the store with **overlay views**
+/// of the platform's merged tables (an `Arc` clone each — no rows are
+/// copied until the day writes them), run the day with online
+/// learning, and return the overlays plus the encoded-delta uplink
+/// cost read straight off their touched rows.
 fn run_device_day(
     config: &CampaignConfig,
     presets: &[PlatformPreset],
-    globals: &BTreeMap<(usize, String), DenseQTable>,
+    globals: &BTreeMap<(usize, String), Arc<DenseQTable>>,
     dev: &DeviceProfile,
     round: usize,
 ) -> DeviceDay {
@@ -515,12 +550,14 @@ fn run_device_day(
     preset.soc = soc_config_for(&base.soc, &SOC_BINS[dev.bin]);
     preset.next = base.next.clone().with_seed(round_seed);
 
-    let mut store = QTableStore::in_memory();
+    let mut store: QTableStore<OverlayStore> = QTableStore::in_memory();
     for app in &apps {
-        let table = globals
+        let base = globals
             .get(&(dev.platform, app.clone()))
             .expect("warm seed covers every persona app");
-        store.save(app, table).expect("in-memory store cannot fail");
+        store
+            .save(app, &QTable::overlay(Arc::clone(base)))
+            .expect("in-memory store cannot fail");
     }
 
     let mut spec = DaySpec::new(plan, "next")
@@ -543,13 +580,14 @@ fn run_device_day(
     };
 
     let mut uplink_bytes = 0u64;
+    let mut table_bytes = 0u64;
+    let mut dense_clone_bytes = 0u64;
     let mut tables = Vec::with_capacity(apps.len());
     for app in &apps {
-        let trained = store.load(app).expect("day store keeps every app");
-        let seeded = &globals[&(dev.platform, app.clone())];
-        let delta = delta_between(seeded, &trained)
-            .expect("a trained table shares its seed's space and keeps its rows");
-        uplink_bytes += delta.len() as u64;
+        let trained = store.take(app).expect("day store keeps every app");
+        uplink_bytes += trained.delta_bytes().len() as u64;
+        table_bytes += trained.resident_bytes() as u64;
+        dense_clone_bytes += trained.base().resident_bytes() as u64;
         tables.push((app.clone(), trained));
     }
 
@@ -563,6 +601,8 @@ fn run_device_day(
             report.battery_drain_pct,
         ],
         uplink_bytes,
+        table_bytes,
+        dense_clone_bytes,
         tables,
     }
 }
@@ -580,6 +620,8 @@ fn run_round(
     let mut accs: BTreeMap<(usize, String), MergeAccumulator<DenseStore>> = BTreeMap::new();
     let mut uplink_total = 0u64;
     let mut uplink_max = 0u64;
+    let mut overlay_bytes = 0u64;
+    let mut dense_clone_bytes = 0u64;
 
     for shard in profiles.chunks(config.shard_size) {
         let outs = parallel_map(shard, workers, |dev| {
@@ -596,11 +638,17 @@ fn run_round(
             }
             uplink_total += out.uplink_bytes;
             uplink_max = uplink_max.max(out.uplink_bytes);
+            overlay_bytes += out.table_bytes;
+            dense_clone_bytes += out.dense_clone_bytes;
             for (app, table) in out.tables {
                 let acc = accs
                     .entry((out.platform, app))
                     .or_insert_with(|| MergeAccumulator::new(table.n_actions(), table.default_q()));
-                acc.fold(&table).expect("platform tables share one space");
+                // Overlay fast path: fold only the rows this device
+                // touched; the untouched remainder is applied in one
+                // closed-form correction at finish time.
+                acc.fold_overlay(&table)
+                    .expect("platform tables share one space and one base");
             }
         }
     }
@@ -609,12 +657,12 @@ fn run_round(
         let merged = acc
             .finish_normalized()
             .expect("an accumulator exists only after a fold");
-        state.globals.insert(key, merged);
+        state.globals.insert(key, Arc::new(merged));
     }
 
     let mut platform_bytes = vec![0u64; presets.len()];
     for ((p, _), table) in &state.globals {
-        platform_bytes[*p] += encode_table(table).len() as u64;
+        platform_bytes[*p] += encode_table(&**table).len() as u64;
     }
     let mut downlink_total = 0u64;
     let mut downlink_max = 0u64;
@@ -625,7 +673,12 @@ fn run_round(
     }
 
     let states: u64 = state.globals.values().map(|t| t.len() as u64).sum();
-    let visits: u64 = state.globals.values().map(QTable::total_visits).sum();
+    let visits: u64 = state.globals.values().map(|t| t.total_visits()).sum();
+    let merged_bytes: u64 = state
+        .globals
+        .values()
+        .map(|t| t.resident_bytes() as u64)
+        .sum();
 
     state.rounds.push(CampaignRound {
         round,
@@ -634,6 +687,8 @@ fn run_round(
         comm_s: config.link.uplink_time_s(uplink_max) + config.link.downlink_time_s(downlink_max),
         states,
         visits,
+        table_bytes: merged_bytes + overlay_bytes,
+        dense_clone_bytes: merged_bytes + dense_clone_bytes,
     });
 }
 
@@ -693,7 +748,7 @@ fn build_report(
             app: app.clone(),
             states: table.len() as u64,
             visits: table.total_visits(),
-            encoded: encode_table(table),
+            encoded: encode_table(&**table),
         })
         .collect();
 
@@ -814,6 +869,8 @@ fn encode_checkpoint(config: &CampaignConfig, state: &CampaignState) -> Vec<u8> 
         put_f64(&mut out, r.comm_s);
         put_u64(&mut out, r.states);
         put_u64(&mut out, r.visits);
+        put_u64(&mut out, r.table_bytes);
+        put_u64(&mut out, r.dense_clone_bytes);
     }
 
     put_u64(&mut out, state.cohorts.len() as u64);
@@ -834,7 +891,7 @@ fn encode_checkpoint(config: &CampaignConfig, state: &CampaignState) -> Vec<u8> 
         #[allow(clippy::cast_possible_truncation)]
         put_u16(&mut out, *p as u16);
         put_str(&mut out, app);
-        let encoded = encode_table(table);
+        let encoded = encode_table(&**table);
         put_u64(&mut out, encoded.len() as u64);
         out.extend_from_slice(&encoded);
     }
@@ -957,6 +1014,8 @@ fn decode_checkpoint(bytes: &[u8], config: &CampaignConfig) -> Result<CampaignSt
             comm_s: r.f64()?,
             states: r.u64()?,
             visits: r.u64()?,
+            table_bytes: r.u64()?,
+            dense_clone_bytes: r.u64()?,
         });
     }
 
@@ -1003,7 +1062,7 @@ fn decode_checkpoint(bytes: &[u8], config: &CampaignConfig) -> Result<CampaignSt
                 config.platforms[p]
             )
         })?;
-        if globals.insert((p, app.clone()), table).is_some() {
+        if globals.insert((p, app.clone()), Arc::new(table)).is_some() {
             return Err(format!("checkpoint repeats table ({p}, {app})"));
         }
     }
@@ -1043,6 +1102,79 @@ pub fn run_campaign(config: &CampaignConfig, workers: usize) -> CampaignReport {
     }
 }
 
+/// The trained warm-seed tables of a campaign — the expensive,
+/// round-independent half of a fresh start, split out so callers (the
+/// benchmark harness in particular) can time seeding and steady-state
+/// round execution separately. Opaque: produced by [`warm_seed`],
+/// consumed by [`run_campaign_from_seed`].
+#[derive(Debug, Clone)]
+pub struct CampaignWarmSeed {
+    globals: BTreeMap<(usize, String), Arc<DenseQTable>>,
+}
+
+/// Resolves the validated platform list into presets.
+fn resolve_presets(config: &CampaignConfig) -> Vec<PlatformPreset> {
+    config
+        .platforms
+        .iter()
+        .map(|p| PlatformPreset::by_name(p).expect("validated platform"))
+        .collect()
+}
+
+fn fresh_state(
+    config: &CampaignConfig,
+    globals: BTreeMap<(usize, String), Arc<DenseQTable>>,
+) -> CampaignState {
+    CampaignState {
+        rounds: Vec::new(),
+        cohorts: (0..config.cohort_count())
+            .map(|_| CohortAcc::new())
+            .collect(),
+        globals,
+    }
+}
+
+/// Trains the warm-seed tables of `config` without running any rounds.
+/// Deterministic for any worker count, so
+/// [`run_campaign_from_seed`] on the result reproduces
+/// [`run_campaign`] exactly.
+///
+/// # Errors
+///
+/// Returns the human-readable violation of an unrunnable config.
+pub fn warm_seed(config: &CampaignConfig, workers: usize) -> Result<CampaignWarmSeed, String> {
+    config.validate()?;
+    let presets = resolve_presets(config);
+    Ok(CampaignWarmSeed {
+        globals: seed_tables(config, &presets, workers),
+    })
+}
+
+/// Runs every round of `config` from a pre-trained warm seed and
+/// returns the completed report — byte-identical to [`run_campaign`]
+/// on the same config, minus the seed-training cost.
+///
+/// # Panics
+///
+/// Panics on an invalid [`CampaignConfig`].
+#[must_use]
+pub fn run_campaign_from_seed(
+    config: &CampaignConfig,
+    seed: CampaignWarmSeed,
+    workers: usize,
+) -> CampaignReport {
+    if let Err(e) = config.validate() {
+        panic!("{e}");
+    }
+    let presets = resolve_presets(config);
+    let profiles = device_profiles(config.devices, config.seed, config.platforms.len());
+    let mut state = fresh_state(config, seed.globals);
+    for round in 0..config.rounds {
+        run_round(config, &presets, &profiles, &mut state, round, workers);
+    }
+    build_report(config, &presets, state)
+}
+
 /// Runs (or resumes) a campaign with checkpointing and kill simulation.
 ///
 /// Fresh runs train the warm-seed tables, then execute rounds; resumed
@@ -1061,11 +1193,7 @@ pub fn run_campaign_with(
     options: &CampaignOptions,
 ) -> Result<CampaignOutcome, String> {
     config.validate()?;
-    let presets: Vec<PlatformPreset> = config
-        .platforms
-        .iter()
-        .map(|p| PlatformPreset::by_name(p).expect("validated platform"))
-        .collect();
+    let presets = resolve_presets(config);
     let profiles = device_profiles(config.devices, config.seed, config.platforms.len());
 
     let mut state = if options.resume {
@@ -1078,13 +1206,7 @@ pub fn run_campaign_with(
             .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
         decode_checkpoint(&bytes, config)?
     } else {
-        CampaignState {
-            rounds: Vec::new(),
-            cohorts: (0..config.cohort_count())
-                .map(|_| CohortAcc::new())
-                .collect(),
-            globals: seed_tables(config, &presets, workers),
-        }
+        fresh_state(config, seed_tables(config, &presets, workers))
     };
 
     let start = state.rounds.len();
@@ -1178,6 +1300,29 @@ mod tests {
         assert!(one.rounds[1].visits > 0);
         let total: u64 = one.cohorts.iter().map(|c| c.count).sum();
         assert_eq!(total, one.device_days());
+        // The working-set ledger is populated and bounded: every round
+        // holds far less resident than the dense per-device clones the
+        // pre-overlay scheme required.
+        for r in &one.rounds {
+            assert!(r.table_bytes > 0);
+            assert!(
+                r.table_bytes < r.dense_clone_bytes,
+                "round {}: overlays ({} B) must beat dense clones ({} B)",
+                r.round,
+                r.table_bytes,
+                r.dense_clone_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn warm_seed_then_rounds_reproduces_the_one_shot_run() {
+        let config = tiny(4, 2, 21);
+        let baseline = run_campaign(&config, 2);
+        let seed = warm_seed(&config, 2).expect("valid config");
+        let split = run_campaign_from_seed(&config, seed, 3);
+        assert_eq!(split, baseline);
+        assert!(warm_seed(&CampaignConfig::quick(0, 1, 1), 1).is_err());
     }
 
     #[test]

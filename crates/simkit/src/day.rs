@@ -38,7 +38,8 @@ use mpsoc::perf::FrameDemand;
 use mpsoc::SocBatch;
 use next_core::ppdw::ppdw;
 use next_core::{NextAgent, QTableStore};
-use qlearn::DenseQTable;
+use qlearn::qtable::QTable;
+use qlearn::{DenseQTable, QStore};
 use workload::{idle_demand, DayPlan, Persona, SessionPlan, SessionSim};
 
 use crate::batch::BatchLane;
@@ -233,7 +234,16 @@ fn baseline_governor(name: &str) -> Box<dyn Governor> {
 
 /// Fetches the app's table from the store, training once on first use
 /// (§IV-B). Returns the table and whether a training actually ran.
-fn fetch_or_train(store: &mut QTableStore, app: &str, spec: &DaySpec) -> (DenseQTable, bool) {
+///
+/// Training always runs on the dense backend (the [`Trainer`]'s native
+/// layout) and converts into the store's backend afterwards; campaign
+/// stores are pre-seeded with every app's overlay, so the train branch
+/// never fires there.
+fn fetch_or_train<B: QStore>(
+    store: &mut QTableStore<B>,
+    app: &str,
+    spec: &DaySpec,
+) -> (QTable<B>, bool) {
     if let Some(table) = store.load(app) {
         return (table, false);
     }
@@ -246,7 +256,7 @@ fn fetch_or_train(store: &mut QTableStore, app: &str, spec: &DaySpec) -> (DenseQ
     )
     .with_soc(spec.preset.soc.clone());
     let out = Trainer::new().train(train_spec);
-    let table = out.agent.into_table();
+    let table = out.agent.into_table().to_backend::<B>();
     store
         .save(app, &table)
         .expect("in-memory day store cannot fail");
@@ -303,7 +313,7 @@ fn run_gap_lanes<S: TraceSink>(
 /// Panics on an unknown governor, an unknown app in the plan, or a
 /// non-positive gap tick.
 #[must_use]
-pub fn run_day(spec: &DaySpec, store: &mut QTableStore) -> DayReport {
+pub fn run_day<B: QStore>(spec: &DaySpec, store: &mut QTableStore<B>) -> DayReport {
     run_day_lanes(std::slice::from_ref(spec), &mut [store])
         .pop()
         .expect("one lane, one report")
@@ -313,7 +323,10 @@ pub fn run_day(spec: &DaySpec, store: &mut QTableStore) -> DayReport {
 /// the finished [`TickTrace`] (metadata from [`DaySpec::trace_meta`],
 /// one record per engine/gap tick).
 #[must_use]
-pub fn run_day_traced(spec: &DaySpec, store: &mut QTableStore) -> (DayReport, TickTrace) {
+pub fn run_day_traced<B: QStore>(
+    spec: &DaySpec,
+    store: &mut QTableStore<B>,
+) -> (DayReport, TickTrace) {
     let mut sinks = vec![TraceRecorder::new(spec.trace_meta())];
     let report = run_day_lanes_traced(std::slice::from_ref(spec), &mut [store], &mut sinks)
         .pop()
@@ -337,7 +350,10 @@ pub fn run_day_traced(spec: &DaySpec, store: &mut QTableStore) -> (DayReport, Ti
 /// tick, mismatched `specs`/`stores` lengths, or specs that do not
 /// share the same plan, preset, gap tick, training budget, and battery.
 #[must_use]
-pub fn run_day_lanes(specs: &[DaySpec], stores: &mut [&mut QTableStore]) -> Vec<DayReport> {
+pub fn run_day_lanes<B: QStore>(
+    specs: &[DaySpec],
+    stores: &mut [&mut QTableStore<B>],
+) -> Vec<DayReport> {
     let mut sinks = vec![NullSink; specs.len()];
     run_day_lanes_traced(specs, stores, &mut sinks)
 }
@@ -354,9 +370,9 @@ pub fn run_day_lanes(specs: &[DaySpec], stores: &mut [&mut QTableStore]) -> Vec<
 /// As [`run_day_lanes`], plus mismatched `sinks` length.
 #[must_use]
 #[allow(clippy::too_many_lines)]
-pub fn run_day_lanes_traced<S: TraceSink>(
+pub fn run_day_lanes_traced<B: QStore, S: TraceSink>(
     specs: &[DaySpec],
-    stores: &mut [&mut QTableStore],
+    stores: &mut [&mut QTableStore<B>],
     sinks: &mut [S],
 ) -> Vec<DayReport> {
     assert!(!specs.is_empty(), "day batch needs at least one lane");
@@ -397,7 +413,7 @@ pub fn run_day_lanes_traced<S: TraceSink>(
     // and the dense arena allocated once per distinct app, not once per
     // pickup — a 52-pickup day would otherwise clone tens of MB of
     // Q-table 52 times.
-    let mut agents: Vec<BTreeMap<String, NextAgent>> = (0..n).map(|_| BTreeMap::new()).collect();
+    let mut agents: Vec<BTreeMap<String, NextAgent<B>>> = (0..n).map(|_| BTreeMap::new()).collect();
 
     let mut session_reports: Vec<Vec<SessionReport>> = (0..n)
         .map(|_| Vec::with_capacity(first.plan.pickups.len()))
@@ -803,6 +819,12 @@ mod tests {
     use super::*;
     use workload::{DayPlanConfig, Persona};
 
+    /// Default-backend store — the tests exercise the dense path; the
+    /// overlay backend is covered by the campaign and store tests.
+    fn dense_store() -> QTableStore {
+        QTableStore::in_memory()
+    }
+
     fn tiny_plan(seed: u64) -> DayPlan {
         let cfg = DayPlanConfig {
             pickups: 4,
@@ -820,7 +842,7 @@ mod tests {
     #[test]
     fn day_accounts_time_and_energy() {
         let spec = tiny_spec("schedutil");
-        let report = run_day(&spec, &mut QTableStore::in_memory());
+        let report = run_day(&spec, &mut dense_store());
         assert_eq!(report.pickup_count(), 4);
         // Executed time matches the plan up to the per-session tick
         // rounding (≤ half a tick per session).
@@ -841,7 +863,7 @@ mod tests {
     #[test]
     fn next_trains_once_per_app_and_reuses_the_store() {
         let spec = tiny_spec("next");
-        let mut store = QTableStore::in_memory();
+        let mut store = dense_store();
         let report = run_day(&spec, &mut store);
         let distinct = spec.plan.distinct_apps().len() as u32;
         assert_eq!(
@@ -909,7 +931,7 @@ mod tests {
 
     #[test]
     fn pickups_start_warm_after_busy_gaps() {
-        let report = run_day(&tiny_spec("schedutil"), &mut QTableStore::in_memory());
+        let report = run_day(&tiny_spec("schedutil"), &mut dense_store());
         // Every pickup after the first starts above ambient: the gap
         // cooled the device but never back to cold-boot state.
         let ambient = mpsoc::DEFAULT_AMBIENT_C;
@@ -954,6 +976,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown governor")]
     fn unknown_governor_rejected() {
-        let _ = run_day(&tiny_spec("warpdrive"), &mut QTableStore::in_memory());
+        let _ = run_day(&tiny_spec("warpdrive"), &mut dense_store());
     }
 }

@@ -32,7 +32,7 @@ fn main() {
 
     // First boot: the store is empty, so Next trains each app exactly
     // once, on its first pickup, then reuses the stored table.
-    let mut store = QTableStore::in_memory();
+    let mut store: QTableStore = QTableStore::in_memory();
     let next = run_day(
         &DaySpec::new(plan.clone(), "next").with_train_budget_s(120.0),
         &mut store,
