@@ -301,6 +301,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         }
         *pos += 1;
     }
+    // qlint::allow(PN01, reason = "the loop above admits only ASCII number bytes into this span")
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ascii");
     // An unsigned integer literal that f64 would round keeps its exact
     // value via the Int variant (mirrors Json::num_u64, so
@@ -361,7 +362,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             Some(_) => {
                 // Consume one UTF-8 scalar (input is a &str, so the
                 // byte stream is valid UTF-8).
+                // qlint::allow(PN01, reason = "bytes came from a &str and pos sits on a scalar boundary, so the tail is valid UTF-8")
                 let rest = std::str::from_utf8(&bytes[*pos..]).expect("input was a str");
+                // qlint::allow(PN01, reason = "the Some(_) match arm guarantees at least one byte remains")
                 let c = rest.chars().next().expect("non-empty");
                 if (c as u32) < 0x20 {
                     return Err(err(*pos, "raw control character in string"));

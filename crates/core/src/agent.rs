@@ -259,6 +259,7 @@ impl NextAgent {
         // paper's 30-bin space exceeds the direct limit and keeps the
         // fast-hashed index automatically.
         let encoder = StateEncoder::for_platform(&config.platform, config.fps_bins)
+            // qlint::allow(PN01, reason = "Platform construction validates its ladders, so its encoding cannot fail; documented under # Panics")
             .expect("platform yields a valid state encoding");
         let table = DenseQTable::dense_for_space(
             config.platform.action_count(),
@@ -285,6 +286,7 @@ impl<S: QStore> NextAgent<S> {
     #[must_use]
     pub fn with_table(config: NextConfig, table: QTable<S>, training: bool) -> Self {
         let encoder = StateEncoder::for_platform(&config.platform, config.fps_bins)
+            // qlint::allow(PN01, reason = "Platform construction validates its ladders, so its encoding cannot fail; documented under # Panics")
             .expect("platform yields a valid state encoding");
         let table = table.resized_for_space(encoder.state_space_size());
         NextAgent::from_parts(config, encoder, table, training)
@@ -650,6 +652,7 @@ impl<S: QStore> NextAgent<S> {
                 .map(|a| (a, Self::prior_bias(a, state, self.target_fps)))
                 .max_by(|x, y| x.1.total_cmp(&y.1))
                 .map(|(a, _)| a.index())
+                // qlint::allow(PN01, reason = "Action::all always yields at least the no-op action")
                 .expect("action set non-empty")
         };
         Action::from_index(action_idx, self.n_domains).apply(dvfs);
@@ -700,6 +703,7 @@ impl<S: QStore> NextAgent<S> {
         next_state: StateKey,
         alpha: f64,
     ) -> (f64, f64) {
+        // qlint::allow(PN01, reason = "only called from the double-Q branch, which requires table_b")
         let b = self.table_b.as_mut().expect("double-Q mode");
         let gamma = self.learner.gamma();
         let coin = self.rng.gen_range(0.0..1.0) < 0.5;

@@ -84,6 +84,7 @@ impl FrameWindow {
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let value = fps.clamp(0.0, f64::from(MAX_FPS)).round() as u32;
         if self.samples.len() == self.capacity {
+            // qlint::allow(PN01, reason = "capacity is validated > 0, so a full deque pops")
             let old = self.samples.pop_front().expect("non-empty at capacity");
             self.histogram[old as usize] -= 1;
         }

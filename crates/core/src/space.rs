@@ -58,6 +58,7 @@ impl StateSpace {
     /// Panics where [`StateSpace::new`] would return an error.
     #[must_use]
     pub fn new_unchecked(dims: &[usize]) -> Self {
+        // qlint::allow(PN01, reason = "documented panicking constructor; fallible callers use StateSpace::new")
         StateSpace::new(dims).expect("valid state-space dimensions")
     }
 

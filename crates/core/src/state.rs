@@ -99,6 +99,7 @@ impl StateEncoder {
     /// Panics where [`StateEncoder::new`] would return an error.
     #[must_use]
     pub fn new_unchecked(freq_levels: &[usize], fps_bins: usize) -> Self {
+        // qlint::allow(PN01, reason = "documented panicking constructor; fallible callers use StateEncoder::new")
         StateEncoder::new(freq_levels, fps_bins).expect("valid encoder shape")
     }
 

@@ -7,7 +7,7 @@
 //! optional directory-backed persistence using the self-contained text
 //! codec of [`qlearn::qtable::QTable`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -24,7 +24,9 @@ use qlearn::qtable::QTable;
 #[derive(Debug)]
 pub struct QTableStore<S: QStore = DenseStore> {
     dir: Option<PathBuf>,
-    cache: HashMap<String, QTable<S>>,
+    // BTreeMap, not HashMap: `cached_apps` feeds campaign manifests, so
+    // the key order must be app-name order, never hash order (ND03).
+    cache: BTreeMap<String, QTable<S>>,
 }
 
 // Manual impl: deriving would demand `S: Default` for no reason.
@@ -32,7 +34,7 @@ impl<S: QStore> Default for QTableStore<S> {
     fn default() -> Self {
         QTableStore {
             dir: None,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 }
@@ -53,7 +55,7 @@ impl<S: QStore> QTableStore<S> {
         fs::create_dir_all(&dir)?;
         Ok(QTableStore {
             dir: Some(dir.as_ref().to_path_buf()),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         })
     }
 
@@ -124,12 +126,11 @@ impl<S: QStore> QTableStore<S> {
         Ok(())
     }
 
-    /// Names of the apps with cached tables.
+    /// Names of the apps with cached tables, in app-name order (the
+    /// cache is a `BTreeMap`, so no explicit sort is needed).
     #[must_use]
     pub fn cached_apps(&self) -> Vec<String> {
-        let mut apps: Vec<String> = self.cache.keys().cloned().collect();
-        apps.sort();
-        apps
+        self.cache.keys().cloned().collect()
     }
 
     /// Sanitised on-disk file name for an app.

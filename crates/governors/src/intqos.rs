@@ -133,6 +133,7 @@ impl Binding {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let level =
                     ((table.len() as f64 * HELPER_FLOOR_FRACTION) as usize).min(table.len() - 1);
+                // qlint::allow(PN01, reason = "level is clamped to len-1 on the previous line")
                 (id, table.opp(level).expect("level below len").freq_khz)
             })
             .collect();
@@ -257,6 +258,7 @@ impl Governor for IntQosPm {
 
         for &(id, floor_khz) in &self.binding.helper_floors {
             dvfs.set_min_freq(id, floor_khz)
+                // qlint::allow(PN01, reason = "floors were read from the same domain tables at bind time")
                 .expect("floor OPP in helper table");
         }
 
@@ -308,8 +310,10 @@ impl Governor for IntQosPm {
             (cpu_table.max(), gpu_table.max())
         };
         dvfs.pin_freq(self.binding.cpu, cpu.freq_khz)
+            // qlint::allow(PN01, reason = "frequency was read from this domain's own OPP table")
             .expect("OPP from table valid");
         dvfs.pin_freq(self.binding.gpu, gpu.freq_khz)
+            // qlint::allow(PN01, reason = "frequency was read from this domain's own OPP table")
             .expect("OPP from table valid");
     }
 

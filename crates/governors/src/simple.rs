@@ -32,6 +32,7 @@ impl Governor for Performance {
         for i in 0..dvfs.n_domains() {
             let id = DomainId::new(i);
             let top = dvfs.domain(id).table().max().freq_khz;
+            // qlint::allow(PN01, reason = "frequency was read from this domain's own OPP table")
             dvfs.pin_freq(id, top).expect("top OPP always valid");
         }
     }
@@ -58,6 +59,7 @@ impl Governor for Powersave {
         for i in 0..dvfs.n_domains() {
             let id = DomainId::new(i);
             let bottom = dvfs.domain(id).table().min().freq_khz;
+            // qlint::allow(PN01, reason = "frequency was read from this domain's own OPP table")
             dvfs.pin_freq(id, bottom).expect("bottom OPP always valid");
         }
     }
@@ -97,14 +99,17 @@ impl Governor for Ondemand {
             let table = dvfs.domain(id).table().clone();
             if util > self.up_threshold {
                 dvfs.pin_freq(id, table.max().freq_khz)
+                    // qlint::allow(PN01, reason = "frequency was read from this domain's own OPP table")
                     .expect("top OPP valid");
             } else {
                 let cur_level = dvfs.domain(id).current_level();
                 let next = cur_level.saturating_sub(1);
                 let target = table
                     .opp(next)
+                    // qlint::allow(PN01, reason = "next is current_level-1 saturated at 0, always in range")
                     .expect("level below current is valid")
                     .freq_khz;
+                // qlint::allow(PN01, reason = "frequency was read from this domain's own OPP table")
                 dvfs.pin_freq(id, target).expect("OPP from table valid");
             }
         }

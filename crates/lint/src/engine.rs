@@ -1,0 +1,596 @@
+//! The rule engine: walks one file's token stream, emits findings,
+//! and applies `qlint::allow` suppressions.
+//!
+//! The engine is deliberately token-level, not AST-level: every rule
+//! triggers on an identifier (or a short identifier/punctuation
+//! sequence), which the [`crate::lexer`] guarantees is *code* — prose
+//! in comments, doc comments and string literals can never
+//! false-positive. Three pieces of context refine the raw matches:
+//!
+//! * **File kind** ([`FileKind`]) — library, binary, example, test or
+//!   bench code, derived from the path by [`crate::walk`]. Rules
+//!   declare which kinds they apply to ([`RuleId::applies`]).
+//! * **Test regions** — items under `#[cfg(test)]` or `#[test]` are
+//!   tracked by brace depth and exempt from every rule except
+//!   [`RuleId::Un01`]: test code may freely time, panic and hash.
+//! * **Allow markers** — `// qlint::allow(RULE, reason = "…")`
+//!   suppresses a matching finding on the same line (trailing form) or
+//!   on the next code line (standalone form). The reason string is
+//!   mandatory and must be non-empty, so every exemption documents
+//!   itself; a malformed marker is itself a finding ([`RuleId::Ql01`]),
+//!   as is one that suppresses nothing ([`RuleId::Ql02`]).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::RuleId;
+
+/// What kind of source file is being linted, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: `src/**` except `src/bin/`.
+    Lib,
+    /// Binary code: `src/bin/**`.
+    Bin,
+    /// Example code: `examples/**`.
+    Example,
+    /// Integration tests: `tests/**`.
+    Test,
+    /// Criterion benches: `benches/**` (wall-clock by nature).
+    Bench,
+}
+
+/// Per-file linting context.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// File kind (decides rule applicability).
+    pub kind: FileKind,
+    /// Whether the file belongs to an artifact-producing crate.
+    pub artifact: bool,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A parsed `qlint::allow` marker awaiting its finding.
+struct Marker {
+    rule: RuleId,
+    /// Line the finding must be on for this marker to fire.
+    target: Option<u32>,
+    /// Marker's own position (for QL02 reporting).
+    line: u32,
+    col: u32,
+    used: bool,
+}
+
+/// Lints one file. Appends findings to `out` and returns the number of
+/// marker-suppressed findings.
+pub fn lint_file(file: &str, ctx: &FileContext, src: &str, out: &mut Vec<Finding>) -> usize {
+    let tokens = lex(src);
+    let scan = scan_tokens(&tokens, ctx);
+
+    // Lines containing at least one non-comment token: a standalone
+    // marker targets the next such line, a trailing marker its own.
+    let code_lines: BTreeSet<u32> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+            )
+        })
+        .map(|t| t.line)
+        .collect();
+
+    let mut findings = scan.findings;
+    let mut suppressed = 0usize;
+    if RuleId::Ql01.applies(ctx.kind, ctx.artifact) {
+        let mut markers = collect_markers(file, &tokens, &scan.test_spans, &code_lines, out);
+        for marker in &mut markers {
+            let before = findings.len();
+            findings.retain(|f| !(Some(f.line) == marker.target && f.rule == marker.rule));
+            if findings.len() < before {
+                marker.used = true;
+                suppressed += before - findings.len();
+            }
+        }
+        for marker in markers.iter().filter(|m| !m.used) {
+            out.push(Finding {
+                rule: RuleId::Ql02,
+                file: file.to_owned(),
+                line: marker.line,
+                col: marker.col,
+                message: format!(
+                    "qlint::allow({}) suppresses nothing{}",
+                    marker.rule.code(),
+                    match marker.target {
+                        Some(t) => format!(" (no {} finding on line {t})", marker.rule.code()),
+                        None => " (no code line follows it)".to_owned(),
+                    }
+                ),
+            });
+        }
+    }
+    out.append(&mut findings);
+    suppressed
+}
+
+/// Result of the raw scanning pass.
+struct Scan {
+    findings: Vec<Finding>,
+    /// Closed line spans of `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(u32, u32)>,
+}
+
+/// Identifier sets per rule. `Instant` and `panic` need sequence
+/// context and are matched separately.
+const ND02_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "RandomState", "OsRng"];
+const ND03_IDENTS: [&str; 2] = ["HashMap", "HashSet"];
+const ND04_IDENTS: [&str; 7] = [
+    "mpsc",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "try_iter",
+    "Receiver",
+    "crossbeam",
+];
+
+#[allow(clippy::too_many_lines)]
+fn scan_tokens(tokens: &[Token<'_>], ctx: &FileContext) -> Scan {
+    let mut findings = Vec::new();
+    let mut test_spans: Vec<(u32, u32)> = Vec::new();
+
+    // Brace-depth tracking for `#[cfg(test)]`/`#[test]` item bodies.
+    let mut depth = 0u32;
+    let mut test_stack: Vec<(u32, u32)> = Vec::new(); // (depth of `{`, open line)
+    let mut pending_test = false;
+    let mut whole_file_test = false;
+
+    let applies = |rule: RuleId| rule.applies(ctx.kind, ctx.artifact);
+    let mut emit = |rule: RuleId, tok: &Token<'_>, message: String, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            rule,
+            file: String::new(), // filled by the caller
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    };
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. } => {
+                i += 1;
+                continue;
+            }
+            TokenKind::Punct if tok.text == "#" => {
+                // Attribute: `#[…]` or `#![…]`. Consume it whole (its
+                // tokens are metadata, not code) and look for a `test`
+                // ident that is not negated by `not(test)`.
+                let Some(after) = next_code(tokens, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let next = &tokens[after];
+                let (inner, open) = if next.text == "!" {
+                    match next_code(tokens, after + 1) {
+                        Some(j) if tokens[j].text == "[" => (true, j),
+                        _ => {
+                            i += 1;
+                            continue;
+                        }
+                    }
+                } else if next.text == "[" {
+                    (false, after)
+                } else {
+                    i += 1;
+                    continue;
+                };
+                let (end, is_test) = scan_attribute(tokens, open);
+                if is_test {
+                    if inner {
+                        whole_file_test = true;
+                    } else {
+                        pending_test = true;
+                    }
+                }
+                i = end;
+                continue;
+            }
+            TokenKind::Punct if tok.text == "{" => {
+                depth += 1;
+                if pending_test {
+                    test_stack.push((depth, tok.line));
+                    pending_test = false;
+                }
+            }
+            TokenKind::Punct if tok.text == "}" => {
+                if test_stack.last().is_some_and(|&(d, _)| d == depth) {
+                    if let Some((_, open_line)) = test_stack.pop() {
+                        test_spans.push((open_line, tok.line));
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokenKind::Punct if tok.text == ";" => {
+                // `#[cfg(test)] use …;` — attribute on a braceless item.
+                pending_test = false;
+            }
+            _ => {}
+        }
+
+        let in_test = whole_file_test || !test_stack.is_empty();
+        if tok.kind == TokenKind::Ident {
+            // UN01 fires even inside test regions: test code is still
+            // workspace code.
+            if tok.text == "unsafe" && applies(RuleId::Un01) {
+                emit(
+                    RuleId::Un01,
+                    tok,
+                    "`unsafe` code (the workspace forbids it)".to_owned(),
+                    &mut findings,
+                );
+            }
+            if !in_test {
+                check_ident(tokens, i, ctx, &applies, &mut emit, &mut findings);
+            }
+        }
+        i += 1;
+    }
+    Scan {
+        findings,
+        test_spans,
+    }
+}
+
+/// The per-identifier rule checks (everything except UN01).
+fn check_ident(
+    tokens: &[Token<'_>],
+    i: usize,
+    ctx: &FileContext,
+    applies: &impl Fn(RuleId) -> bool,
+    emit: &mut impl FnMut(RuleId, &Token<'_>, String, &mut Vec<Finding>),
+    findings: &mut Vec<Finding>,
+) {
+    let tok = &tokens[i];
+    let text = tok.text;
+    if applies(RuleId::Nd01) {
+        if text == "Instant" && followed_by(tokens, i, &[":", ":", "now"]) {
+            emit(
+                RuleId::Nd01,
+                tok,
+                "`Instant::now` reads the wall clock".to_owned(),
+                findings,
+            );
+        }
+        if text == "SystemTime" {
+            emit(
+                RuleId::Nd01,
+                tok,
+                "`SystemTime` is OS time".to_owned(),
+                findings,
+            );
+        }
+    }
+    if applies(RuleId::Nd02) && ND02_IDENTS.contains(&text) {
+        emit(
+            RuleId::Nd02,
+            tok,
+            format!("`{text}` draws ambient OS entropy"),
+            findings,
+        );
+    }
+    if applies(RuleId::Nd03) && ND03_IDENTS.contains(&text) {
+        emit(
+            RuleId::Nd03,
+            tok,
+            format!("`{text}` iteration order is unspecified (artifact-producing crate)"),
+            findings,
+        );
+    }
+    if applies(RuleId::Nd04) && ND04_IDENTS.contains(&text) {
+        emit(
+            RuleId::Nd04,
+            tok,
+            format!("`{text}` harvests results in completion order"),
+            findings,
+        );
+    }
+    if applies(RuleId::Pn01) && ctx.kind == FileKind::Lib {
+        if (text == "unwrap" || text == "expect") && preceded_by_dot(tokens, i) {
+            emit(
+                RuleId::Pn01,
+                tok,
+                format!("`.{text}()` can panic in library code"),
+                findings,
+            );
+        }
+        if text == "panic" && followed_by(tokens, i, &["!"]) {
+            emit(
+                RuleId::Pn01,
+                tok,
+                "`panic!` in library code".to_owned(),
+                findings,
+            );
+        }
+    }
+}
+
+/// Index of the next non-comment token at or after `from`.
+fn next_code(tokens: &[Token<'_>], from: usize) -> Option<usize> {
+    (from..tokens.len()).find(|&j| {
+        !matches!(
+            tokens[j].kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    })
+}
+
+/// Whether the non-comment tokens after `i` are exactly `texts`, one
+/// entry per token (`::` is two `:` tokens in the stream).
+fn followed_by(tokens: &[Token<'_>], i: usize, texts: &[&str]) -> bool {
+    let mut at = i + 1;
+    for want in texts {
+        match next_code(tokens, at) {
+            Some(j) if tokens[j].text == *want => at = j + 1,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Whether the previous non-comment token is a `.`.
+fn preceded_by_dot(tokens: &[Token<'_>], i: usize) -> bool {
+    (0..i).rev().find_map(|j| match tokens[j].kind {
+        TokenKind::LineComment { .. } | TokenKind::BlockComment { .. } => None,
+        _ => Some(tokens[j].text == "."),
+    }) == Some(true)
+}
+
+/// Consumes an attribute starting at the `[` token index. Returns the
+/// index just past the matching `]` and whether the attribute gates on
+/// `test` (ignoring `not(test)`).
+fn scan_attribute(tokens: &[Token<'_>], open: usize) -> (usize, bool) {
+    let mut bracket_depth = 0i32;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Punct if t.text == "[" => bracket_depth += 1,
+            TokenKind::Punct if t.text == "]" => {
+                bracket_depth -= 1;
+                if bracket_depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            TokenKind::Ident => idents.push(t.text),
+            TokenKind::Punct if t.text == "(" || t.text == ")" => idents.push(t.text),
+            _ => {}
+        }
+        j += 1;
+    }
+    let is_test = idents.iter().enumerate().any(|(k, &id)| {
+        id == "test" && !(k >= 2 && idents[k - 1] == "(" && idents[k - 2] == "not")
+    });
+    (j, is_test)
+}
+
+/// Extracts well-formed markers from the token stream, reporting
+/// malformed ones as QL01 findings directly into `out`.
+fn collect_markers(
+    file: &str,
+    tokens: &[Token<'_>],
+    test_spans: &[(u32, u32)],
+    code_lines: &BTreeSet<u32>,
+    out: &mut Vec<Finding>,
+) -> Vec<Marker> {
+    let in_test = |line: u32| test_spans.iter().any(|&(a, b)| a <= line && line <= b);
+    let mut markers = Vec::new();
+    for tok in tokens {
+        let TokenKind::LineComment { doc: false } = tok.kind else {
+            continue;
+        };
+        if !tok.text.contains("qlint::allow") {
+            continue;
+        }
+        // Markers inside test regions are inert: no rule fires there,
+        // so validating them would only produce QL02 noise.
+        if in_test(tok.line) {
+            continue;
+        }
+        match parse_marker(tok.text) {
+            Ok(rule) => {
+                let target = if code_lines.contains(&tok.line) {
+                    Some(tok.line)
+                } else {
+                    code_lines.range(tok.line + 1..).next().copied()
+                };
+                markers.push(Marker {
+                    rule,
+                    target,
+                    line: tok.line,
+                    col: tok.col,
+                    used: false,
+                });
+            }
+            Err(reason) => out.push(Finding {
+                rule: RuleId::Ql01,
+                file: file.to_owned(),
+                line: tok.line,
+                col: tok.col,
+                message: reason,
+            }),
+        }
+    }
+    markers
+}
+
+/// Parses `qlint::allow(RULE, reason = "…")` out of a line comment
+/// already known to contain the string `qlint::allow`.
+fn parse_marker(comment: &str) -> Result<RuleId, String> {
+    let rest = comment.trim_start_matches('/').trim_start();
+    let Some(args) = rest.strip_prefix("qlint::allow") else {
+        return Err("a comment mentioning qlint::allow must be a marker: \
+                    `// qlint::allow(RULE, reason = \"…\")`"
+            .to_owned());
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return Err("qlint::allow marker is missing its '(' argument list".to_owned());
+    };
+    let Some(close) = args.rfind(')') else {
+        return Err("qlint::allow marker is missing its closing ')'".to_owned());
+    };
+    if !args[close + 1..].trim().is_empty() {
+        return Err("qlint::allow marker has trailing text after ')'".to_owned());
+    }
+    let inner = &args[..close];
+    let Some((code, reason_part)) = inner.split_once(',') else {
+        return Err(format!(
+            "qlint::allow({}) is missing its mandatory `reason = \"…\"`",
+            inner.trim()
+        ));
+    };
+    let code = code.trim();
+    let Some(rule) = RuleId::from_code(code) else {
+        return Err(format!("qlint::allow names unknown rule '{code}'"));
+    };
+    let reason_part = reason_part.trim();
+    let Some(eq) = reason_part.strip_prefix("reason") else {
+        return Err(format!(
+            "qlint::allow({code}) needs `reason = \"…\"`, got '{reason_part}'"
+        ));
+    };
+    let Some(quoted) = eq.trim_start().strip_prefix('=') else {
+        return Err(format!("qlint::allow({code}) reason is missing its '='"));
+    };
+    let quoted = quoted.trim();
+    let reason = quoted
+        .strip_prefix('"')
+        .and_then(|q| q.strip_suffix('"'))
+        .ok_or_else(|| format!("qlint::allow({code}) reason must be a quoted string"))?;
+    if reason.trim().is_empty() {
+        return Err(format!(
+            "qlint::allow({code}) has an empty reason — say why the exemption is sound"
+        ));
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> (Vec<Finding>, usize) {
+        let ctx = FileContext {
+            kind: FileKind::Lib,
+            artifact: true,
+        };
+        let mut out = Vec::new();
+        let suppressed = lint_file("mem.rs", &ctx, src, &mut out);
+        (out, suppressed)
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    #[test]\n    fn t() { foo().unwrap(); \
+                   let m = std::collections::HashMap::new(); }\n}\n";
+        let (findings, _) = lint_lib(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn not_test_cfg_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn lib() { x.unwrap(); }\n";
+        let (findings, _) = lint_lib(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::Pn01);
+    }
+
+    #[test]
+    fn trailing_and_standalone_markers_suppress() {
+        let src = "fn f() { x.unwrap(); } // qlint::allow(PN01, reason = \"test helper\")\n\
+                   // qlint::allow(PN01, reason = \"invariant: y is Some\")\n\
+                   fn g() { y.unwrap(); }\n";
+        let (findings, suppressed) = lint_lib(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn marker_without_reason_is_ql01() {
+        let (findings, _) = lint_lib("// qlint::allow(PN01)\nfn f() { x.unwrap(); }\n");
+        let rules: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&RuleId::Ql01), "{findings:?}");
+        assert!(
+            rules.contains(&RuleId::Pn01),
+            "malformed marker must not suppress"
+        );
+    }
+
+    #[test]
+    fn unused_marker_is_ql02() {
+        let (findings, _) =
+            lint_lib("// qlint::allow(ND01, reason = \"nothing here\")\nfn f() {}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::Ql02);
+    }
+
+    #[test]
+    fn doc_comments_never_trigger_or_mark() {
+        let src = "/// Call `.unwrap()` or `Instant::now` — prose only.\n\
+                   /// Even `// qlint::allow(PN01, reason = \"x\")` is prose here.\n\
+                   fn f() {}\n";
+        let (findings, _) = lint_lib(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn strings_never_trigger() {
+        let src = "fn f() -> &'static str { \"Instant::now() .unwrap() HashMap unsafe\" }\n";
+        let (findings, _) = lint_lib(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn instant_now_needs_the_full_path() {
+        let (findings, _) = lint_lib("use std::time::Instant;\nfn f(i: Instant) {}\n");
+        assert!(findings.is_empty(), "bare `Instant` is inert: {findings:?}");
+        let (findings, _) = lint_lib("fn f() { let t = Instant::now(); }\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::Nd01);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_pn01() {
+        let (findings, _) = lint_lib("fn f() { x.unwrap_or_else(Vec::new); }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unsafe_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let p = unsafe { *x }; }\n}\n";
+        let (findings, _) = lint_lib(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::Un01);
+    }
+}

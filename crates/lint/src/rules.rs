@@ -1,0 +1,154 @@
+//! The rule catalog: every rule this lint enforces, keyed by a stable
+//! ID that CI output, `qlint::allow` markers and `docs/LINT.md` all
+//! share. Each rule maps to one of the determinism invariants in
+//! `docs/ARCHITECTURE.md` — the catalog is the machine-readable half
+//! of that contract.
+
+use crate::engine::FileKind;
+
+/// Stable identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Wall-clock / OS time acquisition (`Instant::now`, `SystemTime`).
+    Nd01,
+    /// Ambient entropy (`thread_rng`, `from_entropy`, `RandomState`,
+    /// `OsRng`).
+    Nd02,
+    /// `HashMap`/`HashSet` in an artifact-producing crate.
+    Nd03,
+    /// Channel / completion-order primitives (`mpsc`, `recv`, …).
+    Nd04,
+    /// `unwrap`/`expect`/`panic!` in library code.
+    Pn01,
+    /// An `unsafe` keyword anywhere in the workspace.
+    Un01,
+    /// A malformed `qlint::allow` marker (bad syntax, unknown rule,
+    /// missing or empty reason).
+    Ql01,
+    /// A `qlint::allow` marker that suppressed nothing.
+    Ql02,
+}
+
+/// Every rule, in catalog (and report) order.
+pub const ALL_RULES: [RuleId; 8] = [
+    RuleId::Nd01,
+    RuleId::Nd02,
+    RuleId::Nd03,
+    RuleId::Nd04,
+    RuleId::Pn01,
+    RuleId::Un01,
+    RuleId::Ql01,
+    RuleId::Ql02,
+];
+
+impl RuleId {
+    /// The stable rule code used in findings and allow markers.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::Nd01 => "ND01",
+            RuleId::Nd02 => "ND02",
+            RuleId::Nd03 => "ND03",
+            RuleId::Nd04 => "ND04",
+            RuleId::Pn01 => "PN01",
+            RuleId::Un01 => "UN01",
+            RuleId::Ql01 => "QL01",
+            RuleId::Ql02 => "QL02",
+        }
+    }
+
+    /// Parses a rule code as written in an allow marker.
+    #[must_use]
+    pub fn from_code(code: &str) -> Option<RuleId> {
+        ALL_RULES.into_iter().find(|r| r.code() == code)
+    }
+
+    /// One-line description for the catalog section of `lint.json`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::Nd01 => "wall-clock or OS time acquisition (Instant::now, SystemTime)",
+            RuleId::Nd02 => "ambient entropy (thread_rng, from_entropy, RandomState, OsRng)",
+            RuleId::Nd03 => "HashMap/HashSet in an artifact-producing crate",
+            RuleId::Nd04 => "channel / completion-order primitive (mpsc, recv, Receiver, ...)",
+            RuleId::Pn01 => "unwrap/expect/panic! in library code",
+            RuleId::Un01 => "unsafe code",
+            RuleId::Ql01 => "malformed qlint::allow marker",
+            RuleId::Ql02 => "unused qlint::allow marker",
+        }
+    }
+
+    /// Which determinism invariant (docs/ARCHITECTURE.md) the rule
+    /// protects.
+    #[must_use]
+    pub fn invariant(self) -> &'static str {
+        match self {
+            RuleId::Nd01 | RuleId::Nd02 => {
+                "1-5: simulation output is a pure function of (config, seed)"
+            }
+            RuleId::Nd03 => "2-3: artifact bytes are identical across runs and worker counts",
+            RuleId::Nd04 => "3: accumulation order is fixed, never completion order",
+            RuleId::Pn01 => "5: library code reports errors, it does not abort mid-campaign",
+            RuleId::Un01 => "all: the whole workspace stays in safe Rust",
+            RuleId::Ql01 | RuleId::Ql02 => "every exemption is self-documenting and live",
+        }
+    }
+
+    /// Whether the rule applies to a file of the given kind. `artifact`
+    /// is true when the file belongs to an artifact-producing crate
+    /// (one whose output bytes CI pins: `core`, `qlearn`, `simkit`,
+    /// `bench`).
+    #[must_use]
+    pub fn applies(self, kind: FileKind, artifact: bool) -> bool {
+        match self {
+            // Time, entropy and completion-order hazards matter
+            // anywhere simulation code can run; tests and benches are
+            // wall-clock by nature.
+            RuleId::Nd01 | RuleId::Nd02 | RuleId::Nd04 => {
+                matches!(kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
+            }
+            RuleId::Nd03 => artifact && kind == FileKind::Lib,
+            RuleId::Pn01 => kind == FileKind::Lib,
+            // `unsafe` is forbidden everywhere, tests included.
+            RuleId::Un01 => true,
+            // Marker hygiene is checked wherever markers are read —
+            // the engine skips marker processing in test/bench files.
+            RuleId::Ql01 | RuleId::Ql02 => {
+                matches!(kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(RuleId::from_code(rule.code()), Some(rule));
+        }
+        assert_eq!(RuleId::from_code("ND99"), None);
+        assert_eq!(RuleId::from_code("nd01"), None, "codes are case-exact");
+    }
+
+    #[test]
+    fn applicability_matrix() {
+        assert!(RuleId::Pn01.applies(FileKind::Lib, false));
+        assert!(!RuleId::Pn01.applies(FileKind::Bin, false));
+        assert!(!RuleId::Pn01.applies(FileKind::Test, false));
+        assert!(RuleId::Nd03.applies(FileKind::Lib, true));
+        assert!(!RuleId::Nd03.applies(FileKind::Lib, false));
+        assert!(!RuleId::Nd03.applies(FileKind::Bin, true));
+        assert!(RuleId::Un01.applies(FileKind::Test, false));
+        assert!(RuleId::Nd01.applies(FileKind::Bin, false));
+        assert!(!RuleId::Nd01.applies(FileKind::Bench, false));
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-rule fixture snippets: each fixture triggers its rule exactly
+//! once, plus the marker-grammar and prose-immunity contracts.
+
+use qlint::{lint_source, FileContext, FileKind, RuleId};
+
+fn lib_ctx() -> FileContext {
+    FileContext {
+        kind: FileKind::Lib,
+        artifact: true,
+    }
+}
+
+/// Lints `src` as artifact-crate library code and returns the rules hit.
+fn rules_of(src: &str) -> Vec<RuleId> {
+    let (findings, _) = lint_source("fixture.rs", &lib_ctx(), src);
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn nd01_instant_now_fires_exactly_once() {
+    let src = "fn f() -> std::time::Duration {\n    let t = std::time::Instant::now();\n    t.elapsed()\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::Nd01]);
+    let (findings, _) = lint_source("fixture.rs", &lib_ctx(), src);
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn nd01_system_time_fires() {
+    let src = "fn f() {\n    let _ = std::time::SystemTime::UNIX_EPOCH;\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::Nd01]);
+}
+
+#[test]
+fn nd01_bare_instant_import_is_inert() {
+    // Importing the type is fine; only the `Instant::now` call path is
+    // nondeterministic.
+    let src = "use std::time::Instant;\nfn f(a: Instant, b: Instant) -> bool {\n    a < b\n}\n";
+    assert_eq!(rules_of(src), vec![]);
+}
+
+#[test]
+fn nd02_ambient_entropy_fires_exactly_once() {
+    let src = "fn f() -> u64 {\n    let mut rng = rand::thread_rng();\n    rng.next()\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::Nd02]);
+}
+
+#[test]
+fn nd03_hash_map_fires_exactly_once_in_artifact_crates() {
+    let src = "fn f(m: &std::collections::HashMap<u64, f64>) -> usize {\n    m.len()\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::Nd03]);
+}
+
+#[test]
+fn nd03_is_silent_outside_artifact_crates() {
+    let ctx = FileContext {
+        kind: FileKind::Lib,
+        artifact: false,
+    };
+    let src = "fn f(m: &std::collections::HashMap<u64, f64>) -> usize {\n    m.len()\n}\n";
+    let (findings, _) = lint_source("fixture.rs", &ctx, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn nd04_channel_harvest_fires_exactly_once() {
+    let src = "fn f() {\n    let (_tx, _rx) = std::sync::mpsc::channel::<u64>();\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::Nd04]);
+}
+
+#[test]
+fn pn01_unwrap_fires_exactly_once() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::Pn01]);
+}
+
+#[test]
+fn pn01_skips_unwrap_or_variants() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap_or(0).max(x.unwrap_or_else(|| 1))\n}\n";
+    assert_eq!(rules_of(src), vec![]);
+}
+
+#[test]
+fn pn01_is_silent_in_bins() {
+    let ctx = FileContext {
+        kind: FileKind::Bin,
+        artifact: false,
+    };
+    let src = "fn main() {\n    std::env::args().next().unwrap();\n}\n";
+    let (findings, _) = lint_source("fixture.rs", &ctx, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn un01_unsafe_fires_exactly_once_even_in_tests() {
+    let src = "fn f(p: *const u64) -> u64 {\n    unsafe { *p }\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::Un01]);
+    // UN01 has no test-region exemption.
+    let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x = 1u64;\n        let _ = unsafe { *(&x as *const u64) };\n    }\n}\n";
+    assert_eq!(rules_of(test_src), vec![RuleId::Un01]);
+}
+
+#[test]
+fn test_regions_are_exempt_from_nd_and_pn_rules() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::time::Instant::now();\n        Some(1).unwrap();\n    }\n}\n";
+    assert_eq!(rules_of(src), vec![]);
+}
+
+#[test]
+fn prose_never_false_positives() {
+    // The hazard identifiers appear only in comments, doc comments,
+    // and string literals — the lexer must keep them out of the rules.
+    let src = concat!(
+        "//! Discusses Instant::now, thread_rng and HashMap freely.\n",
+        "/// Call .unwrap() — just kidding, this is prose. unsafe too.\n",
+        "fn f() -> &'static str {\n",
+        "    // mpsc, recv, SystemTime: still prose.\n",
+        "    \"Instant::now() .unwrap() unsafe HashMap thread_rng\"\n",
+        "}\n",
+        "fn raw() -> &'static str {\n",
+        "    r#\"even raw strings with \"Instant::now\" inside\"#\n",
+        "}\n",
+    );
+    assert_eq!(rules_of(src), vec![]);
+}
+
+#[test]
+fn lifetimes_do_not_break_the_lexer() {
+    let src = "struct S<'a> {\n    x: &'a str,\n}\nfn f<'b>(s: &'b S<'b>) -> char {\n    let c = 'x';\n    let _ = s.x;\n    c\n}\n";
+    assert_eq!(rules_of(src), vec![]);
+}
+
+// ---- marker grammar ----------------------------------------------------
+
+#[test]
+fn trailing_marker_suppresses_same_line() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap() // qlint::allow(PN01, reason = \"fixture\")\n}\n";
+    let (findings, suppressed) = lint_source("fixture.rs", &lib_ctx(), src);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn standalone_marker_suppresses_next_code_line() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    // qlint::allow(PN01, reason = \"fixture\")\n    x.unwrap()\n}\n";
+    let (findings, suppressed) = lint_source("fixture.rs", &lib_ctx(), src);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn marker_without_reason_is_rejected_as_ql01() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    // qlint::allow(PN01)\n    x.unwrap()\n}\n";
+    let rules = rules_of(src);
+    assert!(rules.contains(&RuleId::Ql01), "{rules:?}");
+    assert!(
+        rules.contains(&RuleId::Pn01),
+        "a malformed marker must not suppress: {rules:?}"
+    );
+}
+
+#[test]
+fn marker_with_empty_reason_is_rejected_as_ql01() {
+    let src =
+        "fn f(x: Option<u64>) -> u64 {\n    x.unwrap() // qlint::allow(PN01, reason = \"\")\n}\n";
+    let rules = rules_of(src);
+    assert!(rules.contains(&RuleId::Ql01), "{rules:?}");
+}
+
+#[test]
+fn marker_with_unknown_rule_is_rejected_as_ql01() {
+    let src = "fn f() {} // qlint::allow(XX99, reason = \"no such rule\")\n";
+    assert_eq!(rules_of(src), vec![RuleId::Ql01]);
+}
+
+#[test]
+fn unused_marker_is_flagged_as_ql02() {
+    let src = "// qlint::allow(ND01, reason = \"nothing here reads a clock\")\nfn f() {}\n";
+    assert_eq!(rules_of(src), vec![RuleId::Ql02]);
+}
+
+#[test]
+fn marker_for_the_wrong_rule_does_not_suppress() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap() // qlint::allow(ND01, reason = \"wrong rule\")\n}\n";
+    let rules = rules_of(src);
+    assert!(rules.contains(&RuleId::Pn01), "{rules:?}");
+    assert!(
+        rules.contains(&RuleId::Ql02),
+        "a marker that suppresses nothing is stale: {rules:?}"
+    );
+}
+
+#[test]
+fn one_marker_covers_all_same_rule_findings_on_its_line() {
+    let src = "fn f(x: Option<u64>, y: Option<u64>) -> u64 {\n    // qlint::allow(PN01, reason = \"both probes are guarded by the caller\")\n    x.unwrap() + y.unwrap()\n}\n";
+    let (findings, suppressed) = lint_source("fixture.rs", &lib_ctx(), src);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
+fn markers_inside_doc_comments_are_inert() {
+    // Doc prose showing marker syntax must not become a live marker
+    // (or a QL02 stale-marker finding).
+    let src = "/// Write `// qlint::allow(ND01, reason = \"...\")` to suppress.\nfn f() {}\n";
+    assert_eq!(rules_of(src), vec![]);
+}

@@ -1,0 +1,109 @@
+//! Workspace-level integration: the shipped tree lints clean, an
+//! injected violation is caught with the right rule and position, and
+//! the rendered artifacts are byte-identical across runs.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qlint::{lint_workspace, RuleId};
+
+/// The workspace root this crate was built from.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn shipped_workspace_lints_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace walks");
+    assert!(
+        report.is_clean(),
+        "the shipped tree must lint clean:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "the walk found only {} files — vendored/target skipping is too aggressive",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressed > 0,
+        "the audited tree carries qlint::allow markers; finding none means markers stopped parsing"
+    );
+}
+
+#[test]
+fn lint_artifacts_are_byte_identical_across_runs() {
+    let root = workspace_root();
+    let a = lint_workspace(&root).expect("first run");
+    let b = lint_workspace(&root).expect("second run");
+    assert_eq!(a, b, "reports must be structurally identical");
+    assert_eq!(a.render_text(), b.render_text());
+    assert_eq!(a.to_json().render(), b.to_json().render());
+}
+
+/// Builds a miniature workspace in the cargo tmpdir, lints it, and
+/// tears it down.
+fn lint_injected(rel_path: &str, source: &str) -> qlint::Report {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "qlint-inject-{}-{}",
+        std::process::id(),
+        rel_path.replace(['/', '.'], "_")
+    ));
+    let _ = fs::remove_dir_all(&base);
+    let file = base.join(rel_path);
+    fs::create_dir_all(file.parent().expect("fixture path has a parent")).expect("mkdir");
+    fs::write(&file, source).expect("write fixture");
+    let report = lint_workspace(&base).expect("fixture tree walks");
+    fs::remove_dir_all(&base).expect("cleanup");
+    report
+}
+
+#[test]
+fn injected_wall_clock_read_is_caught_with_position() {
+    let report = lint_injected(
+        "crates/qlearn/src/bad.rs",
+        "fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    assert_eq!(report.findings.len(), 1, "{}", report.render_text());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, RuleId::Nd01);
+    assert_eq!(f.file, "crates/qlearn/src/bad.rs");
+    assert_eq!(f.line, 2);
+}
+
+#[test]
+fn injected_hash_map_is_caught_only_in_artifact_crates() {
+    let src = "pub fn f(m: &std::collections::HashMap<u64, u64>) -> usize {\n    m.len()\n}\n";
+    let artifact = lint_injected("crates/simkit/src/bad.rs", src);
+    assert_eq!(artifact.findings.len(), 1, "{}", artifact.render_text());
+    assert_eq!(artifact.findings[0].rule, RuleId::Nd03);
+
+    let non_artifact = lint_injected("crates/workload/src/bad.rs", src);
+    assert!(
+        non_artifact.is_clean(),
+        "ND03 is scoped to artifact-producing crates:\n{}",
+        non_artifact.render_text()
+    );
+}
+
+#[test]
+fn injected_violation_in_tests_dir_is_exempt() {
+    let report = lint_injected(
+        "crates/qlearn/tests/bad.rs",
+        "#[test]\nfn t() {\n    let _ = std::time::Instant::now();\n}\n",
+    );
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn vendor_and_target_trees_are_skipped() {
+    let report = lint_injected(
+        "vendor/rand/src/lib.rs",
+        "pub fn f() { let _ = std::time::Instant::now(); }\n",
+    );
+    assert_eq!(report.files_scanned, 0);
+    assert!(report.is_clean());
+}

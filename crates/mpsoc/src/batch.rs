@@ -411,6 +411,7 @@ impl SocBatch {
             self.dvfs[lane]
                 .domain_mut(DomainId::new(d))
                 .force_level(level)
+                // qlint::allow(PN01, reason = "the SoA mirror only holds levels previously accepted by this controller")
                 .expect("mirror level within table");
         }
     }
@@ -713,6 +714,7 @@ impl SocBatch {
     pub fn retain_lanes(&mut self, keep: &[bool]) {
         fn retain_vec<T>(v: &mut Vec<T>, keep: &[bool]) {
             let mut it = keep.iter();
+            // qlint::allow(PN01, reason = "the assert below guarantees one keep flag per lane")
             v.retain(|_| *it.next().expect("keep flag per element"));
         }
 

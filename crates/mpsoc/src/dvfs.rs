@@ -206,6 +206,7 @@ impl DvfsController {
                     want
                 }
             };
+            // qlint::allow(PN01, reason = "level was derived from this domain's own table bounds above")
             dom.set_level(level).expect("level from table is valid");
         }
     }

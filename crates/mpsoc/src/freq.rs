@@ -106,6 +106,7 @@ impl OppTable {
         sorted.sort_unstable();
         sorted.dedup();
         let lo = f64::from(sorted[0]);
+        // qlint::allow(PN01, reason = "the emptiness check above already returned an error")
         let hi = f64::from(*sorted.last().expect("non-empty"));
         let span = (hi - lo).max(1.0);
         let opps = sorted
@@ -184,6 +185,7 @@ impl OppTable {
     /// Fastest OPP.
     #[must_use]
     pub fn max(&self) -> Opp {
+        // qlint::allow(PN01, reason = "construction rejects empty ladders")
         *self.opps.last().expect("table is non-empty")
     }
 
@@ -199,6 +201,7 @@ impl OppTable {
             650, 741, 858, 962, 1066, 1170, 1261, 1469, 1586, 1690, 1794, 1924, 2002, 2106, 2314,
             2496, 2652, 2704,
         ];
+        // qlint::allow(PN01, reason = "compiled-in ladder literal, exercised by the preset tests")
         OppTable::from_mhz_ladder("big", &MHZ, 0.568, 1.092).expect("static ladder valid")
     }
 
@@ -206,6 +209,7 @@ impl OppTable {
     #[must_use]
     pub fn exynos9810_little() -> Self {
         const MHZ: [u32; 10] = [455, 598, 715, 832, 949, 1053, 1248, 1456, 1690, 1794];
+        // qlint::allow(PN01, reason = "compiled-in ladder literal, exercised by the preset tests")
         OppTable::from_mhz_ladder("little", &MHZ, 0.531, 0.988).expect("static ladder valid")
     }
 
@@ -213,6 +217,7 @@ impl OppTable {
     #[must_use]
     pub fn exynos9810_gpu() -> Self {
         const MHZ: [u32; 6] = [260, 299, 338, 455, 546, 572];
+        // qlint::allow(PN01, reason = "compiled-in ladder literal, exercised by the preset tests")
         OppTable::from_mhz_ladder("gpu", &MHZ, 0.581, 0.862).expect("static ladder valid")
     }
 
@@ -223,6 +228,7 @@ impl OppTable {
             520, 650, 754, 858, 962, 1066, 1170, 1352, 1560, 1664, 1820, 1976, 2106, 2314, 2496,
             2730,
         ];
+        // qlint::allow(PN01, reason = "compiled-in ladder literal, exercised by the preset tests")
         OppTable::from_mhz_ladder("big", &MHZ, 0.558, 1.100).expect("static ladder valid")
     }
 
@@ -232,6 +238,7 @@ impl OppTable {
         const MHZ: [u32; 12] = [
             520, 650, 754, 858, 1066, 1170, 1352, 1560, 1742, 1950, 2158, 2310,
         ];
+        // qlint::allow(PN01, reason = "compiled-in ladder literal, exercised by the preset tests")
         OppTable::from_mhz_ladder("mid", &MHZ, 0.540, 1.020).expect("static ladder valid")
     }
 
@@ -239,6 +246,7 @@ impl OppTable {
     #[must_use]
     pub fn exynos9820_little() -> Self {
         const MHZ: [u32; 9] = [442, 598, 754, 910, 1053, 1248, 1456, 1690, 1950];
+        // qlint::allow(PN01, reason = "compiled-in ladder literal, exercised by the preset tests")
         OppTable::from_mhz_ladder("little", &MHZ, 0.525, 0.975).expect("static ladder valid")
     }
 
@@ -246,6 +254,7 @@ impl OppTable {
     #[must_use]
     pub fn exynos9820_gpu() -> Self {
         const MHZ: [u32; 9] = [260, 325, 377, 433, 481, 545, 598, 650, 702];
+        // qlint::allow(PN01, reason = "compiled-in ladder literal, exercised by the preset tests")
         OppTable::from_mhz_ladder("gpu", &MHZ, 0.575, 0.880).expect("static ladder valid")
     }
 }
@@ -294,6 +303,7 @@ impl FreqDomain {
     /// Current OPP.
     #[must_use]
     pub fn current(&self) -> Opp {
+        // qlint::allow(PN01, reason = "cur_level is only ever set through range-checked setters")
         self.table.opp(self.cur_level).expect("cur_level in range")
     }
 
@@ -306,12 +316,14 @@ impl FreqDomain {
     /// Lower policy cap as an OPP.
     #[must_use]
     pub fn min_cap(&self) -> Opp {
+        // qlint::allow(PN01, reason = "min_level is only ever set through range-checked setters")
         self.table.opp(self.min_level).expect("min_level in range")
     }
 
     /// Upper policy cap as an OPP.
     #[must_use]
     pub fn max_cap(&self) -> Opp {
+        // qlint::allow(PN01, reason = "max_level is only ever set through range-checked setters")
         self.table.opp(self.max_level).expect("max_level in range")
     }
 

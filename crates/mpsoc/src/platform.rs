@@ -299,6 +299,7 @@ impl Platform {
                 trip_c: 71.0,
             },
         ];
+        // qlint::allow(PN01, reason = "compiled-in preset, exercised by the platform tests")
         Platform::new("exynos9810", domains, 0.9, DomainId::new(0)).expect("preset valid")
     }
 
@@ -357,6 +358,7 @@ impl Platform {
                 trip_c: 71.0,
             },
         ];
+        // qlint::allow(PN01, reason = "compiled-in preset, exercised by the platform tests")
         Platform::new("exynos9820", domains, 0.9, DomainId::new(0)).expect("preset valid")
     }
 }

@@ -197,6 +197,7 @@ impl Soc {
     /// use [`Soc::try_new`] to handle that case.
     #[must_use]
     pub fn new(config: SocConfig) -> Self {
+        // qlint::allow(PN01, reason = "documented panicking constructor; fallible callers use Soc::try_new")
         Soc::try_new(config).expect("invalid SocConfig")
     }
 
@@ -340,6 +341,7 @@ impl Soc {
             if dom.current_level() > clamps[i] {
                 // The hardware clamp outranks the software policy range.
                 dom.force_level(clamps[i])
+                    // qlint::allow(PN01, reason = "thermal clamps are computed from this domain's own ladder length")
                     .expect("clamp level within table");
             }
         }

@@ -393,6 +393,7 @@ impl ThermalNetwork {
     /// The preset Note 9 network (see [`ThermalConfig::exynos9810`]).
     #[must_use]
     pub fn exynos9810(ambient_c: f64) -> Self {
+        // qlint::allow(PN01, reason = "compiled-in preset, exercised by the thermal tests")
         ThermalNetwork::new(ThermalConfig::exynos9810(ambient_c)).expect("preset config valid")
     }
 

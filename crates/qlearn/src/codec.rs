@@ -231,6 +231,7 @@ pub(crate) fn encode_header(out: &mut Vec<u8>, kind: u8, n_actions: usize, defau
     out.push(kind);
     put_u16(
         out,
+        // qlint::allow(PN01, reason = "the paper's action set has 9 entries; a u16 overflow is a caller bug the codec must not mask")
         u16::try_from(n_actions).expect("action counts are small"),
     );
     put_f64(out, default_q);
@@ -274,6 +275,7 @@ pub fn encode_table<S: QStore>(table: &QTable<S>) -> Vec<u8> {
     put_varint(&mut out, keys.len() as u64);
     let mut prev = None;
     for k in keys {
+        // qlint::allow(PN01, reason = "k comes from state_keys() of the same table, so the row exists")
         let (values, visits) = table.entry_raw(k).expect("listed key has a row");
         encode_row(&mut out, prev, k, values, visits);
         prev = Some(k);
@@ -409,6 +411,7 @@ pub fn delta_between<S: QStore>(base: &QTable<S>, new: &QTable<S>) -> Result<Vec
     }
     let mut changed: Vec<StateKey> = Vec::new();
     for k in new.state_keys() {
+        // qlint::allow(PN01, reason = "k comes from state_keys() of the same table, so the row exists")
         let (values, visits) = new.entry_raw(k).expect("listed key has a row");
         if row_differs(base.entry_raw(k), values, visits) {
             changed.push(k);
@@ -419,6 +422,7 @@ pub fn delta_between<S: QStore>(base: &QTable<S>, new: &QTable<S>) -> Result<Vec
     put_varint(&mut out, changed.len() as u64);
     let mut prev = None;
     for k in changed {
+        // qlint::allow(PN01, reason = "changed only holds keys just probed successfully above")
         let (values, visits) = new.entry_raw(k).expect("changed key has a row");
         encode_row(&mut out, prev, k, values, visits);
         prev = Some(k);

@@ -345,6 +345,7 @@ impl<S: QStore> QTable<S> {
     /// Iterator over `(state, action_values)` in ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (StateKey, &[f64])> + '_ {
         self.store.state_keys().into_iter().map(move |k| {
+            // qlint::allow(PN01, reason = "k comes from state_keys() of the same store, so the row exists")
             let (values, _) = self.store.row(k).expect("listed key has a row");
             (k, values)
         })
@@ -377,6 +378,7 @@ impl<S: QStore> QTable<S> {
     pub fn encode(&self) -> String {
         let mut out = format!("qtable v2 {} {:e}\n", self.n_actions(), self.default_q);
         for k in self.store.state_keys() {
+            // qlint::allow(PN01, reason = "k comes from state_keys() of the same store, so the row exists")
             let (values, visits) = self.store.row(k).expect("listed key has a row");
             let vals: Vec<String> = values.iter().map(|v| format!("{v:e}")).collect();
             let vis: Vec<String> = visits.iter().map(u64::to_string).collect();

@@ -443,6 +443,7 @@ pub fn run_fleet(config: &FleetConfig, workers: usize) -> FleetReport {
         .platforms
         .iter()
         .map(|name| {
+            // qlint::allow(PN01, reason = "run_fleet documents the panic; an unknown platform is an unusable config")
             PlatformPreset::by_name(name).unwrap_or_else(|| panic!("unknown platform '{name}'"))
         })
         .collect();
@@ -496,6 +497,7 @@ pub fn run_fleet(config: &FleetConfig, workers: usize) -> FleetReport {
         }
         let outcomes: Vec<TrainOutcome> = slots
             .into_iter()
+            // qlint::allow(PN01, reason = "parallel_map fills every slot exactly once by index")
             .map(|s| s.expect("every device trained"))
             .collect();
 
@@ -515,10 +517,12 @@ pub fn run_fleet(config: &FleetConfig, workers: usize) -> FleetReport {
             let acc = accs[dev.platform]
                 .get_or_insert_with(|| MergeAccumulator::new(table.n_actions(), table.default_q()));
             acc.fold(&table)
+                // qlint::allow(PN01, reason = "all tables of a platform group come from the same preset's action count")
                 .expect("a platform group shares one action space");
         }
         let merged: Vec<Option<DenseQTable>> = accs
             .into_iter()
+            // qlint::allow(PN01, reason = "an accumulator is Some only after at least one fold")
             .map(|acc| acc.map(|a| a.finish().expect("non-empty group folded")))
             .collect();
 

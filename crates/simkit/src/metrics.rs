@@ -138,7 +138,9 @@ impl Trace {
         assert!(!self.samples.is_empty(), "cannot summarise an empty trace");
         let n = self.samples.len() as f64;
         let mut s = Summary {
+            // qlint::allow(PN01, reason = "the assert above rejects empty traces")
             duration_s: self.samples.last().expect("non-empty").time_s
+                // qlint::allow(PN01, reason = "the assert above rejects empty traces")
                 - self.samples.first().expect("non-empty").time_s,
             ..Summary::default()
         };

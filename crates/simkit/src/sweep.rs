@@ -114,6 +114,7 @@ impl StripeQueue {
     /// grow, that state is permanent and the worker can retire.
     fn next(&self, w: usize) -> Option<usize> {
         {
+            // qlint::allow(PN01, reason = "a poisoned stripe lock means a worker already panicked; propagating is correct")
             let mut own = self.stripes[w].lock().expect("queue lock");
             if own.0 < own.1 {
                 let i = own.0;
@@ -124,6 +125,7 @@ impl StripeQueue {
         let n = self.stripes.len();
         for off in 1..n {
             let victim = (w + off) % n;
+            // qlint::allow(PN01, reason = "a poisoned stripe lock means a worker already panicked; propagating is correct")
             let mut g = self.stripes[victim].lock().expect("queue lock");
             if g.0 < g.1 {
                 g.1 -= 1;
@@ -183,6 +185,7 @@ where
             .collect();
         handles
             .into_iter()
+            // qlint::allow(PN01, reason = "re-raising a worker panic on the caller's thread, not swallowing it")
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });
@@ -193,6 +196,7 @@ where
     }
     results
         .into_iter()
+        // qlint::allow(PN01, reason = "the stripe queue hands out each index exactly once")
         .map(|r| r.expect("every cell ran exactly once"))
         .collect()
 }
@@ -365,6 +369,7 @@ impl StandardEvaluator {
             let table = self
                 .tables
                 .get(&cell.app)
+                // qlint::allow(PN01, reason = "prepare_on trained a table for every app in the grid")
                 .unwrap_or_else(|| panic!("no trained table for app '{}'", cell.app))
                 .table
                 .clone();
@@ -375,6 +380,7 @@ impl StandardEvaluator {
             ))
         } else {
             governors::by_name(&cell.governor)
+                // qlint::allow(PN01, reason = "documented panicking lookup; grid cells are built from validated names")
                 .unwrap_or_else(|| panic!("unknown governor '{}'", cell.governor))
         };
         evaluate_governor_on(governor.as_mut(), &plan, cell.seed, &self.preset.soc).summary

@@ -319,6 +319,7 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 /// Panics when the string exceeds 65535 bytes (metadata names never
 /// approach this).
 fn put_str(out: &mut Vec<u8>, s: &str) {
+    // qlint::allow(PN01, reason = "documented panic; metadata strings are short app/governor names")
     let len = u16::try_from(s.len()).expect("metadata string fits u16 length");
     put_u16(out, len);
     out.extend_from_slice(s.as_bytes());
@@ -346,30 +347,35 @@ impl<'a> Reader<'a> {
 
     fn u16(&mut self) -> Result<u16, TraceError> {
         Ok(u16::from_le_bytes(
+            // qlint::allow(PN01, reason = "take(2) returned exactly 2 bytes")
             self.take(2)?.try_into().expect("2 bytes"),
         ))
     }
 
     fn u32(&mut self) -> Result<u32, TraceError> {
         Ok(u32::from_le_bytes(
+            // qlint::allow(PN01, reason = "take(4) returned exactly 4 bytes")
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
     fn u64(&mut self) -> Result<u64, TraceError> {
         Ok(u64::from_le_bytes(
+            // qlint::allow(PN01, reason = "take(8) returned exactly 8 bytes")
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
     fn f32(&mut self) -> Result<f32, TraceError> {
         Ok(f32::from_le_bytes(
+            // qlint::allow(PN01, reason = "take(4) returned exactly 4 bytes")
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
     fn f64(&mut self) -> Result<f64, TraceError> {
         Ok(f64::from_le_bytes(
+            // qlint::allow(PN01, reason = "take(8) returned exactly 8 bytes")
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }

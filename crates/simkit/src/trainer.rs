@@ -249,6 +249,7 @@ impl Trainer {
                 }
                 batch.retain_lanes(&keep);
                 let mut it = keep.iter();
+                // qlint::allow(PN01, reason = "keep was sized to the lane count just above")
                 lane_spec.retain(|_| *it.next().expect("flag per lane"));
                 if lane_spec.is_empty() {
                     break;

@@ -226,6 +226,7 @@ impl Persona {
         let names = Persona::names();
         #[allow(clippy::cast_possible_truncation)]
         let idx = (splitmix64(seed) % names.len() as u64) as usize;
+        // qlint::allow(PN01, reason = "idx is reduced mod names.len(), so the lookup always hits")
         Persona::by_name(names[idx]).expect("shipped persona name resolves")
     }
 
@@ -445,6 +446,7 @@ impl DayPlan {
             "day length must be positive"
         );
         if let Err(violation) = config.validate() {
+            // qlint::allow(PN01, reason = "documented panic on invalid DayPlanConfig; generation has no error channel")
             panic!("{violation}");
         }
         let screen_on_budget = config.screen_on_budget_s();

@@ -160,6 +160,7 @@ impl SessionSim {
             self.entry_idx = idx;
             if entry.duration_s > BOUNDARY_EPS_S {
                 self.entry_left_s = entry.duration_s;
+                // qlint::allow(PN01, reason = "Session::new resolved every plan entry's app already")
                 let model: AppModel = apps::by_name(&entry.app).expect("validated in new");
                 // Derive a per-entry seed so app traces differ between
                 // entries but stay reproducible.

@@ -20,6 +20,7 @@
 //!                  [--trace <day.trace>] [--report <day.html>]
 //! next-sim replay  --trace <day.trace> [--workers <n>]
 //! next-sim bisect  --a <one.trace> --b <other.trace>
+//! next-sim lint    [--format text|json] [--out <lint.json>] [--root <dir>]
 //! next-sim apps
 //! ```
 
@@ -66,6 +67,7 @@ fn main() -> ExitCode {
         "day" => cmd_day(&flags),
         "replay" => cmd_replay(&flags),
         "bisect" => cmd_bisect(&flags),
+        "lint" => cmd_lint(&flags),
         "personas" => {
             for &name in Persona::names() {
                 let persona = Persona::by_name(name).expect("shipped persona");
@@ -102,12 +104,17 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => {
+            eprintln!("error: unknown command '{other}'\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        // Runtime failures (a lint finding, a tripped perf gate, a replay
+        // divergence) are not usage errors: keep the log readable.
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -138,6 +145,7 @@ USAGE:
                    [--trace <day.trace>] [--report <day.html>]
   next-sim replay  --trace <day.trace> [--workers <n>]
   next-sim bisect  --a <one.trace> --b <other.trace>
+  next-sim lint    [--format text|json] [--out <lint.json>] [--root <dir>]
   next-sim apps
   next-sim platforms
   next-sim personas
@@ -202,6 +210,15 @@ replay re-executes a recorded day from the trace's metadata alone and
 exits non-zero unless the regenerated trace is byte-identical to the
 file — the repository's determinism gate. bisect compares two traces
 and reports the first divergent tick with a field-level diff.
+
+lint statically checks every non-vendored .rs file of the workspace
+against the determinism rule catalog (docs/LINT.md): ambient time and
+entropy, unordered iteration in artifact-producing crates,
+completion-order harvesting, panics in library code, unsafe blocks.
+Exemptions need an inline `// qlint::allow(RULE, reason = \"...\")`
+marker. Exits non-zero on any unsuppressed finding; --format json
+writes the versioned lint.json CI archives. Deterministic: identical
+bytes for identical trees.
 
 sweep/perf/fleet/campaign/day accept --platform to run on a different
 SoC preset; run/train/compare always use the paper's exynos9810.";
@@ -424,6 +441,7 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
         seeds.len(),
         preset.name
     );
+    // qlint::allow(ND01, reason = "wall-clock progress reporting on stderr; artifacts never contain it")
     let started = std::time::Instant::now();
     let evaluator = StandardEvaluator::prepare_on(&cells, train_budget, workers, preset);
     let rows = sweep::run_cells(&cells, workers, |cell| evaluator.eval(cell));
@@ -562,6 +580,7 @@ fn cmd_fleet(flags: &Flags) -> Result<(), String> {
         config.platforms.join("+"),
         config.round_budget_s
     );
+    // qlint::allow(ND01, reason = "wall-clock progress reporting on stderr; artifacts never contain it")
     let started = std::time::Instant::now();
     let report = fleet::run_fleet(&config, workers);
     eprintln!(
@@ -686,6 +705,7 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         config.shard_size,
         if options.resume { ", resuming" } else { "" }
     );
+    // qlint::allow(ND01, reason = "wall-clock progress reporting on stderr; artifacts never contain it")
     let started = std::time::Instant::now();
     let report = match run_campaign_with(&config, workers, &options)? {
         CampaignOutcome::Paused { rounds_done } => {
@@ -814,6 +834,7 @@ fn cmd_day(flags: &Flags) -> Result<(), String> {
         plan_cfg.pickups,
         plan_cfg.day_length_s / 3_600.0
     );
+    // qlint::allow(ND01, reason = "wall-clock progress reporting on stderr; artifacts never contain it")
     let started = std::time::Instant::now();
     // Tracing is opt-in: without --trace/--report the untraced path
     // runs and the recording hook compiles down to nothing.
@@ -910,6 +931,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         recorded.meta.governor,
         recorded.meta.platform
     );
+    // qlint::allow(ND01, reason = "wall-clock progress reporting on stderr; artifacts never contain it")
     let started = std::time::Instant::now();
     let (_report, replayed) = day::replay_day(&recorded.meta, workers)?;
     eprintln!(
@@ -941,6 +963,47 @@ fn cmd_bisect(flags: &Flags) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{path_a} and {path_b} diverge"))
+    }
+}
+
+fn cmd_lint(flags: &Flags) -> Result<(), String> {
+    let root = flags.get("root").map_or(".", String::as_str);
+    let format = flags.get("format").map_or("text", String::as_str);
+    if !matches!(format, "text" | "json") {
+        return Err(format!("--format must be 'text' or 'json', got '{format}'"));
+    }
+    let report = next_mpsoc::qlint::lint_workspace(std::path::Path::new(root))
+        .map_err(|e| format!("walking {root}: {e}"))?;
+    let text = match format {
+        "json" => {
+            let json = report.to_json().render();
+            debug_assert!(Json::parse(&json).is_ok(), "lint.json must be valid JSON");
+            format!("{json}\n")
+        }
+        _ => report.render_text(),
+    };
+    // The artifact (or text report) is written even when the gate
+    // fails, so CI can archive the findings it is failing on.
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("lint: wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    if report.is_clean() {
+        eprintln!(
+            "lint: clean — {} file(s), {} suppression(s)",
+            report.files_scanned, report.suppressed
+        );
+        Ok(())
+    } else {
+        // On JSON-to-file runs the findings are only in the artifact;
+        // repeat them on stderr so the CI log names the lines.
+        if flags.get("out").is_some() || format == "json" {
+            eprint!("{}", report.render_text());
+        }
+        Err(format!("lint: {} finding(s)", report.findings.len()))
     }
 }
 

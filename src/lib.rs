@@ -20,7 +20,11 @@
 //! * [`bench`](mod@bench) — the figure-reproduction protocol plus the
 //!   machine-readable perf/fleet harnesses behind `next-sim perf` and
 //!   `next-sim fleet` (the `BENCH.json`/`fleet.json` artifacts CI
-//!   gates on and archives).
+//!   gates on and archives),
+//! * [`qlint`] — the static determinism lint behind `next-sim lint`:
+//!   a dep-free token scanner and rule engine that enforces the
+//!   invariants of `docs/ARCHITECTURE.md` at the source line (see
+//!   `docs/LINT.md` for the rule catalog).
 //!
 //! # Quickstart
 //!
@@ -48,5 +52,6 @@ pub use governors;
 pub use mpsoc;
 pub use next_core;
 pub use qlearn;
+pub use qlint;
 pub use simkit;
 pub use workload;
